@@ -1,0 +1,52 @@
+//! Micro-benchmarks for the Section 3.1 concurrency bounds: `C(v)`,
+//! `b̄(τ)`, `l̄(τ)` (the paper reports cubic complexity), and the exact
+//! maximum-antichain refinement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rtpool_core::ConcurrencyAnalysis;
+use rtpool_gen::DagGenConfig;
+use rtpool_graph::Dag;
+
+fn graph_of_size(target_nodes: usize) -> Dag {
+    // Grow the generator's width until the node count is near the target.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(target_nodes as u64);
+    let mut cfg = DagGenConfig {
+        p_terminal: 0.1,
+        ..DagGenConfig::default()
+    };
+    loop {
+        let dag = cfg.generate(&mut rng);
+        if dag.node_count() >= target_nodes {
+            return dag;
+        }
+        cfg.max_sequence += 1;
+    }
+}
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrency_bounds");
+    for size in [25usize, 100, 400] {
+        let dag = graph_of_size(size);
+        group.bench_with_input(
+            BenchmarkId::new("analysis_build", dag.node_count()),
+            &dag,
+            |b, dag| b.iter(|| ConcurrencyAnalysis::new(std::hint::black_box(dag))),
+        );
+        let ca = ConcurrencyAnalysis::new(&dag);
+        group.bench_with_input(
+            BenchmarkId::new("b_bar", dag.node_count()),
+            &ca,
+            |b, ca| b.iter(|| std::hint::black_box(ca.max_delay_count())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exact_antichain", dag.node_count()),
+            &ca,
+            |b, ca| b.iter(|| std::hint::black_box(ca.max_suspended_forks())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

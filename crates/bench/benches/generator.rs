@@ -1,0 +1,33 @@
+//! Micro-benchmarks for the synthetic workload generator, including the
+//! rejection-sampling cost of the concurrency window used by Figure
+//! 2(a)/(b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rtpool_gen::{ConcurrencyWindow, DagGenConfig, TaskSetConfig};
+
+fn bench_generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator");
+    group.bench_function("dag_default", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let cfg = DagGenConfig::default();
+        b.iter(|| std::hint::black_box(cfg.generate(&mut rng)))
+    });
+    for n in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("task_set", n), &n, |b, &n| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+            let cfg = TaskSetConfig::new(n, 2.0, DagGenConfig::default());
+            b.iter(|| std::hint::black_box(cfg.generate(&mut rng).expect("generates")))
+        });
+    }
+    group.bench_function("task_set_windowed", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let cfg = TaskSetConfig::new(4, 2.0, DagGenConfig::default())
+            .with_concurrency_window(ConcurrencyWindow::around(8, 5));
+        b.iter(|| std::hint::black_box(cfg.generate(&mut rng).expect("generates")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generator);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Micro-benchmarks for Algorithm 1 (the paper reports `O(|V|⁴)`) versus
+//! the blocking-oblivious worst-fit baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rtpool_core::partition::{algorithm1, worst_fit};
+use rtpool_gen::DagGenConfig;
+use rtpool_graph::Dag;
+
+fn graph_of_size(target_nodes: usize) -> Dag {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(target_nodes as u64);
+    let mut cfg = DagGenConfig {
+        p_terminal: 0.1,
+        ..DagGenConfig::default()
+    };
+    loop {
+        let dag = cfg.generate(&mut rng);
+        if dag.node_count() >= target_nodes {
+            return dag;
+        }
+        cfg.max_sequence += 1;
+    }
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioning");
+    let m = 8;
+    for size in [25usize, 100, 400] {
+        let dag = graph_of_size(size);
+        group.bench_with_input(
+            BenchmarkId::new("algorithm1", dag.node_count()),
+            &dag,
+            |b, dag| b.iter(|| std::hint::black_box(algorithm1(dag, m))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("worst_fit", dag.node_count()),
+            &dag,
+            |b, dag| b.iter(|| std::hint::black_box(worst_fit(dag, m))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioning);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Benchmarks of the native thread pool: blocking versus non-blocking
+//! semantics (the Figure 1(b) slowdown, measured on real condvars) and
+//! the three queue disciplines.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtpool_core::partition::algorithm1;
+use rtpool_exec::{PoolConfig, QueueDiscipline, ThreadPool};
+use rtpool_graph::{Dag, DagBuilder};
+
+fn wide_job(blocking: bool) -> Dag {
+    // A fork-join with 16 children of 2 units each, flanked by a chain.
+    let mut b = DagBuilder::new();
+    let head = b.add_node(1);
+    let (f, j) = b.fork_join(1, &[2; 16], 1, blocking).unwrap();
+    let tail = b.add_node(1);
+    b.add_edge(head, f).unwrap();
+    b.add_edge(j, tail).unwrap();
+    b.build().unwrap()
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_throughput");
+    group.sample_size(20);
+    let scale = Duration::from_micros(20);
+
+    for blocking in [false, true] {
+        let dag = wide_job(blocking);
+        let label = if blocking { "blocking" } else { "non_blocking" };
+        group.bench_with_input(
+            BenchmarkId::new("global_fifo", label),
+            &dag,
+            |b, dag| {
+                let mut pool = ThreadPool::new(
+                    PoolConfig::new(4, QueueDiscipline::GlobalFifo).with_time_scale(scale),
+                );
+                b.iter(|| pool.run(std::hint::black_box(dag)).expect("completes"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("work_stealing", label),
+            &dag,
+            |b, dag| {
+                let mut pool = ThreadPool::new(
+                    PoolConfig::new(4, QueueDiscipline::WorkStealing { seed: 7 })
+                        .with_time_scale(scale),
+                );
+                b.iter(|| pool.run(std::hint::black_box(dag)).expect("completes"));
+            },
+        );
+    }
+
+    // Partitioned with an Algorithm 1 (delay-free) mapping.
+    let dag = wide_job(true);
+    let mapping = algorithm1(&dag, 4).expect("partitionable");
+    group.bench_function("partitioned/blocking", |b| {
+        let mut pool = ThreadPool::new(
+            PoolConfig::new(4, QueueDiscipline::Partitioned(mapping.clone()))
+                .with_time_scale(scale),
+        );
+        b.iter(|| pool.run(std::hint::black_box(&dag)).expect("completes"));
+    });
+
+    // Dispatch overhead: zero-duration bodies isolate synchronization.
+    let dag = wide_job(true);
+    group.bench_function("global_fifo/overhead_only", |b| {
+        let mut pool = ThreadPool::new(
+            PoolConfig::new(4, QueueDiscipline::GlobalFifo).with_time_scale(Duration::ZERO),
+        );
+        b.iter(|| pool.run(std::hint::black_box(&dag)).expect("completes"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool);
+criterion_main!(benches);

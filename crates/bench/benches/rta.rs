@@ -1,0 +1,61 @@
+//! Micro-benchmarks for the response-time analyses: the Melani baseline,
+//! the limited-concurrency adaptation (Section 4.1), and the partitioned
+//! pipeline (Section 4.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rtpool_core::analysis::global::{self, ConcurrencyModel};
+use rtpool_core::analysis::partitioned::{self, PartitionStrategy};
+use rtpool_core::TaskSet;
+use rtpool_gen::{DagGenConfig, TaskSetConfig};
+
+fn set_of(n: usize, u: f64, seed: u64) -> TaskSet {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    TaskSetConfig::new(n, u, DagGenConfig::default())
+        .generate(&mut rng)
+        .expect("generation succeeds")
+}
+
+fn bench_rta(c: &mut Criterion) {
+    let m = 8;
+    let mut group = c.benchmark_group("rta");
+    for n in [4usize, 8, 16] {
+        let set = set_of(n, 2.0, n as u64);
+        group.bench_with_input(BenchmarkId::new("global_full", n), &set, |b, set| {
+            b.iter(|| std::hint::black_box(global::analyze(set, m, ConcurrencyModel::Full)))
+        });
+        group.bench_with_input(BenchmarkId::new("global_limited", n), &set, |b, set| {
+            b.iter(|| std::hint::black_box(global::analyze(set, m, ConcurrencyModel::Limited)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("partitioned_algorithm1", n),
+            &set,
+            |b, set| {
+                b.iter(|| {
+                    std::hint::black_box(partitioned::partition_and_analyze(
+                        set,
+                        m,
+                        PartitionStrategy::Algorithm1,
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("partitioned_worst_fit", n),
+            &set,
+            |b, set| {
+                b.iter(|| {
+                    std::hint::black_box(partitioned::partition_and_analyze(
+                        set,
+                        m,
+                        PartitionStrategy::WorstFit,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rta);
+criterion_main!(benches);

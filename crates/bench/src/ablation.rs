@@ -1,0 +1,210 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **Concurrency floor**: the paper's `b̄`-based floor
+//!    (`ConcurrencyModel::Limited`) versus the exact-antichain extension
+//!    (`ConcurrencyModel::LimitedExact`) versus the oblivious baseline —
+//!    how much schedulability the cheap bound gives away.
+//! 2. **Algorithm 1 tie-breaking**: worst-fit (the paper's choice)
+//!    versus first-fit and best-fit for the free placements at lines 11
+//!    and 18.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rand::SeedableRng;
+use rtpool_core::analysis::global::{self, ConcurrencyModel};
+use rtpool_core::analysis::partitioned::{self, BlockingAwareness};
+use rtpool_core::partition::{
+    algorithm1_with, BestFit, FirstFit, NodeMapping, PlacementHeuristic, WorstFit,
+};
+use rtpool_core::{ConcurrencyAnalysis, TaskSet};
+use rtpool_gen::{DagGenConfig, TaskSetConfig};
+
+/// Acceptance ratios of the three global concurrency models at one
+/// parameter point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FloorPoint {
+    /// The swept task count.
+    pub n: usize,
+    /// Oblivious baseline acceptance.
+    pub full: f64,
+    /// `b̄`-based (paper) acceptance.
+    pub limited: f64,
+    /// Exact-antichain (extension) acceptance.
+    pub limited_exact: f64,
+}
+
+/// Sweeps the task count (the Figure 2(e) setup) and reports the
+/// acceptance of all three concurrency models.
+#[must_use]
+pub fn concurrency_floor_ablation(
+    sets_per_point: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<FloorPoint> {
+    let m = 8;
+    (1..=8)
+        .map(|k| {
+            let n = 2 * k;
+            let counts = parallel_count(sets_per_point, threads, |sample| {
+                let mut rng =
+                    rand::rngs::StdRng::seed_from_u64(mix(seed, n as u64, sample as u64));
+                let set = TaskSetConfig::new(n, 0.4 * n as f64, DagGenConfig::default())
+                    .generate(&mut rng)
+                    .expect("generation succeeds");
+                [
+                    global::analyze(&set, m, ConcurrencyModel::Full).is_schedulable(),
+                    global::analyze(&set, m, ConcurrencyModel::Limited).is_schedulable(),
+                    global::analyze(&set, m, ConcurrencyModel::LimitedExact).is_schedulable(),
+                ]
+            });
+            FloorPoint {
+                n,
+                full: counts[0] as f64 / sets_per_point as f64,
+                limited: counts[1] as f64 / sets_per_point as f64,
+                limited_exact: counts[2] as f64 / sets_per_point as f64,
+            }
+        })
+        .collect()
+}
+
+/// Acceptance ratios of Algorithm 1 under the three placement
+/// heuristics at one pool size.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HeuristicPoint {
+    /// The swept pool size.
+    pub m: usize,
+    /// Worst-fit (the paper's heuristic).
+    pub worst_fit: f64,
+    /// First-fit.
+    pub first_fit: f64,
+    /// Best-fit.
+    pub best_fit: f64,
+}
+
+/// Sweeps the pool size (the Figure 2(d) setup) and reports partitioned
+/// acceptance for each Algorithm 1 tie-breaking heuristic.
+#[must_use]
+pub fn heuristic_ablation(
+    sets_per_point: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<HeuristicPoint> {
+    [2usize, 3, 4, 6, 8, 12, 16]
+        .into_iter()
+        .map(|m| {
+            let counts = parallel_count(sets_per_point, threads, |sample| {
+                let mut rng =
+                    rand::rngs::StdRng::seed_from_u64(mix(seed, m as u64, sample as u64));
+                let set = TaskSetConfig::new(4, 1.0, DagGenConfig::default())
+                    .generate(&mut rng)
+                    .expect("generation succeeds");
+                [
+                    accepts(&set, m, &mut WorstFit),
+                    accepts(&set, m, &mut FirstFit),
+                    accepts(&set, m, &mut BestFit),
+                ]
+            });
+            HeuristicPoint {
+                m,
+                worst_fit: counts[0] as f64 / sets_per_point as f64,
+                first_fit: counts[1] as f64 / sets_per_point as f64,
+                best_fit: counts[2] as f64 / sets_per_point as f64,
+            }
+        })
+        .collect()
+}
+
+/// Partitions every task with Algorithm 1 under `heuristic` and runs the
+/// partitioned RTA.
+fn accepts<H: PlacementHeuristic>(set: &TaskSet, m: usize, heuristic: &mut H) -> bool {
+    let mut mappings: Vec<NodeMapping> = Vec::with_capacity(set.len());
+    for (_, task) in set.iter() {
+        let ca = ConcurrencyAnalysis::new(task.dag());
+        match algorithm1_with(&ca, m, heuristic) {
+            Ok(mapping) => mappings.push(mapping),
+            Err(_) => return false,
+        }
+    }
+    partitioned::analyze(set, m, &mappings, BlockingAwareness::Oblivious).is_schedulable()
+}
+
+/// Evaluates `f` for `samples` indices across `threads` OS threads and
+/// returns how many samples answered `true` per slot of the returned
+/// array.
+fn parallel_count<const K: usize>(
+    samples: usize,
+    threads: usize,
+    f: impl Fn(usize) -> [bool; K] + Sync,
+) -> [usize; K] {
+    let counters: Vec<AtomicUsize> = (0..K).map(|_| AtomicUsize::new(0)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= samples {
+                    return;
+                }
+                let results = f(i);
+                for (k, &hit) in results.iter().enumerate() {
+                    if hit {
+                        counters[k].fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let mut out = [0usize; K];
+    for (o, c) in out.iter_mut().zip(&counters) {
+        *o = c.load(Ordering::Relaxed);
+    }
+    out
+}
+
+fn mix(seed: u64, a: u64, b: u64) -> u64 {
+    let mut z = seed ^ a.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ b.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_ablation_orders_models() {
+        // Full >= LimitedExact >= Limited acceptance, pointwise.
+        for p in concurrency_floor_ablation(24, 11, 4) {
+            assert!(
+                p.full >= p.limited_exact - 1e-12,
+                "full {} < exact {} at n = {}",
+                p.full,
+                p.limited_exact,
+                p.n
+            );
+            assert!(
+                p.limited_exact >= p.limited - 1e-12,
+                "exact {} < limited {} at n = {}",
+                p.limited_exact,
+                p.limited,
+                p.n
+            );
+        }
+    }
+
+    #[test]
+    fn heuristic_ablation_produces_ratios() {
+        for p in heuristic_ablation(12, 3, 4) {
+            for v in [p.worst_fit, p.first_fit, p.best_fit] {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_count_counts() {
+        let [evens, all] = parallel_count(100, 4, |i| [i % 2 == 0, true]);
+        assert_eq!(evens, 50);
+        assert_eq!(all, 100);
+    }
+}

@@ -1,0 +1,180 @@
+//! Command-line analyzer for task sets in the `.rtp` text format (see
+//! `rtpool_core::textfmt`): deadlock verdicts, schedulability under every
+//! shipped test, Algorithm 1 mappings, and optional simulation.
+//!
+//! ```text
+//! analyze <file.rtp> --m <threads> [--simulate] [--policy global|partitioned]
+//! ```
+
+use std::process::ExitCode;
+
+use rtpool_core::analysis::global::{self, ConcurrencyModel};
+use rtpool_core::analysis::partitioned::{self, PartitionStrategy};
+use rtpool_core::{deadlock, sizing, textfmt, ConcurrencyAnalysis, TaskId};
+use rtpool_sim::{SchedulingPolicy, SimConfig};
+
+struct Args {
+    path: String,
+    m: usize,
+    simulate: bool,
+    policy: SchedulingPolicy,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut path = None;
+    let mut m = 4usize;
+    let mut simulate = false;
+    let mut policy = SchedulingPolicy::Global;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--m" => {
+                m = it
+                    .next()
+                    .ok_or("missing value for --m")?
+                    .parse()
+                    .map_err(|e| format!("invalid --m: {e}"))?;
+            }
+            "--simulate" => simulate = true,
+            "--policy" => {
+                policy = match it.next().as_deref() {
+                    Some("global") => SchedulingPolicy::Global,
+                    Some("partitioned") => SchedulingPolicy::Partitioned,
+                    other => return Err(format!("invalid --policy {other:?}")),
+                };
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: analyze <file.rtp> [--m N] [--simulate] [--policy global|partitioned]"
+                );
+                std::process::exit(0);
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            file => path = Some(file.to_owned()),
+        }
+    }
+    Ok(Args {
+        path: path.ok_or("missing input file")?,
+        m,
+        simulate,
+        policy,
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let text = std::fs::read_to_string(&args.path)
+        .map_err(|e| format!("cannot read {}: {e}", args.path))?;
+    let set = textfmt::parse_task_set(&text).map_err(|e| e.to_string())?;
+    let m = args.m;
+
+    println!("{} tasks, m = {m}, total utilization {:.3}\n", set.len(), set.total_utilization());
+
+    println!("== Per-task structure & deadlock analysis (Section 3) ==");
+    for (id, task) in set.iter() {
+        let ca = ConcurrencyAnalysis::new(task.dag());
+        let verdict = deadlock::check_global_with(&ca, m);
+        println!(
+            "  {id}: |V|={:3} vol={:6} len={:5} T={:7} D={:7} U={:.3}",
+            task.dag().node_count(),
+            task.volume(),
+            task.critical_path_length(),
+            task.period(),
+            task.deadline(),
+            task.utilization(),
+        );
+        println!(
+            "      b̄={} l̄({m})={} max-suspended={} min-safe-pool={} verdict={}",
+            ca.max_delay_count(),
+            ca.concurrency_lower_bound(m),
+            ca.max_suspended_forks().len(),
+            sizing::min_threads_deadlock_free(task.dag()),
+            if verdict.is_deadlock_free() { "deadlock-free" } else { "DEADLOCK POSSIBLE" },
+        );
+    }
+
+    println!("\n== Global schedulability (Section 4.1) ==");
+    for (label, model) in [
+        ("Melani et al. [14] (oblivious)", ConcurrencyModel::Full),
+        ("limited concurrency (paper)", ConcurrencyModel::Limited),
+        ("exact antichain (extension)", ConcurrencyModel::LimitedExact),
+    ] {
+        let r = global::analyze(&set, m, model);
+        print!("  {label:35} {}", if r.is_schedulable() { "SCHEDULABLE  " } else { "unschedulable" });
+        let responses: Vec<String> = r
+            .verdicts()
+            .iter()
+            .map(|v| v.response_time().map_or("-".into(), |r| r.to_string()))
+            .collect();
+        println!("  R = [{}]", responses.join(", "));
+    }
+
+    println!("\n== Partitioned schedulability (Section 4.2) ==");
+    for (label, strategy) in [
+        ("worst-fit (oblivious baseline)", PartitionStrategy::WorstFit),
+        ("Algorithm 1 (delay-free)", PartitionStrategy::Algorithm1),
+    ] {
+        let (r, mappings) = partitioned::partition_and_analyze(&set, m, strategy);
+        print!("  {label:35} {}", if r.is_schedulable() { "SCHEDULABLE  " } else { "unschedulable" });
+        let responses: Vec<String> = r
+            .verdicts()
+            .iter()
+            .map(|v| v.response_time().map_or("-".into(), |r| r.to_string()))
+            .collect();
+        println!("  R = [{}]", responses.join(", "));
+        for (i, mapping) in mappings.iter().enumerate() {
+            if let Some(mapping) = mapping {
+                let task = set.task(TaskId(i));
+                println!("      τ{i} loads: {:?}", mapping.loads(task.dag()));
+            } else {
+                println!("      τ{i}: partitioning failed");
+            }
+        }
+    }
+
+    if args.simulate {
+        println!("\n== Simulation ({:?}) ==", args.policy);
+        let horizon = set
+            .iter()
+            .map(|(_, t)| t.period())
+            .max()
+            .unwrap_or(1)
+            .saturating_mul(3);
+        let mut config = SimConfig::periodic(args.policy, m, horizon);
+        if args.policy == SchedulingPolicy::Partitioned {
+            let (_, mappings) =
+                partitioned::partition_and_analyze(&set, m, PartitionStrategy::Algorithm1);
+            let maps: Option<Vec<_>> = mappings.into_iter().collect();
+            match maps {
+                Some(maps) => config = config.with_mappings(maps),
+                None => return Err("cannot simulate: Algorithm 1 failed for some task".into()),
+            }
+        }
+        let out = config.run(&set).map_err(|e| e.to_string())?;
+        for (i, t) in out.tasks().iter().enumerate() {
+            println!(
+                "  τ{i}: released={} completed={} max-response={:?} misses={} min-l(t)={}{}",
+                t.released,
+                t.completed,
+                t.max_response,
+                t.deadline_misses,
+                t.min_available_concurrency,
+                t.stall
+                    .as_ref()
+                    .map(|s| format!("  STALLED at t={}", s.time))
+                    .unwrap_or_default(),
+            );
+        }
+    }
+    Ok(())
+}

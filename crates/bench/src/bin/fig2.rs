@@ -1,0 +1,121 @@
+//! Reproduces the paper's Figure 2 (insets a–f): schedulability ratio of
+//! the proposed concurrency-aware tests versus the oblivious state of the
+//! art, as `l_max`, `m`, and `n` vary.
+//!
+//! ```text
+//! fig2 [--inset a|b|c|d|e|f|all] [--sets N] [--seed S]
+//!      [--threads T] [--csv DIR] [--plot]
+//! ```
+//!
+//! Defaults: all insets, 500 sets per point (the paper's count), seed
+//! `0x5eedf00d`, all cores, text tables on stdout.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use rtpool_bench::fig2::{run_inset, Fig2Params, Inset};
+use rtpool_bench::table;
+
+struct Args {
+    insets: Vec<Inset>,
+    params: Fig2Params,
+    csv_dir: Option<PathBuf>,
+    plot: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        insets: Inset::ALL.to_vec(),
+        params: Fig2Params::default(),
+        csv_dir: None,
+        plot: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--inset" => {
+                let v = value("--inset")?;
+                if v.eq_ignore_ascii_case("all") {
+                    args.insets = Inset::ALL.to_vec();
+                } else {
+                    args.insets = vec![
+                        Inset::parse(&v).ok_or_else(|| format!("unknown inset `{v}`"))?
+                    ];
+                }
+            }
+            "--sets" => {
+                args.params.sets_per_point = value("--sets")?
+                    .parse()
+                    .map_err(|e| format!("invalid --sets: {e}"))?;
+            }
+            "--seed" => {
+                args.params.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("invalid --seed: {e}"))?;
+            }
+            "--threads" => {
+                args.params.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("invalid --threads: {e}"))?;
+            }
+            "--csv" => {
+                args.csv_dir = Some(PathBuf::from(value("--csv")?));
+            }
+            "--plot" => args.plot = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: fig2 [--inset a..f|all] [--sets N] [--seed S] \
+                     [--threads T] [--csv DIR] [--plot]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(dir) = &args.csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    for inset in &args.insets {
+        let start = Instant::now();
+        let series = run_inset(*inset, &args.params);
+        let elapsed = start.elapsed();
+        println!("{}", table::render_text(*inset, &series));
+        if args.plot {
+            println!("{}", table::render_ascii_plot(&series));
+        }
+        println!(
+            "  ({} sets/point, seed {:#x}, {:.1}s)\n",
+            args.params.sets_per_point,
+            args.params.seed,
+            elapsed.as_secs_f64()
+        );
+        if let Some(dir) = &args.csv_dir {
+            let path = dir.join(format!("fig2{}.csv", inset.letter()));
+            if let Err(e) = std::fs::write(&path, table::render_csv(*inset, &series)) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("  wrote {}", path.display());
+        }
+    }
+    ExitCode::SUCCESS
+}

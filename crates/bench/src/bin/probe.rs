@@ -1,0 +1,57 @@
+//! Diagnostic probe: prints per-task workload statistics and the
+//! partitioned response-time bounds for a few generated sets, to help
+//! tune experiment parameters. Not part of the reproduction surface.
+
+use rand::SeedableRng;
+use rtpool_core::analysis::partitioned::{self, PartitionStrategy};
+use rtpool_core::analysis::global::{self, ConcurrencyModel};
+use rtpool_core::ConcurrencyAnalysis;
+use rtpool_gen::{DagGenConfig, TaskSetConfig};
+
+fn main() {
+    let m = 8;
+    let u = 2.0;
+    let n = 4;
+    for seed in 0..6u64 {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let set = TaskSetConfig::new(n, u, DagGenConfig::default())
+            .generate(&mut rng)
+            .unwrap();
+        println!("== seed {seed} ==");
+        for (id, t) in set.iter() {
+            let ca = ConcurrencyAnalysis::new(t.dag());
+            println!(
+                "  {id}: |V|={:3} vol={:5} len={:4} T={:6} U={:.2} bbar={} ",
+                t.dag().node_count(),
+                t.volume(),
+                t.critical_path_length(),
+                t.period(),
+                t.utilization(),
+                ca.max_delay_count(),
+            );
+        }
+        let g = global::analyze(&set, m, ConcurrencyModel::Full);
+        let (wf, _) = partition_and(&set, m, PartitionStrategy::WorstFit);
+        let (a1, _) = partition_and(&set, m, PartitionStrategy::Algorithm1);
+        for (id, t) in set.iter() {
+            println!(
+                "  {id}: D={:6} global={:?} wf={:?} alg1={:?}",
+                t.deadline(),
+                g.verdict(id).response_time(),
+                wf.verdict(id).response_time(),
+                a1.verdict(id).response_time(),
+            );
+        }
+    }
+}
+
+fn partition_and(
+    set: &rtpool_core::TaskSet,
+    m: usize,
+    s: PartitionStrategy,
+) -> (
+    rtpool_core::analysis::SchedResult,
+    Vec<Option<rtpool_core::partition::NodeMapping>>,
+) {
+    partitioned::partition_and_analyze(set, m, s)
+}

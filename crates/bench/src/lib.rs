@@ -1,0 +1,24 @@
+//! # rtpool-bench
+//!
+//! Experiment harness reproducing the evaluation of Casini, Biondi,
+//! Buttazzo (DAC 2019): the six schedulability-ratio studies of
+//! Figure 2, plus supporting machinery (parallel sample evaluation, text
+//! and CSV output).
+//!
+//! Run all insets with the `fig2` binary:
+//!
+//! ```text
+//! cargo run --release -p rtpool-bench --bin fig2 -- --inset all --sets 500
+//! ```
+//!
+//! The per-inset generation parameters (the paper's figure captions are
+//! not legible in the available scan) are documented on the [`fig2`]
+//! module and in the workspace's DESIGN.md / EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod fig2;
+pub mod table;
+pub mod tightness;

@@ -1,0 +1,146 @@
+//! Plain-text and CSV rendering of experiment series.
+
+use std::fmt::Write as _;
+
+use crate::fig2::{Inset, SeriesPoint};
+
+/// Renders a series as an aligned text table (the shape the paper's
+/// plots encode).
+#[must_use]
+pub fn render_text(inset: Inset, series: &[SeriesPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 2({}) — {}", inset.letter(), inset.description());
+    let _ = writeln!(
+        out,
+        "  proposed: {}\n  baseline: {}",
+        inset.proposed_label(),
+        inset.baseline_label()
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} | {:>10} | {:>10} | {:>8} | {:>7}",
+        inset.x_label(),
+        "proposed",
+        "baseline",
+        "samples",
+        "skipped"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(6 + 10 + 10 + 8 + 7 + 12));
+    for p in series {
+        let _ = writeln!(
+            out,
+            "{:>6} | {:>10.3} | {:>10.3} | {:>8} | {:>7}",
+            p.x, p.proposed, p.baseline, p.samples, p.skipped
+        );
+    }
+    out
+}
+
+/// Renders a series as CSV with a header row.
+#[must_use]
+pub fn render_csv(inset: Inset, series: &[SeriesPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "inset,{},proposed_ratio,baseline_ratio,samples,skipped",
+        inset.x_label()
+    );
+    for p in series {
+        let _ = writeln!(
+            out,
+            "{},{},{:.6},{:.6},{},{}",
+            inset.letter(),
+            p.x,
+            p.proposed,
+            p.baseline,
+            p.samples,
+            p.skipped
+        );
+    }
+    out
+}
+
+/// Renders a sparkline-style ASCII plot of the two ratio curves, for a
+/// quick visual check of the series' shape in a terminal.
+#[must_use]
+pub fn render_ascii_plot(series: &[SeriesPoint]) -> String {
+    const HEIGHT: usize = 10;
+    let mut out = String::new();
+    for row in (0..=HEIGHT).rev() {
+        let threshold = row as f64 / HEIGHT as f64;
+        let _ = write!(out, "{threshold:>5.1} |");
+        for p in series {
+            let prop = p.proposed >= threshold;
+            let base = p.baseline >= threshold;
+            let ch = match (prop, base) {
+                (true, true) => '#',
+                (false, true) => '·',
+                (true, false) => 'o', // proposed above baseline: unexpected
+                (false, false) => ' ',
+            };
+            let _ = write!(out, " {ch} ");
+        }
+        out.push('\n');
+    }
+    let _ = write!(out, "      +");
+    for _ in series {
+        let _ = write!(out, "---");
+    }
+    out.push('\n');
+    let _ = write!(out, "       ");
+    for p in series {
+        let _ = write!(out, "{:^3}", p.x);
+    }
+    out.push('\n');
+    let _ = writeln!(out, "       (# both, · baseline only)");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_series() -> Vec<SeriesPoint> {
+        vec![
+            SeriesPoint {
+                x: 1,
+                proposed: 0.1,
+                baseline: 1.0,
+                samples: 100,
+                skipped: 0,
+            },
+            SeriesPoint {
+                x: 2,
+                proposed: 0.85,
+                baseline: 1.0,
+                samples: 100,
+                skipped: 3,
+            },
+        ]
+    }
+
+    #[test]
+    fn text_table_contains_all_points() {
+        let s = render_text(Inset::A, &sample_series());
+        assert!(s.contains("Figure 2(a)"));
+        assert!(s.contains("0.100"));
+        assert!(s.contains("0.850"));
+        assert!(s.contains("l_max"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let s = render_csv(Inset::C, &sample_series());
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("inset,m,"));
+        assert!(lines[1].starts_with("c,1,0.100000,1.000000,100,0"));
+    }
+
+    #[test]
+    fn ascii_plot_renders() {
+        let s = render_ascii_plot(&sample_series());
+        assert!(s.contains('#'));
+        assert!(s.contains('·'));
+    }
+}

@@ -1,0 +1,377 @@
+//! Global fixed-priority response-time analysis (Section 4.1).
+//!
+//! The baseline is the DAG response-time analysis of Melani et al.
+//! (*Schedulability Analysis of Conditional Parallel Task Graphs in
+//! Multicore Systems*, IEEE TC 2017), restricted to unconditional DAGs:
+//!
+//! `Rᵢ = len(λᵢ*) + ⌊ (1/m) · ( vol(τᵢ) − len(λᵢ*) + Σ_{j ∈ hp(i)} Iⱼ,ᵢ(Rᵢ) ) ⌋`
+//!
+//! with `Iⱼ,ᵢ(L) = ⌈(L + Rⱼ − vol(τⱼ)/m)/Tⱼ⌉ · vol(τⱼ)`, solved by
+//! fix-point iteration from `Rᵢ⁰ = len(λᵢ*)`.
+//!
+//! The paper's **limited-concurrency** adaptation (Lemma 4) replaces the
+//! divisor `m` by `l̄(τᵢ) = m − b̄(τᵢ)` — the lower bound on the number of
+//! threads of τᵢ's pool that are not suspended on blocking barriers — and
+//! keeps the (still valid) `m`-based jitter in the carry-in term. If
+//! `l̄(τᵢ) ≤ 0` the analysis rejects the task (the bound cannot even
+//! exclude a deadlock).
+
+use crate::analysis::interference::interfering_workload;
+use crate::analysis::{SchedResult, TaskVerdict, UnschedulableReason};
+use crate::concurrency::ConcurrencyAnalysis;
+use crate::task::{TaskId, TaskSet};
+
+/// How many threads the interference is divided among.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ConcurrencyModel {
+    /// All `m` pool threads are always available — the state-of-the-art
+    /// assumption (Melani et al.), **unsafe** for tasks with blocking
+    /// forks but the paper's comparison baseline.
+    Full,
+    /// Only `l̄(τᵢ) = m − b̄(τᵢ)` threads are guaranteed available
+    /// (Lemma 4): the paper's contribution.
+    Limited,
+    /// Extension beyond the paper: divide by `m − A(τᵢ)` where `A(τᵢ)`
+    /// is the **exact** maximum number of simultaneously-suspended
+    /// threads (the maximum antichain among `BF` nodes). Still sound —
+    /// `l(t) = m − #suspended(t) ≥ m − A(τᵢ)` at every `t` — and never
+    /// more pessimistic than [`ConcurrencyModel::Limited`], since
+    /// `A(τᵢ) ≤ b̄(τᵢ)`. Realizes the paper's future-work direction of
+    /// sharper concurrency accounting.
+    LimitedExact,
+}
+
+/// Per-task interference summary used by the fix-point.
+struct TaskParams {
+    len: u64,
+    vol: u64,
+    period: u64,
+    deadline: u64,
+    /// Divisor for the interference term.
+    denom: u64,
+    /// `l̄` as computed (for error reporting).
+    floor: i64,
+}
+
+/// Runs the analysis on `set` (tasks in priority order, index 0 highest)
+/// for pools of `m` threads on `m` processors.
+///
+/// Returns a per-task [`SchedResult`]; a task below an unschedulable
+/// higher-priority task is reported as
+/// [`UnschedulableReason::DependsOnUnschedulable`] since its carry-in
+/// bound needs the higher-priority response time.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rtpool_core::analysis::global::{analyze, ConcurrencyModel};
+/// use rtpool_core::{Task, TaskSet};
+/// use rtpool_graph::DagBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = DagBuilder::new();
+/// b.fork_join(10, &[20, 20, 20], 10, true)?;
+/// let set = TaskSet::new(vec![Task::with_implicit_deadline(b.build()?, 200)?]);
+/// let result = analyze(&set, 4, ConcurrencyModel::Limited);
+/// assert!(result.is_schedulable());
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn analyze(set: &TaskSet, m: usize, model: ConcurrencyModel) -> SchedResult {
+    assert!(m > 0, "platform must have at least one processor");
+    let mut verdicts: Vec<TaskVerdict> = Vec::with_capacity(set.len());
+    let mut hp_response: Vec<Option<u64>> = Vec::with_capacity(set.len());
+
+    let params: Vec<TaskParams> = set
+        .iter()
+        .map(|(_, task)| {
+            let dag = task.dag();
+            let (denom, floor) = match model {
+                ConcurrencyModel::Full => (m as u64, m as i64),
+                ConcurrencyModel::Limited => {
+                    let floor = ConcurrencyAnalysis::new(dag).concurrency_lower_bound(m);
+                    (floor.max(0) as u64, floor)
+                }
+                ConcurrencyModel::LimitedExact => {
+                    let suspended = ConcurrencyAnalysis::new(dag).max_suspended_forks().len();
+                    let floor = m as i64 - suspended as i64;
+                    (floor.max(0) as u64, floor)
+                }
+            };
+            TaskParams {
+                len: dag.critical_path_length(),
+                vol: dag.volume(),
+                period: task.period(),
+                deadline: task.deadline(),
+                denom,
+                floor,
+            }
+        })
+        .collect();
+
+    for i in 0..set.len() {
+        let p = &params[i];
+        if p.denom == 0 {
+            verdicts.push(TaskVerdict::Unschedulable {
+                reason: UnschedulableReason::NonPositiveConcurrency { floor: p.floor },
+            });
+            hp_response.push(None);
+            continue;
+        }
+        // Interference of higher-priority tasks requires their response
+        // times; if any is unschedulable, no valid bound exists.
+        if let Some(bad) = (0..i).find(|&j| hp_response[j].is_none()) {
+            verdicts.push(TaskVerdict::Unschedulable {
+                reason: UnschedulableReason::DependsOnUnschedulable { task: TaskId(bad) },
+            });
+            hp_response.push(None);
+            continue;
+        }
+        let verdict = response_time_fixpoint(p, &params[..i], &hp_response[..i], m);
+        hp_response.push(verdict.response_time());
+        verdicts.push(verdict);
+    }
+    SchedResult::new(verdicts)
+}
+
+fn response_time_fixpoint(
+    p: &TaskParams,
+    hp: &[TaskParams],
+    hp_response: &[Option<u64>],
+    m: usize,
+) -> TaskVerdict {
+    // Intra-task interference is window-independent: vol − len.
+    let self_interference = p.vol - p.len;
+    let mut r = p.len;
+    loop {
+        let mut interference = u128::from(self_interference);
+        for (q, resp) in hp.iter().zip(hp_response) {
+            let r_j = resp.expect("caller checked hp schedulability");
+            // Jitter Rⱼ − vol(τⱼ)/m; the paper notes the m-based term
+            // remains a valid upper bound under limited concurrency.
+            let jitter = r_j.saturating_sub(q.vol / m as u64);
+            interference += u128::from(interfering_workload(r, q.period, q.vol, jitter));
+        }
+        let next = p
+            .len
+            .saturating_add(u64::try_from(interference / u128::from(p.denom)).unwrap_or(u64::MAX));
+        if next > p.deadline {
+            return TaskVerdict::Unschedulable {
+                reason: UnschedulableReason::ResponseTimeExceedsDeadline { bound: next },
+            };
+        }
+        if next == r {
+            return TaskVerdict::Schedulable { response_time: r };
+        }
+        debug_assert!(next > r, "fix-point must be monotone");
+        r = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Task;
+    use rtpool_graph::DagBuilder;
+
+    fn fork_join_task(
+        branches: &[u64],
+        blocking: bool,
+        period: u64,
+    ) -> Task {
+        let mut b = DagBuilder::new();
+        b.fork_join(10, branches, 10, blocking).unwrap();
+        Task::with_implicit_deadline(b.build().unwrap(), period).unwrap()
+    }
+
+    /// `replicas` parallel blocking regions, used to force b̄ > 1.
+    fn replicated_task(replicas: usize, period: u64) -> Task {
+        let mut b = DagBuilder::new();
+        let src = b.add_node(1);
+        let snk = b.add_node(1);
+        for _ in 0..replicas {
+            let (f, j) = b.fork_join(10, &[5, 5], 10, true).unwrap();
+            b.add_edge(src, f).unwrap();
+            b.add_edge(j, snk).unwrap();
+        }
+        Task::with_implicit_deadline(b.build().unwrap(), period).unwrap()
+    }
+
+    #[test]
+    fn single_task_response_is_critical_path_plus_share() {
+        // One task, no hp interference: R = len + floor((vol-len)/m).
+        let t = fork_join_task(&[20, 20, 20], false, 1000);
+        let set = TaskSet::new(vec![t]);
+        let r = analyze(&set, 4, ConcurrencyModel::Full);
+        // len = 40, vol = 80: R = 40 + 40/4 = 50.
+        assert_eq!(
+            r.verdict(TaskId(0)).response_time(),
+            Some(50)
+        );
+    }
+
+    #[test]
+    fn limited_model_divides_by_floor() {
+        // One blocking region: b̄ = 1, l̄(4) = 3.
+        let t = fork_join_task(&[20, 20, 20], true, 1000);
+        let set = TaskSet::new(vec![t]);
+        let full = analyze(&set, 4, ConcurrencyModel::Full);
+        let limited = analyze(&set, 4, ConcurrencyModel::Limited);
+        // Full: 40 + 40/4 = 50; Limited: 40 + 40/3 = 53.
+        assert_eq!(full.verdict(TaskId(0)).response_time(), Some(50));
+        assert_eq!(limited.verdict(TaskId(0)).response_time(), Some(53));
+    }
+
+    #[test]
+    fn limited_model_rejects_exhausted_concurrency() {
+        // Four parallel regions on m = 4: b̄ = 4, l̄ = 0.
+        let t = replicated_task(4, 10_000);
+        let set = TaskSet::new(vec![t]);
+        let r = analyze(&set, 4, ConcurrencyModel::Limited);
+        assert!(matches!(
+            r.verdict(TaskId(0)),
+            TaskVerdict::Unschedulable {
+                reason: UnschedulableReason::NonPositiveConcurrency { floor: 0 }
+            }
+        ));
+        // The oblivious baseline happily accepts it.
+        assert!(analyze(&set, 4, ConcurrencyModel::Full).is_schedulable());
+    }
+
+    #[test]
+    fn interference_from_higher_priority_tasks() {
+        // High-priority task with volume 40 (len 40: a chain) and period 100
+        // steals whole-processor time from the low-priority task.
+        let mut b = DagBuilder::new();
+        let chain: Vec<_> = (0..4).map(|_| b.add_node(10)).collect();
+        b.add_chain(&chain).unwrap();
+        let hp = Task::with_implicit_deadline(b.build().unwrap(), 100).unwrap();
+        let lp = fork_join_task(&[30, 30], false, 1000);
+        let set = TaskSet::new(vec![hp, lp]);
+        let r = analyze(&set, 2, ConcurrencyModel::Full);
+        assert!(r.is_schedulable());
+        let r_lp = r.verdict(TaskId(1)).response_time().unwrap();
+        // Without interference R = 50 + 30/2 = 65; with it strictly more.
+        assert!(r_lp > 65, "hp interference must increase the bound, got {r_lp}");
+    }
+
+    #[test]
+    fn lower_priority_depends_on_unschedulable() {
+        // hp task with utilization > m is unschedulable; lp must report
+        // the dependency.
+        let hp = fork_join_task(&[500, 500, 500, 500], false, 100);
+        let lp = fork_join_task(&[1, 1], false, 10_000);
+        let set = TaskSet::new(vec![hp, lp]);
+        let r = analyze(&set, 2, ConcurrencyModel::Full);
+        assert!(!r.is_schedulable());
+        assert!(matches!(
+            r.verdict(TaskId(1)),
+            TaskVerdict::Unschedulable {
+                reason: UnschedulableReason::DependsOnUnschedulable { task: TaskId(0) }
+            }
+        ));
+    }
+
+    #[test]
+    fn limited_never_accepts_what_full_rejects() {
+        // The limited model only shrinks the divisor, so it is uniformly
+        // more pessimistic (same jitter terms).
+        for replicas in 1..=3 {
+            for period in [200u64, 400, 800] {
+                let set = TaskSet::new(vec![replicated_task(replicas, period)]);
+                for m in 2..=8 {
+                    let full = analyze(&set, m, ConcurrencyModel::Full);
+                    let limited = analyze(&set, m, ConcurrencyModel::Limited);
+                    if limited.is_schedulable() {
+                        assert!(
+                            full.is_schedulable(),
+                            "limited accepted but full rejected (replicas={replicas}, m={m})"
+                        );
+                        let rf = full.verdict(TaskId(0)).response_time().unwrap();
+                        let rl = limited.verdict(TaskId(0)).response_time().unwrap();
+                        assert!(rf <= rl);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_model_between_full_and_limited() {
+        // Two *sequential* blocking regions in each of two parallel
+        // branches: b̄ over-counts (a child sees both forks of the other
+        // branch) while at most 2 forks suspend simultaneously.
+        let mut b = DagBuilder::new();
+        let src = b.add_node(1);
+        let snk = b.add_node(1);
+        for _ in 0..2 {
+            let (f1, j1) = b.fork_join(5, &[5, 5], 5, true).unwrap();
+            let (f2, j2) = b.fork_join(5, &[5, 5], 5, true).unwrap();
+            b.add_edge(src, f1).unwrap();
+            b.add_edge(j1, f2).unwrap();
+            b.add_edge(j2, snk).unwrap();
+        }
+        let t = Task::with_implicit_deadline(b.build().unwrap(), 5_000).unwrap();
+        let set = TaskSet::new(vec![t]);
+        let m = 4;
+        let full = analyze(&set, m, ConcurrencyModel::Full)
+            .verdict(TaskId(0))
+            .response_time()
+            .unwrap();
+        let exact = analyze(&set, m, ConcurrencyModel::LimitedExact)
+            .verdict(TaskId(0))
+            .response_time()
+            .unwrap();
+        // b̄ = 3 (own fork + the two sequential forks of the sibling
+        // branch) → l̄ = 1; antichain = 2 → floor 2.
+        let limited = analyze(&set, m, ConcurrencyModel::Limited)
+            .verdict(TaskId(0))
+            .response_time()
+            .unwrap();
+        assert!(full <= exact, "{full} <= {exact}");
+        assert!(exact <= limited, "{exact} <= {limited}");
+        assert!(exact < limited, "the exact floor must help here");
+    }
+
+    #[test]
+    fn exact_model_never_worse_than_limited() {
+        for replicas in 1..=3 {
+            for m in 2..=8 {
+                let set = TaskSet::new(vec![replicated_task(replicas, 5_000)]);
+                let limited = analyze(&set, m, ConcurrencyModel::Limited);
+                let exact = analyze(&set, m, ConcurrencyModel::LimitedExact);
+                if limited.is_schedulable() {
+                    assert!(exact.is_schedulable());
+                    assert!(
+                        exact.verdict(TaskId(0)).response_time()
+                            <= limited.verdict(TaskId(0)).response_time()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_violation_reported_with_bound() {
+        // Utilization 1.0 chain task on m=1 with an interfering twin.
+        let mk = || {
+            let mut b = DagBuilder::new();
+            b.add_node(80);
+            Task::with_implicit_deadline(b.build().unwrap(), 100).unwrap()
+        };
+        let set = TaskSet::new(vec![mk(), mk()]);
+        let r = analyze(&set, 1, ConcurrencyModel::Full);
+        assert!(r.verdict(TaskId(0)).is_schedulable());
+        match r.verdict(TaskId(1)) {
+            TaskVerdict::Unschedulable {
+                reason: UnschedulableReason::ResponseTimeExceedsDeadline { bound },
+            } => assert!(*bound > 100),
+            v => panic!("expected deadline violation, got {v:?}"),
+        }
+    }
+}

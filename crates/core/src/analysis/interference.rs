@@ -1,0 +1,78 @@
+//! Interfering-workload bounds shared by the analyses.
+
+/// Upper bound on the workload of a sporadic activity with period
+/// `period`, per-activation work `volume`, and release jitter `jitter`,
+/// inside any window of length `window`:
+///
+/// `⌈(window + jitter) / period⌉ · volume`
+///
+/// This is the standard carry-in bound used by Melani et al. (with
+/// `jitter = Rⱼ − vol(τⱼ)/m`) and by per-core partitioned analyses (with
+/// `jitter = Rⱼ − Wⱼ,ₖ`). Computed in `u128` and saturated to `u64::MAX`
+/// so pathological parameter combinations degrade to "unschedulable"
+/// rather than wrapping.
+///
+/// # Panics
+///
+/// Panics if `period == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rtpool_core::analysis::interfering_workload;
+///
+/// // Two full activations fit in a 150-long window with jitter 60.
+/// assert_eq!(interfering_workload(150, 100, 40, 60), 120);
+/// // Zero-volume tasks never interfere.
+/// assert_eq!(interfering_workload(1000, 10, 0, 5), 0);
+/// ```
+#[must_use]
+pub fn interfering_workload(window: u64, period: u64, volume: u64, jitter: u64) -> u64 {
+    assert!(period > 0, "period must be positive");
+    if volume == 0 || window == 0 {
+        return 0;
+    }
+    let activations = (u128::from(window) + u128::from(jitter)).div_ceil(u128::from(period));
+    let total = activations.saturating_mul(u128::from(volume));
+    u64::try_from(total).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_hand_computation() {
+        // window 100, period 40, volume 7, jitter 0: ceil(100/40)=3 jobs.
+        assert_eq!(interfering_workload(100, 40, 7, 0), 21);
+        // jitter pushes one more job in: ceil(139/40) = 4? (100+39)/40 = 3.475 → 4.
+        assert_eq!(interfering_workload(100, 40, 7, 39), 28);
+    }
+
+    #[test]
+    fn zero_window_is_zero() {
+        assert_eq!(interfering_workload(0, 10, 5, 100), 0);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        assert_eq!(
+            interfering_workload(u64::MAX, 1, u64::MAX, u64::MAX),
+            u64::MAX
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        let _ = interfering_workload(10, 0, 1, 0);
+    }
+
+    #[test]
+    fn monotone_in_window_and_jitter() {
+        let base = interfering_workload(100, 30, 9, 10);
+        assert!(interfering_workload(200, 30, 9, 10) >= base);
+        assert!(interfering_workload(100, 30, 9, 50) >= base);
+    }
+
+}

@@ -1,0 +1,73 @@
+//! Error type for task-model construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while assembling [`Task`](crate::Task) /
+/// [`TaskSet`](crate::TaskSet) values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The minimum inter-arrival time must be positive.
+    ZeroPeriod,
+    /// The relative deadline must be positive.
+    ZeroDeadline,
+    /// The model requires constrained deadlines: `Dᵢ ≤ Tᵢ`.
+    DeadlineExceedsPeriod {
+        /// Declared relative deadline.
+        deadline: u64,
+        /// Declared minimum inter-arrival time.
+        period: u64,
+    },
+    /// A node-to-thread mapping references a thread outside `0..m`.
+    ThreadOutOfRange {
+        /// The offending thread index.
+        thread: usize,
+        /// The pool size `m`.
+        pool_size: usize,
+    },
+    /// A mapping does not cover every node of the graph.
+    IncompleteMapping,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ZeroPeriod => write!(f, "task period must be positive"),
+            CoreError::ZeroDeadline => write!(f, "task deadline must be positive"),
+            CoreError::DeadlineExceedsPeriod { deadline, period } => write!(
+                f,
+                "relative deadline {deadline} exceeds period {period} (the model requires constrained deadlines)"
+            ),
+            CoreError::ThreadOutOfRange { thread, pool_size } => {
+                write!(f, "thread index {thread} out of range for pool of size {pool_size}")
+            }
+            CoreError::IncompleteMapping => {
+                write!(f, "node-to-thread mapping does not cover every node")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        let e = CoreError::DeadlineExceedsPeriod {
+            deadline: 10,
+            period: 5,
+        };
+        assert!(e.to_string().contains("deadline 10"));
+        assert!(e.to_string().contains("period 5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

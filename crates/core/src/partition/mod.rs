@@ -1,0 +1,159 @@
+//! Node-to-thread partitioning for partitioned intra-pool scheduling.
+//!
+//! Under partitioned scheduling every thread `φ_{i,j}` of pool `Φᵢ` is
+//! pinned to core `j` and has its own FIFO work-queue; a *node-to-thread
+//! mapping* `T(v)` decides which queue each node is pushed to. A careless
+//! mapping lets a node sit in the queue of a thread that is suspended on a
+//! blocking barrier — the *reduced-concurrency delay* of Section 4.2 —
+//! and can even deadlock (Lemma 3).
+//!
+//! This module provides:
+//!
+//! * [`NodeMapping`] — a complete, validated mapping;
+//! * [`algorithm1`] — the paper's Algorithm 1, which produces
+//!   delay-free mappings by construction (or fails);
+//! * [`worst_fit`] — the load-balancing baseline the paper compares
+//!   against, oblivious to blocking;
+//! * [`PlacementHeuristic`] with [`WorstFit`], [`FirstFit`], and
+//!   [`BestFit`] strategies for the free choices in Algorithm 1
+//!   (lines 11 and 18).
+
+mod algorithm1;
+mod mapping;
+mod worst_fit;
+
+pub use algorithm1::{algorithm1, algorithm1_with, Algorithm1Error, Algorithm1Failure};
+pub use mapping::{NodeMapping, ThreadId};
+pub use worst_fit::{worst_fit, worst_fit_with_colocation};
+
+use rtpool_graph::{Dag, NodeId};
+
+/// Strategy for choosing among the admissible threads when Algorithm 1
+/// (or a baseline partitioner) has more than one feasible option.
+///
+/// The paper resolves these free choices with the worst-fit heuristic
+/// ("When a node can be allocated in multiple threads according to
+/// Algorithm 1, one of them is chosen with the worst-fit heuristic",
+/// Section 5); [`WorstFit`] reproduces that, and the alternatives enable
+/// ablation studies.
+pub trait PlacementHeuristic {
+    /// Chooses one of `allowed` (non-empty, sorted by thread id) for
+    /// `node`, given the current per-thread WCET loads.
+    fn choose(&mut self, dag: &Dag, node: NodeId, allowed: &[ThreadId], loads: &[u64])
+        -> ThreadId;
+}
+
+/// Chooses the least-loaded admissible thread (ties: lowest id). This is
+/// the heuristic used in the paper's experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorstFit;
+
+impl PlacementHeuristic for WorstFit {
+    fn choose(
+        &mut self,
+        _dag: &Dag,
+        _node: NodeId,
+        allowed: &[ThreadId],
+        loads: &[u64],
+    ) -> ThreadId {
+        *allowed
+            .iter()
+            .min_by_key(|t| (loads[t.index()], t.index()))
+            .expect("allowed set must be non-empty")
+    }
+}
+
+/// Chooses the admissible thread with the lowest id.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FirstFit;
+
+impl PlacementHeuristic for FirstFit {
+    fn choose(
+        &mut self,
+        _dag: &Dag,
+        _node: NodeId,
+        allowed: &[ThreadId],
+        _loads: &[u64],
+    ) -> ThreadId {
+        *allowed.iter().min().expect("allowed set must be non-empty")
+    }
+}
+
+/// Chooses the most-loaded admissible thread (ties: lowest id), packing
+/// work densely.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BestFit;
+
+impl PlacementHeuristic for BestFit {
+    fn choose(
+        &mut self,
+        _dag: &Dag,
+        _node: NodeId,
+        allowed: &[ThreadId],
+        loads: &[u64],
+    ) -> ThreadId {
+        *allowed
+            .iter()
+            .max_by_key(|t| (loads[t.index()], std::cmp::Reverse(t.index())))
+            .expect("allowed set must be non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtpool_graph::DagBuilder;
+
+    fn tiny_dag() -> Dag {
+        let mut b = DagBuilder::new();
+        b.add_node(1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn worst_fit_picks_least_loaded() {
+        let dag = tiny_dag();
+        let allowed = [ThreadId::new(0), ThreadId::new(1), ThreadId::new(2)];
+        let loads = [10, 3, 7];
+        let mut h = WorstFit;
+        assert_eq!(
+            h.choose(&dag, NodeId::from_index(0), &allowed, &loads),
+            ThreadId::new(1)
+        );
+    }
+
+    #[test]
+    fn worst_fit_breaks_ties_by_id() {
+        let dag = tiny_dag();
+        let allowed = [ThreadId::new(2), ThreadId::new(0)];
+        let loads = [5, 9, 5];
+        let mut h = WorstFit;
+        assert_eq!(
+            h.choose(&dag, NodeId::from_index(0), &allowed, &loads),
+            ThreadId::new(0)
+        );
+    }
+
+    #[test]
+    fn first_fit_picks_lowest_id() {
+        let dag = tiny_dag();
+        let allowed = [ThreadId::new(3), ThreadId::new(1)];
+        let mut h = FirstFit;
+        assert_eq!(
+            h.choose(&dag, NodeId::from_index(0), &allowed, &[0; 4]),
+            ThreadId::new(1)
+        );
+    }
+
+    #[test]
+    fn best_fit_picks_most_loaded() {
+        let dag = tiny_dag();
+        let allowed = [ThreadId::new(0), ThreadId::new(1)];
+        let loads = [2, 8];
+        let mut h = BestFit;
+        assert_eq!(
+            h.choose(&dag, NodeId::from_index(0), &allowed, &loads),
+            ThreadId::new(1)
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Pool-sizing utilities: the smallest pool that is deadlock-free /
+//! schedulable.
+//!
+//! The paper fixes the pool size at `m` (one thread per core); in
+//! practice a designer often asks the converse question — *how many
+//! workers does this workload need?* These helpers answer it with the
+//! Section 3/4 machinery.
+
+use rtpool_graph::Dag;
+
+use crate::analysis::global::{self, ConcurrencyModel};
+use crate::analysis::partitioned::{self, PartitionStrategy};
+use crate::concurrency::ConcurrencyAnalysis;
+use crate::task::TaskSet;
+
+/// The smallest pool size under which the task cannot deadlock under
+/// global work-conserving scheduling: one more thread than the maximum
+/// number of simultaneously-suspended blocking forks.
+///
+/// # Examples
+///
+/// ```
+/// use rtpool_core::sizing::min_threads_deadlock_free;
+/// use rtpool_graph::DagBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = DagBuilder::new();
+/// let src = b.add_node(1);
+/// let snk = b.add_node(1);
+/// for _ in 0..3 {
+///     let (f, j) = b.fork_join(1, &[1, 1], 1, true)?;
+///     b.add_edge(src, f)?;
+///     b.add_edge(j, snk)?;
+/// }
+/// // Three concurrent blocking forks: four threads needed.
+/// assert_eq!(min_threads_deadlock_free(&b.build()?), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn min_threads_deadlock_free(dag: &Dag) -> usize {
+    ConcurrencyAnalysis::new(dag).max_suspended_forks().len() + 1
+}
+
+/// The smallest `m ≤ max_m` for which the whole set passes the global
+/// schedulability test under `model`, or `None`.
+///
+/// Scans linearly (the tests are monotone in `m` for all shipped
+/// models, but this is not assumed).
+#[must_use]
+pub fn min_threads_schedulable_global(
+    set: &TaskSet,
+    model: ConcurrencyModel,
+    max_m: usize,
+) -> Option<usize> {
+    (1..=max_m).find(|&m| global::analyze(set, m, model).is_schedulable())
+}
+
+/// The smallest `m ≤ max_m` for which the whole set partitions and
+/// passes the partitioned schedulability test under `strategy`, or
+/// `None`.
+#[must_use]
+pub fn min_threads_schedulable_partitioned(
+    set: &TaskSet,
+    strategy: PartitionStrategy,
+    max_m: usize,
+) -> Option<usize> {
+    (1..=max_m)
+        .find(|&m| partitioned::partition_and_analyze(set, m, strategy).0.is_schedulable())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Task;
+    use rtpool_graph::DagBuilder;
+
+    fn replicated(replicas: usize) -> Dag {
+        let mut b = DagBuilder::new();
+        let src = b.add_node(1);
+        let snk = b.add_node(1);
+        for _ in 0..replicas {
+            let (f, j) = b.fork_join(10, &[5, 5], 10, true).unwrap();
+            b.add_edge(src, f).unwrap();
+            b.add_edge(j, snk).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn deadlock_free_size_tracks_antichain() {
+        for replicas in 1..=4 {
+            let dag = replicated(replicas);
+            assert_eq!(min_threads_deadlock_free(&dag), replicas + 1);
+        }
+        // A non-blocking graph needs just one thread.
+        let mut b = DagBuilder::new();
+        b.fork_join(1, &[1, 1], 1, false).unwrap();
+        assert_eq!(min_threads_deadlock_free(&b.build().unwrap()), 1);
+    }
+
+    #[test]
+    fn global_sizing_finds_a_feasible_m() {
+        let dag = replicated(2);
+        let set = TaskSet::new(vec![Task::with_implicit_deadline(dag, 10_000).unwrap()]);
+        let m_full = min_threads_schedulable_global(&set, ConcurrencyModel::Full, 16).unwrap();
+        let m_limited =
+            min_threads_schedulable_global(&set, ConcurrencyModel::Limited, 16).unwrap();
+        // The limited test needs at least enough threads for l̄ > 0.
+        assert!(m_limited >= m_full);
+        assert!(m_limited > 2, "b̄ = 2 forces m >= 3");
+        // And the found sizes are indeed schedulable.
+        assert!(global::analyze(&set, m_limited, ConcurrencyModel::Limited).is_schedulable());
+    }
+
+    #[test]
+    fn global_sizing_none_when_infeasible() {
+        // Utilization far above any m in range: len > D makes it
+        // infeasible at every size.
+        let mut b = DagBuilder::new();
+        b.add_node(100);
+        let set = TaskSet::new(vec![Task::with_implicit_deadline(b.build().unwrap(), 50).unwrap()]);
+        assert_eq!(
+            min_threads_schedulable_global(&set, ConcurrencyModel::Full, 8),
+            None
+        );
+    }
+
+    #[test]
+    fn partitioned_sizing_respects_algorithm1_constraints() {
+        let dag = replicated(2);
+        let set = TaskSet::new(vec![Task::with_implicit_deadline(dag, 10_000).unwrap()]);
+        let m = min_threads_schedulable_partitioned(&set, PartitionStrategy::Algorithm1, 16)
+            .unwrap();
+        // Two concurrent forks: Algorithm 1 needs at least 3 threads.
+        assert!(m >= 3);
+    }
+}

@@ -1,0 +1,446 @@
+//! A plain-text format for task sets (`.rtp` files).
+//!
+//! The format is line-oriented and diff-friendly; it exists so workloads
+//! can be stored in a repository, inspected by hand, and fed to the
+//! `analyze` CLI without a serialization framework:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! task period=200 deadline=150
+//!   node v1 10
+//!   node v2 20
+//!   node v3 20
+//!   node v5 10
+//!   edge v1 v2
+//!   edge v1 v3
+//!   edge v2 v5
+//!   edge v3 v5
+//!   blocking v1 v5
+//! end
+//! ```
+//!
+//! * `task period=<int> [deadline=<int>]` opens a task (deadline defaults
+//!   to the period); tasks appear in priority order (first = highest).
+//! * `node <name> <wcet>` declares a node; names are arbitrary
+//!   identifiers unique within the task.
+//! * `edge <from> <to>` adds a precedence edge.
+//! * `blocking <fork> <join>` declares a blocking region (the fork
+//!   becomes `BF`, the join `BJ`, enclosed nodes `BC`).
+//! * `end` closes the task; the graph is validated on the spot.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use rtpool_graph::{DagBuilder, GraphError, NodeId};
+
+use crate::error::CoreError;
+use crate::task::{Task, TaskSet};
+
+/// Errors produced while parsing the text format.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ParseTaskError {
+    /// A directive appeared outside/inside a `task … end` block
+    /// incorrectly, or was malformed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A node name was referenced before being declared.
+    UnknownName {
+        /// 1-based line number.
+        line: usize,
+        /// The undeclared name.
+        name: String,
+    },
+    /// A node name was declared twice within one task.
+    DuplicateName {
+        /// 1-based line number.
+        line: usize,
+        /// The repeated name.
+        name: String,
+    },
+    /// The task's graph violates the model (reported by the builder).
+    Graph {
+        /// 1-based line number of the `end` that triggered validation.
+        line: usize,
+        /// The underlying graph error.
+        source: GraphError,
+    },
+    /// The task's timing parameters are invalid.
+    Timing {
+        /// 1-based line number of the `task` directive.
+        line: usize,
+        /// The underlying model error.
+        source: CoreError,
+    },
+}
+
+impl fmt::Display for ParseTaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTaskError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ParseTaskError::UnknownName { line, name } => {
+                write!(f, "line {line}: unknown node name `{name}`")
+            }
+            ParseTaskError::DuplicateName { line, name } => {
+                write!(f, "line {line}: node name `{name}` declared twice")
+            }
+            ParseTaskError::Graph { line, source } => {
+                write!(f, "line {line}: invalid task graph: {source}")
+            }
+            ParseTaskError::Timing { line, source } => {
+                write!(f, "line {line}: invalid timing parameters: {source}")
+            }
+        }
+    }
+}
+
+impl Error for ParseTaskError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseTaskError::Graph { source, .. } => Some(source),
+            ParseTaskError::Timing { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a task set from the text format.
+///
+/// # Errors
+///
+/// Returns the first [`ParseTaskError`] with its line number.
+///
+/// # Examples
+///
+/// ```
+/// let text = "
+/// task period=100
+///   node a 10
+///   node b 20
+///   edge a b
+/// end
+/// ";
+/// let set = rtpool_core::textfmt::parse_task_set(text)?;
+/// assert_eq!(set.len(), 1);
+/// assert_eq!(set.task(rtpool_core::TaskId(0)).volume(), 30);
+/// # Ok::<(), rtpool_core::textfmt::ParseTaskError>(())
+/// ```
+pub fn parse_task_set(input: &str) -> Result<TaskSet, ParseTaskError> {
+    let mut tasks = Vec::new();
+    let mut current: Option<TaskInProgress> = None;
+
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let directive = words.next().expect("non-empty line has a first word");
+        match directive {
+            "task" => {
+                if current.is_some() {
+                    return Err(syntax(line_no, "`task` inside an unterminated task block"));
+                }
+                let mut period: Option<u64> = None;
+                let mut deadline: Option<u64> = None;
+                for kv in words {
+                    let (key, value) = kv.split_once('=').ok_or_else(|| {
+                        syntax(line_no, format!("expected key=value, got `{kv}`"))
+                    })?;
+                    let value: u64 = value.parse().map_err(|_| {
+                        syntax(line_no, format!("invalid integer `{value}` for `{key}`"))
+                    })?;
+                    match key {
+                        "period" => period = Some(value),
+                        "deadline" => deadline = Some(value),
+                        other => {
+                            return Err(syntax(line_no, format!("unknown key `{other}`")))
+                        }
+                    }
+                }
+                let period =
+                    period.ok_or_else(|| syntax(line_no, "`task` requires period=<int>"))?;
+                current = Some(TaskInProgress {
+                    line: line_no,
+                    period,
+                    deadline: deadline.unwrap_or(period),
+                    builder: DagBuilder::new(),
+                    names: HashMap::new(),
+                    order: Vec::new(),
+                });
+            }
+            "node" => {
+                let t = in_task(&mut current, line_no)?;
+                let name = words
+                    .next()
+                    .ok_or_else(|| syntax(line_no, "`node` requires a name"))?;
+                let wcet: u64 = words
+                    .next()
+                    .ok_or_else(|| syntax(line_no, "`node` requires a wcet"))?
+                    .parse()
+                    .map_err(|_| syntax(line_no, "invalid wcet integer"))?;
+                expect_end(&mut words, line_no)?;
+                if t.names.contains_key(name) {
+                    return Err(ParseTaskError::DuplicateName {
+                        line: line_no,
+                        name: name.to_owned(),
+                    });
+                }
+                let id = t.builder.add_node(wcet);
+                t.names.insert(name.to_owned(), id);
+                t.order.push(name.to_owned());
+            }
+            "edge" => {
+                let t = in_task(&mut current, line_no)?;
+                let from = t.lookup(words.next(), line_no)?;
+                let to = t.lookup(words.next(), line_no)?;
+                expect_end(&mut words, line_no)?;
+                t.builder
+                    .add_edge(from, to)
+                    .map_err(|source| ParseTaskError::Graph {
+                        line: line_no,
+                        source,
+                    })?;
+            }
+            "blocking" => {
+                let t = in_task(&mut current, line_no)?;
+                let fork = t.lookup(words.next(), line_no)?;
+                let join = t.lookup(words.next(), line_no)?;
+                expect_end(&mut words, line_no)?;
+                t.builder
+                    .blocking_pair(fork, join)
+                    .map_err(|source| ParseTaskError::Graph {
+                        line: line_no,
+                        source,
+                    })?;
+            }
+            "end" => {
+                expect_end(&mut words, line_no)?;
+                let t = current
+                    .take()
+                    .ok_or_else(|| syntax(line_no, "`end` without an open task"))?;
+                let dag = t
+                    .builder
+                    .build()
+                    .map_err(|source| ParseTaskError::Graph {
+                        line: line_no,
+                        source,
+                    })?;
+                let task = Task::new(dag, t.period, t.deadline).map_err(|source| {
+                    ParseTaskError::Timing {
+                        line: t.line,
+                        source,
+                    }
+                })?;
+                tasks.push(task);
+            }
+            other => return Err(syntax(line_no, format!("unknown directive `{other}`"))),
+        }
+    }
+    if let Some(t) = current {
+        return Err(syntax(t.line, "unterminated task block (missing `end`)"));
+    }
+    Ok(TaskSet::new(tasks))
+}
+
+/// Writes a task set in the text format (nodes named `v0`, `v1`, … in id
+/// order). [`parse_task_set`] of the output reproduces the set.
+#[must_use]
+pub fn write_task_set(set: &TaskSet) -> String {
+    let mut out = String::from("# rtpool task set (priority order: first task = highest)\n");
+    for (_, task) in set.iter() {
+        let dag = task.dag();
+        let _ = writeln!(
+            out,
+            "task period={} deadline={}",
+            task.period(),
+            task.deadline()
+        );
+        for v in dag.node_ids() {
+            let _ = writeln!(out, "  node v{} {}", v.index(), dag.wcet(v));
+        }
+        for v in dag.node_ids() {
+            for s in dag.successors(v) {
+                let _ = writeln!(out, "  edge v{} v{}", v.index(), s.index());
+            }
+        }
+        for region in dag.blocking_regions() {
+            let _ = writeln!(
+                out,
+                "  blocking v{} v{}",
+                region.fork().index(),
+                region.join().index()
+            );
+        }
+        out.push_str("end\n");
+    }
+    out
+}
+
+struct TaskInProgress {
+    line: usize,
+    period: u64,
+    deadline: u64,
+    builder: DagBuilder,
+    names: HashMap<String, NodeId>,
+    order: Vec<String>,
+}
+
+impl TaskInProgress {
+    fn lookup(&self, word: Option<&str>, line: usize) -> Result<NodeId, ParseTaskError> {
+        let name = word.ok_or_else(|| syntax(line, "missing node name"))?;
+        self.names
+            .get(name)
+            .copied()
+            .ok_or_else(|| ParseTaskError::UnknownName {
+                line,
+                name: name.to_owned(),
+            })
+    }
+}
+
+fn syntax(line: usize, message: impl Into<String>) -> ParseTaskError {
+    ParseTaskError::Syntax {
+        line,
+        message: message.into(),
+    }
+}
+
+fn in_task(
+    current: &mut Option<TaskInProgress>,
+    line: usize,
+) -> Result<&mut TaskInProgress, ParseTaskError> {
+    current
+        .as_mut()
+        .ok_or_else(|| syntax(line, "directive outside a `task … end` block"))
+}
+
+fn expect_end(
+    words: &mut std::str::SplitWhitespace<'_>,
+    line: usize,
+) -> Result<(), ParseTaskError> {
+    match words.next() {
+        None => Ok(()),
+        Some(extra) => Err(syntax(line, format!("unexpected trailing `{extra}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskId;
+    use rtpool_graph::NodeKind;
+
+    const FIGURE_1A: &str = "
+# Figure 1(a)
+task period=200 deadline=150
+  node v1 10
+  node v2 20
+  node v3 30
+  node v4 20
+  node v5 10
+  edge v1 v2
+  edge v1 v3
+  edge v1 v4
+  edge v2 v5
+  edge v3 v5
+  edge v4 v5
+  blocking v1 v5
+end
+";
+
+    #[test]
+    fn parses_figure_1a() {
+        let set = parse_task_set(FIGURE_1A).unwrap();
+        assert_eq!(set.len(), 1);
+        let task = set.task(TaskId(0));
+        assert_eq!(task.period(), 200);
+        assert_eq!(task.deadline(), 150);
+        assert_eq!(task.volume(), 90);
+        let dag = task.dag();
+        assert_eq!(dag.kind(dag.source()), NodeKind::BlockingFork);
+        assert_eq!(dag.kind(dag.sink()), NodeKind::BlockingJoin);
+        assert_eq!(dag.blocking_regions().len(), 1);
+    }
+
+    #[test]
+    fn deadline_defaults_to_period() {
+        let set = parse_task_set("task period=50\n node a 1\nend\n").unwrap();
+        assert_eq!(set.task(TaskId(0)).deadline(), 50);
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let set = parse_task_set(FIGURE_1A).unwrap();
+        let text = write_task_set(&set);
+        let back = parse_task_set(&text).unwrap();
+        assert_eq!(back.len(), set.len());
+        let (a, b) = (set.task(TaskId(0)), back.task(TaskId(0)));
+        assert_eq!(a.period(), b.period());
+        assert_eq!(a.deadline(), b.deadline());
+        assert_eq!(a.volume(), b.volume());
+        assert_eq!(a.critical_path_length(), b.critical_path_length());
+        assert_eq!(
+            a.dag().blocking_regions().len(),
+            b.dag().blocking_regions().len()
+        );
+        assert_eq!(a.dag().edge_count(), b.dag().edge_count());
+    }
+
+    #[test]
+    fn multiple_tasks_keep_order() {
+        let text = "task period=10\n node a 1\nend\ntask period=20\n node a 2\nend\n";
+        let set = parse_task_set(text).unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.task(TaskId(0)).period(), 10);
+        assert_eq!(set.task(TaskId(1)).period(), 20);
+    }
+
+    #[test]
+    fn error_reporting_with_line_numbers() {
+        type Case = (&'static str, fn(&ParseTaskError) -> bool);
+        let cases: Vec<Case> = vec![
+            ("node a 1\n", |e| matches!(e, ParseTaskError::Syntax { line: 1, .. })),
+            ("task period=10\n node a 1\n edge a b\nend\n", |e| {
+                matches!(e, ParseTaskError::UnknownName { line: 3, .. })
+            }),
+            ("task period=10\n node a 1\n node a 2\nend\n", |e| {
+                matches!(e, ParseTaskError::DuplicateName { line: 3, .. })
+            }),
+            ("task period=10\n node a x\nend\n", |e| {
+                matches!(e, ParseTaskError::Syntax { line: 2, .. })
+            }),
+            ("task period=0\n node a 1\nend\n", |e| {
+                matches!(e, ParseTaskError::Timing { .. })
+            }),
+            ("task period=10\n node a 1\n", |e| {
+                matches!(e, ParseTaskError::Syntax { line: 1, .. })
+            }),
+            ("task period=10 bogus=1\n node a 1\nend\n", |e| {
+                matches!(e, ParseTaskError::Syntax { line: 1, .. })
+            }),
+            ("end\n", |e| matches!(e, ParseTaskError::Syntax { line: 1, .. })),
+            ("task period=10\n node a 1\n node b 1\n edge a b\n edge b a\nend\n", |e| {
+                matches!(e, ParseTaskError::Graph { .. })
+            }),
+        ];
+        for (text, check) in cases {
+            let err = parse_task_set(text).unwrap_err();
+            assert!(check(&err), "unexpected error {err:?} for {text:?}");
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# heading\n\ntask period=10 # trailing comment\n node a 1\nend\n";
+        assert_eq!(parse_task_set(text).unwrap().len(), 1);
+    }
+}

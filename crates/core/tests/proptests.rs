@@ -1,0 +1,219 @@
+//! Property-based tests for the analysis crate.
+
+use proptest::prelude::*;
+use rtpool_core::analysis::global::{self, ConcurrencyModel};
+use rtpool_core::analysis::partitioned::{self, BlockingAwareness, PartitionStrategy};
+use rtpool_core::{deadlock, textfmt};
+use rtpool_core::partition::{algorithm1, worst_fit};
+use rtpool_core::{ConcurrencyAnalysis, Task, TaskId, TaskSet};
+use rtpool_graph::{Dag, DagBuilder, NodeId};
+
+/// Deterministic pseudo-random fork-join task graph with optional
+/// blocking regions, mirroring the generator crate's shape.
+fn random_task_dag(seed: u64, max_regions: usize) -> Dag {
+    let mut rng = seed | 1;
+    let mut next = move || {
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        rng >> 33
+    };
+    let mut b = DagBuilder::new();
+    let src = b.add_node(1 + next() % 50);
+    let snk = b.add_node(1 + next() % 50);
+    let regions = 1 + (next() as usize) % max_regions.max(1);
+    for _ in 0..regions {
+        let kids = 1 + (next() as usize) % 4;
+        let wcets: Vec<u64> = (0..kids).map(|_| 1 + next() % 100).collect();
+        let blocking = next() % 2 == 0;
+        let (f, j) = b
+            .fork_join(1 + next() % 50, &wcets, 1 + next() % 50, blocking)
+            .unwrap();
+        b.add_edge(src, f).unwrap();
+        b.add_edge(j, snk).unwrap();
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    /// b̄ upper-bounds the exact antichain of suspended forks: the
+    /// paper's bound can be pessimistic but never optimistic.
+    #[test]
+    fn delay_bound_dominates_antichain(seed in any::<u64>(), regions in 1usize..6) {
+        let dag = random_task_dag(seed, regions);
+        let ca = ConcurrencyAnalysis::new(&dag);
+        prop_assert!(ca.max_delay_count() >= ca.max_suspended_forks().len());
+    }
+
+    /// Whenever the l̄ certificate proves deadlock freedom, the exact
+    /// antichain check agrees.
+    #[test]
+    fn certificate_is_sound(seed in any::<u64>(), regions in 1usize..6, m in 1usize..9) {
+        let dag = random_task_dag(seed, regions);
+        let ca = ConcurrencyAnalysis::new(&dag);
+        if deadlock::lower_bound_certificate(&ca, m).is_some() {
+            prop_assert!(deadlock::check_global_with(&ca, m).is_deadlock_free());
+        }
+    }
+
+    /// Algorithm 1 outputs always satisfy the extended Eq. 3 and Lemma 3.
+    #[test]
+    fn algorithm1_is_delay_free(seed in any::<u64>(), regions in 1usize..5, m in 2usize..9) {
+        let dag = random_task_dag(seed, regions);
+        let ca = ConcurrencyAnalysis::new(&dag);
+        if let Ok(mapping) = algorithm1(&dag, m) {
+            deadlock::check_mapping_delay_free(&ca, &mapping).unwrap();
+            prop_assert!(deadlock::check_partitioned(&ca, m, &mapping).is_deadlock_free());
+            // Every node mapped in range; loads sum to the volume.
+            prop_assert_eq!(mapping.loads(&dag).iter().sum::<u64>(), dag.volume());
+        }
+    }
+
+    /// If the exact deadlock check says freedom is impossible (antichain
+    /// >= m), Algorithm 1 must fail too (it cannot create concurrency).
+    #[test]
+    fn algorithm1_fails_when_concurrency_exhausted(
+        seed in any::<u64>(), regions in 1usize..6, m in 1usize..5
+    ) {
+        let dag = random_task_dag(seed, regions);
+        let ca = ConcurrencyAnalysis::new(&dag);
+        if !deadlock::check_global_with(&ca, m).is_deadlock_free() {
+            prop_assert!(algorithm1(&dag, m).is_err());
+        }
+    }
+
+    /// Worst-fit covers all nodes and balances no worse than 1 max-node
+    /// beyond perfect balance.
+    #[test]
+    fn worst_fit_covers_and_balances(seed in any::<u64>(), regions in 1usize..5, m in 1usize..9) {
+        let dag = random_task_dag(seed, regions);
+        let mapping = worst_fit(&dag, m);
+        let loads = mapping.loads(&dag);
+        prop_assert_eq!(loads.iter().sum::<u64>(), dag.volume());
+        let max_item = dag.node_ids().map(|v| dag.wcet(v)).max().unwrap();
+        let max = *loads.iter().max().unwrap();
+        let min = *loads.iter().min().unwrap();
+        // Worst-fit never lets the gap exceed ~2 items (fork+join pairs
+        // are placed together, so the bound is twice the max node).
+        prop_assert!(max - min <= 2 * max_item);
+    }
+
+    /// The limited-concurrency global test is never more optimistic than
+    /// the Melani baseline.
+    #[test]
+    fn limited_global_test_dominated_by_full(
+        seed in any::<u64>(), regions in 1usize..4, m in 2usize..9, period in 500u64..5_000
+    ) {
+        let dag = random_task_dag(seed, regions);
+        let set = TaskSet::new(vec![Task::with_implicit_deadline(dag, period).unwrap()]);
+        let full = global::analyze(&set, m, ConcurrencyModel::Full);
+        let limited = global::analyze(&set, m, ConcurrencyModel::Limited);
+        if limited.is_schedulable() {
+            prop_assert!(full.is_schedulable());
+            let rf = full.verdict(TaskId(0)).response_time().unwrap();
+            let rl = limited.verdict(TaskId(0)).response_time().unwrap();
+            prop_assert!(rf <= rl);
+        }
+    }
+
+    /// Global RTA bounds are monotone: shrinking the period (more
+    /// pressure from a high-priority task) never shrinks a low-priority
+    /// response time.
+    #[test]
+    fn global_rta_monotone_in_hp_pressure(seed in any::<u64>(), m in 2usize..5) {
+        let hp_dag = random_task_dag(seed, 2);
+        let lp_dag = random_task_dag(seed.wrapping_add(1), 2);
+        let mk = |hp_period: u64| {
+            TaskSet::new(vec![
+                Task::with_implicit_deadline(hp_dag.clone(), hp_period).unwrap(),
+                Task::with_implicit_deadline(lp_dag.clone(), 50_000).unwrap(),
+            ])
+        };
+        let loose = global::analyze(&mk(20_000), m, ConcurrencyModel::Full);
+        let tight = global::analyze(&mk(5_000), m, ConcurrencyModel::Full);
+        if let (Some(rl), Some(rt)) = (
+            loose.verdict(TaskId(1)).response_time(),
+            tight.verdict(TaskId(1)).response_time(),
+        ) {
+            prop_assert!(rt >= rl, "tighter hp period must not reduce lp response");
+        }
+    }
+
+    /// Partitioned analysis: the response time of a single task equals at
+    /// least the critical path and at most the deadline when schedulable.
+    #[test]
+    fn partitioned_bounds_sane(seed in any::<u64>(), regions in 1usize..4, m in 2usize..8) {
+        let dag = random_task_dag(seed, regions);
+        let len = dag.critical_path_length();
+        let set = TaskSet::new(vec![Task::with_implicit_deadline(dag, 100_000).unwrap()]);
+        let (result, _) = partitioned::partition_and_analyze(&set, m, PartitionStrategy::Algorithm1);
+        if let Some(r) = result.verdict(TaskId(0)).response_time() {
+            prop_assert!(r >= len, "response {r} below critical path {len}");
+            prop_assert!(r <= 100_000);
+        }
+    }
+
+    /// Checked awareness never accepts a mapping the oblivious mode
+    /// rejects (it only adds rejections).
+    #[test]
+    fn checked_only_adds_rejections(seed in any::<u64>(), regions in 1usize..4, m in 2usize..6) {
+        let dag = random_task_dag(seed, regions);
+        let mapping = worst_fit(&dag, m);
+        let set = TaskSet::new(vec![Task::with_implicit_deadline(dag, 100_000).unwrap()]);
+        let oblivious =
+            partitioned::analyze(&set, m, std::slice::from_ref(&mapping), BlockingAwareness::Oblivious);
+        let checked =
+            partitioned::analyze(&set, m, std::slice::from_ref(&mapping), BlockingAwareness::Checked);
+        if checked.is_schedulable() {
+            prop_assert!(oblivious.is_schedulable());
+        }
+    }
+
+    /// The text format round-trips arbitrary generated task sets.
+    #[test]
+    fn textfmt_roundtrip(seed in any::<u64>(), regions in 1usize..5, n_tasks in 1usize..4) {
+        let tasks: Vec<Task> = (0..n_tasks)
+            .map(|i| {
+                let dag = random_task_dag(seed.wrapping_add(i as u64), regions);
+                let period = dag.volume() * 2 + 1;
+                Task::new(dag, period, period - 1).unwrap()
+            })
+            .collect();
+        let set = TaskSet::new(tasks);
+        let text = textfmt::write_task_set(&set);
+        let back = textfmt::parse_task_set(&text).unwrap();
+        prop_assert_eq!(back.len(), set.len());
+        for ((_, a), (_, b)) in set.iter().zip(back.iter()) {
+            prop_assert_eq!(a.period(), b.period());
+            prop_assert_eq!(a.deadline(), b.deadline());
+            prop_assert_eq!(a.volume(), b.volume());
+            prop_assert_eq!(a.critical_path_length(), b.critical_path_length());
+            prop_assert_eq!(a.dag().edge_count(), b.dag().edge_count());
+            prop_assert_eq!(
+                a.dag().blocking_regions().len(),
+                b.dag().blocking_regions().len()
+            );
+            // Analyses agree on the round-tripped graph.
+            let ca_a = ConcurrencyAnalysis::new(a.dag());
+            let ca_b = ConcurrencyAnalysis::new(b.dag());
+            prop_assert_eq!(ca_a.max_delay_count(), ca_b.max_delay_count());
+        }
+    }
+
+    /// Delay sets are symmetric in the concurrency sense: if fork f is in
+    /// C(v), then v's fork-ness would put it in C(f).
+    #[test]
+    fn concurrent_fork_relation_is_symmetric(seed in any::<u64>(), regions in 1usize..5) {
+        let dag = random_task_dag(seed, regions);
+        let ca = ConcurrencyAnalysis::new(&dag);
+        let forks: Vec<NodeId> = dag.blocking_forks();
+        for &f in &forks {
+            for &g in &forks {
+                if f == g { continue; }
+                let fg = ca.concurrent_forks(f).contains(&g);
+                let gf = ca.concurrent_forks(g).contains(&f);
+                prop_assert_eq!(fg, gf);
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Thread-pool configuration.
+
+use std::time::Duration;
+
+use rtpool_core::partition::NodeMapping;
+
+/// How ready nodes are queued and fetched by workers.
+#[derive(Clone, Debug)]
+pub enum QueueDiscipline {
+    /// One shared FIFO queue for the whole pool (the paper's global
+    /// intra-pool scheduling). Idle workers take the oldest ready node.
+    GlobalFifo,
+    /// One FIFO queue per worker, fed by a node-to-thread mapping (the
+    /// paper's partitioned intra-pool scheduling). The mapping must cover
+    /// the graphs submitted to the pool and its pool size must equal the
+    /// worker count.
+    Partitioned(NodeMapping),
+    /// Eigen-style randomized work stealing: a worker pushes the nodes it
+    /// spawns onto its own deque (LIFO pop), and steals the oldest entry
+    /// from a pseudo-randomly chosen victim when its own deque is empty.
+    /// Deterministically seeded so runs are reproducible.
+    WorkStealing {
+        /// Seed of the per-pool steal-order generator.
+        seed: u64,
+    },
+}
+
+/// Configuration of a [`ThreadPool`](crate::ThreadPool).
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// Number of worker threads (the paper's `m`).
+    pub workers: usize,
+    /// Queue discipline.
+    pub discipline: QueueDiscipline,
+    /// Wall-clock duration of one WCET unit; node bodies sleep for
+    /// `wcet × time_scale`. `Duration::ZERO` runs bodies instantaneously
+    /// (useful in tests — synchronization behavior is unaffected).
+    pub time_scale: Duration,
+    /// Safety-net watchdog: if a job makes no progress for this long the
+    /// run is aborted even if the exact stall detector did not trigger
+    /// (it always should; the watchdog guards against runtime bugs).
+    pub watchdog: Duration,
+}
+
+impl PoolConfig {
+    /// A configuration with the given worker count and discipline,
+    /// `time_scale` of 200 µs per WCET unit, and a 5 s watchdog.
+    #[must_use]
+    pub fn new(workers: usize, discipline: QueueDiscipline) -> Self {
+        PoolConfig {
+            workers,
+            discipline,
+            time_scale: Duration::from_micros(200),
+            watchdog: Duration::from_secs(5),
+        }
+    }
+
+    /// Overrides the per-WCET-unit duration.
+    #[must_use]
+    pub fn with_time_scale(mut self, time_scale: Duration) -> Self {
+        self.time_scale = time_scale;
+        self
+    }
+
+    /// Overrides the watchdog timeout.
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: Duration) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods() {
+        let c = PoolConfig::new(4, QueueDiscipline::GlobalFifo)
+            .with_time_scale(Duration::from_millis(1))
+            .with_watchdog(Duration::from_secs(1));
+        assert_eq!(c.workers, 4);
+        assert_eq!(c.time_scale, Duration::from_millis(1));
+        assert_eq!(c.watchdog, Duration::from_secs(1));
+        assert!(matches!(c.discipline, QueueDiscipline::GlobalFifo));
+    }
+}

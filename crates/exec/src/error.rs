@@ -1,0 +1,63 @@
+//! Error type for the native thread pool.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`ThreadPool::run`](crate::ThreadPool::run).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// The job deadlocked: no worker was executing, no join was about to
+    /// wake, and no queued node was reachable by a non-suspended worker.
+    /// This is the stall of the paper's Section 3, detected exactly.
+    Stalled {
+        /// Workers suspended on condition-variable barriers at detection.
+        suspended_workers: usize,
+        /// Nodes that completed before the stall.
+        executed_nodes: usize,
+    },
+    /// The watchdog aborted a job that made no progress (indicates a
+    /// runtime bug — the exact detector should fire first).
+    WatchdogTimeout,
+    /// The submitted graph is incompatible with the pool configuration
+    /// (e.g., a partitioned mapping that does not cover it).
+    IncompatibleJob {
+        /// Human-readable explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Stalled {
+                suspended_workers,
+                executed_nodes,
+            } => write!(
+                f,
+                "job stalled with {suspended_workers} suspended workers after {executed_nodes} nodes"
+            ),
+            ExecError::WatchdogTimeout => write!(f, "watchdog aborted a non-progressing job"),
+            ExecError::IncompatibleJob { message } => {
+                write!(f, "job incompatible with pool: {message}")
+            }
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_counts() {
+        let e = ExecError::Stalled {
+            suspended_workers: 2,
+            executed_nodes: 7,
+        };
+        assert!(e.to_string().contains('2'));
+        assert!(e.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,657 @@
+//! The worker pool: fetch–execute–complete loops with condition-variable
+//! barriers and exact stall detection.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use rtpool_graph::{Dag, NodeId, NodeKind};
+
+use crate::config::{PoolConfig, QueueDiscipline};
+use crate::error::ExecError;
+use crate::report::{JobReport, NodeSpan};
+
+/// A pool of native worker threads executing DAG jobs with blocking
+/// fork/join semantics.
+///
+/// Workers are spawned on construction and live until the pool is
+/// dropped. Jobs are executed one at a time with [`ThreadPool::run`];
+/// a stalled (deadlocked) job is detected exactly, reported as
+/// [`ExecError::Stalled`], and aborted — the pool remains usable.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+struct Shared {
+    config: PoolConfig,
+    state: Mutex<PoolState>,
+    cv: Condvar,
+}
+
+struct PoolState {
+    shutdown: bool,
+    job: Option<Job>,
+    steal_rng: u64,
+    /// Monotonic job counter: a worker that went to sleep while serving
+    /// job `e` must never touch state of job `e+1` (a stalled job can be
+    /// aborted and replaced while workers still sleep on its barriers).
+    next_epoch: u64,
+}
+
+struct Job {
+    epoch: u64,
+    dag: Arc<Dag>,
+    /// Shared FIFO queue ([`QueueDiscipline::GlobalFifo`]).
+    global: VecDeque<NodeId>,
+    /// Per-worker queues (partitioned / work stealing).
+    local: Vec<VecDeque<NodeId>>,
+    pending: Vec<u32>,
+    remaining: usize,
+    /// Workers currently executing a node body (or a just-woken join).
+    executing: usize,
+    /// Workers suspended on a barrier.
+    suspended: usize,
+    worker_suspended: Vec<bool>,
+    max_suspended: usize,
+    /// Joins whose barrier has opened but whose waiter has not resumed.
+    ready_joins: usize,
+    join_ready: Vec<bool>,
+    completion_order: Vec<usize>,
+    spans: Vec<NodeSpan>,
+    stalled: Option<(usize, usize)>,
+    started: Instant,
+    finished: Option<Duration>,
+}
+
+impl Job {
+    fn new(epoch: u64, dag: Arc<Dag>, workers: usize) -> Self {
+        let n = dag.node_count();
+        let pending: Vec<u32> = dag
+            .node_ids()
+            .map(|v| u32::try_from(dag.predecessors(v).len()).expect("in-degree fits u32"))
+            .collect();
+        Job {
+            epoch,
+            dag,
+            global: VecDeque::new(),
+            local: vec![VecDeque::new(); workers],
+            pending,
+            remaining: n,
+            executing: 0,
+            suspended: 0,
+            worker_suspended: vec![false; workers],
+            max_suspended: 0,
+            ready_joins: 0,
+            join_ready: vec![false; n],
+            completion_order: Vec::with_capacity(n),
+            spans: Vec::with_capacity(n),
+            stalled: None,
+            started: Instant::now(),
+            finished: None,
+        }
+    }
+}
+
+impl ThreadPool {
+    /// Spawns `config.workers` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers == 0`, or if a
+    /// [`QueueDiscipline::Partitioned`] mapping's pool size differs from
+    /// the worker count.
+    #[must_use]
+    pub fn new(config: PoolConfig) -> Self {
+        assert!(config.workers > 0, "pool needs at least one worker");
+        if let QueueDiscipline::Partitioned(mapping) = &config.discipline {
+            assert_eq!(
+                mapping.pool_size(),
+                config.workers,
+                "partitioned mapping pool size must equal the worker count"
+            );
+        }
+        let workers = config.workers;
+        let shared = Arc::new(Shared {
+            config,
+            state: Mutex::new(PoolState {
+                shutdown: false,
+                job: None,
+                steal_rng: 0x9e37_79b9_7f4a_7c15,
+                next_epoch: 0,
+            }),
+            cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("rtpool-worker-{id}"))
+                    .spawn(move || worker_loop(&shared, id))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        ThreadPool { shared, handles }
+    }
+
+    /// Number of workers (`m`).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.shared.config.workers
+    }
+
+    /// Executes one job (one instance of `dag`) to completion.
+    ///
+    /// # Errors
+    ///
+    /// * [`ExecError::IncompatibleJob`] if a partitioned mapping does not
+    ///   cover `dag`;
+    /// * [`ExecError::Stalled`] when the job deadlocks (exact detection);
+    /// * [`ExecError::WatchdogTimeout`] if the watchdog fires (runtime
+    ///   bug guard).
+    pub fn run(&mut self, dag: &Dag) -> Result<JobReport, ExecError> {
+        if let QueueDiscipline::Partitioned(mapping) = &self.shared.config.discipline {
+            if mapping.node_count() != dag.node_count() {
+                return Err(ExecError::IncompatibleJob {
+                    message: format!(
+                        "mapping covers {} nodes, graph has {}",
+                        mapping.node_count(),
+                        dag.node_count()
+                    ),
+                });
+            }
+        }
+        let dag = Arc::new(dag.clone());
+        let mut st = self.shared.state.lock();
+        debug_assert!(st.job.is_none(), "runs are serialized by &mut self");
+        let epoch = st.next_epoch;
+        st.next_epoch += 1;
+        let mut job = Job::new(epoch, Arc::clone(&dag), self.shared.config.workers);
+        let source = dag.source();
+        enqueue(&self.shared.config.discipline, &mut job, source, 0);
+        st.job = Some(job);
+        self.shared.cv.notify_all();
+
+        let mut last_progress = 0usize;
+        loop {
+            let job = st.job.as_mut().expect("job present until we take it");
+            if let Some(elapsed) = job.finished {
+                let job = st.job.take().expect("present");
+                return Ok(JobReport {
+                    makespan: elapsed,
+                    executed_nodes: job.completion_order.len(),
+                    completion_order: job.completion_order,
+                    spans: job.spans,
+                    min_available_workers: self.shared.config.workers - job.max_suspended,
+                });
+            }
+            if let Some((suspended, executed)) = job.stalled {
+                st.job = None;
+                // Wake barrier waiters so they abandon the aborted job.
+                self.shared.cv.notify_all();
+                return Err(ExecError::Stalled {
+                    suspended_workers: suspended,
+                    executed_nodes: executed,
+                });
+            }
+            let progress = job.completion_order.len();
+            let timed_out = self
+                .shared
+                .cv
+                .wait_for(&mut st, self.shared.config.watchdog)
+                .timed_out();
+            if timed_out {
+                let job_ref = st.job.as_ref().expect("present");
+                if job_ref.completion_order.len() == last_progress
+                    && job_ref.finished.is_none()
+                    && job_ref.stalled.is_none()
+                {
+                    st.job = None;
+                    self.shared.cv.notify_all();
+                    return Err(ExecError::WatchdogTimeout);
+                }
+            }
+            last_progress = progress;
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Places a ready node in the right queue.
+fn enqueue(discipline: &QueueDiscipline, job: &mut Job, node: NodeId, spawner: usize) {
+    match discipline {
+        QueueDiscipline::GlobalFifo => job.global.push_back(node),
+        QueueDiscipline::Partitioned(mapping) => {
+            job.local[mapping.thread_of(node).index()].push_back(node);
+        }
+        QueueDiscipline::WorkStealing { .. } => job.local[spawner].push_back(node),
+    }
+}
+
+/// Takes the next node for `worker`, if any is reachable.
+fn fetch(
+    discipline: &QueueDiscipline,
+    job: &mut Job,
+    worker: usize,
+    steal_rng: &mut u64,
+) -> Option<NodeId> {
+    match discipline {
+        QueueDiscipline::GlobalFifo => job.global.pop_front(),
+        QueueDiscipline::Partitioned(_) => job.local[worker].pop_front(),
+        QueueDiscipline::WorkStealing { .. } => {
+            // Local LIFO first (cache-friendly, Eigen-style)...
+            if let Some(n) = job.local[worker].pop_back() {
+                return Some(n);
+            }
+            // ...then steal the oldest entry of a pseudo-random victim.
+            let w = job.local.len();
+            *steal_rng ^= *steal_rng << 13;
+            *steal_rng ^= *steal_rng >> 7;
+            *steal_rng ^= *steal_rng << 17;
+            let start = (*steal_rng as usize) % w;
+            for i in 0..w {
+                let victim = (start + i) % w;
+                if victim != worker {
+                    if let Some(n) = job.local[victim].pop_front() {
+                        return Some(n);
+                    }
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Marks `node` complete: resolves successors, opens barriers, records
+/// completion, and finishes the job when the sink completes.
+fn complete(discipline: &QueueDiscipline, job: &mut Job, node: NodeId, worker: usize) {
+    let dag = Arc::clone(&job.dag);
+    job.completion_order.push(node.index());
+    job.remaining -= 1;
+    for &s in dag.successors(node) {
+        job.pending[s.index()] -= 1;
+        if job.pending[s.index()] > 0 {
+            continue;
+        }
+        if dag.kind(s) == NodeKind::BlockingJoin {
+            job.join_ready[s.index()] = true;
+            job.ready_joins += 1;
+        } else {
+            enqueue(discipline, job, s, worker);
+        }
+    }
+    if node == dag.sink() {
+        debug_assert_eq!(job.remaining, 0, "sink completes last");
+        job.finished = Some(job.started.elapsed());
+    }
+}
+
+/// Declares a stall if the job can never progress again: nobody
+/// executing, no join about to wake, and no queued node reachable by a
+/// non-suspended worker.
+fn maybe_stall(discipline: &QueueDiscipline, job: &mut Job, workers: usize) {
+    if job.stalled.is_some()
+        || job.remaining == 0
+        || job.executing > 0
+        || job.ready_joins > 0
+    {
+        return;
+    }
+    let fetchable = match discipline {
+        QueueDiscipline::GlobalFifo => !job.global.is_empty() && job.suspended < workers,
+        QueueDiscipline::WorkStealing { .. } => {
+            job.local.iter().any(|q| !q.is_empty()) && job.suspended < workers
+        }
+        QueueDiscipline::Partitioned(_) => (0..workers)
+            .any(|w| !job.worker_suspended[w] && !job.local[w].is_empty()),
+    };
+    if !fetchable {
+        job.stalled = Some((job.suspended, job.completion_order.len()));
+    }
+}
+
+fn worker_loop(shared: &Shared, worker: usize) {
+    let discipline = &shared.config.discipline;
+    let workers = shared.config.workers;
+    let time_scale = shared.config.time_scale;
+
+    let mut st = shared.state.lock();
+    'outer: loop {
+        // ---- Fetch phase -------------------------------------------------
+        let mut node = loop {
+            if st.shutdown {
+                return;
+            }
+            // Split borrows: the steal generator lives beside the job.
+            let state = &mut *st;
+            if let Some(job) = state.job.as_mut() {
+                if job.stalled.is_none() && job.remaining > 0 {
+                    if let Some(n) = fetch(discipline, job, worker, &mut state.steal_rng) {
+                        job.executing += 1;
+                        break n;
+                    }
+                }
+                maybe_stall(discipline, job, workers);
+                if job.stalled.is_some() {
+                    shared.cv.notify_all();
+                }
+            }
+            shared.cv.wait(&mut st);
+        };
+        let epoch = st.job.as_ref().expect("fetched from it").epoch;
+
+        // ---- Execute / barrier / continuation chain ----------------------
+        loop {
+            let (dag, start) = {
+                let job = st.job.as_ref().expect("executing");
+                (Arc::clone(&job.dag), job.started.elapsed())
+            };
+            let wcet = dag.wcet(node);
+            drop(st); // run the body without holding the pool lock
+            busy_work(wcet, time_scale);
+            st = shared.state.lock();
+            let Some(job) = st.job.as_mut().filter(|j| j.epoch == epoch) else {
+                // The job was aborted (and possibly replaced) while we
+                // executed; drop the result.
+                continue 'outer;
+            };
+            complete(discipline, job, node, worker);
+            job.spans.push(NodeSpan {
+                node: node.index(),
+                worker,
+                start,
+                end: job.started.elapsed(),
+            });
+            job.executing -= 1;
+            if job.finished.is_some() {
+                shared.cv.notify_all();
+                continue 'outer;
+            }
+            shared.cv.notify_all();
+
+            if dag.kind(node) != NodeKind::BlockingFork {
+                continue 'outer;
+            }
+            // Blocking fork: wait on the barrier (the condvar wait of
+            // Listing 1), then run the join as our continuation.
+            let join = dag
+                .blocking_join_of(node)
+                .expect("validated BF has a paired BJ");
+            {
+                let job = st.job.as_mut().expect("still present");
+                job.suspended += 1;
+                job.worker_suspended[worker] = true;
+                job.max_suspended = job.max_suspended.max(job.suspended);
+            }
+            let woke = loop {
+                let Some(job) = st.job.as_mut().filter(|j| j.epoch == epoch) else {
+                    break false; // job aborted (or replaced) while we waited
+                };
+                if job.join_ready[join.index()] {
+                    job.join_ready[join.index()] = false;
+                    job.ready_joins -= 1;
+                    break true;
+                }
+                if job.stalled.is_some() {
+                    break false;
+                }
+                maybe_stall(discipline, job, workers);
+                if job.stalled.is_some() {
+                    shared.cv.notify_all();
+                    break false;
+                }
+                shared.cv.wait(&mut st);
+            };
+            if let Some(job) = st.job.as_mut().filter(|j| j.epoch == epoch) {
+                job.suspended -= 1;
+                job.worker_suspended[worker] = false;
+                if woke {
+                    job.executing += 1;
+                }
+            }
+            if !woke {
+                continue 'outer;
+            }
+            node = join; // execute the continuation
+        }
+    }
+}
+
+/// Simulates `wcet` units of sequential work.
+fn busy_work(wcet: u64, time_scale: Duration) {
+    if time_scale.is_zero() || wcet == 0 {
+        return;
+    }
+    thread::sleep(time_scale.saturating_mul(u32::try_from(wcet).unwrap_or(u32::MAX)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtpool_core::partition::{algorithm1, worst_fit};
+    use rtpool_graph::DagBuilder;
+
+    fn fast(workers: usize, discipline: QueueDiscipline) -> ThreadPool {
+        ThreadPool::new(
+            PoolConfig::new(workers, discipline)
+                .with_time_scale(Duration::from_micros(50))
+                .with_watchdog(Duration::from_secs(10)),
+        )
+    }
+
+    fn fork_join(blocking: bool) -> Dag {
+        let mut b = DagBuilder::new();
+        b.fork_join(1, &[2, 2, 2], 1, blocking).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn executes_all_nodes_global() {
+        let mut pool = fast(3, QueueDiscipline::GlobalFifo);
+        let report = pool.run(&fork_join(true)).unwrap();
+        assert_eq!(report.executed_nodes, 5);
+        assert_eq!(report.completion_order.len(), 5);
+        assert!(report.min_available_workers <= 2);
+    }
+
+    #[test]
+    fn completion_order_respects_precedence() {
+        let mut pool = fast(4, QueueDiscipline::GlobalFifo);
+        let dag = fork_join(false);
+        let report = pool.run(&dag).unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; dag.node_count()];
+            for (i, &n) in report.completion_order.iter().enumerate() {
+                p[n] = i;
+            }
+            p
+        };
+        for v in dag.node_ids() {
+            for &s in dag.successors(v) {
+                assert!(pos[v.index()] < pos[s.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn figure_1c_deadlock_on_real_condvars() {
+        // Two blocking replicas on a 2-worker pool: both workers fetch
+        // the forks (they are the only queued nodes), suspend on their
+        // barriers, and the pool stalls — detected without timeouts.
+        let mut b = DagBuilder::new();
+        let src = b.add_node(1);
+        let snk = b.add_node(1);
+        for _ in 0..2 {
+            let (f, j) = b.fork_join(1, &[1, 1, 1], 1, true).unwrap();
+            b.add_edge(src, f).unwrap();
+            b.add_edge(j, snk).unwrap();
+        }
+        let dag = b.build().unwrap();
+        let mut pool = fast(2, QueueDiscipline::GlobalFifo);
+        match pool.run(&dag) {
+            Err(ExecError::Stalled {
+                suspended_workers, ..
+            }) => assert_eq!(suspended_workers, 2),
+            other => panic!("expected stall, got {other:?}"),
+        }
+        // The pool survives the stall and completes the job with a third
+        // worker.
+        let mut pool3 = fast(3, QueueDiscipline::GlobalFifo);
+        let report = pool3.run(&dag).unwrap();
+        assert_eq!(report.executed_nodes, dag.node_count());
+    }
+
+    #[test]
+    fn pool_reusable_after_stall() {
+        let mut b = DagBuilder::new();
+        b.fork_join(1, &[1], 1, true).unwrap();
+        let dag = b.build().unwrap();
+        let mut pool = fast(1, QueueDiscipline::GlobalFifo);
+        assert!(matches!(pool.run(&dag), Err(ExecError::Stalled { .. })));
+        // A non-blocking job still completes on the same pool.
+        let plain = {
+            let mut b = DagBuilder::new();
+            b.fork_join(1, &[1], 1, false).unwrap();
+            b.build().unwrap()
+        };
+        let report = pool.run(&plain).unwrap();
+        assert_eq!(report.executed_nodes, 3);
+    }
+
+    #[test]
+    fn workers_recover_after_aborted_stall() {
+        // Regression test for the job-epoch guard: a stalled job leaves
+        // workers asleep on its barriers; when the next job is installed
+        // before they wake, they must abandon the stale barrier and serve
+        // the new job — otherwise the pool silently loses workers.
+        let mut deadlocker = DagBuilder::new();
+        let src = deadlocker.add_node(1);
+        let snk = deadlocker.add_node(1);
+        for _ in 0..2 {
+            let (f, j) = deadlocker.fork_join(1, &[1], 1, true).unwrap();
+            deadlocker.add_edge(src, f).unwrap();
+            deadlocker.add_edge(j, snk).unwrap();
+        }
+        let deadlocker = deadlocker.build().unwrap();
+        // The follow-up job needs both workers to finish (one blocking
+        // fork: the children can only run on the second worker).
+        let needs_both = fork_join(true);
+        let mut pool = fast(2, QueueDiscipline::GlobalFifo);
+        for round in 0..10 {
+            assert!(
+                matches!(pool.run(&deadlocker), Err(ExecError::Stalled { .. })),
+                "round {round}: expected stall"
+            );
+            let report = pool
+                .run(&needs_both)
+                .unwrap_or_else(|e| panic!("round {round}: follow-up job failed: {e}"));
+            assert_eq!(report.executed_nodes, needs_both.node_count());
+        }
+    }
+
+    #[test]
+    fn partitioned_discipline_follows_mapping() {
+        let dag = fork_join(true);
+        let mapping = algorithm1(&dag, 2).unwrap();
+        let mut pool = fast(2, QueueDiscipline::Partitioned(mapping));
+        let report = pool.run(&dag).unwrap();
+        assert_eq!(report.executed_nodes, 5);
+    }
+
+    #[test]
+    fn partitioned_unsafe_mapping_stalls() {
+        let dag = fork_join(true);
+        // Everything on worker 0: children behind the suspended fork.
+        let mapping = worst_fit(&dag, 1);
+        // Single worker, single queue.
+        let mut pool = fast(1, QueueDiscipline::Partitioned(mapping));
+        assert!(matches!(pool.run(&dag), Err(ExecError::Stalled { .. })));
+    }
+
+    #[test]
+    fn partitioned_rejects_mismatched_graph() {
+        let dag = fork_join(true);
+        let mapping = worst_fit(&dag, 2);
+        let mut pool = fast(2, QueueDiscipline::Partitioned(mapping));
+        let other = fork_join(false);
+        let mut b = DagBuilder::new();
+        b.add_node(1);
+        let tiny = b.build().unwrap();
+        let _ = other;
+        assert!(matches!(
+            pool.run(&tiny),
+            Err(ExecError::IncompatibleJob { .. })
+        ));
+    }
+
+    #[test]
+    fn work_stealing_completes_blocking_jobs() {
+        let mut pool = fast(3, QueueDiscipline::WorkStealing { seed: 42 });
+        let report = pool.run(&fork_join(true)).unwrap();
+        assert_eq!(report.executed_nodes, 5);
+    }
+
+    #[test]
+    fn zero_time_scale_is_instant() {
+        let mut pool = ThreadPool::new(
+            PoolConfig::new(2, QueueDiscipline::GlobalFifo)
+                .with_time_scale(Duration::ZERO),
+        );
+        let report = pool.run(&fork_join(false)).unwrap();
+        assert_eq!(report.executed_nodes, 5);
+    }
+
+    #[test]
+    fn sequential_jobs_on_same_pool() {
+        let mut pool = fast(2, QueueDiscipline::GlobalFifo);
+        for _ in 0..5 {
+            let report = pool.run(&fork_join(true)).unwrap();
+            assert_eq!(report.executed_nodes, 5);
+        }
+    }
+
+    #[test]
+    fn spans_cover_every_node_and_respect_workers() {
+        let dag = fork_join(true);
+        let mapping = algorithm1(&dag, 2).unwrap();
+        let fork_thread = mapping.thread_of(dag.blocking_forks()[0]);
+        let mut pool = fast(2, QueueDiscipline::Partitioned(mapping.clone()));
+        let report = pool.run(&dag).unwrap();
+        assert_eq!(report.spans.len(), dag.node_count());
+        // Under the partitioned discipline every node ran on its mapped
+        // worker.
+        for span in &report.spans {
+            let node = rtpool_graph::NodeId::from_index(span.node);
+            assert_eq!(span.worker, mapping.thread_of(node).index());
+            assert!(span.start <= span.end);
+        }
+        // The join ran on the fork's worker (the continuation).
+        let join = dag.blocking_regions()[0].join();
+        assert_eq!(
+            report.span_of(join.index()).unwrap().worker,
+            fork_thread.index()
+        );
+    }
+
+    #[test]
+    fn workers_accessor() {
+        let pool = fast(4, QueueDiscipline::GlobalFifo);
+        assert_eq!(pool.workers(), 4);
+    }
+}

@@ -1,0 +1,72 @@
+//! Per-job execution reports.
+
+use std::time::Duration;
+
+/// One node's execution on a worker, relative to job submission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeSpan {
+    /// Node index in the job's graph.
+    pub node: usize,
+    /// Worker that executed the node.
+    pub worker: usize,
+    /// When the body started.
+    pub start: Duration,
+    /// When the node completed.
+    pub end: Duration,
+}
+
+/// Metrics of one completed job.
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// Wall-clock time from submission to sink completion.
+    pub makespan: Duration,
+    /// Nodes executed (equals the graph's node count on success).
+    pub executed_nodes: usize,
+    /// Node indices in completion order.
+    pub completion_order: Vec<usize>,
+    /// Per-node execution spans, in completion order.
+    pub spans: Vec<NodeSpan>,
+    /// `workers − max simultaneously suspended`: the smallest observed
+    /// available concurrency `l(t)` of the pool during the job.
+    pub min_available_workers: usize,
+}
+
+impl JobReport {
+    /// The span of `node`, if it executed.
+    #[must_use]
+    pub fn span_of(&self, node: usize) -> Option<&NodeSpan> {
+        self.spans.iter().find(|s| s.node == node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accessors() {
+        let r = JobReport {
+            makespan: Duration::from_millis(3),
+            executed_nodes: 2,
+            completion_order: vec![0, 1],
+            spans: vec![
+                NodeSpan {
+                    node: 0,
+                    worker: 0,
+                    start: Duration::ZERO,
+                    end: Duration::from_millis(1),
+                },
+                NodeSpan {
+                    node: 1,
+                    worker: 1,
+                    start: Duration::from_millis(1),
+                    end: Duration::from_millis(3),
+                },
+            ],
+            min_available_workers: 1,
+        };
+        assert_eq!(r.executed_nodes, r.completion_order.len());
+        assert_eq!(r.span_of(1).unwrap().worker, 1);
+        assert!(r.span_of(9).is_none());
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for workload generation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while generating synthetic workloads.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum GenError {
+    /// Rejection sampling could not produce a task whose concurrency
+    /// floor lies in the requested window.
+    WindowUnsatisfiable {
+        /// The window that could not be hit.
+        l_min: i64,
+        /// Upper end of the window.
+        l_max: i64,
+        /// How many candidate tasks were tried.
+        attempts: usize,
+    },
+    /// A generation parameter is out of its valid domain.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// Why it is invalid.
+        message: String,
+    },
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::WindowUnsatisfiable {
+                l_min,
+                l_max,
+                attempts,
+            } => write!(
+                f,
+                "no task with concurrency floor in [{l_min}, {l_max}] after {attempts} attempts"
+            ),
+            GenError::InvalidParameter { name, message } => {
+                write!(f, "invalid generation parameter `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl Error for GenError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        let e = GenError::WindowUnsatisfiable {
+            l_min: 1,
+            l_max: 2,
+            attempts: 50,
+        };
+        assert!(e.to_string().contains("[1, 2]"));
+        assert!(e.to_string().contains("50"));
+    }
+}

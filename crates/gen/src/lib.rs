@@ -1,0 +1,53 @@
+//! # rtpool-gen
+//!
+//! Synthetic task-set generation for thread-pool DAG task experiments,
+//! following Section 5 of Casini, Biondi, Buttazzo (DAC 2019), which in
+//! turn extends the generator of Melani et al. (IEEE TC 2017):
+//!
+//! * task graphs are **nested fork–join DAGs** grown by recursive
+//!   expansion up to a maximum depth (`d = 2` in the paper);
+//! * node WCETs are drawn uniformly (the paper uses `[0, 100]`; this
+//!   crate uses the integer range `1..=100` — zero-WCET nodes never
+//!   occupy a thread and are degenerate);
+//! * each fork–join sub-graph of depth `d` is *blocking* (delimited by
+//!   `BF`/`BJ` nodes) with probability `p_BF = d/(d+1)`, subject to the
+//!   model's no-nested-blocking restriction; source and sink are always
+//!   non-blocking;
+//! * task utilizations come from **UUniFast**, periods are
+//!   `Tᵢ = ⌈Cᵢ/Uᵢ⌉` with implicit deadlines (`Dᵢ = Tᵢ`) — the paper
+//!   prints `Tᵢ = Cᵢ·Uᵢ`, an evident typo since UUniFast requires
+//!   `Cᵢ/Tᵢ = Uᵢ`;
+//! * priorities are deadline-monotonic (not specified in the paper);
+//! * optionally, tasks are **rejection-sampled** until the
+//!   available-concurrency floor `l̄(τᵢ) = m − b̄(τᵢ)` falls in a window
+//!   `[l_min, l_max]`, the knob Figure 2(a)/(b) sweeps.
+//!
+//! ## Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use rtpool_gen::{DagGenConfig, TaskSetConfig};
+//!
+//! # fn main() -> Result<(), rtpool_gen::GenError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let config = TaskSetConfig::new(4, 2.0, DagGenConfig::default());
+//! let set = config.generate(&mut rng)?;
+//! assert_eq!(set.len(), 4);
+//! assert!((set.total_utilization() - 2.0).abs() < 0.05);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod forkjoin;
+pub mod presets;
+mod taskset;
+mod uunifast;
+
+pub use error::GenError;
+pub use forkjoin::{BlockingPolicy, DagGenConfig};
+pub use taskset::{ConcurrencyWindow, TaskSetConfig};
+pub use uunifast::uunifast;

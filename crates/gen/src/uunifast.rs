@@ -1,0 +1,117 @@
+//! The UUniFast utilization generator (Bini & Buttazzo, 2005).
+
+use rand::Rng;
+
+/// Draws `n` task utilizations summing to `total`, uniformly distributed
+/// over the simplex (the UUniFast algorithm of Bini & Buttazzo,
+/// *Measuring the performance of schedulability tests*, RTSJ 2005).
+///
+/// Individual utilizations may exceed 1 — meaningful for parallel tasks,
+/// whose volume can exceed their period when they run on several
+/// processors (the paper places no per-task cap).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `total` is not a positive finite number.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rtpool_gen::uunifast;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+/// let us = uunifast(&mut rng, 5, 2.5);
+/// assert_eq!(us.len(), 5);
+/// assert!((us.iter().sum::<f64>() - 2.5).abs() < 1e-9);
+/// assert!(us.iter().all(|&u| u > 0.0));
+/// ```
+#[must_use]
+pub fn uunifast<R: Rng + ?Sized>(rng: &mut R, n: usize, total: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one task");
+    assert!(
+        total.is_finite() && total > 0.0,
+        "total utilization must be positive and finite"
+    );
+    let mut utilizations = Vec::with_capacity(n);
+    let mut sum = total;
+    for i in 1..n {
+        let exponent = 1.0 / (n - i) as f64;
+        // Uniform in (0, 1): avoid an exactly-zero utilization.
+        let r: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let next_sum = sum * r.powf(exponent);
+        utilizations.push(sum - next_sum);
+        sum = next_sum;
+    }
+    utilizations.push(sum);
+    utilizations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn sums_to_total() {
+        for seed in 0..20 {
+            let us = uunifast(&mut rng(seed), 8, 4.0);
+            assert_eq!(us.len(), 8);
+            assert!((us.iter().sum::<f64>() - 4.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn all_positive() {
+        for seed in 0..20 {
+            let us = uunifast(&mut rng(seed), 16, 0.5);
+            assert!(us.iter().all(|&u| u > 0.0), "{us:?}");
+        }
+    }
+
+    #[test]
+    fn single_task_gets_everything() {
+        let us = uunifast(&mut rng(1), 1, 3.25);
+        assert_eq!(us, vec![3.25]);
+    }
+
+    #[test]
+    fn mean_is_total_over_n() {
+        // Statistical sanity: the average of each slot over many draws
+        // approaches total/n.
+        let n = 4;
+        let total = 2.0;
+        let trials = 4000;
+        let mut acc = vec![0.0; n];
+        let mut r = rng(99);
+        for _ in 0..trials {
+            for (a, u) in acc.iter_mut().zip(uunifast(&mut r, n, total)) {
+                *a += u;
+            }
+        }
+        for a in acc {
+            let mean = a / trials as f64;
+            assert!(
+                (mean - total / n as f64).abs() < 0.05,
+                "slot mean {mean} far from {}",
+                total / n as f64
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn zero_tasks_panics() {
+        let _ = uunifast(&mut rng(0), 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn non_positive_total_panics() {
+        let _ = uunifast(&mut rng(0), 3, 0.0);
+    }
+}

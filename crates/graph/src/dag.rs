@@ -1,0 +1,391 @@
+//! The immutable, validated DAG task graph.
+
+use serde::{Deserialize, Serialize};
+
+use crate::builder::DagBuilder;
+use crate::error::GraphError;
+use crate::node::{NodeData, NodeId, NodeKind};
+use crate::paths::{self, CriticalPath};
+use crate::regions::Region;
+use crate::topo::TopologicalOrder;
+
+/// An immutable, validated task graph `Gᵢ = {Vᵢ, Eᵢ}` of the thread-pool
+/// task model.
+///
+/// Construct via [`DagBuilder`]; the builder's `build` methods guarantee
+/// that every `Dag` value is acyclic, has a unique source and sink, and
+/// satisfies the blocking-region restrictions of the paper's Section 2
+/// (see [`Dag::validate_model`]). Node kinds are derived from the declared
+/// blocking pairs: the fork becomes [`NodeKind::BlockingFork`], the join
+/// [`NodeKind::BlockingJoin`], the enclosed nodes
+/// [`NodeKind::BlockingChild`], and everything else stays
+/// [`NodeKind::NonBlocking`].
+///
+/// # Examples
+///
+/// ```
+/// use rtpool_graph::{DagBuilder, NodeKind};
+///
+/// # fn main() -> Result<(), rtpool_graph::GraphError> {
+/// let mut b = DagBuilder::new();
+/// let (fork, join) = b.fork_join(5, &[10, 10, 10], 5, true)?;
+/// let dag = b.build()?;
+/// assert_eq!(dag.node_count(), 5);
+/// assert_eq!(dag.volume(), 40);
+/// assert_eq!(dag.kind(fork), NodeKind::BlockingFork);
+/// assert_eq!(dag.blocking_join_of(fork), Some(join));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(try_from = "RawDag", into = "RawDag")]
+pub struct Dag {
+    pub(crate) nodes: Vec<NodeData>,
+    pub(crate) succ: Vec<Vec<NodeId>>,
+    pub(crate) pred: Vec<Vec<NodeId>>,
+    /// `pair[f] = Some(j)` and `pair[j] = Some(f)` for blocking pairs.
+    pub(crate) pair: Vec<Option<NodeId>>,
+    /// For every node belonging to a region (fork, join, or inner):
+    /// the index of that region in `regions`.
+    pub(crate) region_of: Vec<Option<u32>>,
+    pub(crate) regions: Vec<Region>,
+    pub(crate) topo: TopologicalOrder,
+    pub(crate) source: NodeId,
+    pub(crate) sink: NodeId,
+    pub(crate) edge_count: usize,
+}
+
+impl Dag {
+    /// Number of nodes `|Vᵢ|`.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges `|Eᵢ|`.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterates over all node ids in index order.
+    pub fn node_ids(&self) -> impl DoubleEndedIterator<Item = NodeId> + Clone {
+        (0..self.nodes.len()).map(NodeId::from_index)
+    }
+
+    /// Worst-case execution time `C_{i,j}` of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for this graph.
+    #[must_use]
+    pub fn wcet(&self, v: NodeId) -> u64 {
+        self.nodes[v.index()].wcet
+    }
+
+    /// Synchronization type `x_{i,j}` of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for this graph.
+    #[must_use]
+    pub fn kind(&self, v: NodeId) -> NodeKind {
+        self.nodes[v.index()].kind
+    }
+
+    /// Direct successors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for this graph.
+    #[must_use]
+    pub fn successors(&self, v: NodeId) -> &[NodeId] {
+        &self.succ[v.index()]
+    }
+
+    /// Direct predecessors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for this graph.
+    #[must_use]
+    pub fn predecessors(&self, v: NodeId) -> &[NodeId] {
+        &self.pred[v.index()]
+    }
+
+    /// The unique source node (no incoming edges).
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The unique sink node (no outgoing edges).
+    #[must_use]
+    pub fn sink(&self) -> NodeId {
+        self.sink
+    }
+
+    /// The cached topological order of the nodes.
+    #[must_use]
+    pub fn topological_order(&self) -> &TopologicalOrder {
+        &self.topo
+    }
+
+    /// All blocking regions, in declaration order.
+    #[must_use]
+    pub fn blocking_regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// The region `v` belongs to (as fork, join, or inner node), if any.
+    #[must_use]
+    pub fn region_of(&self, v: NodeId) -> Option<&Region> {
+        self.region_of[v.index()].map(|i| &self.regions[i as usize])
+    }
+
+    /// For a `BF` node, the paired `BJ` node (`J(v)` in Algorithm 1).
+    ///
+    /// Returns `None` for nodes that are not blocking forks.
+    #[must_use]
+    pub fn blocking_join_of(&self, fork: NodeId) -> Option<NodeId> {
+        (self.kind(fork) == NodeKind::BlockingFork)
+            .then(|| self.pair[fork.index()])
+            .flatten()
+    }
+
+    /// For a `BJ` node, the paired `BF` node.
+    ///
+    /// Returns `None` for nodes that are not blocking joins.
+    #[must_use]
+    pub fn blocking_fork_of(&self, join: NodeId) -> Option<NodeId> {
+        (self.kind(join) == NodeKind::BlockingJoin)
+            .then(|| self.pair[join.index()])
+            .flatten()
+    }
+
+    /// For a `BC` node, the `BF` node that waits for its completion — the
+    /// paper's `F(v)`.
+    ///
+    /// Returns `None` for nodes that are not blocking children.
+    #[must_use]
+    pub fn waiting_fork_of(&self, child: NodeId) -> Option<NodeId> {
+        (self.kind(child) == NodeKind::BlockingChild)
+            .then(|| self.region_of(child).map(Region::fork))
+            .flatten()
+    }
+
+    /// Node ids of all `BF` nodes, in index order.
+    #[must_use]
+    pub fn blocking_forks(&self) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|&v| self.kind(v) == NodeKind::BlockingFork)
+            .collect()
+    }
+
+    /// The task volume `vol(τᵢ)`: the sum of all node WCETs.
+    #[must_use]
+    pub fn volume(&self) -> u64 {
+        self.nodes.iter().map(|n| n.wcet).sum()
+    }
+
+    /// Length `len(λᵢ*)` of the critical (longest) path.
+    #[must_use]
+    pub fn critical_path_length(&self) -> u64 {
+        paths::critical_path(self).length
+    }
+
+    /// The critical path itself: its length and one witnessing node
+    /// sequence from source to sink.
+    #[must_use]
+    pub fn critical_path(&self) -> CriticalPath {
+        paths::critical_path(self)
+    }
+
+    /// Re-validates this graph against the full task-model restrictions.
+    ///
+    /// Graphs built through [`DagBuilder`] are always valid; this is useful
+    /// after deserialization from untrusted input (the serde `Deserialize`
+    /// impl already calls it) or in tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated restriction as a [`GraphError`].
+    pub fn validate_model(&self) -> Result<(), GraphError> {
+        crate::validate::validate(self)
+    }
+
+    /// Checks the experiment-generation convention that the source and sink
+    /// are of type [`NodeKind::NonBlocking`] (Section 5 of the paper).
+    ///
+    /// The model itself permits blocking endpoints (the paper's Figure 1(a)
+    /// has a `BF` source), so this is *not* part of
+    /// [`Dag::validate_model`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::BlockingEndpoint`] naming the offending node.
+    pub fn validate_endpoints_non_blocking(&self) -> Result<(), GraphError> {
+        for v in [self.source, self.sink] {
+            if self.kind(v) != NodeKind::NonBlocking {
+                return Err(GraphError::BlockingEndpoint(v));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Serialization-friendly raw representation of a [`Dag`].
+///
+/// Kinds and regions are derived data, so only WCETs, edges, and blocking
+/// pairs are stored; deserialization rebuilds (and re-validates) the graph
+/// through [`DagBuilder`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct RawDag {
+    wcets: Vec<u64>,
+    edges: Vec<(u32, u32)>,
+    pairs: Vec<(u32, u32)>,
+}
+
+impl From<Dag> for RawDag {
+    fn from(dag: Dag) -> RawDag {
+        let mut edges = Vec::with_capacity(dag.edge_count);
+        for v in dag.node_ids() {
+            for &s in dag.successors(v) {
+                edges.push((v.index() as u32, s.index() as u32));
+            }
+        }
+        let pairs = dag
+            .regions
+            .iter()
+            .map(|r| (r.fork().index() as u32, r.join().index() as u32))
+            .collect();
+        RawDag {
+            wcets: dag.nodes.iter().map(|n| n.wcet).collect(),
+            edges,
+            pairs,
+        }
+    }
+}
+
+impl TryFrom<RawDag> for Dag {
+    type Error = GraphError;
+
+    fn try_from(raw: RawDag) -> Result<Dag, GraphError> {
+        let mut builder = DagBuilder::with_capacity(raw.wcets.len());
+        let ids: Vec<NodeId> = raw.wcets.iter().map(|&w| builder.add_node(w)).collect();
+        let lookup = |i: u32| -> Result<NodeId, GraphError> {
+            ids.get(i as usize)
+                .copied()
+                .ok_or(GraphError::UnknownNode(NodeId::from_index(i as usize)))
+        };
+        for (a, b) in raw.edges {
+            builder.add_edge(lookup(a)?, lookup(b)?)?;
+        }
+        for (f, j) in raw.pairs {
+            builder.blocking_pair(lookup(f)?, lookup(j)?)?;
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1a() -> (Dag, [NodeId; 5]) {
+        let mut b = DagBuilder::new();
+        let v1 = b.add_node(10);
+        let v2 = b.add_node(20);
+        let v3 = b.add_node(30);
+        let v4 = b.add_node(20);
+        let v5 = b.add_node(10);
+        for c in [v2, v3, v4] {
+            b.add_edge(v1, c).unwrap();
+            b.add_edge(c, v5).unwrap();
+        }
+        b.blocking_pair(v1, v5).unwrap();
+        (b.build().unwrap(), [v1, v2, v3, v4, v5])
+    }
+
+    #[test]
+    fn kinds_derived_from_pair() {
+        let (dag, [v1, v2, v3, v4, v5]) = figure1a();
+        assert_eq!(dag.kind(v1), NodeKind::BlockingFork);
+        assert_eq!(dag.kind(v5), NodeKind::BlockingJoin);
+        for c in [v2, v3, v4] {
+            assert_eq!(dag.kind(c), NodeKind::BlockingChild);
+        }
+        assert_eq!(dag.blocking_join_of(v1), Some(v5));
+        assert_eq!(dag.blocking_fork_of(v5), Some(v1));
+        assert_eq!(dag.waiting_fork_of(v3), Some(v1));
+        assert_eq!(dag.waiting_fork_of(v1), None);
+        assert_eq!(dag.blocking_forks(), vec![v1]);
+    }
+
+    #[test]
+    fn metrics() {
+        let (dag, [v1, _, v3, _, v5]) = figure1a();
+        assert_eq!(dag.volume(), 90);
+        assert_eq!(dag.critical_path_length(), 50);
+        let cp = dag.critical_path();
+        assert_eq!(cp.nodes, vec![v1, v3, v5]);
+        assert_eq!(dag.source(), v1);
+        assert_eq!(dag.sink(), v5);
+        assert_eq!(dag.edge_count(), 6);
+    }
+
+    #[test]
+    fn region_queries() {
+        let (dag, [v1, v2, _, _, v5]) = figure1a();
+        assert_eq!(dag.blocking_regions().len(), 1);
+        let r = dag.region_of(v2).unwrap();
+        assert_eq!(r.fork(), v1);
+        assert_eq!(r.join(), v5);
+        assert_eq!(r.inner().len(), 3);
+        assert!(dag.region_of(v1).is_some());
+    }
+
+    #[test]
+    fn endpoint_check_rejects_bf_source() {
+        let (dag, _) = figure1a();
+        // v1 (source) is BF, so the generation convention is violated.
+        assert!(matches!(
+            dag.validate_endpoints_non_blocking(),
+            Err(GraphError::BlockingEndpoint(_))
+        ));
+        // ...but the model itself accepts the graph.
+        dag.validate_model().unwrap();
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_structure() {
+        let (dag, [v1, _, _, _, v5]) = figure1a();
+        let json = serde_json_like(&dag);
+        let back: Dag = from_json_like(&json);
+        assert_eq!(back.node_count(), dag.node_count());
+        assert_eq!(back.edge_count(), dag.edge_count());
+        assert_eq!(back.kind(v1), NodeKind::BlockingFork);
+        assert_eq!(back.kind(v5), NodeKind::BlockingJoin);
+        assert_eq!(back.volume(), dag.volume());
+    }
+
+    // serde_json is not a dependency; exercise serde via the RawDag
+    // conversion functions directly.
+    fn serde_json_like(dag: &Dag) -> RawDag {
+        RawDag::from(dag.clone())
+    }
+
+    fn from_json_like(raw: &RawDag) -> Dag {
+        Dag::try_from(raw.clone()).unwrap()
+    }
+
+    #[test]
+    fn raw_dag_rejects_corrupt_input() {
+        let raw = RawDag {
+            wcets: vec![1, 1],
+            edges: vec![(0, 1), (1, 0)],
+            pairs: vec![],
+        };
+        assert!(matches!(Dag::try_from(raw), Err(GraphError::Cycle(_))));
+    }
+}

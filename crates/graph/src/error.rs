@@ -1,0 +1,137 @@
+//! Error type for graph construction and model validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::node::NodeId;
+
+/// Errors produced while building a [`Dag`](crate::Dag) or validating it
+/// against the structural restrictions of the DAC 2019 task model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The graph has no nodes.
+    Empty,
+    /// An edge endpoint does not belong to the graph.
+    UnknownNode(NodeId),
+    /// A self-loop `v -> v` was requested.
+    SelfLoop(NodeId),
+    /// The same edge was added twice.
+    DuplicateEdge(NodeId, NodeId),
+    /// The edge set contains a cycle (witness: a node on the cycle).
+    Cycle(NodeId),
+    /// More than one source node and no normalization requested.
+    MultipleSources(Vec<NodeId>),
+    /// More than one sink node and no normalization requested.
+    MultipleSinks(Vec<NodeId>),
+    /// A blocking pair `(fork, join)` where the fork does not reach the join.
+    UnreachableJoin {
+        /// The declared fork node.
+        fork: NodeId,
+        /// The declared join node.
+        join: NodeId,
+    },
+    /// A node participates in more than one blocking pair.
+    OverlappingPairs(NodeId),
+    /// Restriction (i): an inner node of a blocking region has an edge
+    /// to/from a node outside the region.
+    RegionLeak {
+        /// Fork delimiting the offending region.
+        fork: NodeId,
+        /// The inner node with an external edge.
+        inner: NodeId,
+        /// The external endpoint.
+        outside: NodeId,
+    },
+    /// Restriction (ii): an edge leaving the fork ends outside the region.
+    ForkEscape {
+        /// Fork delimiting the offending region.
+        fork: NodeId,
+        /// The external direct successor of the fork.
+        outside: NodeId,
+    },
+    /// Restriction (iii): an edge entering the join starts outside the region.
+    JoinIntrusion {
+        /// Join delimiting the offending region.
+        join: NodeId,
+        /// The external direct predecessor of the join.
+        outside: NodeId,
+    },
+    /// Two blocking regions are nested, which the model forbids.
+    NestedRegions {
+        /// Fork of the outer region.
+        outer_fork: NodeId,
+        /// Fork of the inner (nested) region.
+        inner_fork: NodeId,
+    },
+    /// The source or sink node is typed `BF`/`BJ`/`BC`; the paper requires
+    /// endpoints of type `NB`.
+    BlockingEndpoint(NodeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Empty => write!(f, "graph has no nodes"),
+            GraphError::UnknownNode(v) => write!(f, "node {v} does not belong to this graph"),
+            GraphError::SelfLoop(v) => write!(f, "self-loop on node {v}"),
+            GraphError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+            GraphError::Cycle(v) => write!(f, "graph contains a cycle through {v}"),
+            GraphError::MultipleSources(vs) => {
+                write!(f, "graph has {} source nodes (expected one)", vs.len())
+            }
+            GraphError::MultipleSinks(vs) => {
+                write!(f, "graph has {} sink nodes (expected one)", vs.len())
+            }
+            GraphError::UnreachableJoin { fork, join } => {
+                write!(f, "blocking pair ({fork}, {join}): fork does not reach join")
+            }
+            GraphError::OverlappingPairs(v) => {
+                write!(f, "node {v} participates in more than one blocking pair")
+            }
+            GraphError::RegionLeak { fork, inner, outside } => write!(
+                f,
+                "inner node {inner} of blocking region at {fork} is connected to external node {outside}"
+            ),
+            GraphError::ForkEscape { fork, outside } => {
+                write!(f, "edge from blocking fork {fork} leaves its region toward {outside}")
+            }
+            GraphError::JoinIntrusion { join, outside } => {
+                write!(f, "edge into blocking join {join} starts outside its region at {outside}")
+            }
+            GraphError::NestedRegions { outer_fork, inner_fork } => write!(
+                f,
+                "blocking region at {inner_fork} is nested inside the region at {outer_fork}"
+            ),
+            GraphError::BlockingEndpoint(v) => {
+                write!(f, "source/sink node {v} must be non-blocking")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = GraphError::SelfLoop(NodeId(3));
+        assert_eq!(e.to_string(), "self-loop on node v3");
+        let e = GraphError::Cycle(NodeId(1));
+        assert!(e.to_string().contains("cycle"));
+        let e = GraphError::NestedRegions {
+            outer_fork: NodeId(0),
+            inner_fork: NodeId(2),
+        };
+        assert!(e.to_string().contains("nested"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

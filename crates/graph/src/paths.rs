@@ -1,0 +1,227 @@
+//! Path metrics: critical path, per-node longest distances, volume.
+
+use crate::dag::Dag;
+use crate::node::NodeId;
+
+/// The critical path `λᵢ*` of a DAG: the source-to-sink path with maximum
+/// total WCET, together with its length `len(λᵢ*)`.
+///
+/// # Examples
+///
+/// ```
+/// use rtpool_graph::DagBuilder;
+///
+/// # fn main() -> Result<(), rtpool_graph::GraphError> {
+/// let mut b = DagBuilder::new();
+/// let (f, j) = b.fork_join(1, &[5, 9, 2], 1, false)?;
+/// let dag = b.build()?;
+/// let cp = dag.critical_path();
+/// assert_eq!(cp.length, 11); // 1 + 9 + 1
+/// assert_eq!(cp.nodes.first(), Some(&f));
+/// assert_eq!(cp.nodes.last(), Some(&j));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Sum of the WCETs of the nodes on the path.
+    pub length: u64,
+    /// The nodes of the path, from source to sink.
+    pub nodes: Vec<NodeId>,
+}
+
+/// Computes the critical path of `dag` by longest-path dynamic programming
+/// over the topological order (ties broken toward smaller node ids, so the
+/// result is deterministic).
+#[must_use]
+pub(crate) fn critical_path(dag: &Dag) -> CriticalPath {
+    let metrics = PathMetrics::new(dag);
+    let mut nodes = Vec::new();
+    let mut v = dag.sink();
+    loop {
+        nodes.push(v);
+        match metrics.best_pred[v.index()] {
+            Some(p) => v = p,
+            None => break,
+        }
+    }
+    nodes.reverse();
+    CriticalPath {
+        length: metrics.dist_from_source(dag.sink()),
+        nodes,
+    }
+}
+
+/// Per-node longest-path distances of a [`Dag`].
+///
+/// `dist_from_source(v)` is the length of the longest path ending at `v`
+/// (inclusive of `v`'s WCET); `dist_to_sink(v)` the longest path starting
+/// at `v` (inclusive). Their sum minus `wcet(v)` is the longest path
+/// through `v`, used e.g. to rank nodes by criticality.
+///
+/// # Examples
+///
+/// ```
+/// use rtpool_graph::{DagBuilder, PathMetrics};
+///
+/// # fn main() -> Result<(), rtpool_graph::GraphError> {
+/// let mut b = DagBuilder::new();
+/// let a = b.add_node(2);
+/// let c = b.add_node(3);
+/// b.add_edge(a, c)?;
+/// let dag = b.build()?;
+/// let m = PathMetrics::new(&dag);
+/// assert_eq!(m.dist_from_source(c), 5);
+/// assert_eq!(m.dist_to_sink(a), 5);
+/// assert_eq!(m.longest_through(&dag, a), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct PathMetrics {
+    from_source: Vec<u64>,
+    to_sink: Vec<u64>,
+    best_pred: Vec<Option<NodeId>>,
+}
+
+impl PathMetrics {
+    /// Computes the metrics in `O(|V| + |E|)`.
+    #[must_use]
+    pub fn new(dag: &Dag) -> Self {
+        let n = dag.node_count();
+        let mut from_source = vec![0u64; n];
+        let mut best_pred: Vec<Option<NodeId>> = vec![None; n];
+        for v in dag.topological_order().iter() {
+            let mut best: Option<(u64, NodeId)> = None;
+            for &p in dag.predecessors(v) {
+                let d = from_source[p.index()];
+                let better = match best {
+                    None => true,
+                    Some((bd, bp)) => d > bd || (d == bd && p < bp),
+                };
+                if better {
+                    best = Some((d, p));
+                }
+            }
+            from_source[v.index()] = best.map_or(0, |(d, _)| d) + dag.wcet(v);
+            best_pred[v.index()] = best.map(|(_, p)| p);
+        }
+        let mut to_sink = vec![0u64; n];
+        for v in dag.topological_order().iter().rev() {
+            let best = dag
+                .successors(v)
+                .iter()
+                .map(|s| to_sink[s.index()])
+                .max()
+                .unwrap_or(0);
+            to_sink[v.index()] = best + dag.wcet(v);
+        }
+        PathMetrics {
+            from_source,
+            to_sink,
+            best_pred,
+        }
+    }
+
+    /// Longest path from the source to `v`, inclusive of `v`'s WCET.
+    #[must_use]
+    pub fn dist_from_source(&self, v: NodeId) -> u64 {
+        self.from_source[v.index()]
+    }
+
+    /// Longest path from `v` to the sink, inclusive of `v`'s WCET.
+    #[must_use]
+    pub fn dist_to_sink(&self, v: NodeId) -> u64 {
+        self.to_sink[v.index()]
+    }
+
+    /// Length of the longest source-to-sink path passing through `v`.
+    #[must_use]
+    pub fn longest_through(&self, dag: &Dag, v: NodeId) -> u64 {
+        self.from_source[v.index()] + self.to_sink[v.index()] - dag.wcet(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DagBuilder;
+
+    #[test]
+    fn critical_path_of_single_node() {
+        let mut b = DagBuilder::new();
+        let a = b.add_node(7);
+        let dag = b.build().unwrap();
+        let cp = dag.critical_path();
+        assert_eq!(cp.length, 7);
+        assert_eq!(cp.nodes, vec![a]);
+    }
+
+    #[test]
+    fn critical_path_picks_heavier_branch() {
+        let mut b = DagBuilder::new();
+        let s = b.add_node(1);
+        let light = b.add_node(2);
+        let heavy = b.add_node(50);
+        let t = b.add_node(1);
+        b.add_edge(s, light).unwrap();
+        b.add_edge(s, heavy).unwrap();
+        b.add_edge(light, t).unwrap();
+        b.add_edge(heavy, t).unwrap();
+        let dag = b.build().unwrap();
+        let cp = dag.critical_path();
+        assert_eq!(cp.length, 52);
+        assert_eq!(cp.nodes, vec![s, heavy, t]);
+    }
+
+    #[test]
+    fn critical_path_never_exceeds_volume() {
+        let mut b = DagBuilder::new();
+        let (_, _) = b.fork_join(3, &[4, 5, 6], 7, false).unwrap();
+        let dag = b.build().unwrap();
+        assert!(dag.critical_path_length() <= dag.volume());
+        assert_eq!(dag.critical_path_length(), 3 + 6 + 7);
+        assert_eq!(dag.volume(), 25);
+    }
+
+    #[test]
+    fn path_is_connected_by_real_edges() {
+        let mut b = DagBuilder::new();
+        let s = b.add_node(1);
+        let (f, j) = b.fork_join(2, &[8, 3], 2, false).unwrap();
+        let t = b.add_node(1);
+        b.add_edge(s, f).unwrap();
+        b.add_edge(j, t).unwrap();
+        let dag = b.build().unwrap();
+        let cp = dag.critical_path();
+        for w in cp.nodes.windows(2) {
+            assert!(
+                dag.successors(w[0]).contains(&w[1]),
+                "critical path hop {} -> {} is not an edge",
+                w[0],
+                w[1]
+            );
+        }
+        assert_eq!(cp.nodes[0], dag.source());
+        assert_eq!(*cp.nodes.last().unwrap(), dag.sink());
+        assert_eq!(
+            cp.length,
+            cp.nodes.iter().map(|&v| dag.wcet(v)).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn longest_through_matches_endpoints() {
+        let mut b = DagBuilder::new();
+        let s = b.add_node(1);
+        let a = b.add_node(10);
+        let t = b.add_node(1);
+        b.add_edge(s, a).unwrap();
+        b.add_edge(a, t).unwrap();
+        let dag = b.build().unwrap();
+        let m = PathMetrics::new(&dag);
+        assert_eq!(m.longest_through(&dag, s), 12);
+        assert_eq!(m.longest_through(&dag, a), 12);
+        assert_eq!(m.longest_through(&dag, t), 12);
+    }
+}

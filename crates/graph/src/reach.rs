@@ -1,0 +1,203 @@
+//! Transitive reachability (the paper's transitive `pred(v)` / `succ(v)`).
+
+use crate::bitset::BitSet;
+use crate::dag::Dag;
+use crate::node::NodeId;
+
+/// Precomputed transitive reachability of a [`Dag`].
+///
+/// The paper's `pred(v)` and `succ(v)` denote *direct or transitive*
+/// predecessors/successors; this type materializes both as bitset rows so
+/// that the concurrency sets `C(v)` (Eq. 2) can be evaluated in
+/// `O(|V|/64)` words per membership sweep.
+///
+/// # Examples
+///
+/// ```
+/// use rtpool_graph::{DagBuilder, Reachability};
+///
+/// # fn main() -> Result<(), rtpool_graph::GraphError> {
+/// let mut b = DagBuilder::new();
+/// let a = b.add_node(1);
+/// let c = b.add_node(1);
+/// let d = b.add_node(1);
+/// b.add_edge(a, c)?;
+/// b.add_edge(c, d)?;
+/// let dag = b.build()?;
+/// let reach = Reachability::new(&dag);
+/// assert!(reach.reaches(a, d));
+/// assert!(!reach.reaches(d, a));
+/// assert!(!reach.are_concurrent(a, d));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Reachability {
+    /// `descendants[v]`: transitive successors of `v` (excluding `v`).
+    descendants: Vec<BitSet>,
+    /// `ancestors[v]`: transitive predecessors of `v` (excluding `v`).
+    ancestors: Vec<BitSet>,
+}
+
+impl Reachability {
+    /// Computes transitive reachability for `dag` in `O(|V|·|E|/64)` words.
+    #[must_use]
+    pub fn new(dag: &Dag) -> Self {
+        Self::from_parts(&dag.succ, &dag.pred, dag.topological_order())
+    }
+
+    /// Computes reachability from raw adjacency lists and a topological
+    /// order (used by the builder before the [`Dag`] exists).
+    pub(crate) fn from_parts(
+        succ: &[Vec<NodeId>],
+        pred: &[Vec<NodeId>],
+        topo: &crate::topo::TopologicalOrder,
+    ) -> Self {
+        let n = succ.len();
+        let mut descendants = vec![BitSet::new(n); n];
+        // Reverse topological order: a node's descendants are the union of
+        // each direct successor and that successor's descendants.
+        for v in topo.iter().rev() {
+            let mut row = BitSet::new(n);
+            for &s in &succ[v.index()] {
+                row.insert(s.index());
+                // Split borrow: take the child's row out temporarily.
+                let child = std::mem::replace(&mut descendants[s.index()], BitSet::new(0));
+                row.union_with(&child);
+                descendants[s.index()] = child;
+            }
+            descendants[v.index()] = row;
+        }
+        let mut ancestors = vec![BitSet::new(n); n];
+        for v in topo.iter() {
+            let mut row = BitSet::new(n);
+            for &p in &pred[v.index()] {
+                row.insert(p.index());
+                let parent = std::mem::replace(&mut ancestors[p.index()], BitSet::new(0));
+                row.union_with(&parent);
+                ancestors[p.index()] = parent;
+            }
+            ancestors[v.index()] = row;
+        }
+        Reachability {
+            descendants,
+            ancestors,
+        }
+    }
+
+    /// Number of nodes covered by this reachability table.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.descendants.len()
+    }
+
+    /// Returns `true` if there is a (possibly transitive) path `from -> to`.
+    ///
+    /// A node does not reach itself.
+    #[must_use]
+    pub fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        self.descendants[from.index()].contains(to.index())
+    }
+
+    /// Transitive successors of `v` (the paper's `succ(v)`), excluding `v`.
+    #[must_use]
+    pub fn descendants(&self, v: NodeId) -> &BitSet {
+        &self.descendants[v.index()]
+    }
+
+    /// Transitive predecessors of `v` (the paper's `pred(v)`), excluding `v`.
+    #[must_use]
+    pub fn ancestors(&self, v: NodeId) -> &BitSet {
+        &self.ancestors[v.index()]
+    }
+
+    /// Returns `true` if `a` and `b` are distinct and subject to no
+    /// (transitive) precedence constraint in either direction.
+    #[must_use]
+    pub fn are_concurrent(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && !self.reaches(a, b) && !self.reaches(b, a)
+    }
+
+    /// The set of nodes concurrent with `v` (neither ancestors nor
+    /// descendants, excluding `v` itself), as a bitset of node indices.
+    #[must_use]
+    pub fn concurrent_set(&self, v: NodeId) -> BitSet {
+        let n = self.node_count();
+        let mut set = BitSet::new(n);
+        for i in 0..n {
+            set.insert(i);
+        }
+        set.remove(v.index());
+        set.difference_with(&self.descendants[v.index()]);
+        set.difference_with(&self.ancestors[v.index()]);
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DagBuilder;
+
+    /// Diamond: s -> a, s -> b, a -> t, b -> t.
+    fn diamond() -> (Dag, [NodeId; 4]) {
+        let mut builder = DagBuilder::new();
+        let s = builder.add_node(1);
+        let a = builder.add_node(2);
+        let b = builder.add_node(3);
+        let t = builder.add_node(4);
+        builder.add_edge(s, a).unwrap();
+        builder.add_edge(s, b).unwrap();
+        builder.add_edge(a, t).unwrap();
+        builder.add_edge(b, t).unwrap();
+        (builder.build().unwrap(), [s, a, b, t])
+    }
+
+    #[test]
+    fn transitive_closure_of_diamond() {
+        let (dag, [s, a, b, t]) = diamond();
+        let r = Reachability::new(&dag);
+        assert!(r.reaches(s, t));
+        assert!(r.reaches(s, a));
+        assert!(!r.reaches(a, b));
+        assert!(!r.reaches(b, a));
+        assert!(!r.reaches(t, s));
+        assert!(!r.reaches(s, s), "a node does not reach itself");
+        assert_eq!(r.descendants(s).len(), 3);
+        assert_eq!(r.ancestors(t).len(), 3);
+        assert_eq!(r.ancestors(s).len(), 0);
+    }
+
+    #[test]
+    fn concurrency_relation() {
+        let (dag, [s, a, b, t]) = diamond();
+        let r = Reachability::new(&dag);
+        assert!(r.are_concurrent(a, b));
+        assert!(r.are_concurrent(b, a));
+        assert!(!r.are_concurrent(s, a));
+        assert!(!r.are_concurrent(a, a));
+        let conc_a = r.concurrent_set(a);
+        assert_eq!(conc_a.iter().collect::<Vec<_>>(), vec![b.index()]);
+        assert!(r.concurrent_set(s).is_empty());
+        assert!(r.concurrent_set(t).is_empty());
+    }
+
+    #[test]
+    fn chain_has_no_concurrency() {
+        let mut builder = DagBuilder::new();
+        let nodes: Vec<NodeId> = (0..6).map(|_| builder.add_node(1)).collect();
+        for w in nodes.windows(2) {
+            builder.add_edge(w[0], w[1]).unwrap();
+        }
+        let dag = builder.build().unwrap();
+        let r = Reachability::new(&dag);
+        for &u in &nodes {
+            for &v in &nodes {
+                if u != v {
+                    assert!(r.reaches(u, v) || r.reaches(v, u));
+                    assert!(!r.are_concurrent(u, v));
+                }
+            }
+        }
+    }
+}

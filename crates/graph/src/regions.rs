@@ -1,0 +1,107 @@
+//! Blocking (fork–join) regions delimited by `BF`/`BJ` node pairs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::NodeId;
+
+/// A blocking region: the sub-graph delimited by a [`BlockingFork`]
+/// (`BF`) node and its paired [`BlockingJoin`] (`BJ`) node.
+///
+/// Per the model restrictions (Section 2 of the paper), the inner nodes of
+/// a region connect only to nodes of the same region, every edge out of the
+/// fork stays in the region, every edge into the join comes from the
+/// region, and regions never nest.
+///
+/// [`BlockingFork`]: crate::NodeKind::BlockingFork
+/// [`BlockingJoin`]: crate::NodeKind::BlockingJoin
+///
+/// # Examples
+///
+/// ```
+/// use rtpool_graph::DagBuilder;
+///
+/// # fn main() -> Result<(), rtpool_graph::GraphError> {
+/// let mut b = DagBuilder::new();
+/// let (f, j) = b.fork_join(1, &[2, 2], 1, true)?;
+/// let dag = b.build()?;
+/// let region = dag.region_of(f).expect("fork belongs to its region");
+/// assert_eq!(region.fork(), f);
+/// assert_eq!(region.join(), j);
+/// assert_eq!(region.inner().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    fork: NodeId,
+    join: NodeId,
+    inner: Vec<NodeId>,
+}
+
+impl Region {
+    pub(crate) fn new(fork: NodeId, join: NodeId, mut inner: Vec<NodeId>) -> Self {
+        inner.sort_unstable();
+        Region { fork, join, inner }
+    }
+
+    /// The delimiting `BF` node.
+    #[must_use]
+    pub fn fork(&self) -> NodeId {
+        self.fork
+    }
+
+    /// The delimiting `BJ` node.
+    #[must_use]
+    pub fn join(&self) -> NodeId {
+        self.join
+    }
+
+    /// The inner (`BC`) nodes of the region, sorted by id.
+    ///
+    /// May be empty for a degenerate region whose fork is directly connected
+    /// to its join.
+    #[must_use]
+    pub fn inner(&self) -> &[NodeId] {
+        &self.inner
+    }
+
+    /// Returns `true` if `v` is the fork, the join, or an inner node.
+    #[must_use]
+    pub fn contains(&self, v: NodeId) -> bool {
+        v == self.fork || v == self.join || self.inner.binary_search(&v).is_ok()
+    }
+
+    /// All nodes of the region: fork, inner nodes, join.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        std::iter::once(self.fork)
+            .chain(self.inner.iter().copied())
+            .chain(std::iter::once(self.join))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_and_nodes() {
+        let r = Region::new(
+            NodeId::from_index(0),
+            NodeId::from_index(3),
+            vec![NodeId::from_index(2), NodeId::from_index(1)],
+        );
+        assert!(r.contains(NodeId::from_index(0)));
+        assert!(r.contains(NodeId::from_index(1)));
+        assert!(r.contains(NodeId::from_index(3)));
+        assert!(!r.contains(NodeId::from_index(4)));
+        assert_eq!(r.inner(), &[NodeId::from_index(1), NodeId::from_index(2)]);
+        assert_eq!(r.nodes().count(), 4);
+    }
+
+    #[test]
+    fn degenerate_region_has_no_inner() {
+        let r = Region::new(NodeId::from_index(0), NodeId::from_index(1), vec![]);
+        assert!(r.inner().is_empty());
+        assert_eq!(r.nodes().count(), 2);
+    }
+}

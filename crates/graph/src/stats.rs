@@ -1,0 +1,191 @@
+//! Structural statistics of task graphs, for workload characterization
+//! and experiment reporting.
+
+use crate::antichain::max_antichain;
+use crate::dag::Dag;
+use crate::node::NodeKind;
+use crate::reach::Reachability;
+
+/// Summary statistics of a task graph.
+///
+/// # Examples
+///
+/// ```
+/// use rtpool_graph::{DagBuilder, GraphStats};
+///
+/// # fn main() -> Result<(), rtpool_graph::GraphError> {
+/// let mut b = DagBuilder::new();
+/// b.fork_join(1, &[2, 2, 2], 1, true)?;
+/// let stats = GraphStats::new(&b.build()?);
+/// assert_eq!(stats.nodes, 5);
+/// assert_eq!(stats.blocking_forks, 1);
+/// assert_eq!(stats.width, 3);
+/// assert!((stats.parallelism - 8.0 / 4.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub nodes: usize,
+    /// `|E|`.
+    pub edges: usize,
+    /// `vol(τ)`: sum of all WCETs.
+    pub volume: u64,
+    /// `len(λ*)`: critical-path length.
+    pub critical_path: u64,
+    /// Average parallelism `vol/len` — the speedup ceiling.
+    pub parallelism: f64,
+    /// Maximum antichain size over all nodes (structural width).
+    pub width: usize,
+    /// Longest node chain (hop count of the longest path).
+    pub depth: usize,
+    /// Number of `BF` nodes.
+    pub blocking_forks: usize,
+    /// Number of `BC` nodes.
+    pub blocking_children: usize,
+    /// Number of `NB` nodes.
+    pub non_blocking: usize,
+    /// Fraction of the volume spent inside blocking regions.
+    pub blocking_volume_fraction: f64,
+    /// Minimum / mean / maximum node WCET.
+    pub wcet_min: u64,
+    /// Mean node WCET.
+    pub wcet_mean: f64,
+    /// Maximum node WCET.
+    pub wcet_max: u64,
+}
+
+impl GraphStats {
+    /// Computes the statistics (dominated by the reachability/antichain
+    /// computation, `O(|V|²)`-ish).
+    #[must_use]
+    pub fn new(dag: &Dag) -> Self {
+        let reach = Reachability::new(dag);
+        let volume = dag.volume();
+        let critical_path = dag.critical_path_length();
+        let width = max_antichain(dag, &reach).len();
+
+        // Depth: longest path in hops.
+        let mut hops = vec![0usize; dag.node_count()];
+        for v in dag.topological_order().iter() {
+            hops[v.index()] = dag
+                .predecessors(v)
+                .iter()
+                .map(|p| hops[p.index()] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+        let depth = hops.iter().copied().max().unwrap_or(0) + 1;
+
+        let mut counts = [0usize; 4];
+        for v in dag.node_ids() {
+            let idx = match dag.kind(v) {
+                NodeKind::NonBlocking => 0,
+                NodeKind::BlockingFork => 1,
+                NodeKind::BlockingJoin => 2,
+                NodeKind::BlockingChild => 3,
+            };
+            counts[idx] += 1;
+        }
+        let blocking_volume: u64 = dag
+            .blocking_regions()
+            .iter()
+            .flat_map(|r| r.nodes())
+            .map(|v| dag.wcet(v))
+            .sum();
+
+        let wcets: Vec<u64> = dag.node_ids().map(|v| dag.wcet(v)).collect();
+        GraphStats {
+            nodes: dag.node_count(),
+            edges: dag.edge_count(),
+            volume,
+            critical_path,
+            parallelism: volume as f64 / critical_path.max(1) as f64,
+            width,
+            depth,
+            blocking_forks: counts[1],
+            blocking_children: counts[3],
+            non_blocking: counts[0],
+            blocking_volume_fraction: if volume == 0 {
+                0.0
+            } else {
+                blocking_volume as f64 / volume as f64
+            },
+            wcet_min: wcets.iter().copied().min().unwrap_or(0),
+            wcet_mean: if wcets.is_empty() {
+                0.0
+            } else {
+                wcets.iter().sum::<u64>() as f64 / wcets.len() as f64
+            },
+            wcet_max: wcets.iter().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} vol={} len={} par={:.2} width={} depth={} BF={} BC={} blocking-vol={:.0}%",
+            self.nodes,
+            self.edges,
+            self.volume,
+            self.critical_path,
+            self.parallelism,
+            self.width,
+            self.depth,
+            self.blocking_forks,
+            self.blocking_children,
+            100.0 * self.blocking_volume_fraction,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DagBuilder;
+
+    #[test]
+    fn chain_stats() {
+        let mut b = DagBuilder::new();
+        let ids: Vec<_> = (0..4).map(|i| b.add_node(i + 1)).collect();
+        b.add_chain(&ids).unwrap();
+        let s = GraphStats::new(&b.build().unwrap());
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.volume, 10);
+        assert_eq!(s.critical_path, 10);
+        assert_eq!(s.width, 1);
+        assert_eq!(s.depth, 4);
+        assert!((s.parallelism - 1.0).abs() < 1e-12);
+        assert_eq!(s.blocking_forks, 0);
+        assert_eq!((s.wcet_min, s.wcet_max), (1, 4));
+        assert!((s.wcet_mean - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocking_fraction() {
+        let mut b = DagBuilder::new();
+        let head = b.add_node(10);
+        let (f, j) = b.fork_join(5, &[5, 5], 5, true).unwrap();
+        b.add_edge(head, f).unwrap();
+        let _ = j;
+        let s = GraphStats::new(&b.build().unwrap());
+        // Blocking region volume = 20 of total 30.
+        assert!((s.blocking_volume_fraction - 20.0 / 30.0).abs() < 1e-12);
+        assert_eq!(s.blocking_forks, 1);
+        assert_eq!(s.blocking_children, 2);
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn width_of_parallel_graph() {
+        let mut b = DagBuilder::new();
+        b.fork_join(1, &[1; 7], 1, false).unwrap();
+        let s = GraphStats::new(&b.build().unwrap());
+        assert_eq!(s.width, 7);
+        assert_eq!(s.depth, 3);
+    }
+}

@@ -1,0 +1,148 @@
+//! Topological ordering (Kahn's algorithm) with cycle detection.
+
+use std::collections::VecDeque;
+
+use crate::node::NodeId;
+
+/// A topological ordering of a DAG's nodes.
+///
+/// Produced by [`TopologicalOrder::compute`] and cached inside
+/// [`Dag`](crate::Dag); iterate it to visit nodes so that every node appears
+/// after all of its predecessors.
+///
+/// # Examples
+///
+/// ```
+/// use rtpool_graph::DagBuilder;
+///
+/// # fn main() -> Result<(), rtpool_graph::GraphError> {
+/// let mut b = DagBuilder::new();
+/// let a = b.add_node(1);
+/// let c = b.add_node(1);
+/// let d = b.add_node(1);
+/// b.add_edge(a, c)?;
+/// b.add_edge(c, d)?;
+/// let dag = b.build()?;
+/// let order: Vec<_> = dag.topological_order().iter().collect();
+/// assert_eq!(order, vec![a, c, d]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopologicalOrder {
+    order: Vec<NodeId>,
+}
+
+impl TopologicalOrder {
+    /// Computes a deterministic topological order of `0..n` under the given
+    /// successor lists using Kahn's algorithm (ties broken by smallest id).
+    ///
+    /// # Errors
+    ///
+    /// Returns a node that lies on a cycle if the edge relation is cyclic.
+    pub(crate) fn compute(n: usize, succ: &[Vec<NodeId>]) -> Result<Self, NodeId> {
+        let mut indegree = vec![0usize; n];
+        for out in succ {
+            for &v in out {
+                indegree[v.index()] += 1;
+            }
+        }
+        // A binary heap would give O(E log V); for determinism a sorted
+        // frontier is enough and the simple VecDeque keeps insertion order
+        // (node ids are created in insertion order, so sources are visited
+        // in id order).
+        let mut frontier: VecDeque<usize> =
+            (0..n).filter(|&v| indegree[v] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = frontier.pop_front() {
+            order.push(NodeId::from_index(v));
+            for &w in &succ[v] {
+                indegree[w.index()] -= 1;
+                if indegree[w.index()] == 0 {
+                    frontier.push_back(w.index());
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(TopologicalOrder { order })
+        } else {
+            // Any node with remaining in-degree lies on (or behind) a cycle;
+            // report one with an actual positive in-degree as witness.
+            let witness = (0..n)
+                .find(|&v| indegree[v] > 0)
+                .expect("cycle detected but no witness found");
+            Err(NodeId::from_index(witness))
+        }
+    }
+
+    /// Number of ordered nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Returns `true` if the order contains no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Iterates over the nodes in topological order.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = NodeId> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// The order as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[usize]) -> Vec<NodeId> {
+        v.iter().map(|&i| NodeId::from_index(i)).collect()
+    }
+
+    #[test]
+    fn orders_diamond() {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let succ = vec![ids(&[1, 2]), ids(&[3]), ids(&[3]), ids(&[])];
+        let order = TopologicalOrder::compute(4, &succ).unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, v) in order.iter().enumerate() {
+                p[v.index()] = i;
+            }
+            p
+        };
+        assert!(pos[0] < pos[1] && pos[0] < pos[2]);
+        assert!(pos[1] < pos[3] && pos[2] < pos[3]);
+        assert_eq!(order.len(), 4);
+        assert!(!order.is_empty());
+    }
+
+    #[test]
+    fn detects_cycle() {
+        // 0 -> 1 -> 2 -> 0
+        let succ = vec![ids(&[1]), ids(&[2]), ids(&[0])];
+        let err = TopologicalOrder::compute(3, &succ).unwrap_err();
+        assert!(err.index() < 3);
+    }
+
+    #[test]
+    fn single_node() {
+        let order = TopologicalOrder::compute(1, &[vec![]]).unwrap();
+        assert_eq!(order.as_slice(), &[NodeId::from_index(0)]);
+    }
+
+    #[test]
+    fn disconnected_components_ordered_by_id() {
+        let succ = vec![ids(&[]), ids(&[]), ids(&[])];
+        let order = TopologicalOrder::compute(3, &succ).unwrap();
+        assert_eq!(order.as_slice(), ids(&[0, 1, 2]).as_slice());
+    }
+}

@@ -1,0 +1,320 @@
+//! Structural analysis and validation of the task-model restrictions.
+//!
+//! The checks implement Section 2 of the paper:
+//!
+//! * the graph is a DAG with a unique source and a unique sink;
+//! * each declared blocking pair `(f, j)` delimits a sub-graph
+//!   `V' = succ*(f) ∩ pred*(j) ∪ {f, j}` such that
+//!   * **(i)** inner nodes connect only to nodes of `V'`,
+//!   * **(ii)** every edge leaving `f` stays in `V'`,
+//!   * **(iii)** every edge entering `j` starts in `V'`,
+//! * blocking regions neither nest nor overlap.
+
+use crate::dag::Dag;
+use crate::error::GraphError;
+use crate::node::{NodeId, NodeKind};
+use crate::reach::Reachability;
+use crate::regions::Region;
+use crate::topo::TopologicalOrder;
+
+/// The derived structure of a node/edge/pair skeleton: everything the
+/// builder needs to assemble a [`Dag`], or the validator needs to re-check
+/// one.
+pub(crate) struct Analysis {
+    pub topo: TopologicalOrder,
+    pub source: NodeId,
+    pub sink: NodeId,
+    pub kinds: Vec<NodeKind>,
+    pub pair: Vec<Option<NodeId>>,
+    pub regions: Vec<Region>,
+    pub region_of: Vec<Option<u32>>,
+}
+
+/// Analyzes a raw skeleton, deriving node kinds and blocking regions and
+/// checking every model restriction.
+pub(crate) fn analyze(
+    succ: &[Vec<NodeId>],
+    pred: &[Vec<NodeId>],
+    pairs: &[(NodeId, NodeId)],
+) -> Result<Analysis, GraphError> {
+    let n = succ.len();
+    if n == 0 {
+        return Err(GraphError::Empty);
+    }
+    let topo = TopologicalOrder::compute(n, succ).map_err(GraphError::Cycle)?;
+
+    let sources: Vec<NodeId> = (0..n)
+        .filter(|&v| pred[v].is_empty())
+        .map(NodeId::from_index)
+        .collect();
+    let sinks: Vec<NodeId> = (0..n)
+        .filter(|&v| succ[v].is_empty())
+        .map(NodeId::from_index)
+        .collect();
+    if sources.len() != 1 {
+        return Err(GraphError::MultipleSources(sources));
+    }
+    if sinks.len() != 1 {
+        return Err(GraphError::MultipleSinks(sinks));
+    }
+    let (source, sink) = (sources[0], sinks[0]);
+
+    let reach = Reachability::from_parts(succ, pred, &topo);
+    let mut kinds = vec![NodeKind::NonBlocking; n];
+    let mut pair: Vec<Option<NodeId>> = vec![None; n];
+    let mut region_of: Vec<Option<u32>> = vec![None; n];
+    let mut regions: Vec<Region> = Vec::with_capacity(pairs.len());
+
+    for &(f, j) in pairs {
+        if !reach.reaches(f, j) {
+            return Err(GraphError::UnreachableJoin { fork: f, join: j });
+        }
+        if pair[f.index()].is_some() {
+            return Err(GraphError::OverlappingPairs(f));
+        }
+        if pair[j.index()].is_some() {
+            return Err(GraphError::OverlappingPairs(j));
+        }
+        pair[f.index()] = Some(j);
+        pair[j.index()] = Some(f);
+
+        // Inner nodes: strictly between the fork and the join.
+        let mut inner_bits = reach.descendants(f).clone();
+        inner_bits.intersect_with(reach.ancestors(j));
+        let inner: Vec<NodeId> = inner_bits.iter().map(NodeId::from_index).collect();
+
+        let region_idx = u32::try_from(regions.len()).expect("too many regions");
+        for v in std::iter::once(f)
+            .chain(std::iter::once(j))
+            .chain(inner.iter().copied())
+        {
+            if let Some(prev) = region_of[v.index()] {
+                return Err(GraphError::NestedRegions {
+                    outer_fork: regions[prev as usize].fork(),
+                    inner_fork: f,
+                });
+            }
+            region_of[v.index()] = Some(region_idx);
+        }
+        kinds[f.index()] = NodeKind::BlockingFork;
+        kinds[j.index()] = NodeKind::BlockingJoin;
+        for &v in &inner {
+            kinds[v.index()] = NodeKind::BlockingChild;
+        }
+
+        let region = Region::new(f, j, inner);
+        // Restriction (ii): every edge out of the fork stays in the region.
+        for &s in &succ[f.index()] {
+            if !region.contains(s) {
+                return Err(GraphError::ForkEscape { fork: f, outside: s });
+            }
+        }
+        // Restriction (iii): every edge into the join starts in the region.
+        for &p in &pred[j.index()] {
+            if !region.contains(p) {
+                return Err(GraphError::JoinIntrusion { join: j, outside: p });
+            }
+        }
+        // Restriction (i): inner nodes are internally connected only.
+        for &x in region.inner() {
+            for &nbr in succ[x.index()].iter().chain(&pred[x.index()]) {
+                if !region.contains(nbr) {
+                    return Err(GraphError::RegionLeak {
+                        fork: f,
+                        inner: x,
+                        outside: nbr,
+                    });
+                }
+            }
+        }
+        regions.push(region);
+    }
+
+    Ok(Analysis {
+        topo,
+        source,
+        sink,
+        kinds,
+        pair,
+        regions,
+        region_of,
+    })
+}
+
+/// Re-validates an assembled [`Dag`] (used by [`Dag::validate_model`]).
+pub(crate) fn validate(dag: &Dag) -> Result<(), GraphError> {
+    let pairs: Vec<(NodeId, NodeId)> = dag
+        .blocking_regions()
+        .iter()
+        .map(|r| (r.fork(), r.join()))
+        .collect();
+    let analysis = analyze(&dag.succ, &dag.pred, &pairs)?;
+    debug_assert_eq!(analysis.source, dag.source());
+    debug_assert_eq!(analysis.sink, dag.sink());
+    debug_assert!(dag
+        .node_ids()
+        .all(|v| analysis.kinds[v.index()] == dag.kind(v)));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DagBuilder;
+
+    #[test]
+    fn fork_escape_detected() {
+        // f forks {a}, joins at j, but f also has an edge escaping to t.
+        let mut b = DagBuilder::new();
+        let s = b.add_node(1);
+        let f = b.add_node(1);
+        let a = b.add_node(1);
+        let j = b.add_node(1);
+        let t = b.add_node(1);
+        b.add_edge(s, f).unwrap();
+        b.add_edge(f, a).unwrap();
+        b.add_edge(a, j).unwrap();
+        b.add_edge(j, t).unwrap();
+        b.add_edge(f, t).unwrap(); // escapes the region
+        b.blocking_pair(f, j).unwrap();
+        // The escaping edge makes t a descendant of f but not an ancestor
+        // of j, so it is outside the region.
+        assert!(matches!(
+            b.build(),
+            Err(GraphError::ForkEscape { .. })
+        ));
+    }
+
+    #[test]
+    fn join_intrusion_detected() {
+        let mut b = DagBuilder::new();
+        let s = b.add_node(1);
+        let f = b.add_node(1);
+        let a = b.add_node(1);
+        let j = b.add_node(1);
+        let t = b.add_node(1);
+        b.add_edge(s, f).unwrap();
+        b.add_edge(f, a).unwrap();
+        b.add_edge(a, j).unwrap();
+        b.add_edge(j, t).unwrap();
+        b.add_edge(s, j).unwrap(); // intrudes from outside
+        b.blocking_pair(f, j).unwrap();
+        assert!(matches!(b.build(), Err(GraphError::JoinIntrusion { .. })));
+    }
+
+    #[test]
+    fn region_leak_detected() {
+        // Inner node a has an extra edge to external node t.
+        let mut b = DagBuilder::new();
+        let s = b.add_node(1);
+        let f = b.add_node(1);
+        let a = b.add_node(1);
+        let j = b.add_node(1);
+        let t = b.add_node(1);
+        let u = b.add_node(1);
+        b.add_edge(s, f).unwrap();
+        b.add_edge(f, a).unwrap();
+        b.add_edge(a, j).unwrap();
+        b.add_edge(j, t).unwrap();
+        b.add_edge(s, u).unwrap();
+        b.add_edge(a, u).unwrap(); // leak: a is inner, u external
+        b.add_edge(u, t).unwrap();
+        b.blocking_pair(f, j).unwrap();
+        let err = b.build().unwrap_err();
+        // The leaked edge also makes u a descendant of f; u is not an
+        // ancestor of j, so the leak manifests as a fork-region violation
+        // (a's successor u is outside succ*(f) ∩ pred*(j)).
+        assert!(
+            matches!(err, GraphError::RegionLeak { .. }),
+            "expected RegionLeak, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn nested_regions_rejected() {
+        // Outer region f1..j1 contains inner region f2..j2.
+        let mut b = DagBuilder::new();
+        let s = b.add_node(1);
+        let f1 = b.add_node(1);
+        let f2 = b.add_node(1);
+        let a = b.add_node(1);
+        let j2 = b.add_node(1);
+        let j1 = b.add_node(1);
+        let t = b.add_node(1);
+        b.add_edge(s, f1).unwrap();
+        b.add_edge(f1, f2).unwrap();
+        b.add_edge(f2, a).unwrap();
+        b.add_edge(a, j2).unwrap();
+        b.add_edge(j2, j1).unwrap();
+        b.add_edge(j1, t).unwrap();
+        b.blocking_pair(f1, j1).unwrap();
+        b.blocking_pair(f2, j2).unwrap();
+        assert!(matches!(b.build(), Err(GraphError::NestedRegions { .. })));
+    }
+
+    #[test]
+    fn sibling_regions_accepted() {
+        // Two disjoint regions in parallel branches are fine.
+        let mut b = DagBuilder::new();
+        let s = b.add_node(1);
+        let (f1, j1) = b.fork_join(1, &[1, 1], 1, true).unwrap();
+        let (f2, j2) = b.fork_join(1, &[1, 1], 1, true).unwrap();
+        let t = b.add_node(1);
+        b.add_edge(s, f1).unwrap();
+        b.add_edge(s, f2).unwrap();
+        b.add_edge(j1, t).unwrap();
+        b.add_edge(j2, t).unwrap();
+        let dag = b.build().unwrap();
+        assert_eq!(dag.blocking_regions().len(), 2);
+        dag.validate_model().unwrap();
+    }
+
+    #[test]
+    fn unreachable_join_rejected() {
+        let mut b = DagBuilder::new();
+        let s = b.add_node(1);
+        let a = b.add_node(1);
+        let c = b.add_node(1);
+        let t = b.add_node(1);
+        b.add_edge(s, a).unwrap();
+        b.add_edge(s, c).unwrap();
+        b.add_edge(a, t).unwrap();
+        b.add_edge(c, t).unwrap();
+        b.blocking_pair(a, c).unwrap(); // a does not reach c
+        assert!(matches!(
+            b.build(),
+            Err(GraphError::UnreachableJoin { .. })
+        ));
+    }
+
+    #[test]
+    fn node_in_two_pairs_rejected() {
+        let mut b = DagBuilder::new();
+        let f = b.add_node(1);
+        let a = b.add_node(1);
+        let j = b.add_node(1);
+        let t = b.add_node(1);
+        b.add_edge(f, a).unwrap();
+        b.add_edge(a, j).unwrap();
+        b.add_edge(j, t).unwrap();
+        b.blocking_pair(f, j).unwrap();
+        b.blocking_pair(f, t).unwrap();
+        assert!(matches!(b.build(), Err(GraphError::OverlappingPairs(_))));
+    }
+
+    #[test]
+    fn degenerate_region_fork_to_join_only() {
+        let mut b = DagBuilder::new();
+        let s = b.add_node(1);
+        let f = b.add_node(1);
+        let j = b.add_node(1);
+        let t = b.add_node(1);
+        b.add_edge(s, f).unwrap();
+        b.add_edge(f, j).unwrap();
+        b.add_edge(j, t).unwrap();
+        b.blocking_pair(f, j).unwrap();
+        let dag = b.build().unwrap();
+        assert!(dag.blocking_regions()[0].inner().is_empty());
+        dag.validate_model().unwrap();
+    }
+}

@@ -1,0 +1,119 @@
+//! The per-core schedule trace (Gantt chart) and its ASCII rendering.
+
+use std::fmt::Write as _;
+
+/// Which thread holds each core, recorded at every event boundary.
+///
+/// Entry `(t, cores)` means: from time `t` until the next entry, core
+/// `k` runs `cores[k]` — `Some((task, thread))` or `None` when idle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoreTrace {
+    snapshots: Vec<CoreSnapshot>,
+    end_time: u64,
+}
+
+/// One trace entry: the time it takes effect and, per core, the
+/// `(task, thread)` holding the core (or `None` when idle).
+pub type CoreSnapshot = (u64, Vec<Option<(usize, usize)>>);
+
+impl CoreTrace {
+    pub(crate) fn new() -> Self {
+        CoreTrace {
+            snapshots: Vec::new(),
+            end_time: 0,
+        }
+    }
+
+    pub(crate) fn record(&mut self, time: u64, cores: Vec<Option<(usize, usize)>>) {
+        if self.snapshots.last().map(|(_, c)| c) != Some(&cores) {
+            self.snapshots.push((time, cores));
+        }
+    }
+
+    pub(crate) fn finish(&mut self, end_time: u64) {
+        self.end_time = end_time;
+    }
+
+    /// The raw snapshots: `(time, per-core thread)` in time order.
+    #[must_use]
+    pub fn snapshots(&self) -> &[CoreSnapshot] {
+        &self.snapshots
+    }
+
+    /// The time the simulation ended.
+    #[must_use]
+    pub fn end_time(&self) -> u64 {
+        self.end_time
+    }
+
+    /// Renders an ASCII Gantt chart: one row per core, one column per
+    /// time unit in `[0, until)`, digits naming the task running there
+    /// (`.` = idle, `+` = task index ≥ 10).
+    ///
+    /// Intended for small horizons; the width is capped at 200 columns.
+    #[must_use]
+    pub fn to_ascii(&self, until: u64) -> String {
+        let until = until.min(self.end_time.max(1)).min(200);
+        let cores = self
+            .snapshots
+            .first()
+            .map_or(0, |(_, c)| c.len());
+        let mut out = String::new();
+        for core in 0..cores {
+            let _ = write!(out, "core {core}: ");
+            let mut cursor = 0usize; // snapshot index
+            for t in 0..until {
+                while cursor + 1 < self.snapshots.len() && self.snapshots[cursor + 1].0 <= t {
+                    cursor += 1;
+                }
+                let ch = match self.snapshots.get(cursor).and_then(|(_, c)| c[core]) {
+                    Some((task, _)) if task < 10 => {
+                        char::from_digit(task as u32, 10).expect("single digit")
+                    }
+                    Some(_) => '+',
+                    None => '.',
+                };
+                out.push(ch);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_deduplicated_snapshots() {
+        let mut t = CoreTrace::new();
+        t.record(0, vec![Some((0, 0)), None]);
+        t.record(3, vec![Some((0, 0)), None]); // identical: dropped
+        t.record(5, vec![None, Some((1, 0))]);
+        t.finish(8);
+        assert_eq!(t.snapshots().len(), 2);
+        assert_eq!(t.end_time(), 8);
+    }
+
+    #[test]
+    fn ascii_rendering() {
+        let mut t = CoreTrace::new();
+        t.record(0, vec![Some((0, 0)), None]);
+        t.record(2, vec![Some((1, 0)), Some((0, 1))]);
+        t.record(4, vec![None, None]);
+        t.finish(6);
+        let art = t.to_ascii(6);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines[0], "core 0: 0011..");
+        assert_eq!(lines[1], "core 1: ..00..");
+    }
+
+    #[test]
+    fn large_task_indices_render_plus() {
+        let mut t = CoreTrace::new();
+        t.record(0, vec![Some((11, 0))]);
+        t.finish(2);
+        assert!(t.to_ascii(2).contains("++"));
+    }
+}

@@ -1,0 +1,109 @@
+//! A TensorFlow/Eigen-inspired workload: a deep-network inference task
+//! whose layers are parallelized internally with *blocking* fork–joins —
+//! the design the paper's introduction motivates (the Eigen thread pool
+//! suspends the forking thread on a condition variable until the layer's
+//! parallel shards finish).
+//!
+//! The example builds a synthetic N-layer pipeline with many small
+//! shards per layer, computes how many pool threads are needed for
+//! deadlock freedom and schedulability, and measures the blocking
+//! penalty on a real thread pool.
+//!
+//! ```text
+//! cargo run --release --example inference_pipeline
+//! ```
+
+use std::time::Duration;
+
+use rtpool::core::analysis::global::{self, ConcurrencyModel};
+use rtpool::core::{deadlock, ConcurrencyAnalysis, Task, TaskSet};
+use rtpool::exec::{PoolConfig, QueueDiscipline, ThreadPool};
+use rtpool::graph::{Dag, DagBuilder};
+
+/// Builds an inference task: `layers` sequential layers; every layer is
+/// a fork–join over `shards` small operations. `parallel_branches`
+/// independent towers run concurrently (like parallel heads), so several
+/// layer barriers can be in flight at once.
+fn inference_dag(
+    towers: usize,
+    layers: usize,
+    shards: usize,
+    blocking: bool,
+) -> Result<Dag, Box<dyn std::error::Error>> {
+    let mut b = DagBuilder::new();
+    let input = b.add_node(2); // preprocessing
+    let output = b.add_node(2); // postprocessing
+    for _ in 0..towers {
+        let mut prev = input;
+        for _ in 0..layers {
+            let shard_wcets = vec![3u64; shards];
+            let (fork, join) = b.fork_join(1, &shard_wcets, 1, blocking)?;
+            b.add_edge(prev, fork)?;
+            prev = join;
+        }
+        b.add_edge(prev, output)?;
+    }
+    Ok(b.build()?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (towers, layers, shards) = (3, 4, 12);
+    let dag = inference_dag(towers, layers, shards, true)?;
+    println!(
+        "inference task: {} towers × {} layers × {} shards = {} nodes, vol {}, len {}",
+        towers,
+        layers,
+        shards,
+        dag.node_count(),
+        dag.volume(),
+        dag.critical_path_length()
+    );
+
+    // How many threads until the blocking barriers cannot deadlock?
+    let ca = ConcurrencyAnalysis::new(&dag);
+    println!(
+        "b̄ = {}, exact max concurrent suspended forks = {}",
+        ca.max_delay_count(),
+        ca.max_suspended_forks().len()
+    );
+    let safe_m = (1..=16)
+        .find(|&m| deadlock::check_global_with(&ca, m).is_deadlock_free())
+        .expect("some pool size is safe");
+    println!("smallest deadlock-free pool: m = {safe_m}");
+
+    // Schedulability with a 25% utilization budget.
+    let period = dag.volume() * 4;
+    let set = TaskSet::new(vec![Task::with_implicit_deadline(dag.clone(), period)?]);
+    for m in [safe_m, safe_m + 2, safe_m + 4] {
+        let full = global::analyze(&set, m, ConcurrencyModel::Full);
+        let limited = global::analyze(&set, m, ConcurrencyModel::Limited);
+        println!(
+            "m = {m}: baseline R = {:?}, limited-concurrency R = {:?}",
+            full.verdicts()[0].response_time(),
+            limited.verdicts()[0].response_time(),
+        );
+    }
+
+    // Measured blocking penalty on real threads.
+    let plain = inference_dag(towers, layers, shards, false)?;
+    let m = safe_m + 1;
+    let scale = Duration::from_micros(100);
+    let mut pool = ThreadPool::new(
+        PoolConfig::new(m, QueueDiscipline::GlobalFifo).with_time_scale(scale),
+    );
+    let blocking_report = pool.run(&dag)?;
+    let plain_report = pool.run(&plain)?;
+    println!(
+        "\nreal pool, m = {m}: blocking {:.2?} (min avail {}), non-blocking {:.2?} (min avail {})",
+        blocking_report.makespan,
+        blocking_report.min_available_workers,
+        plain_report.makespan,
+        plain_report.min_available_workers,
+    );
+    println!(
+        "blocking slowdown: {:.1}%",
+        100.0 * (blocking_report.makespan.as_secs_f64() / plain_report.makespan.as_secs_f64()
+            - 1.0)
+    );
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! # rtpool
+//!
+//! Facade crate re-exporting the full `rtpool` workspace: modeling,
+//! deadlock analysis, schedulability analysis, synthetic generation,
+//! simulation, and native execution of parallel real-time tasks
+//! implemented with thread pools, reproducing Casini, Biondi, Buttazzo,
+//! *"Analyzing Parallel Real-Time Tasks Implemented with Thread Pools"*,
+//! DAC 2019.
+//!
+//! See the individual crates for details:
+//!
+//! * [`graph`] — the typed DAG substrate;
+//! * [`core`] — concurrency bounds, deadlock lemmas, Algorithm 1, and
+//!   response-time analyses;
+//! * [`gen`] — synthetic task-set generation (Section 5);
+//! * [`sim`] — deterministic discrete-event simulator of the execution
+//!   model;
+//! * [`exec`] — a real condvar-based thread pool exhibiting the paper's
+//!   Figure 1 phenomena.
+
+#![forbid(unsafe_code)]
+
+pub use rtpool_core as core;
+pub use rtpool_exec as exec;
+pub use rtpool_gen as gen;
+pub use rtpool_graph as graph;
+pub use rtpool_sim as sim;
