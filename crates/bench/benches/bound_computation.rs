@@ -34,11 +34,9 @@ fn bench_bounds(c: &mut Criterion) {
             |b, dag| b.iter(|| ConcurrencyAnalysis::new(std::hint::black_box(dag))),
         );
         let ca = ConcurrencyAnalysis::new(&dag);
-        group.bench_with_input(
-            BenchmarkId::new("b_bar", dag.node_count()),
-            &ca,
-            |b, ca| b.iter(|| std::hint::black_box(ca.max_delay_count())),
-        );
+        group.bench_with_input(BenchmarkId::new("b_bar", dag.node_count()), &ca, |b, ca| {
+            b.iter(|| std::hint::black_box(ca.max_delay_count()))
+        });
         group.bench_with_input(
             BenchmarkId::new("exact_antichain", dag.node_count()),
             &ca,

@@ -28,27 +28,19 @@ fn bench_pool(c: &mut Criterion) {
     for blocking in [false, true] {
         let dag = wide_job(blocking);
         let label = if blocking { "blocking" } else { "non_blocking" };
-        group.bench_with_input(
-            BenchmarkId::new("global_fifo", label),
-            &dag,
-            |b, dag| {
-                let mut pool = ThreadPool::new(
-                    PoolConfig::new(4, QueueDiscipline::GlobalFifo).with_time_scale(scale),
-                );
-                b.iter(|| pool.run(std::hint::black_box(dag)).expect("completes"));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("work_stealing", label),
-            &dag,
-            |b, dag| {
-                let mut pool = ThreadPool::new(
-                    PoolConfig::new(4, QueueDiscipline::WorkStealing { seed: 7 })
-                        .with_time_scale(scale),
-                );
-                b.iter(|| pool.run(std::hint::black_box(dag)).expect("completes"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("global_fifo", label), &dag, |b, dag| {
+            let mut pool = ThreadPool::new(
+                PoolConfig::new(4, QueueDiscipline::GlobalFifo).with_time_scale(scale),
+            );
+            b.iter(|| pool.run(std::hint::black_box(dag)).expect("completes"));
+        });
+        group.bench_with_input(BenchmarkId::new("work_stealing", label), &dag, |b, dag| {
+            let mut pool = ThreadPool::new(
+                PoolConfig::new(4, QueueDiscipline::WorkStealing { seed: 7 })
+                    .with_time_scale(scale),
+            );
+            b.iter(|| pool.run(std::hint::black_box(dag)).expect("completes"));
+        });
     }
 
     // Partitioned with an Algorithm 1 (delay-free) mapping.

@@ -46,8 +46,7 @@ pub fn concurrency_floor_ablation(
         .map(|k| {
             let n = 2 * k;
             let counts = parallel_count(sets_per_point, threads, |sample| {
-                let mut rng =
-                    rand::rngs::StdRng::seed_from_u64(mix(seed, n as u64, sample as u64));
+                let mut rng = rand::rngs::StdRng::seed_from_u64(mix(seed, n as u64, sample as u64));
                 let set = TaskSetConfig::new(n, 0.4 * n as f64, DagGenConfig::default())
                     .generate(&mut rng)
                     .expect("generation succeeds");
@@ -84,17 +83,12 @@ pub struct HeuristicPoint {
 /// Sweeps the pool size (the Figure 2(d) setup) and reports partitioned
 /// acceptance for each Algorithm 1 tie-breaking heuristic.
 #[must_use]
-pub fn heuristic_ablation(
-    sets_per_point: usize,
-    seed: u64,
-    threads: usize,
-) -> Vec<HeuristicPoint> {
+pub fn heuristic_ablation(sets_per_point: usize, seed: u64, threads: usize) -> Vec<HeuristicPoint> {
     [2usize, 3, 4, 6, 8, 12, 16]
         .into_iter()
         .map(|m| {
             let counts = parallel_count(sets_per_point, threads, |sample| {
-                let mut rng =
-                    rand::rngs::StdRng::seed_from_u64(mix(seed, m as u64, sample as u64));
+                let mut rng = rand::rngs::StdRng::seed_from_u64(mix(seed, m as u64, sample as u64));
                 let set = TaskSetConfig::new(4, 1.0, DagGenConfig::default())
                     .generate(&mut rng)
                     .expect("generation succeeds");
@@ -162,7 +156,8 @@ fn parallel_count<const K: usize>(
 }
 
 fn mix(seed: u64, a: u64, b: u64) -> u64 {
-    let mut z = seed ^ a.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ b.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    let mut z =
+        seed ^ a.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ b.wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z ^ (z >> 31)
 }

@@ -24,13 +24,19 @@ fn main() -> ExitCode {
         let result = match flag.as_str() {
             "--study" => value("--study").map(|v| study = v),
             "--sets" => value("--sets").and_then(|v| {
-                v.parse().map(|v| sets = v).map_err(|e| format!("invalid --sets: {e}"))
+                v.parse()
+                    .map(|v| sets = v)
+                    .map_err(|e| format!("invalid --sets: {e}"))
             }),
             "--seed" => value("--seed").and_then(|v| {
-                v.parse().map(|v| seed = v).map_err(|e| format!("invalid --seed: {e}"))
+                v.parse()
+                    .map(|v| seed = v)
+                    .map_err(|e| format!("invalid --seed: {e}"))
             }),
             "--threads" => value("--threads").and_then(|v| {
-                v.parse().map(|v| threads = v).map_err(|e| format!("invalid --threads: {e}"))
+                v.parse()
+                    .map(|v| threads = v)
+                    .map_err(|e| format!("invalid --threads: {e}"))
             }),
             "--help" | "-h" => {
                 println!("usage: ablation [--study floor|heuristic|all] [--sets N] [--seed S] [--threads T]");

@@ -78,7 +78,11 @@ fn run() -> Result<(), String> {
     let set = textfmt::parse_task_set(&text).map_err(|e| e.to_string())?;
     let m = args.m;
 
-    println!("{} tasks, m = {m}, total utilization {:.3}\n", set.len(), set.total_utilization());
+    println!(
+        "{} tasks, m = {m}, total utilization {:.3}\n",
+        set.len(),
+        set.total_utilization()
+    );
 
     println!("== Per-task structure & deadlock analysis (Section 3) ==");
     for (id, task) in set.iter() {
@@ -99,7 +103,11 @@ fn run() -> Result<(), String> {
             ca.concurrency_lower_bound(m),
             ca.max_suspended_forks().len(),
             sizing::min_threads_deadlock_free(task.dag()),
-            if verdict.is_deadlock_free() { "deadlock-free" } else { "DEADLOCK POSSIBLE" },
+            if verdict.is_deadlock_free() {
+                "deadlock-free"
+            } else {
+                "DEADLOCK POSSIBLE"
+            },
         );
     }
 
@@ -107,10 +115,20 @@ fn run() -> Result<(), String> {
     for (label, model) in [
         ("Melani et al. [14] (oblivious)", ConcurrencyModel::Full),
         ("limited concurrency (paper)", ConcurrencyModel::Limited),
-        ("exact antichain (extension)", ConcurrencyModel::LimitedExact),
+        (
+            "exact antichain (extension)",
+            ConcurrencyModel::LimitedExact,
+        ),
     ] {
         let r = global::analyze(&set, m, model);
-        print!("  {label:35} {}", if r.is_schedulable() { "SCHEDULABLE  " } else { "unschedulable" });
+        print!(
+            "  {label:35} {}",
+            if r.is_schedulable() {
+                "SCHEDULABLE  "
+            } else {
+                "unschedulable"
+            }
+        );
         let responses: Vec<String> = r
             .verdicts()
             .iter()
@@ -121,11 +139,21 @@ fn run() -> Result<(), String> {
 
     println!("\n== Partitioned schedulability (Section 4.2) ==");
     for (label, strategy) in [
-        ("worst-fit (oblivious baseline)", PartitionStrategy::WorstFit),
+        (
+            "worst-fit (oblivious baseline)",
+            PartitionStrategy::WorstFit,
+        ),
         ("Algorithm 1 (delay-free)", PartitionStrategy::Algorithm1),
     ] {
         let (r, mappings) = partitioned::partition_and_analyze(&set, m, strategy);
-        print!("  {label:35} {}", if r.is_schedulable() { "SCHEDULABLE  " } else { "unschedulable" });
+        print!(
+            "  {label:35} {}",
+            if r.is_schedulable() {
+                "SCHEDULABLE  "
+            } else {
+                "unschedulable"
+            }
+        );
         let responses: Vec<String> = r
             .verdicts()
             .iter()

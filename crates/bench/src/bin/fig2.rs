@@ -33,19 +33,15 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--inset" => {
                 let v = value("--inset")?;
                 if v.eq_ignore_ascii_case("all") {
                     args.insets = Inset::ALL.to_vec();
                 } else {
-                    args.insets = vec![
-                        Inset::parse(&v).ok_or_else(|| format!("unknown inset `{v}`"))?
-                    ];
+                    args.insets =
+                        vec![Inset::parse(&v).ok_or_else(|| format!("unknown inset `{v}`"))?];
                 }
             }
             "--sets" => {

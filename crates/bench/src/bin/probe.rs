@@ -3,8 +3,8 @@
 //! tune experiment parameters. Not part of the reproduction surface.
 
 use rand::SeedableRng;
-use rtpool_core::analysis::partitioned::{self, PartitionStrategy};
 use rtpool_core::analysis::global::{self, ConcurrencyModel};
+use rtpool_core::analysis::partitioned::{self, PartitionStrategy};
 use rtpool_core::ConcurrencyAnalysis;
 use rtpool_gen::{DagGenConfig, TaskSetConfig};
 

@@ -79,8 +79,12 @@ impl Inset {
     #[must_use]
     pub fn description(self) -> &'static str {
         match self {
-            Inset::A => "global: schedulability vs l_max (m=8, n=4, U=4.0; baseline-schedulable sets)",
-            Inset::B => "partitioned: schedulability vs l_max (m=8, n=4, U=1.0; baseline-schedulable sets)",
+            Inset::A => {
+                "global: schedulability vs l_max (m=8, n=4, U=4.0; baseline-schedulable sets)"
+            }
+            Inset::B => {
+                "partitioned: schedulability vs l_max (m=8, n=4, U=1.0; baseline-schedulable sets)"
+            }
             Inset::C => "global: schedulability vs m (n=4, U=2.0)",
             Inset::D => "partitioned: schedulability vs m (n=4, U=1.0)",
             Inset::E => "global: schedulability vs n (m=8, U=0.4n)",
@@ -265,7 +269,11 @@ fn evaluate_sample(
             // (b) uses a lighter load to keep the discard rule (baseline
             // must accept the set) satisfiable.
             let m = M_DEFAULT;
-            let u = if inset == Inset::A { 0.5 * m as f64 } else { 1.0 };
+            let u = if inset == Inset::A {
+                0.5 * m as f64
+            } else {
+                1.0
+            };
             let window = ConcurrencyWindow {
                 m,
                 l_min: (x - 1).max(1),
@@ -280,8 +288,8 @@ fn evaluate_sample(
                     blocking: BlockingPolicy::Fixed(p),
                     ..DagGenConfig::default()
                 };
-                let cfg = TaskSetConfig::new(N_TASKS_SMALL, u, dag_cfg)
-                    .with_concurrency_window(window);
+                let cfg =
+                    TaskSetConfig::new(N_TASKS_SMALL, u, dag_cfg).with_concurrency_window(window);
                 let set = match cfg.generate(rng) {
                     Ok(set) => set,
                     Err(GenError::WindowUnsatisfiable { .. }) => continue,

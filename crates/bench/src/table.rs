@@ -9,7 +9,12 @@ use crate::fig2::{Inset, SeriesPoint};
 #[must_use]
 pub fn render_text(inset: Inset, series: &[SeriesPoint]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 2({}) — {}", inset.letter(), inset.description());
+    let _ = writeln!(
+        out,
+        "Figure 2({}) — {}",
+        inset.letter(),
+        inset.description()
+    );
     let _ = writeln!(
         out,
         "  proposed: {}\n  baseline: {}",

@@ -39,10 +39,23 @@ pub struct Tightness {
 /// hyperperiod-ish windows and per-task `bound/observed` ratios
 /// aggregated.
 #[must_use]
-pub fn measure(samples: usize, m: usize, n: usize, u: f64, seed: u64, threads: usize) -> Vec<Tightness> {
+pub fn measure(
+    samples: usize,
+    m: usize,
+    n: usize,
+    u: f64,
+    seed: u64,
+    threads: usize,
+) -> Vec<Tightness> {
     let studies: [(&'static str, Study); 3] = [
-        ("global full (Melani)", Study::Global(ConcurrencyModel::Full)),
-        ("global limited (paper)", Study::Global(ConcurrencyModel::Limited)),
+        (
+            "global full (Melani)",
+            Study::Global(ConcurrencyModel::Full),
+        ),
+        (
+            "global limited (paper)",
+            Study::Global(ConcurrencyModel::Limited),
+        ),
         ("partitioned Algorithm 1", Study::Partitioned),
     ];
     studies

@@ -179,11 +179,7 @@ mod tests {
     use crate::task::Task;
     use rtpool_graph::DagBuilder;
 
-    fn fork_join_task(
-        branches: &[u64],
-        blocking: bool,
-        period: u64,
-    ) -> Task {
+    fn fork_join_task(branches: &[u64], blocking: bool, period: u64) -> Task {
         let mut b = DagBuilder::new();
         b.fork_join(10, branches, 10, blocking).unwrap();
         Task::with_implicit_deadline(b.build().unwrap(), period).unwrap()
@@ -209,10 +205,7 @@ mod tests {
         let set = TaskSet::new(vec![t]);
         let r = analyze(&set, 4, ConcurrencyModel::Full);
         // len = 40, vol = 80: R = 40 + 40/4 = 50.
-        assert_eq!(
-            r.verdict(TaskId(0)).response_time(),
-            Some(50)
-        );
+        assert_eq!(r.verdict(TaskId(0)).response_time(), Some(50));
     }
 
     #[test]
@@ -257,7 +250,10 @@ mod tests {
         assert!(r.is_schedulable());
         let r_lp = r.verdict(TaskId(1)).response_time().unwrap();
         // Without interference R = 50 + 30/2 = 65; with it strictly more.
-        assert!(r_lp > 65, "hp interference must increase the bound, got {r_lp}");
+        assert!(
+            r_lp > 65,
+            "hp interference must increase the bound, got {r_lp}"
+        );
     }
 
     #[test]

@@ -74,5 +74,4 @@ mod tests {
         assert!(interfering_workload(200, 30, 9, 10) >= base);
         assert!(interfering_workload(100, 30, 9, 50) >= base);
     }
-
 }

@@ -235,9 +235,7 @@ fn analyze_task(
             let core = mapping.thread_of(v).index();
             dag.node_ids()
                 .filter(|&u| {
-                    u != v
-                        && mapping.thread_of(u).index() == core
-                        && reach.are_concurrent(u, v)
+                    u != v && mapping.thread_of(u).index() == core && reach.are_concurrent(u, v)
                 })
                 .map(|u| dag.wcet(u))
                 .sum()
@@ -283,12 +281,7 @@ fn node_level_bound(
             .max()
             .unwrap_or(0);
         let core = mapping.thread_of(v).index();
-        let local = local_response(
-            dag.wcet(v) + fifo_blocking[v.index()],
-            core,
-            hp,
-            deadline,
-        )?;
+        let local = local_response(dag.wcet(v) + fifo_blocking[v.index()], core, hp, deadline)?;
         let f = ready.saturating_add(local);
         if f > deadline {
             return None;
@@ -448,7 +441,12 @@ mod tests {
         // Everything on thread 0: children behind their suspended fork.
         let mapping =
             NodeMapping::from_threads(set.task(TaskId(0)).dag(), 2, vec![0; dag_nodes]).unwrap();
-        let r = analyze(&set, 2, std::slice::from_ref(&mapping), BlockingAwareness::Checked);
+        let r = analyze(
+            &set,
+            2,
+            std::slice::from_ref(&mapping),
+            BlockingAwareness::Checked,
+        );
         assert!(matches!(
             r.verdict(TaskId(0)),
             TaskVerdict::Unschedulable {

@@ -102,6 +102,41 @@ pub fn check_global_with(ca: &ConcurrencyAnalysis<'_>, m: usize) -> GlobalVerdic
     }
 }
 
+/// The exact maximum number of workers that can be *simultaneously
+/// blocked* on condition-variable barriers while serving one job of the
+/// task: the maximum antichain among `BF` nodes (the worst case of the
+/// paper's `b(t, τᵢ)`).
+///
+/// This is the quantity runtime recovery sizes against: a pool of
+/// `max_simultaneous_blocking(dag) + 1` workers can always make progress
+/// (cf. [`crate::sizing::min_threads_deadlock_free`]), and a pool of `m`
+/// workers needs `reserve_for(dag, m)` spare workers to recover from a
+/// stall by growing (cf. [`crate::sizing::reserve_for`]).
+///
+/// # Examples
+///
+/// ```
+/// use rtpool_core::deadlock::max_simultaneous_blocking;
+/// use rtpool_graph::DagBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = DagBuilder::new();
+/// let src = b.add_node(1);
+/// let snk = b.add_node(1);
+/// for _ in 0..2 {
+///     let (f, j) = b.fork_join(1, &[1, 1], 1, true)?;
+///     b.add_edge(src, f)?;
+///     b.add_edge(j, snk)?;
+/// }
+/// assert_eq!(max_simultaneous_blocking(&b.build()?), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn max_simultaneous_blocking(dag: &Dag) -> usize {
+    ConcurrencyAnalysis::new(dag).max_suspended_forks().len()
+}
+
 /// The paper's practical sufficient check (Section 3.1): deadlock-free if
 /// `l̄(τᵢ) = m − b̄(τᵢ) > 0`. Returns the bound when it certifies freedom.
 ///

@@ -244,7 +244,10 @@ mod tests {
     #[test]
     fn single_region_needs_two_threads() {
         let dag = replicated(1, 3);
-        assert!(algorithm1(&dag, 1).is_err(), "1 thread cannot be delay-free");
+        assert!(
+            algorithm1(&dag, 1).is_err(),
+            "1 thread cannot be delay-free"
+        );
         let mapping = algorithm1(&dag, 2).unwrap();
         deadlock::check_mapping_delay_free(&ConcurrencyAnalysis::new(&dag), &mapping).unwrap();
     }

@@ -3,13 +3,12 @@
 use std::fmt;
 
 use rtpool_graph::{Dag, NodeId};
-use serde::{Deserialize, Serialize};
 
 use crate::error::CoreError;
 
 /// Identifier of a thread `φ_{i,j}` within a task's pool; under
 /// partitioned scheduling thread `j` is statically pinned to core `j`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ThreadId(u32);
 
 impl ThreadId {
@@ -53,7 +52,7 @@ impl fmt::Display for ThreadId {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NodeMapping {
     threads: Vec<ThreadId>,
     pool_size: usize,
@@ -94,10 +93,7 @@ impl NodeMapping {
     /// completeness and range).
     pub(crate) fn from_ids(threads: Vec<ThreadId>, pool_size: usize) -> Self {
         debug_assert!(threads.iter().all(|t| t.index() < pool_size));
-        NodeMapping {
-            threads,
-            pool_size,
-        }
+        NodeMapping { threads, pool_size }
     }
 
     /// `T(v)`: the thread node `v` is dispatched to.

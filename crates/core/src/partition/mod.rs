@@ -39,8 +39,7 @@ use rtpool_graph::{Dag, NodeId};
 pub trait PlacementHeuristic {
     /// Chooses one of `allowed` (non-empty, sorted by thread id) for
     /// `node`, given the current per-thread WCET loads.
-    fn choose(&mut self, dag: &Dag, node: NodeId, allowed: &[ThreadId], loads: &[u64])
-        -> ThreadId;
+    fn choose(&mut self, dag: &Dag, node: NodeId, allowed: &[ThreadId], loads: &[u64]) -> ThreadId;
 }
 
 /// Chooses the least-loaded admissible thread (ties: lowest id). This is

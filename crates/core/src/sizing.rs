@@ -11,6 +11,7 @@ use rtpool_graph::Dag;
 use crate::analysis::global::{self, ConcurrencyModel};
 use crate::analysis::partitioned::{self, PartitionStrategy};
 use crate::concurrency::ConcurrencyAnalysis;
+use crate::deadlock;
 use crate::task::TaskSet;
 
 /// The smallest pool size under which the task cannot deadlock under
@@ -42,6 +43,45 @@ pub fn min_threads_deadlock_free(dag: &Dag) -> usize {
     ConcurrencyAnalysis::new(dag).max_suspended_forks().len() + 1
 }
 
+/// The reserve workers a `GrowPool` recovery policy needs so that a
+/// stall of `dag` on an `m`-worker pool can always be resolved by
+/// growing: enough extra workers to restore the pool's available
+/// concurrency to the paper's lower bound `l̄(τᵢ) = m − b̄(τᵢ) ≥ 1`, i.e.
+/// to reach [`min_threads_deadlock_free`] workers in total.
+///
+/// Returns 0 when `workers` is already statically safe — with a safe
+/// pool size the exact stall detector cannot fire on fault-free runs, so
+/// no reserve is needed (injected faults that *additionally* suspend
+/// workers need a correspondingly larger reserve: one extra worker per
+/// concurrently injected suspension).
+///
+/// # Examples
+///
+/// ```
+/// use rtpool_core::sizing::reserve_for;
+/// use rtpool_graph::DagBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = DagBuilder::new();
+/// let src = b.add_node(1);
+/// let snk = b.add_node(1);
+/// for _ in 0..3 {
+///     let (f, j) = b.fork_join(1, &[1, 1], 1, true)?;
+///     b.add_edge(src, f)?;
+///     b.add_edge(j, snk)?;
+/// }
+/// let dag = b.build()?;
+/// // Three concurrent blocking forks: a 2-worker pool needs 2 spares.
+/// assert_eq!(reserve_for(&dag, 2), 2);
+/// assert_eq!(reserve_for(&dag, 4), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn reserve_for(dag: &Dag, workers: usize) -> usize {
+    (deadlock::max_simultaneous_blocking(dag) + 1).saturating_sub(workers)
+}
+
 /// The smallest `m ≤ max_m` for which the whole set passes the global
 /// schedulability test under `model`, or `None`.
 ///
@@ -65,8 +105,11 @@ pub fn min_threads_schedulable_partitioned(
     strategy: PartitionStrategy,
     max_m: usize,
 ) -> Option<usize> {
-    (1..=max_m)
-        .find(|&m| partitioned::partition_and_analyze(set, m, strategy).0.is_schedulable())
+    (1..=max_m).find(|&m| {
+        partitioned::partition_and_analyze(set, m, strategy)
+            .0
+            .is_schedulable()
+    })
 }
 
 #[cfg(test)]
@@ -119,7 +162,9 @@ mod tests {
         // infeasible at every size.
         let mut b = DagBuilder::new();
         b.add_node(100);
-        let set = TaskSet::new(vec![Task::with_implicit_deadline(b.build().unwrap(), 50).unwrap()]);
+        let set = TaskSet::new(vec![
+            Task::with_implicit_deadline(b.build().unwrap(), 50).unwrap()
+        ]);
         assert_eq!(
             min_threads_schedulable_global(&set, ConcurrencyModel::Full, 8),
             None
@@ -130,8 +175,8 @@ mod tests {
     fn partitioned_sizing_respects_algorithm1_constraints() {
         let dag = replicated(2);
         let set = TaskSet::new(vec![Task::with_implicit_deadline(dag, 10_000).unwrap()]);
-        let m = min_threads_schedulable_partitioned(&set, PartitionStrategy::Algorithm1, 16)
-            .unwrap();
+        let m =
+            min_threads_schedulable_partitioned(&set, PartitionStrategy::Algorithm1, 16).unwrap();
         // Two concurrent forks: Algorithm 1 needs at least 3 threads.
         assert!(m >= 3);
     }

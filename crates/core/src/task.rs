@@ -3,14 +3,13 @@
 use std::fmt;
 
 use rtpool_graph::Dag;
-use serde::{Deserialize, Serialize};
 
 use crate::error::CoreError;
 
 /// Index of a task within its [`TaskSet`]; doubles as the task's priority
 /// level (index 0 is the **highest** priority, matching the fixed distinct
 /// priority `πᵢ` shared by all threads of the task's pool `Φᵢ`).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct TaskId(pub usize);
 
 impl TaskId {
@@ -50,7 +49,7 @@ impl fmt::Display for TaskId {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Task {
     dag: Dag,
     period: u64,
@@ -165,7 +164,7 @@ impl Task {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct TaskSet {
     tasks: Vec<Task>,
 }
@@ -228,8 +227,7 @@ impl TaskSet {
     /// rate-monotonic.
     pub fn sort_deadline_monotonic(&mut self) {
         // Stable sort keeps original position as the final tie-breaker.
-        self.tasks
-            .sort_by_key(|t| (t.deadline(), t.period()));
+        self.tasks.sort_by_key(|t| (t.deadline(), t.period()));
     }
 }
 
@@ -279,7 +277,10 @@ mod tests {
             }
         );
         assert!(matches!(simple_task(1, 0, 1), Err(CoreError::ZeroPeriod)));
-        assert!(matches!(simple_task(1, 10, 0), Err(CoreError::ZeroDeadline)));
+        assert!(matches!(
+            simple_task(1, 10, 0),
+            Err(CoreError::ZeroDeadline)
+        ));
     }
 
     #[test]

@@ -160,9 +160,7 @@ pub fn parse_task_set(input: &str) -> Result<TaskSet, ParseTaskError> {
                     match key {
                         "period" => period = Some(value),
                         "deadline" => deadline = Some(value),
-                        other => {
-                            return Err(syntax(line_no, format!("unknown key `{other}`")))
-                        }
+                        other => return Err(syntax(line_no, format!("unknown key `{other}`"))),
                     }
                 }
                 let period =
@@ -226,13 +224,10 @@ pub fn parse_task_set(input: &str) -> Result<TaskSet, ParseTaskError> {
                 let t = current
                     .take()
                     .ok_or_else(|| syntax(line_no, "`end` without an open task"))?;
-                let dag = t
-                    .builder
-                    .build()
-                    .map_err(|source| ParseTaskError::Graph {
-                        line: line_no,
-                        source,
-                    })?;
+                let dag = t.builder.build().map_err(|source| ParseTaskError::Graph {
+                    line: line_no,
+                    source,
+                })?;
                 let task = Task::new(dag, t.period, t.deadline).map_err(|source| {
                     ParseTaskError::Timing {
                         line: t.line,
@@ -407,7 +402,9 @@ end
     fn error_reporting_with_line_numbers() {
         type Case = (&'static str, fn(&ParseTaskError) -> bool);
         let cases: Vec<Case> = vec![
-            ("node a 1\n", |e| matches!(e, ParseTaskError::Syntax { line: 1, .. })),
+            ("node a 1\n", |e| {
+                matches!(e, ParseTaskError::Syntax { line: 1, .. })
+            }),
             ("task period=10\n node a 1\n edge a b\nend\n", |e| {
                 matches!(e, ParseTaskError::UnknownName { line: 3, .. })
             }),
@@ -426,10 +423,13 @@ end
             ("task period=10 bogus=1\n node a 1\nend\n", |e| {
                 matches!(e, ParseTaskError::Syntax { line: 1, .. })
             }),
-            ("end\n", |e| matches!(e, ParseTaskError::Syntax { line: 1, .. })),
-            ("task period=10\n node a 1\n node b 1\n edge a b\n edge b a\nend\n", |e| {
-                matches!(e, ParseTaskError::Graph { .. })
+            ("end\n", |e| {
+                matches!(e, ParseTaskError::Syntax { line: 1, .. })
             }),
+            (
+                "task period=10\n node a 1\n node b 1\n edge a b\n edge b a\nend\n",
+                |e| matches!(e, ParseTaskError::Graph { .. }),
+            ),
         ];
         for (text, check) in cases {
             let err = parse_task_set(text).unwrap_err();

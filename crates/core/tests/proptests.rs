@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use rtpool_core::analysis::global::{self, ConcurrencyModel};
 use rtpool_core::analysis::partitioned::{self, BlockingAwareness, PartitionStrategy};
-use rtpool_core::{deadlock, textfmt};
 use rtpool_core::partition::{algorithm1, worst_fit};
+use rtpool_core::{deadlock, textfmt};
 use rtpool_core::{ConcurrencyAnalysis, Task, TaskId, TaskSet};
 use rtpool_graph::{Dag, DagBuilder, NodeId};
 

@@ -4,6 +4,9 @@ use std::time::Duration;
 
 use rtpool_core::partition::NodeMapping;
 
+use crate::fault::FaultPlan;
+use crate::recovery::RecoveryPolicy;
+
 /// How ready nodes are queued and fetched by workers.
 #[derive(Clone, Debug)]
 pub enum QueueDiscipline {
@@ -40,11 +43,18 @@ pub struct PoolConfig {
     /// run is aborted even if the exact stall detector did not trigger
     /// (it always should; the watchdog guards against runtime bugs).
     pub watchdog: Duration,
+    /// What the pool does when a job stalls or a node body panics
+    /// (default: [`RecoveryPolicy::Abort`], the seed behavior).
+    pub recovery: RecoveryPolicy,
+    /// Fault-injection plan, for chaos testing. `None` (the default)
+    /// injects nothing.
+    pub faults: Option<FaultPlan>,
 }
 
 impl PoolConfig {
     /// A configuration with the given worker count and discipline,
-    /// `time_scale` of 200 µs per WCET unit, and a 5 s watchdog.
+    /// `time_scale` of 200 µs per WCET unit, a 5 s watchdog, the
+    /// [`RecoveryPolicy::Abort`] policy, and no fault injection.
     #[must_use]
     pub fn new(workers: usize, discipline: QueueDiscipline) -> Self {
         PoolConfig {
@@ -52,6 +62,8 @@ impl PoolConfig {
             discipline,
             time_scale: Duration::from_micros(200),
             watchdog: Duration::from_secs(5),
+            recovery: RecoveryPolicy::default(),
+            faults: None,
         }
     }
 
@@ -66,6 +78,28 @@ impl PoolConfig {
     #[must_use]
     pub fn with_watchdog(mut self, watchdog: Duration) -> Self {
         self.watchdog = watchdog;
+        self
+    }
+
+    /// Sets the recovery policy.
+    ///
+    /// ```
+    /// use rtpool_exec::{PoolConfig, QueueDiscipline, RecoveryPolicy};
+    ///
+    /// let config = PoolConfig::new(2, QueueDiscipline::GlobalFifo)
+    ///     .with_recovery(RecoveryPolicy::GrowPool { reserve: 2 });
+    /// assert_eq!(config.recovery.growth_reserve(), 2);
+    /// ```
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Installs a fault-injection plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
         self
     }
 }
@@ -83,5 +117,20 @@ mod tests {
         assert_eq!(c.time_scale, Duration::from_millis(1));
         assert_eq!(c.watchdog, Duration::from_secs(1));
         assert!(matches!(c.discipline, QueueDiscipline::GlobalFifo));
+        assert_eq!(c.recovery, RecoveryPolicy::Abort);
+        assert!(c.faults.is_none());
+    }
+
+    #[test]
+    fn recovery_and_fault_builders() {
+        let c = PoolConfig::new(2, QueueDiscipline::GlobalFifo)
+            .with_recovery(RecoveryPolicy::RetryWithBackoff {
+                max_retries: 2,
+                base_delay: Duration::from_millis(5),
+            })
+            .with_faults(FaultPlan::seeded(9).panic_on(1));
+        assert_eq!(c.recovery.max_retries(), 2);
+        assert_eq!(c.faults.as_ref().unwrap().seed(), 9);
+        assert_eq!(c.faults.as_ref().unwrap().rules().len(), 1);
     }
 }

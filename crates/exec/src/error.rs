@@ -1,12 +1,41 @@
 //! Error type for the native thread pool.
+//!
+//! # Error taxonomy
+//!
+//! [`ThreadPool::run`](crate::ThreadPool::run) distinguishes four failure
+//! classes, ordered from "your workload" to "our runtime":
+//!
+//! | Variant | Meaning | Pool afterwards |
+//! |---------|---------|-----------------|
+//! | [`ExecError::IncompatibleJob`] | The submitted graph cannot run on this pool configuration (e.g. a partitioned mapping that does not cover it). Rejected before any node executes. | Unaffected |
+//! | [`ExecError::NodePanicked`] | A node body panicked. The panic is isolated with `catch_unwind`; the job is aborted with consistent pool state. | Usable |
+//! | [`ExecError::Stalled`] | The job deadlocked: blocking barriers ate all available concurrency (the paper's Section 3 stall), detected *exactly* — no timeouts involved. | Usable |
+//! | [`ExecError::WatchdogTimeout`] | The job made no progress for the configured watchdog window and the exact detector did **not** fire. This indicates a runtime bug (e.g. a lost wakeup); the watchdog is the safety net behind the exact detector. | Usable |
+//!
+//! [`ExecError::InvalidConfig`] is returned by
+//! [`ThreadPool::try_new`](crate::ThreadPool::try_new) for configurations
+//! that can never run any job (zero workers, mismatched partitioned
+//! mapping).
+//!
+//! Errors describe the *first* fatal condition of a run. Non-fatal
+//! incidents that a [`RecoveryPolicy`](crate::RecoveryPolicy) absorbed —
+//! injected faults, retries, pool growth — do not surface here; they are
+//! recorded in [`JobReport::recovery_events`](crate::JobReport::recovery_events).
 
 use std::error::Error;
 use std::fmt;
 
-/// Errors returned by [`ThreadPool::run`](crate::ThreadPool::run).
+/// Errors returned by [`ThreadPool::try_new`](crate::ThreadPool::try_new)
+/// and [`ThreadPool::run`](crate::ThreadPool::run).
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ExecError {
+    /// The pool configuration is unusable (zero workers, or a partitioned
+    /// mapping whose pool size differs from the worker count).
+    InvalidConfig {
+        /// Human-readable explanation.
+        message: String,
+    },
     /// The job deadlocked: no worker was executing, no join was about to
     /// wake, and no queued node was reachable by a non-suspended worker.
     /// This is the stall of the paper's Section 3, detected exactly.
@@ -15,6 +44,14 @@ pub enum ExecError {
         suspended_workers: usize,
         /// Nodes that completed before the stall.
         executed_nodes: usize,
+    },
+    /// A node body panicked. The panic was isolated (`catch_unwind`); the
+    /// job was aborted but the pool and its workers remain usable.
+    NodePanicked {
+        /// Index of the panicking node in the job's graph.
+        node: usize,
+        /// The panic payload, if it was a string.
+        message: String,
     },
     /// The watchdog aborted a job that made no progress (indicates a
     /// runtime bug — the exact detector should fire first).
@@ -30,6 +67,9 @@ pub enum ExecError {
 impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ExecError::InvalidConfig { message } => {
+                write!(f, "invalid pool configuration: {message}")
+            }
             ExecError::Stalled {
                 suspended_workers,
                 executed_nodes,
@@ -37,6 +77,9 @@ impl fmt::Display for ExecError {
                 f,
                 "job stalled with {suspended_workers} suspended workers after {executed_nodes} nodes"
             ),
+            ExecError::NodePanicked { node, message } => {
+                write!(f, "node v{node} panicked: {message}")
+            }
             ExecError::WatchdogTimeout => write!(f, "watchdog aborted a non-progressing job"),
             ExecError::IncompatibleJob { message } => {
                 write!(f, "job incompatible with pool: {message}")
@@ -59,5 +102,23 @@ mod tests {
         };
         assert!(e.to_string().contains('2'));
         assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn display_panicked_names_node() {
+        let e = ExecError::NodePanicked {
+            node: 4,
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("v4"));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn display_invalid_config() {
+        let e = ExecError::InvalidConfig {
+            message: "pool needs at least one worker".into(),
+        };
+        assert!(e.to_string().contains("invalid pool configuration"));
     }
 }

@@ -16,7 +16,17 @@
 //! * exact stall detection: the pool detects — without timeouts — the
 //!   states in which no worker executes, no join is about to wake, and no
 //!   queued node is reachable by a non-suspended worker; that is
-//!   precisely the deadlock of Section 3.
+//!   precisely the deadlock of Section 3;
+//! * **fault injection & graceful degradation**: a deterministic, seedable
+//!   [`FaultPlan`] injects node-body panics, artificial worker
+//!   suspensions, lost/delayed wakeups, and WCET jitter at named points of
+//!   the worker loop; panicking bodies are isolated with `catch_unwind`
+//!   ([`ExecError::NodePanicked`], pool stays usable); a
+//!   [`RecoveryPolicy`] decides whether a failed job aborts, retries with
+//!   exponential backoff, or resolves an exact-detected stall by growing
+//!   the pool with reserve workers (restoring the available concurrency
+//!   `l̄(τᵢ) = m − b̄(τᵢ)` of Section 4). Recovery actions are recorded in
+//!   [`JobReport::recovery_events`].
 //!
 //! This crate is the demonstration substrate for the paper's Figure 1:
 //! the suspension-induced slowdown (inset b) and the two-replica deadlock
@@ -46,10 +56,14 @@
 
 mod config;
 mod error;
+mod fault;
 mod pool;
+mod recovery;
 mod report;
 
 pub use config::{PoolConfig, QueueDiscipline};
 pub use error::ExecError;
+pub use fault::{FaultKind, FaultPlan, FaultRule, InjectionPoint};
 pub use pool::ThreadPool;
+pub use recovery::{RecoveryEvent, RecoveryPolicy, RetryCause};
 pub use report::{JobReport, NodeSpan};

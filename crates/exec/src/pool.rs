@@ -1,25 +1,41 @@
 //! The worker pool: fetch–execute–complete loops with condition-variable
-//! barriers and exact stall detection.
+//! barriers, exact stall detection, panic isolation, fault injection, and
+//! recovery (retry / pool growth).
 
 use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use rtpool_graph::{Dag, NodeId, NodeKind};
 
 use crate::config::{PoolConfig, QueueDiscipline};
 use crate::error::ExecError;
+use crate::fault::FaultPlan;
+use crate::recovery::{RecoveryEvent, RecoveryPolicy, RetryCause};
 use crate::report::{JobReport, NodeSpan};
 
 /// A pool of native worker threads executing DAG jobs with blocking
 /// fork/join semantics.
 ///
 /// Workers are spawned on construction and live until the pool is
-/// dropped. Jobs are executed one at a time with [`ThreadPool::run`];
-/// a stalled (deadlocked) job is detected exactly, reported as
-/// [`ExecError::Stalled`], and aborted — the pool remains usable.
+/// dropped. Jobs are executed one at a time with [`ThreadPool::run`].
+///
+/// Failure handling is governed by the configured
+/// [`RecoveryPolicy`](crate::RecoveryPolicy):
+///
+/// * a stalled (deadlocked) job is detected *exactly* and either aborted
+///   as [`ExecError::Stalled`] (the pool remains usable), retried with
+///   backoff, or resolved by growing the pool with reserve workers;
+/// * a panicking node body is isolated with [`std::panic::catch_unwind`]
+///   and reported as [`ExecError::NodePanicked`] — pool invariants (the
+///   job epoch and the `executing`/`suspended` accounting) stay
+///   consistent and subsequent jobs run normally.
+///
+/// Fault injection for chaos testing is available through
+/// [`FaultPlan`] (see [`PoolConfig::with_faults`]).
 ///
 /// See the [crate docs](crate) for an end-to-end example.
 pub struct ThreadPool {
@@ -45,31 +61,55 @@ struct PoolState {
 
 struct Job {
     epoch: u64,
+    /// Retry attempt (0 = first execution); keys fault-plan decisions.
+    attempt: usize,
     dag: Arc<Dag>,
     /// Shared FIFO queue ([`QueueDiscipline::GlobalFifo`]).
     global: VecDeque<NodeId>,
-    /// Per-worker queues (partitioned / work stealing).
+    /// Per-worker queues (partitioned / work stealing); grows when
+    /// `GrowPool` recovery adds rescue workers.
     local: Vec<VecDeque<NodeId>>,
     pending: Vec<u32>,
     remaining: usize,
     /// Workers currently executing a node body (or a just-woken join).
     executing: usize,
-    /// Workers suspended on a barrier.
+    /// Workers suspended on a barrier (real or injected).
     suspended: usize,
+    /// Of `suspended`, those suspended by an injected fault — their
+    /// deadline is guaranteed to expire, so a stall involving them can be
+    /// transient.
+    fake_suspended: usize,
     worker_suspended: Vec<bool>,
-    max_suspended: usize,
+    /// Smallest observed `total_workers − suspended` (the pool's
+    /// available concurrency `l(t)`).
+    min_available: usize,
+    /// Permanent workers (`config.workers`); indices at or above this are
+    /// epoch-bound rescue workers added by `GrowPool`.
+    base_workers: usize,
+    /// Extra workers `GrowPool` may still add for this attempt.
+    growth_budget: usize,
+    /// The pool runs under a `GrowPool` policy: jobs degrade gracefully
+    /// rather than aborting while an injected suspension is pending.
+    grow_policy: bool,
+    /// A stall was detected and growth should be attempted by the
+    /// submitting thread.
+    grow_pending: bool,
     /// Joins whose barrier has opened but whose waiter has not resumed.
     ready_joins: usize,
     join_ready: Vec<bool>,
     completion_order: Vec<usize>,
     spans: Vec<NodeSpan>,
+    events: Vec<RecoveryEvent>,
     stalled: Option<(usize, usize)>,
+    /// A node body panicked: `(node index, panic message)`.
+    panicked: Option<(usize, String)>,
     started: Instant,
     finished: Option<Duration>,
 }
 
 impl Job {
-    fn new(epoch: u64, dag: Arc<Dag>, workers: usize) -> Self {
+    fn new(epoch: u64, attempt: usize, dag: Arc<Dag>, config: &PoolConfig) -> Self {
+        let workers = config.workers;
         let n = dag.node_count();
         let pending: Vec<u32> = dag
             .node_ids()
@@ -77,6 +117,7 @@ impl Job {
             .collect();
         Job {
             epoch,
+            attempt,
             dag,
             global: VecDeque::new(),
             local: vec![VecDeque::new(); workers],
@@ -84,36 +125,61 @@ impl Job {
             remaining: n,
             executing: 0,
             suspended: 0,
+            fake_suspended: 0,
             worker_suspended: vec![false; workers],
-            max_suspended: 0,
+            min_available: workers,
+            base_workers: workers,
+            growth_budget: config.recovery.growth_reserve(),
+            grow_policy: matches!(config.recovery, RecoveryPolicy::GrowPool { .. }),
+            grow_pending: false,
             ready_joins: 0,
             join_ready: vec![false; n],
             completion_order: Vec::with_capacity(n),
             spans: Vec::with_capacity(n),
+            events: Vec::new(),
             stalled: None,
+            panicked: None,
             started: Instant::now(),
             finished: None,
         }
+    }
+
+    /// Workers currently serving this job (base + attached rescuers).
+    fn total_workers(&self) -> usize {
+        self.worker_suspended.len()
+    }
+
+    fn note_suspension(&mut self) {
+        self.min_available = self
+            .min_available
+            .min(self.total_workers() - self.suspended);
     }
 }
 
 impl ThreadPool {
     /// Spawns `config.workers` worker threads.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `config.workers == 0`, or if a
-    /// [`QueueDiscipline::Partitioned`] mapping's pool size differs from
-    /// the worker count.
-    #[must_use]
-    pub fn new(config: PoolConfig) -> Self {
-        assert!(config.workers > 0, "pool needs at least one worker");
+    /// Returns [`ExecError::InvalidConfig`] if `config.workers == 0`, or
+    /// if a [`QueueDiscipline::Partitioned`] mapping's pool size differs
+    /// from the worker count.
+    pub fn try_new(config: PoolConfig) -> Result<Self, ExecError> {
+        if config.workers == 0 {
+            return Err(ExecError::InvalidConfig {
+                message: "pool needs at least one worker".into(),
+            });
+        }
         if let QueueDiscipline::Partitioned(mapping) = &config.discipline {
-            assert_eq!(
-                mapping.pool_size(),
-                config.workers,
-                "partitioned mapping pool size must equal the worker count"
-            );
+            if mapping.pool_size() != config.workers {
+                return Err(ExecError::InvalidConfig {
+                    message: format!(
+                        "partitioned mapping pool size {} must equal the worker count {}",
+                        mapping.pool_size(),
+                        config.workers
+                    ),
+                });
+            }
         }
         let workers = config.workers;
         let shared = Arc::new(Shared {
@@ -127,32 +193,43 @@ impl ThreadPool {
             cv: Condvar::new(),
         });
         let handles = (0..workers)
-            .map(|id| {
-                let shared = Arc::clone(&shared);
-                thread::Builder::new()
-                    .name(format!("rtpool-worker-{id}"))
-                    .spawn(move || worker_loop(&shared, id))
-                    .expect("failed to spawn worker thread")
-            })
+            .map(|id| spawn_worker(&shared, id, None))
             .collect();
-        ThreadPool { shared, handles }
+        Ok(ThreadPool { shared, handles })
     }
 
-    /// Number of workers (`m`).
+    /// Spawns `config.workers` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the configurations [`ThreadPool::try_new`] rejects.
+    #[must_use]
+    pub fn new(config: PoolConfig) -> Self {
+        ThreadPool::try_new(config).expect("invalid pool configuration")
+    }
+
+    /// Number of permanent workers (`m`). Rescue workers added by
+    /// [`RecoveryPolicy::GrowPool`] are job-scoped and not counted.
     #[must_use]
     pub fn workers(&self) -> usize {
         self.shared.config.workers
     }
 
-    /// Executes one job (one instance of `dag`) to completion.
+    /// Executes one job (one instance of `dag`) to completion, applying
+    /// the configured [`RecoveryPolicy`](crate::RecoveryPolicy) when the
+    /// job stalls or a node
+    /// body panics.
     ///
     /// # Errors
     ///
     /// * [`ExecError::IncompatibleJob`] if a partitioned mapping does not
     ///   cover `dag`;
-    /// * [`ExecError::Stalled`] when the job deadlocks (exact detection);
+    /// * [`ExecError::Stalled`] when the job deadlocks (exact detection)
+    ///   and the policy cannot (or may not) recover it;
+    /// * [`ExecError::NodePanicked`] when a node body panics and the
+    ///   retry budget (if any) is exhausted;
     /// * [`ExecError::WatchdogTimeout`] if the watchdog fires (runtime
-    ///   bug guard).
+    ///   bug guard, e.g. a lost wakeup).
     pub fn run(&mut self, dag: &Dag) -> Result<JobReport, ExecError> {
         if let QueueDiscipline::Partitioned(mapping) = &self.shared.config.discipline {
             if mapping.node_count() != dag.node_count() {
@@ -166,11 +243,50 @@ impl ThreadPool {
             }
         }
         let dag = Arc::new(dag.clone());
+        let policy = self.shared.config.recovery.clone();
+        let mut events: Vec<RecoveryEvent> = Vec::new();
+        let mut attempt = 0usize;
+        loop {
+            match self.run_attempt(&dag, attempt, &mut events) {
+                Ok(report) => return Ok(report),
+                Err(e) => {
+                    let cause = match &e {
+                        ExecError::Stalled { .. } => RetryCause::Stalled,
+                        ExecError::NodePanicked { node, .. } => RetryCause::NodePanicked(*node),
+                        ExecError::WatchdogTimeout => RetryCause::WatchdogTimeout,
+                        _ => return Err(e),
+                    };
+                    if attempt >= policy.max_retries() {
+                        return Err(e);
+                    }
+                    let delay = policy.backoff_delay(attempt);
+                    events.push(RecoveryEvent::Retried {
+                        attempt,
+                        cause,
+                        delay,
+                    });
+                    thread::sleep(delay);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// One execution attempt of the job. `events` carries recovery events
+    /// accumulated by earlier attempts in and out (so a successful retry
+    /// reports the full history).
+    fn run_attempt(
+        &mut self,
+        dag: &Arc<Dag>,
+        attempt: usize,
+        events: &mut Vec<RecoveryEvent>,
+    ) -> Result<JobReport, ExecError> {
         let mut st = self.shared.state.lock();
         debug_assert!(st.job.is_none(), "runs are serialized by &mut self");
         let epoch = st.next_epoch;
         st.next_epoch += 1;
-        let mut job = Job::new(epoch, Arc::clone(&dag), self.shared.config.workers);
+        let mut job = Job::new(epoch, attempt, Arc::clone(dag), &self.shared.config);
+        job.events = std::mem::take(events);
         let source = dag.source();
         enqueue(&self.shared.config.discipline, &mut job, source, 0);
         st.job = Some(job);
@@ -179,18 +295,67 @@ impl ThreadPool {
         let mut last_progress = 0usize;
         loop {
             let job = st.job.as_mut().expect("job present until we take it");
+            if job.grow_pending {
+                job.grow_pending = false;
+                // Re-validate under the lock: the stall may have resolved
+                // (an injected suspension expired) before we got here.
+                if job.finished.is_none()
+                    && job.stalled.is_none()
+                    && job.panicked.is_none()
+                    && job.executing == 0
+                    && job.ready_joins == 0
+                    && job.remaining > 0
+                    && job.growth_budget > 0
+                {
+                    let total = job.total_workers();
+                    let add = (job.suspended + 1)
+                        .saturating_sub(total)
+                        .max(1)
+                        .min(job.growth_budget);
+                    job.growth_budget -= add;
+                    for _ in 0..add {
+                        job.local.push(VecDeque::new());
+                        job.worker_suspended.push(false);
+                    }
+                    let new_total = job.total_workers();
+                    job.events.push(RecoveryEvent::PoolGrown {
+                        attempt,
+                        added: add,
+                        total_workers: new_total,
+                    });
+                    drop(st);
+                    for id in total..new_total {
+                        let handle = spawn_worker(&self.shared, id, Some(epoch));
+                        self.handles.push(handle);
+                    }
+                    st = self.shared.state.lock();
+                    self.shared.cv.notify_all();
+                }
+                continue;
+            }
             if let Some(elapsed) = job.finished {
                 let job = st.job.take().expect("present");
+                // Wake epoch-bound rescue workers so they retire.
+                self.shared.cv.notify_all();
                 return Ok(JobReport {
                     makespan: elapsed,
                     executed_nodes: job.completion_order.len(),
                     completion_order: job.completion_order,
                     spans: job.spans,
-                    min_available_workers: self.shared.config.workers - job.max_suspended,
+                    min_available_workers: job.min_available,
+                    attempts: attempt + 1,
+                    recovery_events: job.events,
                 });
             }
+            if let Some((node, message)) = job.panicked.clone() {
+                let job = st.job.take().expect("present");
+                *events = job.events;
+                self.shared.cv.notify_all();
+                return Err(ExecError::NodePanicked { node, message });
+            }
             if let Some((suspended, executed)) = job.stalled {
-                st.job = None;
+                let job = st.job.take().expect("present");
+                *events = job.events;
                 // Wake barrier waiters so they abandon the aborted job.
                 self.shared.cv.notify_all();
                 return Err(ExecError::Stalled {
@@ -206,11 +371,18 @@ impl ThreadPool {
                 .timed_out();
             if timed_out {
                 let job_ref = st.job.as_ref().expect("present");
+                // An injected suspension or a pending growth means a state
+                // change is guaranteed; only silent no-progress indicates a
+                // runtime bug.
                 if job_ref.completion_order.len() == last_progress
                     && job_ref.finished.is_none()
                     && job_ref.stalled.is_none()
+                    && job_ref.panicked.is_none()
+                    && !job_ref.grow_pending
+                    && job_ref.fake_suspended == 0
                 {
-                    st.job = None;
+                    let job = st.job.take().expect("present");
+                    *events = job.events;
                     self.shared.cv.notify_all();
                     return Err(ExecError::WatchdogTimeout);
                 }
@@ -233,6 +405,22 @@ impl Drop for ThreadPool {
     }
 }
 
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    id: usize,
+    rescue_epoch: Option<u64>,
+) -> thread::JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    let name = match rescue_epoch {
+        None => format!("rtpool-worker-{id}"),
+        Some(e) => format!("rtpool-rescuer-{id}-e{e}"),
+    };
+    thread::Builder::new()
+        .name(name)
+        .spawn(move || worker_loop(&shared, id, rescue_epoch))
+        .expect("failed to spawn worker thread")
+}
+
 /// Places a ready node in the right queue.
 fn enqueue(discipline: &QueueDiscipline, job: &mut Job, node: NodeId, spawner: usize) {
     match discipline {
@@ -245,6 +433,10 @@ fn enqueue(discipline: &QueueDiscipline, job: &mut Job, node: NodeId, spawner: u
 }
 
 /// Takes the next node for `worker`, if any is reachable.
+///
+/// Rescue workers (`worker >= job.base_workers`, added by `GrowPool`
+/// recovery) under the partitioned discipline serve the queues of
+/// *suspended* owners — exactly the nodes that could otherwise strand.
 fn fetch(
     discipline: &QueueDiscipline,
     job: &mut Job,
@@ -253,7 +445,15 @@ fn fetch(
 ) -> Option<NodeId> {
     match discipline {
         QueueDiscipline::GlobalFifo => job.global.pop_front(),
-        QueueDiscipline::Partitioned(_) => job.local[worker].pop_front(),
+        QueueDiscipline::Partitioned(_) => {
+            if worker < job.base_workers {
+                job.local[worker].pop_front()
+            } else {
+                (0..job.base_workers)
+                    .find(|&w| job.worker_suspended[w] && !job.local[w].is_empty())
+                    .and_then(|w| job.local[w].pop_front())
+            }
+        }
         QueueDiscipline::WorkStealing { .. } => {
             // Local LIFO first (cache-friendly, Eigen-style)...
             if let Some(n) = job.local[worker].pop_back() {
@@ -302,34 +502,125 @@ fn complete(discipline: &QueueDiscipline, job: &mut Job, node: NodeId, worker: u
     }
 }
 
-/// Declares a stall if the job can never progress again: nobody
+/// Handles the state where the job can never progress on its own: nobody
 /// executing, no join about to wake, and no queued node reachable by a
 /// non-suspended worker.
-fn maybe_stall(discipline: &QueueDiscipline, job: &mut Job, workers: usize) {
+///
+/// Depending on the recovery state this either requests pool growth
+/// (`GrowPool` budget remaining and queued work a new worker could
+/// serve), waits out a pending injected suspension (its deadline is
+/// guaranteed to expire and re-evaluate), or declares the stall.
+fn maybe_stall(discipline: &QueueDiscipline, job: &mut Job) {
     if job.stalled.is_some()
+        || job.panicked.is_some()
+        || job.grow_pending
         || job.remaining == 0
         || job.executing > 0
         || job.ready_joins > 0
     {
         return;
     }
-    let fetchable = match discipline {
-        QueueDiscipline::GlobalFifo => !job.global.is_empty() && job.suspended < workers,
-        QueueDiscipline::WorkStealing { .. } => {
-            job.local.iter().any(|q| !q.is_empty()) && job.suspended < workers
-        }
-        QueueDiscipline::Partitioned(_) => (0..workers)
-            .any(|w| !job.worker_suspended[w] && !job.local[w].is_empty()),
+    let total = job.total_workers();
+    let queued_work = match discipline {
+        QueueDiscipline::GlobalFifo => !job.global.is_empty(),
+        _ => job.local.iter().any(|q| !q.is_empty()),
     };
-    if !fetchable {
+    let fetchable = match discipline {
+        QueueDiscipline::GlobalFifo | QueueDiscipline::WorkStealing { .. } => {
+            queued_work && job.suspended < total
+        }
+        QueueDiscipline::Partitioned(_) => {
+            let owner_can =
+                (0..job.base_workers).any(|w| !job.worker_suspended[w] && !job.local[w].is_empty());
+            let rescuer_can = (job.base_workers..total).any(|w| !job.worker_suspended[w])
+                && (0..job.base_workers)
+                    .any(|w| job.worker_suspended[w] && !job.local[w].is_empty());
+            owner_can || rescuer_can
+        }
+    };
+    if fetchable {
+        return;
+    }
+    if job.growth_budget > 0 && queued_work {
+        // A rescue worker can serve the queued work: request growth.
+        job.grow_pending = true;
+    } else if job.grow_policy && job.fake_suspended > 0 {
+        // GrowPool policy with an injected suspension in flight: its
+        // deadline is guaranteed to expire and re-evaluate, so the stall
+        // is transient — do not abort a job that will wake up, even with
+        // an exhausted growth budget.
+    } else {
         job.stalled = Some((job.suspended, job.completion_order.len()));
     }
 }
 
-fn worker_loop(shared: &Shared, worker: usize) {
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Artificially suspends `worker` for `dur`, accounted exactly like a
+/// barrier suspension so the stall detector and recovery reason about it.
+/// Returns `false` if the job was aborted (or replaced) while suspended.
+fn fake_suspend(
+    shared: &Shared,
+    st: &mut MutexGuard<'_, PoolState>,
+    worker: usize,
+    epoch: u64,
+    dur: Duration,
+) -> bool {
     let discipline = &shared.config.discipline;
-    let workers = shared.config.workers;
+    {
+        let Some(job) = st.job.as_mut().filter(|j| j.epoch == epoch) else {
+            return false;
+        };
+        job.executing -= 1;
+        job.suspended += 1;
+        job.fake_suspended += 1;
+        job.worker_suspended[worker] = true;
+        job.note_suspension();
+    }
+    let deadline = Instant::now() + dur;
+    loop {
+        {
+            let Some(job) = st.job.as_mut().filter(|j| j.epoch == epoch) else {
+                return false;
+            };
+            maybe_stall(discipline, job);
+            if job.stalled.is_some() || job.grow_pending {
+                shared.cv.notify_all();
+            }
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let _ = shared.cv.wait_for(st, deadline - now);
+    }
+    let Some(job) = st.job.as_mut().filter(|j| j.epoch == epoch) else {
+        return false;
+    };
+    job.suspended -= 1;
+    job.fake_suspended -= 1;
+    job.worker_suspended[worker] = false;
+    job.executing += 1;
+    shared.cv.notify_all();
+    true
+}
+
+/// The worker body. Permanent workers (`rescue_epoch == None`) serve jobs
+/// until shutdown; rescue workers serve exactly the job of their epoch
+/// and retire when it ends.
+fn worker_loop(shared: &Shared, worker: usize, rescue_epoch: Option<u64>) {
+    let discipline = &shared.config.discipline;
     let time_scale = shared.config.time_scale;
+    let faults: Option<&FaultPlan> = shared.config.faults.as_ref();
 
     let mut st = shared.state.lock();
     'outer: loop {
@@ -340,37 +631,96 @@ fn worker_loop(shared: &Shared, worker: usize) {
             }
             // Split borrows: the steal generator lives beside the job.
             let state = &mut *st;
-            if let Some(job) = state.job.as_mut() {
-                if job.stalled.is_none() && job.remaining > 0 {
-                    if let Some(n) = fetch(discipline, job, worker, &mut state.steal_rng) {
-                        job.executing += 1;
-                        break n;
+            match state.job.as_mut() {
+                Some(job) => {
+                    if rescue_epoch.is_some_and(|e| job.epoch != e) {
+                        return; // our job ended; retire
+                    }
+                    if job.stalled.is_none() && job.panicked.is_none() && job.remaining > 0 {
+                        if let Some(n) = fetch(discipline, job, worker, &mut state.steal_rng) {
+                            job.executing += 1;
+                            break n;
+                        }
+                    }
+                    maybe_stall(discipline, job);
+                    if job.stalled.is_some() || job.grow_pending {
+                        shared.cv.notify_all();
                     }
                 }
-                maybe_stall(discipline, job, workers);
-                if job.stalled.is_some() {
-                    shared.cv.notify_all();
+                None => {
+                    if rescue_epoch.is_some() {
+                        return; // our job ended; retire
+                    }
                 }
             }
             shared.cv.wait(&mut st);
         };
-        let epoch = st.job.as_ref().expect("fetched from it").epoch;
+        let (epoch, attempt) = {
+            let job = st.job.as_ref().expect("fetched from it");
+            (job.epoch, job.attempt)
+        };
 
         // ---- Execute / barrier / continuation chain ----------------------
         loop {
+            let before = faults
+                .map(|p| p.before_body(attempt, node.index()))
+                .unwrap_or_default();
+
+            if let Some(d) = before.suspend {
+                {
+                    let job = st.job.as_mut().expect("executing");
+                    job.events.push(RecoveryEvent::FaultInjected {
+                        attempt,
+                        node: node.index(),
+                        fault: "suspend_worker",
+                    });
+                }
+                if !fake_suspend(shared, &mut st, worker, epoch, d) {
+                    continue 'outer;
+                }
+            }
+
             let (dag, start) = {
-                let job = st.job.as_ref().expect("executing");
+                let job = st.job.as_mut().expect("executing");
+                if before.panic_body {
+                    job.events.push(RecoveryEvent::FaultInjected {
+                        attempt,
+                        node: node.index(),
+                        fault: "panic_body",
+                    });
+                }
+                if before.extra_wcet > 0 {
+                    job.events.push(RecoveryEvent::FaultInjected {
+                        attempt,
+                        node: node.index(),
+                        fault: "jitter_wcet",
+                    });
+                }
                 (Arc::clone(&job.dag), job.started.elapsed())
             };
-            let wcet = dag.wcet(node);
+            let wcet = dag.wcet(node) + before.extra_wcet;
             drop(st); // run the body without holding the pool lock
-            busy_work(wcet, time_scale);
+            let body = panic::catch_unwind(AssertUnwindSafe(|| {
+                busy_work(wcet, time_scale);
+                if before.panic_body {
+                    panic!("injected fault: node body panic at v{}", node.index());
+                }
+            }));
             st = shared.state.lock();
             let Some(job) = st.job.as_mut().filter(|j| j.epoch == epoch) else {
                 // The job was aborted (and possibly replaced) while we
                 // executed; drop the result.
                 continue 'outer;
             };
+            if let Err(payload) = body {
+                // Panic isolation: report the poisoned node, keep the
+                // pool's accounting consistent, stay usable.
+                job.executing -= 1;
+                job.panicked
+                    .get_or_insert((node.index(), panic_message(payload.as_ref())));
+                shared.cv.notify_all();
+                continue 'outer;
+            }
             complete(discipline, job, node, worker);
             job.spans.push(NodeSpan {
                 node: node.index(),
@@ -383,7 +733,35 @@ fn worker_loop(shared: &Shared, worker: usize) {
                 shared.cv.notify_all();
                 continue 'outer;
             }
-            shared.cv.notify_all();
+
+            let after = faults
+                .map(|p| p.after_body(attempt, node.index()))
+                .unwrap_or_default();
+            if after.swallow_wakeup {
+                // Lost-wakeup bug model: successors were resolved but
+                // nobody is told. The exact stall detector (rightly) does
+                // not cover this; the watchdog must.
+                job.events.push(RecoveryEvent::FaultInjected {
+                    attempt,
+                    node: node.index(),
+                    fault: "swallow_wakeup",
+                });
+            } else if let Some(d) = after.delay_wakeup {
+                job.events.push(RecoveryEvent::FaultInjected {
+                    attempt,
+                    node: node.index(),
+                    fault: "delay_wakeup",
+                });
+                drop(st);
+                thread::sleep(d);
+                st = shared.state.lock();
+                shared.cv.notify_all();
+                if st.job.as_ref().is_none_or(|j| j.epoch != epoch) {
+                    continue 'outer;
+                }
+            } else {
+                shared.cv.notify_all();
+            }
 
             if dag.kind(node) != NodeKind::BlockingFork {
                 continue 'outer;
@@ -397,7 +775,7 @@ fn worker_loop(shared: &Shared, worker: usize) {
                 let job = st.job.as_mut().expect("still present");
                 job.suspended += 1;
                 job.worker_suspended[worker] = true;
-                job.max_suspended = job.max_suspended.max(job.suspended);
+                job.note_suspension();
             }
             let woke = loop {
                 let Some(job) = st.job.as_mut().filter(|j| j.epoch == epoch) else {
@@ -411,10 +789,13 @@ fn worker_loop(shared: &Shared, worker: usize) {
                 if job.stalled.is_some() {
                     break false;
                 }
-                maybe_stall(discipline, job, workers);
+                maybe_stall(discipline, job);
                 if job.stalled.is_some() {
                     shared.cv.notify_all();
                     break false;
+                }
+                if job.grow_pending {
+                    shared.cv.notify_all();
                 }
                 shared.cv.wait(&mut st);
             };
@@ -468,6 +849,8 @@ mod tests {
         assert_eq!(report.executed_nodes, 5);
         assert_eq!(report.completion_order.len(), 5);
         assert!(report.min_available_workers <= 2);
+        assert_eq!(report.attempts, 1);
+        assert!(report.recovery_events.is_empty());
     }
 
     #[test]
@@ -589,14 +972,32 @@ mod tests {
         let dag = fork_join(true);
         let mapping = worst_fit(&dag, 2);
         let mut pool = fast(2, QueueDiscipline::Partitioned(mapping));
-        let other = fork_join(false);
         let mut b = DagBuilder::new();
         b.add_node(1);
         let tiny = b.build().unwrap();
-        let _ = other;
         assert!(matches!(
             pool.run(&tiny),
             Err(ExecError::IncompatibleJob { .. })
+        ));
+    }
+
+    #[test]
+    fn try_new_rejects_zero_workers() {
+        match ThreadPool::try_new(PoolConfig::new(0, QueueDiscipline::GlobalFifo)) {
+            Err(ExecError::InvalidConfig { message }) => {
+                assert!(message.contains("at least one worker"));
+            }
+            other => panic!("expected InvalidConfig, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_mismatched_mapping() {
+        let dag = fork_join(true);
+        let mapping = worst_fit(&dag, 2);
+        assert!(matches!(
+            ThreadPool::try_new(PoolConfig::new(3, QueueDiscipline::Partitioned(mapping))),
+            Err(ExecError::InvalidConfig { .. })
         ));
     }
 
@@ -610,8 +1011,7 @@ mod tests {
     #[test]
     fn zero_time_scale_is_instant() {
         let mut pool = ThreadPool::new(
-            PoolConfig::new(2, QueueDiscipline::GlobalFifo)
-                .with_time_scale(Duration::ZERO),
+            PoolConfig::new(2, QueueDiscipline::GlobalFifo).with_time_scale(Duration::ZERO),
         );
         let report = pool.run(&fork_join(false)).unwrap();
         assert_eq!(report.executed_nodes, 5);

@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use crate::recovery::RecoveryEvent;
+
 /// One node's execution on a worker, relative to job submission.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NodeSpan {
@@ -27,8 +29,17 @@ pub struct JobReport {
     /// Per-node execution spans, in completion order.
     pub spans: Vec<NodeSpan>,
     /// `workers − max simultaneously suspended`: the smallest observed
-    /// available concurrency `l(t)` of the pool during the job.
+    /// available concurrency `l(t)` of the pool during the job
+    /// (suspensions count both real barrier waits and injected artificial
+    /// suspensions; `workers` includes workers added by `GrowPool`
+    /// recovery from the moment they join).
     pub min_available_workers: usize,
+    /// Attempts used to complete the job: 1 for a first-try success,
+    /// more when a `RetryWithBackoff` policy re-ran it.
+    pub attempts: usize,
+    /// Every injected fault and recovery action of the successful run and
+    /// all aborted attempts before it, in order of occurrence.
+    pub recovery_events: Vec<RecoveryEvent>,
 }
 
 impl JobReport {
@@ -36,6 +47,27 @@ impl JobReport {
     #[must_use]
     pub fn span_of(&self, node: usize) -> Option<&NodeSpan> {
         self.spans.iter().find(|s| s.node == node)
+    }
+
+    /// Workers added by `GrowPool` recovery over all attempts.
+    #[must_use]
+    pub fn workers_grown(&self) -> usize {
+        self.recovery_events
+            .iter()
+            .map(|e| match e {
+                RecoveryEvent::PoolGrown { added, .. } => *added,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Injected faults recorded over all attempts.
+    #[must_use]
+    pub fn faults_injected(&self) -> usize {
+        self.recovery_events
+            .iter()
+            .filter(|e| matches!(e, RecoveryEvent::FaultInjected { .. }))
+            .count()
     }
 }
 
@@ -64,9 +96,24 @@ mod tests {
                 },
             ],
             min_available_workers: 1,
+            attempts: 1,
+            recovery_events: vec![
+                RecoveryEvent::FaultInjected {
+                    attempt: 0,
+                    node: 0,
+                    fault: "jitter_wcet",
+                },
+                RecoveryEvent::PoolGrown {
+                    attempt: 0,
+                    added: 2,
+                    total_workers: 4,
+                },
+            ],
         };
         assert_eq!(r.executed_nodes, r.completion_order.len());
         assert_eq!(r.span_of(1).unwrap().worker, 1);
         assert!(r.span_of(9).is_none());
+        assert_eq!(r.workers_grown(), 2);
+        assert_eq!(r.faults_injected(), 1);
     }
 }

@@ -53,9 +53,9 @@ fn global_fifo_random_workloads() {
         let dag = random_dag(seed);
         let workers = sizing::min_threads_deadlock_free(&dag);
         let mut pool = fast_pool(workers, QueueDiscipline::GlobalFifo);
-        let report = pool.run(&dag).unwrap_or_else(|e| {
-            panic!("seed {seed}: safe pool size {workers} stalled: {e}")
-        });
+        let report = pool
+            .run(&dag)
+            .unwrap_or_else(|e| panic!("seed {seed}: safe pool size {workers} stalled: {e}"));
         assert_valid_run(&dag, &report);
     }
 }

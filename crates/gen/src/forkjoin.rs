@@ -119,7 +119,10 @@ impl DagGenConfig {
         if self.wcet_min == 0 || self.wcet_max < self.wcet_min {
             return err(
                 "wcet_max",
-                format!("need 1 <= wcet_min <= wcet_max, got [{}, {}]", self.wcet_min, self.wcet_max),
+                format!(
+                    "need 1 <= wcet_min <= wcet_max, got [{}, {}]",
+                    self.wcet_min, self.wcet_max
+                ),
             );
         }
         if let BlockingPolicy::Fixed(p) = self.blocking {
@@ -190,8 +193,7 @@ impl DagGenConfig {
             let blocks = rng.gen_range(1..=self.max_sequence);
             let mut prev_exit: Option<NodeId> = None;
             for _ in 0..blocks {
-                let (entry, exit) =
-                    self.block(rng, builder, depth + 1, Some(region_idx), regions);
+                let (entry, exit) = self.block(rng, builder, depth + 1, Some(region_idx), regions);
                 match prev_exit {
                     None => builder.add_edge(fork, entry).expect("fresh edge"),
                     Some(pe) => builder.add_edge(pe, entry).expect("fresh edge"),
@@ -274,15 +276,61 @@ mod tests {
     fn invalid_parameters_rejected() {
         let base = DagGenConfig::default;
         for (cfg, field) in [
-            (DagGenConfig { max_depth: 0, ..base() }, "max_depth"),
-            (DagGenConfig { min_branches: 1, ..base() }, "min_branches"),
-            (DagGenConfig { max_branches: 1, ..base() }, "max_branches"),
-            (DagGenConfig { max_sequence: 0, ..base() }, "max_sequence"),
-            (DagGenConfig { p_terminal: 1.5, ..base() }, "p_terminal"),
-            (DagGenConfig { wcet_min: 0, ..base() }, "wcet_max"),
-            (DagGenConfig { wcet_min: 10, wcet_max: 5, ..base() }, "wcet_max"),
             (
-                DagGenConfig { blocking: BlockingPolicy::Fixed(2.0), ..base() },
+                DagGenConfig {
+                    max_depth: 0,
+                    ..base()
+                },
+                "max_depth",
+            ),
+            (
+                DagGenConfig {
+                    min_branches: 1,
+                    ..base()
+                },
+                "min_branches",
+            ),
+            (
+                DagGenConfig {
+                    max_branches: 1,
+                    ..base()
+                },
+                "max_branches",
+            ),
+            (
+                DagGenConfig {
+                    max_sequence: 0,
+                    ..base()
+                },
+                "max_sequence",
+            ),
+            (
+                DagGenConfig {
+                    p_terminal: 1.5,
+                    ..base()
+                },
+                "p_terminal",
+            ),
+            (
+                DagGenConfig {
+                    wcet_min: 0,
+                    ..base()
+                },
+                "wcet_max",
+            ),
+            (
+                DagGenConfig {
+                    wcet_min: 10,
+                    wcet_max: 5,
+                    ..base()
+                },
+                "wcet_max",
+            ),
+            (
+                DagGenConfig {
+                    blocking: BlockingPolicy::Fixed(2.0),
+                    ..base()
+                },
                 "blocking",
             ),
         ] {
@@ -326,9 +374,7 @@ mod tests {
         for seed in 0..30 {
             let dag = config.generate(&mut rng(seed));
             assert!(dag.blocking_regions().is_empty());
-            assert!(dag
-                .node_ids()
-                .all(|v| dag.kind(v) == NodeKind::NonBlocking));
+            assert!(dag.node_ids().all(|v| dag.kind(v) == NodeKind::NonBlocking));
         }
     }
 

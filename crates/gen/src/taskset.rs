@@ -153,8 +153,7 @@ impl TaskSetConfig {
             Some(window) => {
                 for _ in 0..window.max_attempts {
                     let dag = self.dag.generate(rng);
-                    let floor =
-                        ConcurrencyAnalysis::new(&dag).concurrency_lower_bound(window.m);
+                    let floor = ConcurrencyAnalysis::new(&dag).concurrency_lower_bound(window.m);
                     if window.contains(floor) {
                         return Ok(dag);
                     }
@@ -247,7 +246,10 @@ mod tests {
         let config = TaskSetConfig::new(0, 1.0, DagGenConfig::default());
         assert!(matches!(
             config.generate(&mut rng(0)),
-            Err(GenError::InvalidParameter { name: "n_tasks", .. })
+            Err(GenError::InvalidParameter {
+                name: "n_tasks",
+                ..
+            })
         ));
         let config = TaskSetConfig::new(2, -1.0, DagGenConfig::default());
         assert!(matches!(

@@ -156,7 +156,9 @@ pub fn max_antichain_of(dag: &Dag, reach: &Reachability, subset: &[NodeId]) -> V
     debug_assert!(antichain
         .iter()
         .enumerate()
-        .all(|(i, &a)| antichain[i + 1..].iter().all(|&b| reach.are_concurrent(a, b))));
+        .all(|(i, &a)| antichain[i + 1..]
+            .iter()
+            .all(|&b| reach.are_concurrent(a, b))));
     antichain
 }
 
@@ -285,7 +287,7 @@ mod tests {
         let cover = MinChainCover::compute(&dag, &reach, &nodes);
         assert_eq!(ac.len(), cover.chains().len());
         assert_eq!(ac.len(), 5); // 2 + 3 parallel branches
-        // Every node appears in exactly one chain.
+                                 // Every node appears in exactly one chain.
         let mut seen = vec![false; dag.node_count()];
         for chain in cover.chains() {
             for &v in chain {

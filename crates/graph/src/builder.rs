@@ -273,7 +273,10 @@ mod tests {
         assert_eq!(b.add_edge(a, ghost), Err(GraphError::UnknownNode(ghost)));
         assert_eq!(b.add_edge(a, a), Err(GraphError::SelfLoop(a)));
         assert_eq!(b.blocking_pair(a, a), Err(GraphError::SelfLoop(a)));
-        assert_eq!(b.blocking_pair(ghost, a), Err(GraphError::UnknownNode(ghost)));
+        assert_eq!(
+            b.blocking_pair(ghost, a),
+            Err(GraphError::UnknownNode(ghost))
+        );
     }
 
     #[test]

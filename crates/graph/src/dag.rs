@@ -1,7 +1,5 @@
 //! The immutable, validated DAG task graph.
 
-use serde::{Deserialize, Serialize};
-
 use crate::builder::DagBuilder;
 use crate::error::GraphError;
 use crate::node::{NodeData, NodeId, NodeKind};
@@ -37,8 +35,7 @@ use crate::topo::TopologicalOrder;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
-#[serde(try_from = "RawDag", into = "RawDag")]
+#[derive(Clone, Debug)]
 pub struct Dag {
     pub(crate) nodes: Vec<NodeData>,
     pub(crate) succ: Vec<Vec<NodeId>>,
@@ -239,7 +236,7 @@ impl Dag {
 /// Kinds and regions are derived data, so only WCETs, edges, and blocking
 /// pairs are stored; deserialization rebuilds (and re-validates) the graph
 /// through [`DagBuilder`].
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 struct RawDag {
     wcets: Vec<u64>,
     edges: Vec<(u32, u32)>,

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a node within a [`Dag`](crate::Dag).
 ///
 /// Node ids are dense indices assigned by
@@ -21,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(v.index(), 0);
 /// assert_eq!(format!("{v}"), "v0");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub(crate) u32);
 
 impl NodeId {
@@ -72,7 +70,7 @@ impl fmt::Display for NodeId {
 /// assert_eq!(NodeKind::default(), NodeKind::NonBlocking);
 /// assert_eq!(NodeKind::BlockingChild.short_name(), "BC");
 /// ```
-#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, Debug)]
 pub enum NodeKind {
     /// `NB`: a node whose precedence constraints are realized without
     /// suspending the serving thread (Listing 2 of the paper).
@@ -132,7 +130,7 @@ impl fmt::Display for NodeKind {
 }
 
 /// Internal per-node payload.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub(crate) struct NodeData {
     /// Worst-case execution time in integer time units.
     pub wcet: u64,

@@ -1,7 +1,5 @@
 //! Blocking (fork–join) regions delimited by `BF`/`BJ` node pairs.
 
-use serde::{Deserialize, Serialize};
-
 use crate::node::NodeId;
 
 /// A blocking region: the sub-graph delimited by a [`BlockingFork`]
@@ -31,7 +29,7 @@ use crate::node::NodeId;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Region {
     fork: NodeId,
     join: NodeId,

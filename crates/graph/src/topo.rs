@@ -51,8 +51,7 @@ impl TopologicalOrder {
         // frontier is enough and the simple VecDeque keeps insertion order
         // (node ids are created in insertion order, so sources are visited
         // in id order).
-        let mut frontier: VecDeque<usize> =
-            (0..n).filter(|&v| indegree[v] == 0).collect();
+        let mut frontier: VecDeque<usize> = (0..n).filter(|&v| indegree[v] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(v) = frontier.pop_front() {
             order.push(NodeId::from_index(v));

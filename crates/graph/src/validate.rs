@@ -106,13 +106,19 @@ pub(crate) fn analyze(
         // Restriction (ii): every edge out of the fork stays in the region.
         for &s in &succ[f.index()] {
             if !region.contains(s) {
-                return Err(GraphError::ForkEscape { fork: f, outside: s });
+                return Err(GraphError::ForkEscape {
+                    fork: f,
+                    outside: s,
+                });
             }
         }
         // Restriction (iii): every edge into the join starts in the region.
         for &p in &pred[j.index()] {
             if !region.contains(p) {
-                return Err(GraphError::JoinIntrusion { join: j, outside: p });
+                return Err(GraphError::JoinIntrusion {
+                    join: j,
+                    outside: p,
+                });
             }
         }
         // Restriction (i): inner nodes are internally connected only.
@@ -179,10 +185,7 @@ mod tests {
         b.blocking_pair(f, j).unwrap();
         // The escaping edge makes t a descendant of f but not an ancestor
         // of j, so it is outside the region.
-        assert!(matches!(
-            b.build(),
-            Err(GraphError::ForkEscape { .. })
-        ));
+        assert!(matches!(b.build(), Err(GraphError::ForkEscape { .. })));
     }
 
     #[test]
@@ -281,10 +284,7 @@ mod tests {
         b.add_edge(a, t).unwrap();
         b.add_edge(c, t).unwrap();
         b.blocking_pair(a, c).unwrap(); // a does not reach c
-        assert!(matches!(
-            b.build(),
-            Err(GraphError::UnreachableJoin { .. })
-        ));
+        assert!(matches!(b.build(), Err(GraphError::UnreachableJoin { .. })));
     }
 
     #[test]

@@ -4,9 +4,7 @@
 //! and the structural invariants of `rtpool-graph` are checked on them.
 
 use proptest::prelude::*;
-use rtpool_graph::{
-    max_antichain, DagBuilder, MinChainCover, NodeId, NodeKind, Reachability,
-};
+use rtpool_graph::{max_antichain, DagBuilder, MinChainCover, NodeId, NodeKind, Reachability};
 
 /// Strategy: a random layered DAG description. `layers[i]` is the number of
 /// nodes in layer i; every node gets at least one edge from the previous
@@ -21,7 +19,9 @@ fn build_layered(layers: &[usize], seed: u64) -> rtpool_graph::Dag {
     let mut b = DagBuilder::new();
     let mut rng = seed;
     let mut next = move || {
-        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         rng >> 33
     };
     let mut layer_nodes: Vec<Vec<NodeId>> = Vec::new();
@@ -144,15 +144,13 @@ fn fork_join_tree(depth: u32, seed: u64) -> rtpool_graph::Dag {
     let mut b = DagBuilder::new();
     let mut rng = seed | 1;
     let mut next = move || {
-        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         rng >> 33
     };
     // Recursive expansion: returns (entry, exit) of the generated block.
-    fn block(
-        b: &mut DagBuilder,
-        depth: u32,
-        next: &mut impl FnMut() -> u64,
-    ) -> (NodeId, NodeId) {
+    fn block(b: &mut DagBuilder, depth: u32, next: &mut impl FnMut() -> u64) -> (NodeId, NodeId) {
         if depth == 0 || next().is_multiple_of(3) {
             let v = b.add_node(1 + next() % 100);
             return (v, v);

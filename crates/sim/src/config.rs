@@ -178,8 +178,8 @@ mod tests {
         assert_eq!(c.m, 4);
         assert_eq!(c.releases, ReleasePattern::SingleJob);
         assert!(c.mappings.is_none());
-        let c = SimConfig::periodic(SchedulingPolicy::Partitioned, 2, 1000)
-            .with_concurrency_trace();
+        let c =
+            SimConfig::periodic(SchedulingPolicy::Partitioned, 2, 1000).with_concurrency_trace();
         assert_eq!(c.horizon, 1000);
         assert!(c.record_concurrency_trace);
     }

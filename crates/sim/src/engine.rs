@@ -61,7 +61,10 @@ impl fmt::Display for SimError {
                 write!(f, "partitioned policy requires one node mapping per task")
             }
             SimError::MappingMismatch { task } => {
-                write!(f, "mapping of task {task} does not match its graph or pool size")
+                write!(
+                    f,
+                    "mapping of task {task} does not match its graph or pool size"
+                )
             }
             SimError::UnsortedReleases { task } => {
                 write!(f, "explicit release times of task {task} are not sorted")
@@ -311,9 +314,7 @@ impl<'a> Engine<'a> {
             let next_completion = selected
                 .iter()
                 .map(|&(t, th)| match &self.threads[t][th] {
-                    ThreadState::Running { remaining, .. } => {
-                        self.time.saturating_add(*remaining)
-                    }
+                    ThreadState::Running { remaining, .. } => self.time.saturating_add(*remaining),
                     _ => unreachable!("selected threads are running"),
                 })
                 .min();
@@ -423,8 +424,8 @@ impl<'a> Engine<'a> {
             match self.policy {
                 SchedulingPolicy::Global => {
                     while !self.gqueues[t].is_empty() {
-                        let Some(th) = (0..self.m)
-                            .find(|&th| self.threads[t][th] == ThreadState::Idle)
+                        let Some(th) =
+                            (0..self.m).find(|&th| self.threads[t][th] == ThreadState::Idle)
                         else {
                             break;
                         };
@@ -516,8 +517,8 @@ impl<'a> Engine<'a> {
             if dag.kind(s) == NodeKind::BlockingJoin {
                 // The barrier opens: the suspended thread wakes and runs
                 // the join as its continuation (it never visits a queue).
-                let waiter = job.waiter[s.index()]
-                    .expect("fork completed before its join became ready");
+                let waiter =
+                    job.waiter[s.index()].expect("fork completed before its join became ready");
                 debug_assert!(matches!(
                     self.threads[task][waiter],
                     ThreadState::Suspended { join } if join.node == s && join.job == nref.job
@@ -550,9 +551,7 @@ impl<'a> Engine<'a> {
             if self.dead[t] {
                 continue;
             }
-            let incomplete = self.jobs[t]
-                .iter()
-                .position(|j| j.completed_at.is_none());
+            let incomplete = self.jobs[t].iter().position(|j| j.completed_at.is_none());
             let Some(job) = incomplete else { continue };
             let any_running = self.threads[t]
                 .iter()
@@ -601,9 +600,7 @@ impl<'a> Engine<'a> {
                 // highest-priority running threads hold the cores.
                 let mut running: Vec<(usize, usize)> = (0..self.set.len())
                     .flat_map(|t| (0..self.m).map(move |th| (t, th)))
-                    .filter(|&(t, th)| {
-                        matches!(self.threads[t][th], ThreadState::Running { .. })
-                    })
+                    .filter(|&(t, th)| matches!(self.threads[t][th], ThreadState::Running { .. }))
                     .collect();
                 running.sort_unstable();
                 running.truncate(self.m);

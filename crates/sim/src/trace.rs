@@ -54,10 +54,7 @@ impl CoreTrace {
     #[must_use]
     pub fn to_ascii(&self, until: u64) -> String {
         let until = until.min(self.end_time.max(1)).min(200);
-        let cores = self
-            .snapshots
-            .first()
-            .map_or(0, |(_, c)| c.len());
+        let cores = self.snapshots.first().map_or(0, |(_, c)| c.len());
         let mut out = String::new();
         for core in 0..cores {
             let _ = write!(out, "core {core}: ");

@@ -218,9 +218,11 @@ fn figure_1b_blocking_slowdown() {
     let mk = |blocking: bool| {
         let mut b = rtpool_graph::DagBuilder::new();
         b.fork_join(1, &[5, 5, 5], 1, blocking).unwrap();
-        TaskSet::new(vec![
-            Task::with_implicit_deadline(b.build().unwrap(), 10_000).unwrap(),
-        ])
+        TaskSet::new(vec![Task::with_implicit_deadline(
+            b.build().unwrap(),
+            10_000,
+        )
+        .unwrap()])
     };
     let blocking = SimConfig::single_job(SchedulingPolicy::Global, 2)
         .run(&mk(true))
@@ -241,9 +243,11 @@ fn figure_1b_blocking_slowdown() {
 fn concurrency_trace_shape() {
     let mut b = rtpool_graph::DagBuilder::new();
     b.fork_join(2, &[4], 2, true).unwrap();
-    let set = TaskSet::new(vec![
-        Task::with_implicit_deadline(b.build().unwrap(), 1_000).unwrap(),
-    ]);
+    let set = TaskSet::new(vec![Task::with_implicit_deadline(
+        b.build().unwrap(),
+        1_000,
+    )
+    .unwrap()]);
     let out = SimConfig::single_job(SchedulingPolicy::Global, 2)
         .with_concurrency_trace()
         .run(&set)

@@ -1,0 +1,103 @@
+//! Fault injection and graceful degradation, end to end.
+//!
+//! Three acts on the paper's workloads:
+//!
+//! 1. a node body panics — the pool isolates it, reports a typed error,
+//!    and keeps serving jobs;
+//! 2. the Figure 1(c) two-replica deadlock is resolved by `GrowPool`
+//!    recovery, sized with `sizing::reserve_for`;
+//! 3. an injected worker suspension stalls a job, and `RetryWithBackoff`
+//!    re-runs it to completion.
+//!
+//! Run with: `cargo run --example fault_tolerance`
+
+use std::time::Duration;
+
+use rtpool::core::sizing;
+use rtpool::exec::{ExecError, FaultPlan, PoolConfig, QueueDiscipline, RecoveryPolicy, ThreadPool};
+use rtpool::graph::{Dag, DagBuilder};
+
+fn figure_1c() -> Result<Dag, Box<dyn std::error::Error>> {
+    let mut b = DagBuilder::new();
+    let src = b.add_node(1);
+    let snk = b.add_node(1);
+    for _ in 0..2 {
+        let (f, j) = b.fork_join(1, &[1, 1, 1], 1, true)?;
+        b.add_edge(src, f)?;
+        b.add_edge(j, snk)?;
+    }
+    Ok(b.build()?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Silence the default panic hook for the injected worker panic below.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let worker = std::thread::current()
+            .name()
+            .is_some_and(|n| n.starts_with("rtpool-"));
+        if !worker {
+            default_hook(info);
+        }
+    }));
+
+    // Act 1: panic isolation. Node 2 (a fork child) always panics.
+    let mut b = DagBuilder::new();
+    b.fork_join(1, &[2, 2], 1, true)?;
+    let dag = b.build()?;
+    let config = PoolConfig::new(2, QueueDiscipline::GlobalFifo)
+        .with_time_scale(Duration::from_micros(100))
+        .with_faults(FaultPlan::seeded(42).panic_on(2));
+    let mut pool = ThreadPool::new(config);
+    match pool.run(&dag) {
+        Err(ExecError::NodePanicked { node, message }) => {
+            println!("[1] node v{node} panicked (\"{message}\") — job aborted, pool intact");
+        }
+        other => println!("[1] unexpected outcome: {other:?}"),
+    }
+    let mut tiny = DagBuilder::new();
+    tiny.add_node(1);
+    let report = pool.run(&tiny.build()?)?;
+    println!(
+        "[1] same pool then ran a clean job: {} node(s), {} attempt(s)\n",
+        report.executed_nodes, report.attempts
+    );
+
+    // Act 2: the Figure 1(c) deadlock, recovered by growing the pool.
+    let dag = figure_1c()?;
+    let workers = 2;
+    let reserve = sizing::reserve_for(&dag, workers);
+    println!("[2] figure 1(c) on {workers} workers: reserve_for = {reserve}");
+    let config = PoolConfig::new(workers, QueueDiscipline::GlobalFifo)
+        .with_time_scale(Duration::from_micros(100))
+        .with_recovery(RecoveryPolicy::GrowPool { reserve });
+    let mut pool = ThreadPool::new(config);
+    let report = pool.run(&dag)?;
+    println!(
+        "[2] completed: {} nodes, grew by {} worker(s); events: {:?}\n",
+        report.executed_nodes,
+        report.workers_grown(),
+        report.recovery_events
+    );
+
+    // Act 3: an injected suspension stalls attempt 0; retry succeeds.
+    let mut b = DagBuilder::new();
+    let (n0, n1, n2) = (b.add_node(1), b.add_node(1), b.add_node(1));
+    b.add_edge(n0, n1)?;
+    b.add_edge(n1, n2)?;
+    let chain = b.build()?;
+    let config = PoolConfig::new(1, QueueDiscipline::GlobalFifo)
+        .with_time_scale(Duration::from_micros(100))
+        .with_recovery(RecoveryPolicy::RetryWithBackoff {
+            max_retries: 2,
+            base_delay: Duration::from_millis(10),
+        })
+        .with_faults(FaultPlan::seeded(7).suspend_on_attempt(0, 1, Duration::from_millis(30)));
+    let mut pool = ThreadPool::new(config);
+    let report = pool.run(&chain)?;
+    println!(
+        "[3] chain completed after {} attempts; events: {:?}",
+        report.attempts, report.recovery_events
+    );
+    Ok(())
+}

@@ -41,10 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             out.task(1).min_available_concurrency
         );
         if let Some(trace) = &out.task(1).concurrency_trace {
-            let steps: Vec<String> = trace
-                .iter()
-                .map(|(t, l)| format!("t={t}:{l}"))
-                .collect();
+            let steps: Vec<String> = trace.iter().map(|(t, l)| format!("t={t}:{l}")).collect();
             println!("l(t) trace: {}", steps.join(" "));
         }
         println!();

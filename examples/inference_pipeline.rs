@@ -88,9 +88,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plain = inference_dag(towers, layers, shards, false)?;
     let m = safe_m + 1;
     let scale = Duration::from_micros(100);
-    let mut pool = ThreadPool::new(
-        PoolConfig::new(m, QueueDiscipline::GlobalFifo).with_time_scale(scale),
-    );
+    let mut pool =
+        ThreadPool::new(PoolConfig::new(m, QueueDiscipline::GlobalFifo).with_time_scale(scale));
     let blocking_report = pool.run(&dag)?;
     let plain_report = pool.run(&plain)?;
     println!(
@@ -102,8 +101,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "blocking slowdown: {:.1}%",
-        100.0 * (blocking_report.makespan.as_secs_f64() / plain_report.makespan.as_secs_f64()
-            - 1.0)
+        100.0
+            * (blocking_report.makespan.as_secs_f64() / plain_report.makespan.as_secs_f64() - 1.0)
     );
     Ok(())
 }

@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("\n== {strategy:?} ==");
         let (result, mappings) = partition_and_analyze(&set, m, strategy);
         for (id, task) in set.iter() {
-            print!("  {id}: analysis = {:?}", result.verdict(id).response_time());
+            print!(
+                "  {id}: analysis = {:?}",
+                result.verdict(id).response_time()
+            );
             match &mappings[id.index()] {
                 None => println!(" (partitioning failed)"),
                 Some(mapping) => {

@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ca.concurrency_lower_bound(m),
         ca.max_suspended_forks().len(),
     );
-    println!("deadlock check on {m} threads: {:?}", deadlock::check_global(&dag, m));
+    println!(
+        "deadlock check on {m} threads: {:?}",
+        deadlock::check_global(&dag, m)
+    );
 
     // --- Schedulability (Section 4.1): baseline vs limited concurrency.
     let set = TaskSet::new(vec![Task::with_implicit_deadline(dag.clone(), 200)?]);

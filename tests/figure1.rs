@@ -88,12 +88,9 @@ fn lemma3_violation_stalls_partitioned_execution_everywhere() {
     let m = 2;
     // Map everything to thread 0: the children sit behind the suspended
     // fork (Lemma 3 violated).
-    let bad = rtpool::core::partition::NodeMapping::from_threads(
-        &dag,
-        m,
-        vec![0; dag.node_count()],
-    )
-    .unwrap();
+    let bad =
+        rtpool::core::partition::NodeMapping::from_threads(&dag, m, vec![0; dag.node_count()])
+            .unwrap();
     let ca = ConcurrencyAnalysis::new(&dag);
     assert!(!deadlock::check_partitioned(&ca, m, &bad).is_deadlock_free());
     // Simulator stalls.
