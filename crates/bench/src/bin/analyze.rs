@@ -1,6 +1,13 @@
 //! Command-line analyzer for task sets in the `.rtp` text format (see
-//! `rtpool_core::textfmt`): deadlock verdicts, schedulability under every
-//! shipped test, Algorithm 1 mappings, and optional simulation.
+//! `rtpool_core::textfmt`): lint diagnostics, per-task structural
+//! metrics, schedulability under every shipped test, Algorithm 1
+//! mappings, and optional simulation.
+//!
+//! Parsing and all structural/deadlock checking are routed through the
+//! `rtlint` engine (`rtpool_lint::check_source`), so this tool prints
+//! the same diagnostics — with spans, notes, and fix suggestions — as
+//! `rtlint` itself, followed by the numeric analysis sections. The exit
+//! status is non-zero when the linter reports an error-severity finding.
 //!
 //! ```text
 //! analyze <file.rtp> --m <threads> [--simulate] [--policy global|partitioned]
@@ -10,7 +17,8 @@ use std::process::ExitCode;
 
 use rtpool_core::analysis::global::{self, ConcurrencyModel};
 use rtpool_core::analysis::partitioned::{self, PartitionStrategy};
-use rtpool_core::{deadlock, sizing, textfmt, ConcurrencyAnalysis, TaskId};
+use rtpool_core::{sizing, ConcurrencyAnalysis, TaskId};
+use rtpool_lint::{check_source, render_human, LintOptions};
 use rtpool_sim::{SchedulingPolicy, SimConfig};
 
 struct Args {
@@ -63,7 +71,13 @@ fn parse_args() -> Result<Args, String> {
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -71,12 +85,25 @@ fn main() -> ExitCode {
     }
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<bool, String> {
     let args = parse_args()?;
     let text = std::fs::read_to_string(&args.path)
         .map_err(|e| format!("cannot read {}: {e}", args.path))?;
-    let set = textfmt::parse_task_set(&text).map_err(|e| e.to_string())?;
     let m = args.m;
+
+    // One parse, shared with the linter: the lint pass owns parsing and
+    // all structural/deadlock diagnostics.
+    let (report, parsed) = check_source(&args.path, &text, &LintOptions::with_m(m));
+    if !report.is_clean() {
+        println!("== Lint (rtlint, m = {m}) ==");
+        print!("{}", render_human(&report, Some(&text)));
+    }
+    let Some((set, _spans)) = parsed else {
+        return Err(format!(
+            "{} does not parse; see diagnostics above",
+            args.path
+        ));
+    };
 
     println!(
         "{} tasks, m = {m}, total utilization {:.3}\n",
@@ -84,10 +111,9 @@ fn run() -> Result<(), String> {
         set.total_utilization()
     );
 
-    println!("== Per-task structure & deadlock analysis (Section 3) ==");
+    println!("== Per-task structural metrics (Section 3) ==");
     for (id, task) in set.iter() {
         let ca = ConcurrencyAnalysis::new(task.dag());
-        let verdict = deadlock::check_global_with(&ca, m);
         println!(
             "  {id}: |V|={:3} vol={:6} len={:5} T={:7} D={:7} U={:.3}",
             task.dag().node_count(),
@@ -98,16 +124,11 @@ fn run() -> Result<(), String> {
             task.utilization(),
         );
         println!(
-            "      b̄={} l̄({m})={} max-suspended={} min-safe-pool={} verdict={}",
+            "      b̄={} l̄({m})={} max-suspended={} min-safe-pool={}",
             ca.max_delay_count(),
             ca.concurrency_lower_bound(m),
             ca.max_suspended_forks().len(),
             sizing::min_threads_deadlock_free(task.dag()),
-            if verdict.is_deadlock_free() {
-                "deadlock-free"
-            } else {
-                "DEADLOCK POSSIBLE"
-            },
         );
     }
 
@@ -204,5 +225,5 @@ fn run() -> Result<(), String> {
             );
         }
     }
-    Ok(())
+    Ok(!report.has_failures())
 }

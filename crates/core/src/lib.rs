@@ -71,3 +71,4 @@ pub mod textfmt;
 pub use concurrency::ConcurrencyAnalysis;
 pub use error::CoreError;
 pub use task::{Task, TaskId, TaskSet};
+pub use textfmt::{SourceSpans, Span, TaskSpans};

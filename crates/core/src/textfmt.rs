@@ -2,7 +2,7 @@
 //!
 //! The format is line-oriented and diff-friendly; it exists so workloads
 //! can be stored in a repository, inspected by hand, and fed to the
-//! `analyze` CLI without a serialization framework:
+//! `analyze` / `rtlint` CLIs without a serialization framework:
 //!
 //! ```text
 //! # comments and blank lines are ignored
@@ -27,6 +27,17 @@
 //! * `blocking <fork> <join>` declares a blocking region (the fork
 //!   becomes `BF`, the join `BJ`, enclosed nodes `BC`).
 //! * `end` closes the task; the graph is validated on the spot.
+//!
+//! ## Source locations
+//!
+//! The parser tracks a [`Span`] (line, column, length — all 1-based) for
+//! every directive and token it consumes. Every [`ParseTaskError`]
+//! carries the span of the offending token, and
+//! [`parse_task_set_with_spans`] additionally returns a [`SourceSpans`]
+//! map from semantic entities (task headers, nodes, edges, blocking
+//! declarations) back to their declaration sites, so downstream
+//! diagnostics — notably the `rtlint` static-analysis pass — can render
+//! rustc-style labeled snippets.
 
 use std::collections::HashMap;
 use std::error::Error;
@@ -36,9 +47,39 @@ use std::fmt::Write as _;
 use rtpool_graph::{DagBuilder, GraphError, NodeId};
 
 use crate::error::CoreError;
-use crate::task::{Task, TaskSet};
+use crate::task::{Task, TaskId, TaskSet};
+
+/// A source location inside an `.rtp` file: 1-based line and column plus
+/// the length of the highlighted region, all counted in characters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column of the first highlighted character.
+    pub col: usize,
+    /// Number of highlighted characters (at least 1 for real spans).
+    pub len: usize,
+}
+
+impl Span {
+    /// A span covering `len` characters starting at `line:col`.
+    #[must_use]
+    pub fn new(line: usize, col: usize, len: usize) -> Self {
+        Span { line, col, len }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
 
 /// Errors produced while parsing the text format.
+///
+/// Every variant carries both the legacy 1-based `line` (kept for
+/// backward compatibility and the `Display` text) and a precise [`Span`]
+/// pointing at the offending token.
 #[derive(Clone, Debug, PartialEq)]
 #[non_exhaustive]
 pub enum ParseTaskError {
@@ -47,6 +88,8 @@ pub enum ParseTaskError {
     Syntax {
         /// 1-based line number.
         line: usize,
+        /// Location of the offending token.
+        span: Span,
         /// What went wrong.
         message: String,
     },
@@ -54,6 +97,8 @@ pub enum ParseTaskError {
     UnknownName {
         /// 1-based line number.
         line: usize,
+        /// Location of the undeclared name.
+        span: Span,
         /// The undeclared name.
         name: String,
     },
@@ -61,13 +106,19 @@ pub enum ParseTaskError {
     DuplicateName {
         /// 1-based line number.
         line: usize,
+        /// Location of the repeated declaration.
+        span: Span,
         /// The repeated name.
         name: String,
     },
     /// The task's graph violates the model (reported by the builder).
     Graph {
-        /// 1-based line number of the `end` that triggered validation.
+        /// 1-based line number of the directive that triggered validation.
         line: usize,
+        /// Location of the primary witness: the declaration of the first
+        /// node involved in the error when known (via
+        /// [`GraphError::nodes`]), else the triggering directive.
+        span: Span,
         /// The underlying graph error.
         source: GraphError,
     },
@@ -75,25 +126,41 @@ pub enum ParseTaskError {
     Timing {
         /// 1-based line number of the `task` directive.
         line: usize,
+        /// Location of the `task` header.
+        span: Span,
         /// The underlying model error.
         source: CoreError,
     },
 }
 
+impl ParseTaskError {
+    /// The source location of the offending token.
+    #[must_use]
+    pub fn span(&self) -> Span {
+        match self {
+            ParseTaskError::Syntax { span, .. }
+            | ParseTaskError::UnknownName { span, .. }
+            | ParseTaskError::DuplicateName { span, .. }
+            | ParseTaskError::Graph { span, .. }
+            | ParseTaskError::Timing { span, .. } => *span,
+        }
+    }
+}
+
 impl fmt::Display for ParseTaskError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ParseTaskError::Syntax { line, message } => write!(f, "line {line}: {message}"),
-            ParseTaskError::UnknownName { line, name } => {
+            ParseTaskError::Syntax { line, message, .. } => write!(f, "line {line}: {message}"),
+            ParseTaskError::UnknownName { line, name, .. } => {
                 write!(f, "line {line}: unknown node name `{name}`")
             }
-            ParseTaskError::DuplicateName { line, name } => {
+            ParseTaskError::DuplicateName { line, name, .. } => {
                 write!(f, "line {line}: node name `{name}` declared twice")
             }
-            ParseTaskError::Graph { line, source } => {
+            ParseTaskError::Graph { line, source, .. } => {
                 write!(f, "line {line}: invalid task graph: {source}")
             }
-            ParseTaskError::Timing { line, source } => {
+            ParseTaskError::Timing { line, source, .. } => {
                 write!(f, "line {line}: invalid timing parameters: {source}")
             }
         }
@@ -110,11 +177,145 @@ impl Error for ParseTaskError {
     }
 }
 
+/// Source locations of one parsed task's semantic entities.
+#[derive(Clone, Debug, Default)]
+pub struct TaskSpans {
+    header: Span,
+    names: Vec<String>,
+    nodes: Vec<Span>,
+    edges: Vec<(usize, usize, Span)>,
+    blocking: Vec<(usize, usize, Span)>,
+}
+
+impl TaskSpans {
+    /// The span of the `task period=… …` header directive.
+    #[must_use]
+    pub fn header(&self) -> Span {
+        self.header
+    }
+
+    /// The declared name of node `v` (`None` if `v` is out of range).
+    #[must_use]
+    pub fn name(&self, v: NodeId) -> Option<&str> {
+        self.names.get(v.index()).map(String::as_str)
+    }
+
+    /// The span of node `v`'s `node <name> <wcet>` declaration.
+    #[must_use]
+    pub fn node(&self, v: NodeId) -> Option<Span> {
+        self.nodes.get(v.index()).copied()
+    }
+
+    /// The span of the `edge <from> <to>` declaration, if one exists.
+    #[must_use]
+    pub fn edge(&self, from: NodeId, to: NodeId) -> Option<Span> {
+        self.edges
+            .iter()
+            .find(|&&(f, t, _)| f == from.index() && t == to.index())
+            .map(|&(_, _, s)| s)
+    }
+
+    /// The span of the `blocking <fork> <join>` declaration whose fork is
+    /// `fork`, if one exists.
+    #[must_use]
+    pub fn blocking_decl(&self, fork: NodeId) -> Option<Span> {
+        self.blocking
+            .iter()
+            .find(|&&(f, _, _)| f == fork.index())
+            .map(|&(_, _, s)| s)
+    }
+}
+
+/// Source locations for every task of a parsed set, indexed by
+/// [`TaskId`] in declaration (= priority) order.
+#[derive(Clone, Debug, Default)]
+pub struct SourceSpans {
+    tasks: Vec<TaskSpans>,
+}
+
+impl SourceSpans {
+    /// Number of tasks covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Returns `true` when no task was parsed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The spans of task `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn task(&self, id: TaskId) -> &TaskSpans {
+        &self.tasks[id.index()]
+    }
+
+    /// Iterates over all task span maps in priority order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &TaskSpans> {
+        self.tasks.iter()
+    }
+}
+
+/// A whitespace-separated token with its 1-based starting column.
+#[derive(Clone, Copy, Debug)]
+struct Tok<'a> {
+    col: usize,
+    text: &'a str,
+}
+
+impl Tok<'_> {
+    fn span(&self, line: usize) -> Span {
+        Span::new(line, self.col, self.text.chars().count())
+    }
+}
+
+/// Splits the pre-`#` content of `raw` into column-tracked tokens.
+fn tokenize(raw: &str) -> Vec<Tok<'_>> {
+    let content = raw.split('#').next().unwrap_or("");
+    let mut toks = Vec::new();
+    let mut col = 0usize;
+    let mut start: Option<(usize, usize)> = None; // (1-based col, byte index)
+    for (byte, ch) in content.char_indices() {
+        col += 1;
+        if ch.is_whitespace() {
+            if let Some((c, b)) = start.take() {
+                toks.push(Tok {
+                    col: c,
+                    text: &content[b..byte],
+                });
+            }
+        } else if start.is_none() {
+            start = Some((col, byte));
+        }
+    }
+    if let Some((c, b)) = start {
+        toks.push(Tok {
+            col: c,
+            text: &content[b..],
+        });
+    }
+    toks
+}
+
+/// The span covering a whole directive (first through last token).
+fn line_span(line: usize, toks: &[Tok<'_>]) -> Span {
+    let first = toks.first().expect("directive has at least one token");
+    let last = toks.last().expect("directive has at least one token");
+    let end = last.col + last.text.chars().count();
+    Span::new(line, first.col, end - first.col)
+}
+
 /// Parses a task set from the text format.
 ///
 /// # Errors
 ///
-/// Returns the first [`ParseTaskError`] with its line number.
+/// Returns the first [`ParseTaskError`] with its line number and span.
 ///
 /// # Examples
 ///
@@ -132,117 +333,214 @@ impl Error for ParseTaskError {
 /// # Ok::<(), rtpool_core::textfmt::ParseTaskError>(())
 /// ```
 pub fn parse_task_set(input: &str) -> Result<TaskSet, ParseTaskError> {
+    parse_task_set_with_spans(input).map(|(set, _)| set)
+}
+
+/// Parses a task set and returns, alongside it, the [`SourceSpans`]
+/// mapping every semantic entity back to its declaration site.
+///
+/// This is the location-tracking entry point diagnostic tooling builds
+/// on: `rtlint` uses the returned map to point rule findings at task
+/// headers, node declarations, and `blocking` directives.
+///
+/// # Errors
+///
+/// Returns the first [`ParseTaskError`] with its line number and span.
+///
+/// # Examples
+///
+/// ```
+/// use rtpool_core::textfmt::parse_task_set_with_spans;
+/// use rtpool_core::TaskId;
+/// use rtpool_graph::NodeId;
+///
+/// let text = "task period=100\n  node a 10\nend\n";
+/// let (set, spans) = parse_task_set_with_spans(text)?;
+/// assert_eq!(set.len(), 1);
+/// let t = spans.task(TaskId(0));
+/// assert_eq!(t.header().line, 1);
+/// assert_eq!(t.name(NodeId::from_index(0)), Some("a"));
+/// assert_eq!(t.node(NodeId::from_index(0)).unwrap().line, 2);
+/// # Ok::<(), rtpool_core::textfmt::ParseTaskError>(())
+/// ```
+pub fn parse_task_set_with_spans(input: &str) -> Result<(TaskSet, SourceSpans), ParseTaskError> {
     let mut tasks = Vec::new();
+    let mut spans = Vec::new();
     let mut current: Option<TaskInProgress> = None;
 
     for (idx, raw) in input.lines().enumerate() {
         let line_no = idx + 1;
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
+        let toks = tokenize(raw);
+        let Some(&directive) = toks.first() else {
             continue;
-        }
-        let mut words = line.split_whitespace();
-        let directive = words.next().expect("non-empty line has a first word");
-        match directive {
+        };
+        let args = &toks[1..];
+        match directive.text {
             "task" => {
-                if current.is_some() {
-                    return Err(syntax(line_no, "`task` inside an unterminated task block"));
+                if let Some(t) = &current {
+                    return Err(syntax(
+                        line_no,
+                        directive.span(line_no),
+                        format!(
+                            "`task` inside an unterminated task block (opened on line {})",
+                            t.header.line
+                        ),
+                    ));
                 }
                 let mut period: Option<u64> = None;
                 let mut deadline: Option<u64> = None;
-                for kv in words {
-                    let (key, value) = kv.split_once('=').ok_or_else(|| {
-                        syntax(line_no, format!("expected key=value, got `{kv}`"))
+                for kv in args {
+                    let (key, value) = kv.text.split_once('=').ok_or_else(|| {
+                        syntax(
+                            line_no,
+                            kv.span(line_no),
+                            format!("expected key=value, got `{}`", kv.text),
+                        )
                     })?;
                     let value: u64 = value.parse().map_err(|_| {
-                        syntax(line_no, format!("invalid integer `{value}` for `{key}`"))
+                        syntax(
+                            line_no,
+                            kv.span(line_no),
+                            format!("invalid integer `{value}` for `{key}`"),
+                        )
                     })?;
                     match key {
                         "period" => period = Some(value),
                         "deadline" => deadline = Some(value),
-                        other => return Err(syntax(line_no, format!("unknown key `{other}`"))),
+                        other => {
+                            return Err(syntax(
+                                line_no,
+                                kv.span(line_no),
+                                format!("unknown key `{other}`"),
+                            ))
+                        }
                     }
                 }
-                let period =
-                    period.ok_or_else(|| syntax(line_no, "`task` requires period=<int>"))?;
+                let period = period.ok_or_else(|| {
+                    syntax(
+                        line_no,
+                        line_span(line_no, &toks),
+                        "`task` requires period=<int>",
+                    )
+                })?;
                 current = Some(TaskInProgress {
-                    line: line_no,
+                    header: line_span(line_no, &toks),
                     period,
                     deadline: deadline.unwrap_or(period),
                     builder: DagBuilder::new(),
                     names: HashMap::new(),
-                    order: Vec::new(),
+                    spans: TaskSpans {
+                        header: line_span(line_no, &toks),
+                        ..TaskSpans::default()
+                    },
                 });
             }
             "node" => {
-                let t = in_task(&mut current, line_no)?;
-                let name = words
-                    .next()
-                    .ok_or_else(|| syntax(line_no, "`node` requires a name"))?;
-                let wcet: u64 = words
-                    .next()
-                    .ok_or_else(|| syntax(line_no, "`node` requires a wcet"))?
+                let t = in_task(&mut current, line_no, directive)?;
+                let name = args.first().ok_or_else(|| {
+                    syntax(line_no, directive.span(line_no), "`node` requires a name")
+                })?;
+                let wcet_tok = args.get(1).ok_or_else(|| {
+                    syntax(line_no, directive.span(line_no), "`node` requires a wcet")
+                })?;
+                let wcet: u64 = wcet_tok
+                    .text
                     .parse()
-                    .map_err(|_| syntax(line_no, "invalid wcet integer"))?;
-                expect_end(&mut words, line_no)?;
-                if t.names.contains_key(name) {
+                    .map_err(|_| syntax(line_no, wcet_tok.span(line_no), "invalid wcet integer"))?;
+                expect_end(args.get(2), line_no)?;
+                if t.names.contains_key(name.text) {
                     return Err(ParseTaskError::DuplicateName {
                         line: line_no,
-                        name: name.to_owned(),
+                        span: name.span(line_no),
+                        name: name.text.to_owned(),
                     });
                 }
                 let id = t.builder.add_node(wcet);
-                t.names.insert(name.to_owned(), id);
-                t.order.push(name.to_owned());
+                t.names.insert(name.text.to_owned(), id);
+                t.spans.names.push(name.text.to_owned());
+                t.spans.nodes.push(line_span(line_no, &toks));
             }
             "edge" => {
-                let t = in_task(&mut current, line_no)?;
-                let from = t.lookup(words.next(), line_no)?;
-                let to = t.lookup(words.next(), line_no)?;
-                expect_end(&mut words, line_no)?;
+                let t = in_task(&mut current, line_no, directive)?;
+                let from = t.lookup(args.first(), line_no, directive)?;
+                let to = t.lookup(args.get(1), line_no, directive)?;
+                expect_end(args.get(2), line_no)?;
+                let span = line_span(line_no, &toks);
                 t.builder
                     .add_edge(from, to)
                     .map_err(|source| ParseTaskError::Graph {
                         line: line_no,
+                        span,
                         source,
                     })?;
+                t.spans.edges.push((from.index(), to.index(), span));
             }
             "blocking" => {
-                let t = in_task(&mut current, line_no)?;
-                let fork = t.lookup(words.next(), line_no)?;
-                let join = t.lookup(words.next(), line_no)?;
-                expect_end(&mut words, line_no)?;
+                let t = in_task(&mut current, line_no, directive)?;
+                let fork = t.lookup(args.first(), line_no, directive)?;
+                let join = t.lookup(args.get(1), line_no, directive)?;
+                expect_end(args.get(2), line_no)?;
+                let span = line_span(line_no, &toks);
                 t.builder
                     .blocking_pair(fork, join)
                     .map_err(|source| ParseTaskError::Graph {
                         line: line_no,
+                        span,
                         source,
                     })?;
+                t.spans.blocking.push((fork.index(), join.index(), span));
             }
             "end" => {
-                expect_end(&mut words, line_no)?;
-                let t = current
-                    .take()
-                    .ok_or_else(|| syntax(line_no, "`end` without an open task"))?;
-                let dag = t.builder.build().map_err(|source| ParseTaskError::Graph {
-                    line: line_no,
-                    source,
+                expect_end(args.first(), line_no)?;
+                let t = current.take().ok_or_else(|| {
+                    syntax(
+                        line_no,
+                        directive.span(line_no),
+                        "`end` without an open task",
+                    )
+                })?;
+                let end_span = directive.span(line_no);
+                let dag = t.builder.build().map_err(|source| {
+                    // Point at the declaration of the first involved node
+                    // when the error names one (GraphError::nodes).
+                    let span = source
+                        .nodes()
+                        .first()
+                        .and_then(|&v| t.spans.node(v))
+                        .unwrap_or(end_span);
+                    ParseTaskError::Graph {
+                        line: span.line,
+                        span,
+                        source,
+                    }
                 })?;
                 let task = Task::new(dag, t.period, t.deadline).map_err(|source| {
                     ParseTaskError::Timing {
-                        line: t.line,
+                        line: t.header.line,
+                        span: t.header,
                         source,
                     }
                 })?;
                 tasks.push(task);
+                spans.push(t.spans);
             }
-            other => return Err(syntax(line_no, format!("unknown directive `{other}`"))),
+            other => {
+                return Err(syntax(
+                    line_no,
+                    directive.span(line_no),
+                    format!("unknown directive `{other}`"),
+                ))
+            }
         }
     }
     if let Some(t) = current {
-        return Err(syntax(t.line, "unterminated task block (missing `end`)"));
+        return Err(syntax(
+            t.header.line,
+            t.header,
+            "unterminated task block (missing `end`)",
+        ));
     }
-    Ok(TaskSet::new(tasks))
+    Ok((TaskSet::new(tasks), SourceSpans { tasks: spans }))
 }
 
 /// Writes a task set in the text format (nodes named `v0`, `v1`, … in id
@@ -280,50 +578,60 @@ pub fn write_task_set(set: &TaskSet) -> String {
 }
 
 struct TaskInProgress {
-    line: usize,
+    header: Span,
     period: u64,
     deadline: u64,
     builder: DagBuilder,
     names: HashMap<String, NodeId>,
-    order: Vec<String>,
+    spans: TaskSpans,
 }
 
 impl TaskInProgress {
-    fn lookup(&self, word: Option<&str>, line: usize) -> Result<NodeId, ParseTaskError> {
-        let name = word.ok_or_else(|| syntax(line, "missing node name"))?;
+    fn lookup(
+        &self,
+        word: Option<&Tok<'_>>,
+        line: usize,
+        directive: Tok<'_>,
+    ) -> Result<NodeId, ParseTaskError> {
+        let tok = word.ok_or_else(|| syntax(line, directive.span(line), "missing node name"))?;
         self.names
-            .get(name)
+            .get(tok.text)
             .copied()
             .ok_or_else(|| ParseTaskError::UnknownName {
                 line,
-                name: name.to_owned(),
+                span: tok.span(line),
+                name: tok.text.to_owned(),
             })
     }
 }
 
-fn syntax(line: usize, message: impl Into<String>) -> ParseTaskError {
+fn syntax(line: usize, span: Span, message: impl Into<String>) -> ParseTaskError {
     ParseTaskError::Syntax {
         line,
+        span,
         message: message.into(),
     }
 }
 
-fn in_task(
-    current: &mut Option<TaskInProgress>,
+fn in_task<'a>(
+    current: &'a mut Option<TaskInProgress>,
     line: usize,
-) -> Result<&mut TaskInProgress, ParseTaskError> {
+    directive: Tok<'_>,
+) -> Result<&'a mut TaskInProgress, ParseTaskError> {
+    let span = directive.span(line);
     current
         .as_mut()
-        .ok_or_else(|| syntax(line, "directive outside a `task … end` block"))
+        .ok_or_else(|| syntax(line, span, "directive outside a `task … end` block"))
 }
 
-fn expect_end(
-    words: &mut std::str::SplitWhitespace<'_>,
-    line: usize,
-) -> Result<(), ParseTaskError> {
-    match words.next() {
+fn expect_end(extra: Option<&Tok<'_>>, line: usize) -> Result<(), ParseTaskError> {
+    match extra {
         None => Ok(()),
-        Some(extra) => Err(syntax(line, format!("unexpected trailing `{extra}`"))),
+        Some(tok) => Err(syntax(
+            line,
+            tok.span(line),
+            format!("unexpected trailing `{}`", tok.text),
+        )),
     }
 }
 
@@ -435,7 +743,67 @@ end
             let err = parse_task_set(text).unwrap_err();
             assert!(check(&err), "unexpected error {err:?} for {text:?}");
             assert!(!err.to_string().is_empty());
+            let span = err.span();
+            assert!(span.line >= 1 && span.col >= 1 && span.len >= 1, "{span:?}");
         }
+    }
+
+    #[test]
+    fn spans_point_at_offending_tokens() {
+        // Unknown name: span covers the `b` token of `edge a b`.
+        let err = parse_task_set("task period=10\n node a 1\n edge a b\nend\n").unwrap_err();
+        assert_eq!(err.span(), Span::new(3, 9, 1));
+        // Duplicate name: span covers the second `a`.
+        let err = parse_task_set("task period=10\n node a 1\n node a 2\nend\n").unwrap_err();
+        assert_eq!(err.span(), Span::new(3, 7, 1));
+        // Bad wcet: span covers the `x`.
+        let err = parse_task_set("task period=10\n node a x\nend\n").unwrap_err();
+        assert_eq!(err.span(), Span::new(2, 9, 1));
+        // Bad key=value: span covers `bogus=1`.
+        let err = parse_task_set("task period=10 bogus=1\n node a 1\nend\n").unwrap_err();
+        assert_eq!(err.span(), Span::new(1, 16, 7));
+    }
+
+    #[test]
+    fn build_errors_point_at_involved_node() {
+        // Two sources: the error names the offending nodes; the span must
+        // point at a `node` declaration, not at `end`.
+        let err = parse_task_set("task period=10\n node a 1\n node b 1\nend\n").unwrap_err();
+        match &err {
+            ParseTaskError::Graph { span, source, .. } => {
+                assert!(!source.nodes().is_empty());
+                assert!(span.line == 2 || span.line == 3, "span {span:?}");
+            }
+            other => panic!("expected graph error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn source_spans_cover_all_entities() {
+        let (set, spans) = parse_task_set_with_spans(FIGURE_1A).unwrap();
+        assert_eq!(spans.len(), set.len());
+        assert!(!spans.is_empty());
+        let t = spans.task(TaskId(0));
+        assert_eq!(t.header().line, 3);
+        let dag = set.task(TaskId(0)).dag();
+        for v in dag.node_ids() {
+            let span = t.node(v).unwrap();
+            assert!(span.line >= 4 && span.col >= 1);
+            assert!(t.name(v).is_some());
+        }
+        assert_eq!(t.name(NodeId::from_index(0)), Some("v1"));
+        // The blocking declaration of the fork (v1 = node 0).
+        let decl = t.blocking_decl(NodeId::from_index(0)).unwrap();
+        assert_eq!(decl.line, 15);
+        // An edge span.
+        assert!(t
+            .edge(NodeId::from_index(0), NodeId::from_index(1))
+            .is_some());
+        assert!(t
+            .edge(NodeId::from_index(4), NodeId::from_index(0))
+            .is_none());
+        // Iteration yields one map per task.
+        assert_eq!(spans.iter().count(), 1);
     }
 
     #[test]

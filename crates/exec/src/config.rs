@@ -102,6 +102,38 @@ impl PoolConfig {
         self.faults = Some(faults);
         self
     }
+
+    /// Checks that this configuration can run at least one job: a
+    /// non-empty pool, and — under [`QueueDiscipline::Partitioned`] — a
+    /// mapping whose pool size equals the worker count.
+    ///
+    /// [`ThreadPool::try_new`](crate::ThreadPool::try_new) applies this
+    /// check before spawning workers; diagnostic tooling (`rtlint`'s
+    /// `lint_config`) applies it without constructing a pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::InvalidConfig`](crate::ExecError::InvalidConfig)
+    /// describing the first problem found.
+    pub fn validate(&self) -> Result<(), crate::ExecError> {
+        if self.workers == 0 {
+            return Err(crate::ExecError::InvalidConfig {
+                message: "pool needs at least one worker".into(),
+            });
+        }
+        if let QueueDiscipline::Partitioned(mapping) = &self.discipline {
+            if mapping.pool_size() != self.workers {
+                return Err(crate::ExecError::InvalidConfig {
+                    message: format!(
+                        "partitioned mapping pool size {} must equal the worker count {}",
+                        mapping.pool_size(),
+                        self.workers
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -119,6 +151,17 @@ mod tests {
         assert!(matches!(c.discipline, QueueDiscipline::GlobalFifo));
         assert_eq!(c.recovery, RecoveryPolicy::Abort);
         assert!(c.faults.is_none());
+    }
+
+    #[test]
+    fn validate_rejects_unusable_configs() {
+        assert!(PoolConfig::new(1, QueueDiscipline::GlobalFifo)
+            .validate()
+            .is_ok());
+        assert!(matches!(
+            PoolConfig::new(0, QueueDiscipline::GlobalFifo).validate(),
+            Err(crate::ExecError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

@@ -165,22 +165,7 @@ impl ThreadPool {
     /// if a [`QueueDiscipline::Partitioned`] mapping's pool size differs
     /// from the worker count.
     pub fn try_new(config: PoolConfig) -> Result<Self, ExecError> {
-        if config.workers == 0 {
-            return Err(ExecError::InvalidConfig {
-                message: "pool needs at least one worker".into(),
-            });
-        }
-        if let QueueDiscipline::Partitioned(mapping) = &config.discipline {
-            if mapping.pool_size() != config.workers {
-                return Err(ExecError::InvalidConfig {
-                    message: format!(
-                        "partitioned mapping pool size {} must equal the worker count {}",
-                        mapping.pool_size(),
-                        config.workers
-                    ),
-                });
-            }
-        }
+        config.validate()?;
         let workers = config.workers;
         let shared = Arc::new(Shared {
             config,

@@ -110,6 +110,41 @@ impl fmt::Display for GraphError {
     }
 }
 
+impl GraphError {
+    /// The nodes involved in the error, primary witness first.
+    ///
+    /// Diagnostic tooling uses this to attach source locations to a
+    /// structural error: the first returned node is the one a renderer
+    /// should point its primary span at (e.g. the node on the cycle, the
+    /// inner node of a leaking region), followed by secondary witnesses
+    /// in a stable order. [`GraphError::Empty`] involves no nodes.
+    #[must_use]
+    pub fn nodes(&self) -> Vec<NodeId> {
+        match self {
+            GraphError::Empty => Vec::new(),
+            GraphError::UnknownNode(v)
+            | GraphError::SelfLoop(v)
+            | GraphError::Cycle(v)
+            | GraphError::OverlappingPairs(v)
+            | GraphError::BlockingEndpoint(v) => vec![*v],
+            GraphError::DuplicateEdge(a, b) => vec![*a, *b],
+            GraphError::MultipleSources(vs) | GraphError::MultipleSinks(vs) => vs.clone(),
+            GraphError::UnreachableJoin { fork, join } => vec![*fork, *join],
+            GraphError::RegionLeak {
+                fork,
+                inner,
+                outside,
+            } => vec![*inner, *fork, *outside],
+            GraphError::ForkEscape { fork, outside } => vec![*fork, *outside],
+            GraphError::JoinIntrusion { join, outside } => vec![*join, *outside],
+            GraphError::NestedRegions {
+                outer_fork,
+                inner_fork,
+            } => vec![*inner_fork, *outer_fork],
+        }
+    }
+}
+
 impl Error for GraphError {}
 
 #[cfg(test)]
@@ -127,6 +162,20 @@ mod tests {
             inner_fork: NodeId(2),
         };
         assert!(e.to_string().contains("nested"));
+    }
+
+    #[test]
+    fn nodes_lists_primary_witness_first() {
+        assert!(GraphError::Empty.nodes().is_empty());
+        assert_eq!(GraphError::Cycle(NodeId(7)).nodes(), vec![NodeId(7)]);
+        let e = GraphError::RegionLeak {
+            fork: NodeId(0),
+            inner: NodeId(2),
+            outside: NodeId(5),
+        };
+        assert_eq!(e.nodes()[0], NodeId(2));
+        let e = GraphError::MultipleSources(vec![NodeId(1), NodeId(3)]);
+        assert_eq!(e.nodes(), vec![NodeId(1), NodeId(3)]);
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! `rtlint` — static analysis for `.rtp` task-set workload files.
+//!
+//! ```text
+//! rtlint [options] <file.rtp>...
+//!
+//! options:
+//!   --m <N>             pool size to analyze against (default 4)
+//!   --format <human|json>   output format (default human)
+//!   --deny warnings     promote every warning to an error
+//!   --deny <RTxxx>      promote one rule to an error (repeatable)
+//!   --allow <RTxxx>     suppress one rule (repeatable)
+//!   --rules             list the rule registry and exit
+//!   -h, --help          this help
+//!
+//! exit status: 0 clean, 1 findings of error severity, 2 usage or I/O error.
+//! ```
+
+use std::process::ExitCode;
+
+use rtpool_lint::{lint_source, render_human, render_json, LintOptions, RuleCode, RULES};
+
+const USAGE: &str = "\
+rtlint: span-aware static analysis for .rtp task-set workloads
+
+usage: rtlint [options] <file.rtp>...
+
+options:
+  --m <N>               pool size m to analyze against (default 4)
+  --format <human|json> output format; json emits one object per file
+                        (JSON Lines), for CI consumption (default human)
+  --deny warnings       promote every warning to an error
+  --deny <RTxxx>        promote one rule to an error (repeatable)
+  --allow <RTxxx>       suppress one rule (repeatable)
+  --rules               list the rule registry and exit
+  -h, --help            show this help
+
+exit status: 0 clean, 1 findings of error severity, 2 usage/IO error.";
+
+enum Format {
+    Human,
+    Json,
+}
+
+struct Cli {
+    opts: LintOptions,
+    format: Format,
+    files: Vec<String>,
+}
+
+fn parse_code(arg: &str) -> Result<RuleCode, String> {
+    RuleCode::parse(arg).ok_or_else(|| format!("rtlint: `{arg}` is not a rule code (RTxxx)"))
+}
+
+fn parse_cli(args: &[String]) -> Result<Option<Cli>, String> {
+    let mut opts = LintOptions::default();
+    let mut format = Format::Human;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("rtlint: `{name}` needs a value"))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--rules" => {
+                for r in RULES {
+                    println!(
+                        "{} {:<22} {:<8} {}",
+                        r.code, r.name, r.default_severity, r.summary
+                    );
+                }
+                return Ok(None);
+            }
+            "--m" => {
+                let v = value("--m")?;
+                opts.m = v
+                    .parse()
+                    .ok()
+                    .filter(|&m| m >= 1)
+                    .ok_or_else(|| format!("rtlint: `--m {v}` is not a positive integer"))?;
+            }
+            "--format" => {
+                format = match value("--format")?.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => return Err(format!("rtlint: unknown format `{other}`")),
+                };
+            }
+            "--deny" => {
+                let v = value("--deny")?;
+                if v == "warnings" {
+                    opts.deny_warnings = true;
+                } else {
+                    opts.deny.insert(parse_code(&v)?);
+                }
+            }
+            "--allow" => {
+                let v = value("--allow")?;
+                opts.allow.insert(parse_code(&v)?);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("rtlint: unknown option `{other}`\n\n{USAGE}"));
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() {
+        return Err(format!("rtlint: no input files\n\n{USAGE}"));
+    }
+    Ok(Some(Cli {
+        opts,
+        format,
+        files,
+    }))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&args) {
+        Ok(Some(cli)) => cli,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failed = false;
+    let (mut errors, mut warnings) = (0usize, 0usize);
+    for file in &cli.files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("rtlint: cannot read `{file}`: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = lint_source(file.clone(), &text, &cli.opts);
+        failed |= report.has_failures();
+        errors += report.errors();
+        warnings += report.warnings();
+        match cli.format {
+            Format::Human => print!("{}", render_human(&report, Some(&text))),
+            Format::Json => println!("{}", render_json(&report)),
+        }
+    }
+    if matches!(cli.format, Format::Human) && (errors > 0 || warnings > 0) {
+        let plural = |n: usize| if n == 1 { "" } else { "s" };
+        eprintln!(
+            "rtlint: {errors} error{}, {warnings} warning{} across {} file{}",
+            plural(errors),
+            plural(warnings),
+            cli.files.len(),
+            plural(cli.files.len())
+        );
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

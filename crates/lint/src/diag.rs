@@ -1,0 +1,198 @@
+//! The diagnostic data model: severities, labeled spans, and reports.
+
+use std::fmt;
+
+use rtpool_core::textfmt::Span;
+
+use crate::code::RuleCode;
+
+/// How serious a finding is, and whether it fails the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory only; never affects the exit status.
+    Info,
+    /// A smell; fails the run only under `--deny warnings` (or a
+    /// per-code `--deny`).
+    Warning,
+    /// A defect; always fails the run.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A secondary span with an explanatory message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Label {
+    /// Location of the labeled source region.
+    pub span: Span,
+    /// Message attached to the region.
+    pub message: String,
+}
+
+/// One finding of the lint pass.
+///
+/// A diagnostic carries everything a renderer needs: the stable rule
+/// code, severity, a one-line message, an optional primary span plus
+/// secondary labels (for source-backed lints), free-form notes, and an
+/// optional actionable suggestion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable rule code (`RT…`).
+    pub code: RuleCode,
+    /// Effective severity (after allow/deny adjustments).
+    pub severity: Severity,
+    /// One-line description of the finding.
+    pub message: String,
+    /// Primary location, when the finding is backed by source text.
+    pub span: Option<Span>,
+    /// Secondary locations with explanations.
+    pub labels: Vec<Label>,
+    /// Free-form notes (rendered as `= note: …`).
+    pub notes: Vec<String>,
+    /// Actionable fix suggestion (rendered as `= help: …`).
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// A new diagnostic with the given code, severity, and message.
+    #[must_use]
+    pub fn new(code: RuleCode, severity: Severity, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            span: None,
+            labels: Vec::new(),
+            notes: Vec::new(),
+            suggestion: None,
+        }
+    }
+
+    /// Sets the primary span.
+    #[must_use]
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Adds a secondary labeled span.
+    #[must_use]
+    pub fn with_label(mut self, span: Span, message: impl Into<String>) -> Self {
+        self.labels.push(Label {
+            span,
+            message: message.into(),
+        });
+        self
+    }
+
+    /// Adds a note line.
+    #[must_use]
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Sets the fix suggestion.
+    #[must_use]
+    pub fn with_suggestion(mut self, suggestion: impl Into<String>) -> Self {
+        self.suggestion = Some(suggestion.into());
+        self
+    }
+}
+
+/// All findings of one lint run over one input.
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    /// Display name of the linted input (a path for files, `None` for
+    /// in-memory task sets).
+    pub file: Option<String>,
+    /// The findings, in emission order (deterministic).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Number of error-severity findings.
+    #[must_use]
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning-severity findings.
+    #[must_use]
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    /// Number of info-severity findings.
+    #[must_use]
+    pub fn infos(&self) -> usize {
+        self.count(Severity::Info)
+    }
+
+    fn count(&self, s: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == s).count()
+    }
+
+    /// Returns `true` when no finding was emitted at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Returns `true` when the run should exit non-zero: any
+    /// error-severity finding (denied warnings are already promoted to
+    /// errors by the engine).
+    #[must_use]
+    pub fn has_failures(&self) -> bool {
+        self.errors() > 0
+    }
+
+    /// All codes present in the report, deduplicated, in code order.
+    #[must_use]
+    pub fn codes(&self) -> Vec<RuleCode> {
+        let mut codes: Vec<RuleCode> = self.diagnostics.iter().map(|d| d.code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        codes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::{RT101, RT202};
+
+    #[test]
+    fn severity_ordering_and_display() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn report_counters() {
+        let mut r = LintReport::default();
+        assert!(r.is_clean() && !r.has_failures());
+        r.diagnostics
+            .push(Diagnostic::new(RT202, Severity::Warning, "w"));
+        assert!(!r.has_failures());
+        r.diagnostics.push(
+            Diagnostic::new(RT101, Severity::Error, "e")
+                .with_span(Span::new(1, 1, 4))
+                .with_label(Span::new(2, 1, 4), "here")
+                .with_note("n")
+                .with_suggestion("s"),
+        );
+        assert_eq!((r.errors(), r.warnings(), r.infos()), (1, 1, 0));
+        assert!(r.has_failures());
+        assert_eq!(r.codes(), vec![RT101, RT202]);
+    }
+}

@@ -1,0 +1,62 @@
+//! `rtpool-lint` — `rtlint`, a span-aware static-analysis pass for
+//! task-set workloads.
+//!
+//! The linter runs a registry of rules derived from the paper's
+//! analyses over `.rtp` workload files (or in-memory
+//! [`TaskSet`](rtpool_core::TaskSet)s) and reports findings as
+//! rustc-style diagnostics: a stable rule code, a severity, a primary
+//! `file:line:col` span with a labeled source snippet, notes citing the
+//! relevant lemma or section, and — where a fix exists — an actionable
+//! suggestion (e.g. the smallest deadlock-free pool size).
+//!
+//! # Rule families
+//!
+//! | family  | source                | examples |
+//! |---------|-----------------------|----------|
+//! | `RT0xx` | parse / structural    | syntax errors, cycles, malformed blocking regions |
+//! | `RT1xx` | deadlock risk         | Lemma 1 deadlock, `b̄ ≥ m`, region wider than the floor |
+//! | `RT2xx` | schedulability smells | utilization > m, zero WCET, critical path > deadline |
+//! | `RT3xx` | partitioning / sizing | Algorithm 1 infeasible, pool below the safe minimum |
+//!
+//! # Quick start
+//!
+//! ```
+//! use rtpool_lint::{lint_source, LintOptions};
+//!
+//! let text = "\
+//! task period=400 deadline=400
+//!   node f 1
+//!   node a 2
+//!   node b 2
+//!   node j 1
+//!   edge f a
+//!   edge f b
+//!   edge a j
+//!   edge b j
+//!   blocking f j
+//! end
+//! ";
+//! // One blocking fork: deadlocks alone on m = 1, safe on m = 2.
+//! let report = lint_source("demo.rtp", text, &LintOptions::with_m(1));
+//! assert!(report.has_failures());
+//! assert_eq!(report.diagnostics[0].code, rtpool_lint::code::RT101);
+//!
+//! let report = lint_source("demo.rtp", text, &LintOptions::with_m(2));
+//! assert!(!report.has_failures());
+//! ```
+//!
+//! The `rtlint` binary wraps this library for the command line; see
+//! `rtlint --help`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod code;
+pub mod diag;
+pub mod engine;
+pub mod render;
+
+pub use code::{RuleCode, RuleInfo, RULES};
+pub use diag::{Diagnostic, Label, LintReport, Severity};
+pub use engine::{check_source, lint_config, lint_source, lint_task_set, LintOptions};
+pub use render::{render_human, render_json};

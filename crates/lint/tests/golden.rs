@@ -1,0 +1,142 @@
+//! Golden-file tests: every fixture under `tests/fixtures/` is linted
+//! and its human and JSON renderings are compared byte-for-byte against
+//! the checked-in `.human` / `.json` goldens.
+//!
+//! Each fixture's first line is a directive configuring the run and
+//! naming the codes it must fire:
+//!
+//! ```text
+//! # rtlint: m=2 expect=RT101,RT301 allow=RT104 deny=warnings
+//! ```
+//!
+//! Re-bless after an intentional output change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p rtpool-lint --test golden
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rtpool_lint::{lint_source, render_human, render_json, LintOptions, RuleCode};
+
+/// Parses the `# rtlint: …` directive of a fixture.
+fn parse_directive(text: &str) -> (LintOptions, Vec<RuleCode>) {
+    let first = text.lines().next().unwrap_or_default();
+    let directive = first
+        .strip_prefix("# rtlint:")
+        .unwrap_or_else(|| panic!("fixture must start with `# rtlint:`, got `{first}`"));
+    let mut opts = LintOptions::default();
+    let mut expect = Vec::new();
+    for word in directive.split_whitespace() {
+        let (key, value) = word
+            .split_once('=')
+            .unwrap_or_else(|| panic!("malformed directive word `{word}`"));
+        match key {
+            "m" => opts.m = value.parse().expect("m must be a number"),
+            "expect" => {
+                expect = value
+                    .split(',')
+                    .map(|c| RuleCode::parse(c).expect("bad expect code"))
+                    .collect();
+            }
+            "allow" => {
+                for c in value.split(',') {
+                    opts.allow
+                        .insert(RuleCode::parse(c).expect("bad allow code"));
+                }
+            }
+            "deny" => {
+                for c in value.split(',') {
+                    if c == "warnings" {
+                        opts.deny_warnings = true;
+                    } else {
+                        opts.deny.insert(RuleCode::parse(c).expect("bad deny code"));
+                    }
+                }
+            }
+            other => panic!("unknown directive key `{other}`"),
+        }
+    }
+    assert!(!expect.is_empty(), "directive must name expected codes");
+    (opts, expect)
+}
+
+fn check_golden(path: &Path, ext: &str, rendered: &str, bless: bool) {
+    let golden = path.with_extension(ext);
+    if bless {
+        fs::write(&golden, rendered).expect("write golden");
+        return;
+    }
+    let want = fs::read_to_string(&golden).unwrap_or_else(|_| {
+        panic!(
+            "missing golden {}; bless with UPDATE_GOLDEN=1",
+            golden.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        want,
+        "{} differs from its golden; bless intentional changes with UPDATE_GOLDEN=1",
+        golden.display()
+    );
+}
+
+#[test]
+fn golden_fixtures() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let bless = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut fixtures: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("fixtures directory")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rtp"))
+        .collect();
+    fixtures.sort();
+    assert!(
+        fixtures.len() >= 25,
+        "fixture corpus went missing: found only {}",
+        fixtures.len()
+    );
+
+    for path in &fixtures {
+        let text = fs::read_to_string(path).expect("read fixture");
+        let (opts, expect) = parse_directive(&text);
+        let name = path.file_name().unwrap().to_str().unwrap();
+        let report = lint_source(name, &text, &opts);
+
+        let codes = report.codes();
+        for code in &expect {
+            assert!(
+                codes.contains(code),
+                "{name}: expected {code} to fire, got {codes:?}"
+            );
+        }
+        // Fixtures are minimal: nothing beyond the declared codes fires.
+        assert_eq!(
+            codes, expect,
+            "{name}: exact code set mismatch (update the expect= directive?)"
+        );
+
+        check_golden(path, "human", &render_human(&report, Some(&text)), bless);
+        check_golden(path, "json", &(render_json(&report) + "\n"), bless);
+    }
+}
+
+#[test]
+fn blessed_goldens_are_checked_in() {
+    // Every fixture must have both goldens next to it, so a fresh clone
+    // fails loudly if someone forgets to commit a blessed file.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    for entry in fs::read_dir(&dir).expect("fixtures directory") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "rtp") {
+            for ext in ["human", "json"] {
+                assert!(
+                    path.with_extension(ext).exists(),
+                    "{} lacks its .{ext} golden",
+                    path.display()
+                );
+            }
+        }
+    }
+}

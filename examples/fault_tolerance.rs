@@ -4,8 +4,9 @@
 //!
 //! 1. a node body panics — the pool isolates it, reports a typed error,
 //!    and keeps serving jobs;
-//! 2. the Figure 1(c) two-replica deadlock is resolved by `GrowPool`
-//!    recovery, sized with `sizing::reserve_for`;
+//! 2. the Figure 1(c) two-replica deadlock is flagged pre-run by the
+//!    `rtlint` config pass (`lint::lint_config`) and resolved by adopting
+//!    its suggested `GrowPool` reserve;
 //! 3. an injected worker suspension stalls a job, and `RetryWithBackoff`
 //!    re-runs it to completion.
 //!
@@ -16,6 +17,7 @@ use std::time::Duration;
 use rtpool::core::sizing;
 use rtpool::exec::{ExecError, FaultPlan, PoolConfig, QueueDiscipline, RecoveryPolicy, ThreadPool};
 use rtpool::graph::{Dag, DagBuilder};
+use rtpool::lint;
 
 fn figure_1c() -> Result<Dag, Box<dyn std::error::Error>> {
     let mut b = DagBuilder::new();
@@ -63,14 +65,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.executed_nodes, report.attempts
     );
 
-    // Act 2: the Figure 1(c) deadlock, recovered by growing the pool.
+    // Act 2: the Figure 1(c) deadlock, caught pre-run by the lint config
+    // pass (rule RT302), then recovered by adopting its suggested reserve.
     let dag = figure_1c()?;
     let workers = 2;
-    let reserve = sizing::reserve_for(&dag, workers);
-    println!("[2] figure 1(c) on {workers} workers: reserve_for = {reserve}");
     let config = PoolConfig::new(workers, QueueDiscipline::GlobalFifo)
-        .with_time_scale(Duration::from_micros(100))
-        .with_recovery(RecoveryPolicy::GrowPool { reserve });
+        .with_time_scale(Duration::from_micros(100));
+    for d in lint::lint_config(&config, &dag) {
+        println!("[2] rtlint: {}[{}]: {}", d.severity, d.code, d.message);
+        if let Some(help) = &d.suggestion {
+            println!("[2]         help: {help}");
+        }
+    }
+    let reserve = sizing::reserve_for(&dag, workers);
+    let config = config.with_recovery(RecoveryPolicy::GrowPool { reserve });
+    assert!(
+        lint::lint_config(&config, &dag).is_empty(),
+        "the suggested reserve must satisfy the linter"
+    );
     let mut pool = ThreadPool::new(config);
     let report = pool.run(&dag)?;
     println!(

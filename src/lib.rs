@@ -16,7 +16,9 @@
 //! * [`sim`] — deterministic discrete-event simulator of the execution
 //!   model;
 //! * [`exec`] — a real condvar-based thread pool exhibiting the paper's
-//!   Figure 1 phenomena.
+//!   Figure 1 phenomena;
+//! * [`lint`] — `rtlint`, span-aware static-analysis diagnostics for
+//!   `.rtp` workloads and pool configurations.
 
 #![forbid(unsafe_code)]
 
@@ -24,4 +26,5 @@ pub use rtpool_core as core;
 pub use rtpool_exec as exec;
 pub use rtpool_gen as gen;
 pub use rtpool_graph as graph;
+pub use rtpool_lint as lint;
 pub use rtpool_sim as sim;
