@@ -42,6 +42,31 @@ fn bench_bounds(c: &mut Criterion) {
             &ca,
             |b, ca| b.iter(|| std::hint::black_box(ca.max_suspended_forks())),
         );
+        // Cache miss path: every iteration pays the full derived-artifact
+        // computation on a cache-less structural copy, as every analysis
+        // call did before the shared cache existed.
+        group.bench_with_input(
+            BenchmarkId::new("b_bar_uncached", dag.node_count()),
+            &dag,
+            |b, dag| {
+                b.iter(|| {
+                    let fresh = dag.clone_uncached();
+                    std::hint::black_box(ConcurrencyAnalysis::new(&fresh).max_delay_count())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exact_antichain_uncached", dag.node_count()),
+            &dag,
+            |b, dag| {
+                b.iter(|| {
+                    let fresh = dag.clone_uncached();
+                    std::hint::black_box(
+                        ConcurrencyAnalysis::new(&fresh).max_suspended_forks().len(),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,260 @@
+//! Emits `BENCH_analysis.json`: before/after medians for the hot
+//! schedulability kernels plus end-to-end Figure 2 sample throughput.
+//!
+//! "Before" replays the pre-cache pipeline: every analysis call receives
+//! task DAGs with an empty derived-artifact cache
+//! ([`rtpool_graph::Dag::clone_uncached`]) and runs the two global models
+//! as separate passes, so reachability, volume, critical paths, delay
+//! sets, and the blocking antichain are recomputed per call — exactly
+//! the sharing behavior of the previous code. "After" analyzes the
+//! shared cached sets through the batched
+//! [`rtpool_bench::pipeline`] entry points.
+//!
+//! The corpus is pre-generated from a fixed seed outside every timed
+//! region, and both modes are checked to produce bit-identical verdicts
+//! before the numbers are written.
+//!
+//! Usage: `bench_summary [--quick] [--out PATH]`
+
+use std::time::Instant;
+
+use rand::SeedableRng;
+use rtpool_bench::pipeline;
+use rtpool_core::analysis::global::{self, ConcurrencyModel};
+use rtpool_core::analysis::partitioned::PartitionStrategy;
+use rtpool_core::analysis::SchedResult;
+use rtpool_core::{Task, TaskSet};
+use rtpool_gen::{DagGenConfig, TaskSetConfig};
+
+const M: usize = 8;
+const N_TASKS: usize = 4;
+const UTILIZATION: f64 = 2.0;
+const BASE_SEED: u64 = 0x5eed_f00d;
+
+struct Config {
+    corpus_size: usize,
+    reps: usize,
+    quick: bool,
+    out: String,
+}
+
+fn main() {
+    let mut cfg = Config {
+        corpus_size: 40,
+        reps: 5,
+        quick: false,
+        out: "BENCH_analysis.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                cfg.quick = true;
+                cfg.corpus_size = 8;
+                cfg.reps = 3;
+            }
+            "--out" => cfg.out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_summary [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "generating corpus: {} sets (n={N_TASKS}, U={UTILIZATION}, m={M}, seed={BASE_SEED:#x})",
+        cfg.corpus_size
+    );
+    let corpus: Vec<TaskSet> = (0..cfg.corpus_size as u64)
+        .map(|i| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(BASE_SEED.wrapping_add(i));
+            TaskSetConfig::new(N_TASKS, UTILIZATION, DagGenConfig::default())
+                .generate(&mut rng)
+                .expect("corpus generation")
+        })
+        .collect();
+
+    // Correctness gate: the cached pipeline must produce bit-identical
+    // verdicts to the uncached replay on every corpus set.
+    let verdicts_match = corpus
+        .iter()
+        .all(|set| battery_verdicts_before(set) == battery_verdicts_after(set));
+    assert!(verdicts_match, "cached and uncached verdicts diverged");
+    eprintln!(
+        "verdict check: cached == uncached on all {} sets",
+        corpus.len()
+    );
+
+    let kernels = [
+        (
+            "concurrency_bounds",
+            "delay rows + b-bar + exact blocking antichain per task",
+            measure(&corpus, cfg.reps, |set| {
+                for (_, t) in set.iter() {
+                    let dag = t.dag().clone_uncached();
+                    std::hint::black_box(dag.delay_profile().max_delay_count());
+                    std::hint::black_box(dag.max_blocking_antichain().len());
+                }
+            }),
+            measure(&corpus, cfg.reps, |set| {
+                for (_, t) in set.iter() {
+                    std::hint::black_box(t.dag().delay_profile().max_delay_count());
+                    std::hint::black_box(t.dag().max_blocking_antichain().len());
+                }
+            }),
+        ),
+        (
+            "global_rta",
+            "global RTA under Full + Limited concurrency models",
+            measure(&corpus, cfg.reps, |set| {
+                let s = rebuild_uncached(set);
+                std::hint::black_box(global::analyze(&s, M, ConcurrencyModel::Full));
+                let s = rebuild_uncached(set);
+                std::hint::black_box(global::analyze(&s, M, ConcurrencyModel::Limited));
+            }),
+            measure(&corpus, cfg.reps, |set| {
+                std::hint::black_box(pipeline::global_full_and_limited(set, M));
+            }),
+        ),
+        (
+            "partitioned_rta",
+            "worst-fit partitioning + partitioned RTA",
+            measure(&corpus, cfg.reps, |set| {
+                let s = rebuild_uncached(set);
+                std::hint::black_box(pipeline::partition_and(&s, M, PartitionStrategy::WorstFit));
+            }),
+            measure(&corpus, cfg.reps, |set| {
+                std::hint::black_box(pipeline::partition_and(set, M, PartitionStrategy::WorstFit));
+            }),
+        ),
+        (
+            "algorithm1",
+            "Algorithm 1 delay-aware partitioning + partitioned RTA",
+            measure(&corpus, cfg.reps, |set| {
+                let s = rebuild_uncached(set);
+                std::hint::black_box(pipeline::partition_and(
+                    &s,
+                    M,
+                    PartitionStrategy::Algorithm1,
+                ));
+            }),
+            measure(&corpus, cfg.reps, |set| {
+                std::hint::black_box(pipeline::partition_and(
+                    set,
+                    M,
+                    PartitionStrategy::Algorithm1,
+                ));
+            }),
+        ),
+    ];
+
+    // End-to-end Figure 2 sample evaluation: the full verdict battery a
+    // fig2 sample runs (global pair + both partitioned strategies),
+    // generation excluded, single thread.
+    let fig2_before = throughput(&corpus, cfg.reps, |set| {
+        std::hint::black_box(battery_verdicts_before(set));
+    });
+    let fig2_after = throughput(&corpus, cfg.reps, |set| {
+        std::hint::black_box(battery_verdicts_after(set));
+    });
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"derived-analysis cache + kernel optimization\",\n");
+    json.push_str(&format!("  \"quick\": {},\n", cfg.quick));
+    json.push_str(&format!(
+        "  \"corpus\": {{ \"sets\": {}, \"n_tasks\": {N_TASKS}, \"utilization\": {UTILIZATION}, \"m\": {M}, \"seed\": {BASE_SEED}, \"threads\": 1 }},\n",
+        corpus.len()
+    ));
+    json.push_str("  \"kernels\": {\n");
+    for (i, (name, what, before_ns, after_ns)) in kernels.iter().enumerate() {
+        let speedup = *before_ns as f64 / (*after_ns).max(1) as f64;
+        json.push_str(&format!(
+            "    \"{name}\": {{ \"what\": \"{what}\", \"before_median_ns\": {before_ns}, \"after_median_ns\": {after_ns}, \"speedup\": {speedup:.2} }}{}\n",
+            if i + 1 < kernels.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"fig2_end_to_end\": {{ \"what\": \"full per-sample verdict battery, generation excluded\", \"before_samples_per_sec\": {fig2_before:.1}, \"after_samples_per_sec\": {fig2_after:.1}, \"speedup\": {:.2}, \"verdicts_match\": {verdicts_match} }}\n",
+        fig2_after / fig2_before.max(f64::MIN_POSITIVE)
+    ));
+    json.push_str("}\n");
+
+    std::fs::write(&cfg.out, &json).expect("write BENCH_analysis.json");
+    eprintln!("wrote {}", cfg.out);
+    print!("{json}");
+}
+
+/// Rebuilds `set` with structurally-identical DAGs whose derived caches
+/// are empty, replaying the pre-cache cost model where every analysis
+/// call recomputes its artifacts.
+fn rebuild_uncached(set: &TaskSet) -> TaskSet {
+    TaskSet::new(
+        set.as_slice()
+            .iter()
+            .map(|t| {
+                Task::new(t.dag().clone_uncached(), t.period(), t.deadline())
+                    .expect("rebuilt task is valid")
+            })
+            .collect(),
+    )
+}
+
+/// All four verdicts of the fig2 battery, pre-cache cost model.
+fn battery_verdicts_before(set: &TaskSet) -> [SchedResult; 4] {
+    let full = global::analyze(&rebuild_uncached(set), M, ConcurrencyModel::Full);
+    let limited = global::analyze(&rebuild_uncached(set), M, ConcurrencyModel::Limited);
+    let wf = pipeline::partition_and(&rebuild_uncached(set), M, PartitionStrategy::WorstFit).0;
+    let a1 = pipeline::partition_and(&rebuild_uncached(set), M, PartitionStrategy::Algorithm1).0;
+    [full, limited, wf, a1]
+}
+
+/// All four verdicts of the fig2 battery, cached pipeline.
+fn battery_verdicts_after(set: &TaskSet) -> [SchedResult; 4] {
+    let (full, limited) = pipeline::global_full_and_limited(set, M);
+    let wf = pipeline::partition_and(set, M, PartitionStrategy::WorstFit).0;
+    let a1 = pipeline::partition_and(set, M, PartitionStrategy::Algorithm1).0;
+    [full, limited, wf, a1]
+}
+
+/// Median over `reps` repetitions of the per-set mean time of `f`, in ns.
+fn measure(corpus: &[TaskSet], reps: usize, mut f: impl FnMut(&TaskSet)) -> u128 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        for set in corpus {
+            f(set);
+        }
+        samples.push(start.elapsed().as_nanos() / corpus.len().max(1) as u128);
+    }
+    median(samples)
+}
+
+/// Median samples-per-second over `reps` repetitions of evaluating the
+/// whole corpus with `f`.
+fn throughput(corpus: &[TaskSet], reps: usize, mut f: impl FnMut(&TaskSet)) -> f64 {
+    let mut rates = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        for set in corpus {
+            f(set);
+        }
+        rates.push(corpus.len() as f64 / start.elapsed().as_secs_f64());
+    }
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
+    rates[rates.len() / 2]
+}
+
+fn median(mut samples: Vec<u128>) -> u128 {
+    samples.sort_unstable();
+    let n = samples.len();
+    if n == 0 {
+        0
+    } else if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2
+    }
+}

@@ -3,8 +3,9 @@
 //! tune experiment parameters. Not part of the reproduction surface.
 
 use rand::SeedableRng;
+use rtpool_bench::pipeline::partition_and;
 use rtpool_core::analysis::global::{self, ConcurrencyModel};
-use rtpool_core::analysis::partitioned::{self, PartitionStrategy};
+use rtpool_core::analysis::partitioned::PartitionStrategy;
 use rtpool_core::ConcurrencyAnalysis;
 use rtpool_gen::{DagGenConfig, TaskSetConfig};
 
@@ -43,15 +44,4 @@ fn main() {
             );
         }
     }
-}
-
-fn partition_and(
-    set: &rtpool_core::TaskSet,
-    m: usize,
-    s: PartitionStrategy,
-) -> (
-    rtpool_core::analysis::SchedResult,
-    Vec<Option<rtpool_core::partition::NodeMapping>>,
-) {
-    partitioned::partition_and_analyze(set, m, s)
 }

@@ -21,10 +21,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use rand::{Rng, SeedableRng};
-use rtpool_core::analysis::global::{self, ConcurrencyModel};
-use rtpool_core::analysis::partitioned::{self, PartitionStrategy};
 use rtpool_core::TaskSet;
 use rtpool_gen::{BlockingPolicy, ConcurrencyWindow, DagGenConfig, GenError, TaskSetConfig};
+
+use crate::pipeline;
 
 /// Which Figure 2 inset to reproduce.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -295,12 +295,15 @@ fn evaluate_sample(
                     Err(GenError::WindowUnsatisfiable { .. }) => continue,
                     Err(e) => return Err(e.to_string()),
                 };
-                // Discard rule: the concurrency-oblivious state of the
-                // art must accept the set.
-                if !baseline_schedulable(inset, &set, m) {
+                // One batched battery per generated set: the discard rule
+                // (the concurrency-oblivious state of the art must accept
+                // the set) and the measured proposed test share the
+                // per-task base parameters and the memoized derived
+                // artifacts of each DAG.
+                let (prop, base) = evaluate_set(inset, &set, m);
+                if !base {
                     continue;
                 }
-                let prop = proposed_schedulable(inset, &set, m);
                 return Ok(Some((prop, true)));
             }
             Ok(None)
@@ -313,10 +316,7 @@ fn evaluate_sample(
             let u = if inset == Inset::C { 2.0 } else { 1.0 };
             let cfg = TaskSetConfig::new(N_TASKS_SMALL, u, DagGenConfig::default());
             let set = cfg.generate(rng).map_err(|e| e.to_string())?;
-            Ok(Some((
-                proposed_schedulable(inset, &set, m),
-                baseline_schedulable(inset, &set, m),
-            )))
+            Ok(Some(evaluate_set(inset, &set, m)))
         }
         Inset::E | Inset::F => {
             // Constant per-task utilization (0.4 each): adding tasks adds
@@ -329,10 +329,7 @@ fn evaluate_sample(
             let per_task = if inset == Inset::E { 0.4 } else { 0.15 };
             let cfg = TaskSetConfig::new(n, per_task * n as f64, DagGenConfig::default());
             let set = cfg.generate(rng).map_err(|e| e.to_string())?;
-            Ok(Some((
-                proposed_schedulable(inset, &set, m),
-                baseline_schedulable(inset, &set, m),
-            )))
+            Ok(Some(evaluate_set(inset, &set, m)))
         }
     }
 }
@@ -341,24 +338,11 @@ fn is_global(inset: Inset) -> bool {
     matches!(inset, Inset::A | Inset::C | Inset::E)
 }
 
-fn baseline_schedulable(inset: Inset, set: &TaskSet, m: usize) -> bool {
-    if is_global(inset) {
-        global::analyze(set, m, ConcurrencyModel::Full).is_schedulable()
-    } else {
-        partitioned::partition_and_analyze(set, m, PartitionStrategy::WorstFit)
-            .0
-            .is_schedulable()
-    }
-}
-
-fn proposed_schedulable(inset: Inset, set: &TaskSet, m: usize) -> bool {
-    if is_global(inset) {
-        global::analyze(set, m, ConcurrencyModel::Limited).is_schedulable()
-    } else {
-        partitioned::partition_and_analyze(set, m, PartitionStrategy::Algorithm1)
-            .0
-            .is_schedulable()
-    }
+/// Evaluates `(proposed, baseline)` schedulability for one set through
+/// the shared [`pipeline::battery`], so every inset's analysis pass goes
+/// through the same (cached) call path.
+fn evaluate_set(inset: Inset, set: &TaskSet, m: usize) -> (bool, bool) {
+    pipeline::battery(set, m, is_global(inset))
 }
 
 #[cfg(test)]
@@ -420,5 +404,31 @@ mod tests {
         let p1 = run_point(Inset::E, 4, &tiny_params());
         let p2 = run_point(Inset::E, 4, &tiny_params());
         assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn results_independent_of_thread_count() {
+        // Every (inset, x, sample) coordinate derives its own RNG stream
+        // and the per-point tallies are order-free counters, so the
+        // worker count must not leak into the series.
+        for inset in [Inset::C, Inset::E] {
+            let serial = run_point(
+                inset,
+                4,
+                &Fig2Params {
+                    threads: 1,
+                    ..tiny_params()
+                },
+            );
+            let parallel = run_point(
+                inset,
+                4,
+                &Fig2Params {
+                    threads: 4,
+                    ..tiny_params()
+                },
+            );
+            assert_eq!(serial, parallel, "inset {} diverged", inset.letter());
+        }
     }
 }

@@ -20,5 +20,6 @@
 
 pub mod ablation;
 pub mod fig2;
+pub mod pipeline;
 pub mod table;
 pub mod tightness;

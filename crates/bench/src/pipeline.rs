@@ -1,0 +1,108 @@
+//! Shared partition-then-analyze plumbing for the experiment binaries.
+//!
+//! The `fig2`, `probe`, and `bench_summary` binaries all evaluate the
+//! same schedulability battery (oblivious vs concurrency-aware, global
+//! vs partitioned); the helpers here keep those call sites identical so
+//! a pipeline change cannot silently skew one experiment but not
+//! another.
+
+use rtpool_core::analysis::global::{self, ConcurrencyModel};
+use rtpool_core::analysis::partitioned::{self, PartitionStrategy};
+use rtpool_core::analysis::SchedResult;
+use rtpool_core::partition::NodeMapping;
+use rtpool_core::TaskSet;
+
+/// Partitions `set` onto `m` threads with `strategy` and runs the
+/// partitioned RTA, returning the verdicts and the per-task mappings
+/// (`None` for tasks the partitioner rejected).
+#[must_use]
+pub fn partition_and(
+    set: &TaskSet,
+    m: usize,
+    strategy: PartitionStrategy,
+) -> (SchedResult, Vec<Option<NodeMapping>>) {
+    partitioned::partition_and_analyze(set, m, strategy)
+}
+
+/// Runs the concurrency-oblivious (`Full`) and concurrency-aware
+/// (`Limited`) global RTAs as one batched pass, sharing the per-task
+/// base parameters (volume, critical path, deadline) between the two
+/// models. Returns `(full, limited)`.
+#[must_use]
+pub fn global_full_and_limited(set: &TaskSet, m: usize) -> (SchedResult, SchedResult) {
+    let mut results =
+        global::analyze_many(set, m, &[ConcurrencyModel::Full, ConcurrencyModel::Limited]);
+    let limited = results.pop().expect("two models in, two results out");
+    let full = results.pop().expect("two models in, two results out");
+    (full, limited)
+}
+
+/// The full Figure 2 verdict battery for one generated set: returns
+/// `(proposed, baseline)` schedulability under the inset's scheduling
+/// family (`global = true` for insets a/c/e).
+#[must_use]
+pub fn battery(set: &TaskSet, m: usize, global: bool) -> (bool, bool) {
+    if global {
+        let (full, limited) = global_full_and_limited(set, m);
+        (limited.is_schedulable(), full.is_schedulable())
+    } else {
+        let base = partition_and(set, m, PartitionStrategy::WorstFit)
+            .0
+            .is_schedulable();
+        let prop = partition_and(set, m, PartitionStrategy::Algorithm1)
+            .0
+            .is_schedulable();
+        (prop, base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rtpool_gen::{DagGenConfig, TaskSetConfig};
+
+    fn sample_set(seed: u64) -> TaskSet {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        TaskSetConfig::new(4, 2.0, DagGenConfig::default())
+            .generate(&mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn batched_global_pass_matches_single_model_calls() {
+        for seed in 0..4 {
+            let set = sample_set(seed);
+            let (full, limited) = global_full_and_limited(&set, 8);
+            assert_eq!(full, global::analyze(&set, 8, ConcurrencyModel::Full));
+            assert_eq!(limited, global::analyze(&set, 8, ConcurrencyModel::Limited));
+        }
+    }
+
+    #[test]
+    fn battery_agrees_with_direct_calls() {
+        let set = sample_set(7);
+        let (prop_g, base_g) = battery(&set, 8, true);
+        assert_eq!(
+            prop_g,
+            global::analyze(&set, 8, ConcurrencyModel::Limited).is_schedulable()
+        );
+        assert_eq!(
+            base_g,
+            global::analyze(&set, 8, ConcurrencyModel::Full).is_schedulable()
+        );
+        let (prop_p, base_p) = battery(&set, 8, false);
+        assert_eq!(
+            prop_p,
+            partitioned::partition_and_analyze(&set, 8, PartitionStrategy::Algorithm1)
+                .0
+                .is_schedulable()
+        );
+        assert_eq!(
+            base_p,
+            partitioned::partition_and_analyze(&set, 8, PartitionStrategy::WorstFit)
+                .0
+                .is_schedulable()
+        );
+    }
+}

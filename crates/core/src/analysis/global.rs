@@ -53,6 +53,15 @@ struct TaskParams {
     floor: i64,
 }
 
+/// Model-independent per-task quantities, computed once and shared by all
+/// concurrency models in [`analyze_many`].
+struct TaskBase {
+    len: u64,
+    vol: u64,
+    period: u64,
+    deadline: u64,
+}
+
 /// Runs the analysis on `set` (tasks in priority order, index 0 highest)
 /// for pools of `m` threads on `m` processors.
 ///
@@ -83,38 +92,80 @@ struct TaskParams {
 /// ```
 #[must_use]
 pub fn analyze(set: &TaskSet, m: usize, model: ConcurrencyModel) -> SchedResult {
-    assert!(m > 0, "platform must have at least one processor");
-    let mut verdicts: Vec<TaskVerdict> = Vec::with_capacity(set.len());
-    let mut hp_response: Vec<Option<u64>> = Vec::with_capacity(set.len());
+    analyze_many(set, m, &[model])
+        .pop()
+        .expect("one model in, one result out")
+}
 
-    let params: Vec<TaskParams> = set
+/// Runs the analysis once per requested concurrency model, sharing the
+/// model-independent per-task work (critical path, volume, timing
+/// parameters) across all of them.
+///
+/// This is the batched form of [`analyze`] used by the experiment harness,
+/// where every generated task set is evaluated under several models (e.g.
+/// the Melani baseline and the Lemma-4 adaptation) and the per-task
+/// structure would otherwise be re-derived per call. Results are returned
+/// in the order of `models`.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+#[must_use]
+pub fn analyze_many(set: &TaskSet, m: usize, models: &[ConcurrencyModel]) -> Vec<SchedResult> {
+    assert!(m > 0, "platform must have at least one processor");
+    let base: Vec<TaskBase> = set
         .iter()
         .map(|(_, task)| {
             let dag = task.dag();
-            let (denom, floor) = match model {
-                ConcurrencyModel::Full => (m as u64, m as i64),
-                ConcurrencyModel::Limited => {
-                    let floor = ConcurrencyAnalysis::new(dag).concurrency_lower_bound(m);
-                    (floor.max(0) as u64, floor)
-                }
-                ConcurrencyModel::LimitedExact => {
-                    let suspended = ConcurrencyAnalysis::new(dag).max_suspended_forks().len();
-                    let floor = m as i64 - suspended as i64;
-                    (floor.max(0) as u64, floor)
-                }
-            };
-            TaskParams {
+            TaskBase {
                 len: dag.critical_path_length(),
                 vol: dag.volume(),
                 period: task.period(),
                 deadline: task.deadline(),
-                denom,
-                floor,
             }
         })
         .collect();
+    models
+        .iter()
+        .map(|&model| {
+            let params: Vec<TaskParams> = set
+                .iter()
+                .zip(&base)
+                .map(|((_, task), b)| {
+                    let dag = task.dag();
+                    let (denom, floor) = match model {
+                        ConcurrencyModel::Full => (m as u64, m as i64),
+                        ConcurrencyModel::Limited => {
+                            let floor = ConcurrencyAnalysis::new(dag).concurrency_lower_bound(m);
+                            (floor.max(0) as u64, floor)
+                        }
+                        ConcurrencyModel::LimitedExact => {
+                            let suspended =
+                                ConcurrencyAnalysis::new(dag).max_suspended_forks().len();
+                            let floor = m as i64 - suspended as i64;
+                            (floor.max(0) as u64, floor)
+                        }
+                    };
+                    TaskParams {
+                        len: b.len,
+                        vol: b.vol,
+                        period: b.period,
+                        deadline: b.deadline,
+                        denom,
+                        floor,
+                    }
+                })
+                .collect();
+            analyze_with_params(&params, m)
+        })
+        .collect()
+}
 
-    for i in 0..set.len() {
+fn analyze_with_params(params: &[TaskParams], m: usize) -> SchedResult {
+    let mut verdicts: Vec<TaskVerdict> = Vec::with_capacity(params.len());
+    let mut hp_response: Vec<Option<u64>> = Vec::with_capacity(params.len());
+
+    for i in 0..params.len() {
         let p = &params[i];
         if p.denom == 0 {
             verdicts.push(TaskVerdict::Unschedulable {

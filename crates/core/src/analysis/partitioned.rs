@@ -33,7 +33,7 @@
 //! expose. Use [`BlockingAwareness::Checked`] to reject unsafe mappings
 //! instead.
 
-use rtpool_graph::{NodeId, NodeKind};
+use rtpool_graph::{BitSet, NodeId, NodeKind};
 
 use crate::analysis::interference::interfering_workload;
 use crate::analysis::{SchedResult, TaskVerdict, UnschedulableReason};
@@ -143,6 +143,8 @@ fn analyze_partial(
     let mut verdicts: Vec<TaskVerdict> = Vec::with_capacity(set.len());
     // Per analyzed hp task: response time and per-core workloads.
     let mut hp_state: Vec<Option<HpTask>> = Vec::with_capacity(set.len());
+    // Scratch buffers shared by every per-task kernel in this pass.
+    let mut scratch = Scratch::default();
 
     for (i, (id, task)) in set.iter().enumerate() {
         let _ = id;
@@ -180,7 +182,7 @@ fn analyze_partial(
             .iter()
             .map(|s| s.as_ref().expect("checked above"))
             .collect();
-        let verdict = analyze_task(task, mapping, m, &hp);
+        let verdict = analyze_task(task, mapping, m, &hp, &mut scratch);
         match &verdict {
             TaskVerdict::Schedulable { response_time } => {
                 hp_state.push(Some(HpTask {
@@ -202,6 +204,45 @@ struct HpTask {
     core_work: Vec<u64>,
 }
 
+/// Reusable per-pass scratch buffers for the per-task kernels, so the
+/// FIFO-blocking and longest-path sweeps allocate once per analysis call
+/// instead of once per task.
+#[derive(Default)]
+struct Scratch {
+    /// One bitset of node indices per core: the nodes mapped there.
+    core_masks: Vec<BitSet>,
+    /// Working row for the FIFO-blocking difference kernel.
+    tmp: BitSet,
+    /// Per-node FIFO-blocking charge.
+    fifo: Vec<u64>,
+    /// Per-node finish bounds (node-level sweep).
+    finish: Vec<u64>,
+    /// Per-node inflated longest-path distances (holistic sweep).
+    dist: Vec<u64>,
+}
+
+impl Scratch {
+    /// Prepares the buffers for a task of `n` nodes on `m` cores. Buffers
+    /// are reused when the shape matches and reallocated otherwise.
+    fn reset(&mut self, n: usize, m: usize) {
+        if self.tmp.capacity() != n {
+            self.tmp = BitSet::new(n);
+            self.core_masks.clear();
+        }
+        self.core_masks.resize_with(m, || BitSet::new(n));
+        self.core_masks.truncate(m);
+        for mask in &mut self.core_masks {
+            mask.clear();
+        }
+        self.fifo.clear();
+        self.fifo.resize(n, 0);
+        self.finish.clear();
+        self.finish.resize(n, 0);
+        self.dist.clear();
+        self.dist.resize(n, 0);
+    }
+}
+
 fn per_core_work(task: &crate::task::Task, mapping: &NodeMapping, m: usize) -> Vec<u64> {
     let dag = task.dag();
     let mut work = vec![0u64; m];
@@ -216,36 +257,44 @@ fn analyze_task(
     mapping: &NodeMapping,
     m: usize,
     hp: &[&HpTask],
+    scratch: &mut Scratch,
 ) -> TaskVerdict {
     let dag = task.dag();
     let deadline = task.deadline();
-    let reach = rtpool_graph::Reachability::new(dag);
-    let _ = m;
+    let reach = dag.reachability();
+    scratch.reset(dag.node_count(), m);
 
     // FIFO blocking by same-task nodes that can be ahead of v in its
-    // thread's queue: concurrent nodes mapped to the same thread.
-    // Blocking joins resume directly on the woken thread and bypass the
-    // queue.
-    let fifo_blocking: Vec<u64> = dag
-        .node_ids()
-        .map(|v| {
-            if dag.kind(v) == NodeKind::BlockingJoin {
-                return 0;
-            }
-            let core = mapping.thread_of(v).index();
-            dag.node_ids()
-                .filter(|&u| {
-                    u != v && mapping.thread_of(u).index() == core && reach.are_concurrent(u, v)
-                })
-                .map(|u| dag.wcet(u))
-                .sum()
-        })
-        .collect();
+    // thread's queue: concurrent nodes mapped to the same thread, found
+    // word-parallel as core_mask(v) − desc(v) − anc(v) − {v}. Blocking
+    // joins resume directly on the woken thread and bypass the queue.
+    for v in dag.node_ids() {
+        scratch.core_masks[mapping.thread_of(v).index()].insert(v.index());
+    }
+    for v in dag.node_ids() {
+        if dag.kind(v) == NodeKind::BlockingJoin {
+            continue; // fifo charge stays 0
+        }
+        let core = mapping.thread_of(v).index();
+        scratch.tmp.copy_from(&scratch.core_masks[core]);
+        scratch.tmp.difference_with(reach.descendants(v));
+        scratch.tmp.difference_with(reach.ancestors(v));
+        scratch.tmp.remove(v.index());
+        scratch.fifo[v.index()] = scratch
+            .tmp
+            .iter()
+            .map(|u| dag.wcet(NodeId::from_index(u)))
+            .sum();
+    }
 
     // Two incomparable sound bounds; the task's response time is their
-    // minimum.
-    let node_level = node_level_bound(task, mapping, hp, &fifo_blocking, deadline);
-    let holistic = holistic_bound(task, hp, &fifo_blocking, deadline);
+    // minimum. The sweeps borrow disjoint scratch fields, so split them
+    // out of the struct here.
+    let Scratch {
+        fifo, finish, dist, ..
+    } = scratch;
+    let node_level = node_level_bound(task, mapping, hp, fifo, deadline, finish);
+    let holistic = holistic_bound(task, hp, fifo, deadline, dist);
     match (node_level, holistic) {
         (Some(a), Some(b)) => TaskVerdict::Schedulable {
             response_time: a.min(b),
@@ -270,9 +319,9 @@ fn node_level_bound(
     hp: &[&HpTask],
     fifo_blocking: &[u64],
     deadline: u64,
+    finish: &mut [u64],
 ) -> Option<u64> {
     let dag = task.dag();
-    let mut finish = vec![0u64; dag.node_count()];
     for v in dag.topological_order().iter() {
         let ready = dag
             .predecessors(v)
@@ -304,10 +353,10 @@ fn holistic_bound(
     hp: &[&HpTask],
     fifo_blocking: &[u64],
     deadline: u64,
+    dist: &mut [u64],
 ) -> Option<u64> {
     let dag = task.dag();
     // Longest path under inflated node costs.
-    let mut dist = vec![0u64; dag.node_count()];
     for v in dag.topological_order().iter() {
         let best = dag
             .predecessors(v)

@@ -18,10 +18,18 @@
 //! any pairwise-concurrent fork set can be driven into simultaneous
 //! suspension by some work-conserving dispatch order). This sharpens
 //! `b̄(τᵢ)` when the bound is loose.
+//!
+//! Since the derived-analysis cache landed on [`Dag`] itself, this type is
+//! a thin borrowing view: reachability, the `BF` inventory, the delay
+//! profile, and the exact antichain all live in the graph's memoized cells
+//! (`Dag::reachability`, `Dag::delay_profile`, ...), so constructing a
+//! `ConcurrencyAnalysis` is free and repeated constructions share one
+//! computation per graph.
 
-use rtpool_graph::{max_antichain_of, Dag, NodeId, NodeKind, Reachability};
+use rtpool_graph::{BitSet, Dag, NodeId, NodeKind, Reachability};
 
-/// Precomputed concurrency structure of a single task graph.
+/// Concurrency view of a single task graph, backed by the graph's
+/// derived-analysis cache.
 ///
 /// # Examples
 ///
@@ -42,44 +50,36 @@ use rtpool_graph::{max_antichain_of, Dag, NodeId, NodeKind, Reachability};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 pub struct ConcurrencyAnalysis<'a> {
     dag: &'a Dag,
-    reach: Reachability,
-    bf_nodes: Vec<NodeId>,
 }
 
 impl<'a> ConcurrencyAnalysis<'a> {
-    /// Builds the analysis for `dag`, computing transitive reachability
-    /// (`O(|V|·|E|/64)`).
+    /// Creates the view. Cheap: all derived structure is memoized on the
+    /// graph and computed at most once per `Dag`, on first use.
     #[must_use]
     pub fn new(dag: &'a Dag) -> Self {
-        let reach = Reachability::new(dag);
-        let bf_nodes = dag.blocking_forks();
-        ConcurrencyAnalysis {
-            dag,
-            reach,
-            bf_nodes,
-        }
+        ConcurrencyAnalysis { dag }
     }
 
     /// The analyzed graph.
     #[must_use]
-    pub fn dag(&self) -> &Dag {
+    pub fn dag(&self) -> &'a Dag {
         self.dag
     }
 
-    /// The reachability table computed for the graph (shared with callers
-    /// so it is not recomputed by downstream analyses).
+    /// The reachability table of the graph (shared with callers so it is
+    /// not recomputed by downstream analyses).
     #[must_use]
-    pub fn reachability(&self) -> &Reachability {
-        &self.reach
+    pub fn reachability(&self) -> &'a Reachability {
+        self.dag.reachability()
     }
 
     /// All `BF` nodes of the graph, in id order.
     #[must_use]
-    pub fn blocking_forks(&self) -> &[NodeId] {
-        &self.bf_nodes
+    pub fn blocking_forks(&self) -> &'a [NodeId] {
+        self.dag.blocking_forks()
     }
 
     /// `C(v)` (Eq. 2): the `BF` nodes that may execute (and hence suspend)
@@ -89,12 +89,16 @@ impl<'a> ConcurrencyAnalysis<'a> {
     /// Deviation from the literal Eq. 2: `v` itself is excluded when `v`
     /// is a `BF` node (a node cannot delay itself; the literal formula
     /// includes it because `v ∉ pred(v) ∪ succ(v)`).
+    ///
+    /// Prefer [`ConcurrencyAnalysis::delay_row`] on hot paths; this
+    /// materializes a fresh `Vec`.
     #[must_use]
     pub fn concurrent_forks(&self, v: NodeId) -> Vec<NodeId> {
-        self.bf_nodes
+        let waiting = self.waiting_fork(v);
+        self.delay_row(v)
             .iter()
-            .copied()
-            .filter(|&f| f != v && self.reach.are_concurrent(f, v))
+            .map(NodeId::from_index)
+            .filter(|&f| Some(f) != waiting)
             .collect()
     }
 
@@ -107,27 +111,32 @@ impl<'a> ConcurrencyAnalysis<'a> {
 
     /// `X(v)`: the `BF` nodes whose suspension may affect the execution of
     /// `v` — `C(v)`, plus `F(v)` when `v` is a blocking child.
+    ///
+    /// Prefer [`ConcurrencyAnalysis::delay_row`] on hot paths; this
+    /// materializes a fresh `Vec` (in increasing id order).
     #[must_use]
     pub fn delay_set(&self, v: NodeId) -> Vec<NodeId> {
-        let mut set = self.concurrent_forks(v);
-        if let Some(f) = self.waiting_fork(v) {
-            // F(v) precedes v, so it is never in C(v); no dedup needed.
-            debug_assert!(!set.contains(&f));
-            set.push(f);
-            set.sort_unstable();
-        }
-        set
+        self.delay_row(v).iter().map(NodeId::from_index).collect()
+    }
+
+    /// `X(v)` as a cached bitset row over node indices — the
+    /// allocation-free form of [`ConcurrencyAnalysis::delay_set`].
+    #[must_use]
+    pub fn delay_row(&self, v: NodeId) -> &'a BitSet {
+        self.dag.delay_profile().delay_row(v)
+    }
+
+    /// `|X(v)|`, from the cached profile.
+    #[must_use]
+    pub fn delay_count(&self, v: NodeId) -> usize {
+        self.dag.delay_profile().delay_count(v)
     }
 
     /// `b̄(τᵢ) = max_v |X(v)|`: the largest number of `BF` nodes that can
-    /// affect a single node (Section 3.1; cubic in `|V|`).
+    /// affect a single node (Section 3.1).
     #[must_use]
     pub fn max_delay_count(&self) -> usize {
-        self.dag
-            .node_ids()
-            .map(|v| self.delay_set(v).len())
-            .max()
-            .unwrap_or(0)
+        self.dag.delay_profile().max_delay_count()
     }
 
     /// `l̄(τᵢ) = m − b̄(τᵢ)`: a lower bound on the available concurrency
@@ -145,7 +154,7 @@ impl<'a> ConcurrencyAnalysis<'a> {
     /// exposed here for ablation studies under global scheduling.
     #[must_use]
     pub fn node_lower_bound(&self, v: NodeId, m: usize) -> i64 {
-        m as i64 - self.delay_set(v).len() as i64
+        m as i64 - self.delay_count(v) as i64
     }
 
     /// The exact maximum number of threads that can be simultaneously
@@ -156,8 +165,8 @@ impl<'a> ConcurrencyAnalysis<'a> {
     /// paths leaving a blocking fork pass through its join (restriction
     /// (ii)), so an ordered pair of forks can never wait at the same time.
     #[must_use]
-    pub fn max_suspended_forks(&self) -> Vec<NodeId> {
-        max_antichain_of(self.dag, &self.reach, &self.bf_nodes)
+    pub fn max_suspended_forks(&self) -> &'a [NodeId] {
+        self.dag.max_blocking_antichain()
     }
 
     /// Nodes of the graph whose kind matches `kind`, in id order.
@@ -199,10 +208,13 @@ mod tests {
         // The fork has no concurrent forks (it is the only one).
         assert!(ca.concurrent_forks(f).is_empty());
         assert!(ca.delay_set(f).is_empty());
+        assert!(ca.delay_row(f).is_empty());
         // Each child is delayed only by its own waiting fork.
         let region = dag.blocking_regions()[0].clone();
         for &c in region.inner() {
             assert_eq!(ca.delay_set(c), vec![f]);
+            assert_eq!(ca.delay_count(c), 1);
+            assert!(ca.concurrent_forks(c).is_empty());
             assert_eq!(ca.waiting_fork(c), Some(f));
         }
         assert_eq!(ca.waiting_fork(j), None);
@@ -222,6 +234,8 @@ mod tests {
         let region = &dag.blocking_regions()[0];
         let child = region.inner()[0];
         assert_eq!(ca.delay_set(child).len(), 2);
+        assert_eq!(ca.delay_count(child), 2);
+        assert_eq!(ca.concurrent_forks(child).len(), 1);
         assert_eq!(ca.max_delay_count(), 2);
         assert_eq!(ca.concurrency_lower_bound(2), 0);
         assert_eq!(ca.concurrency_lower_bound(3), 1);
@@ -294,5 +308,17 @@ mod tests {
         assert_eq!(total, dag.node_count());
         assert_eq!(ca.nodes_of_kind(NodeKind::BlockingFork).len(), 2);
         assert_eq!(ca.nodes_of_kind(NodeKind::BlockingChild).len(), 6);
+    }
+
+    #[test]
+    fn row_and_vec_forms_agree() {
+        let dag = replicated(3);
+        let ca = ConcurrencyAnalysis::new(&dag);
+        for v in dag.node_ids() {
+            let vec_form = ca.delay_set(v);
+            let row_form: Vec<NodeId> = ca.delay_row(v).iter().map(NodeId::from_index).collect();
+            assert_eq!(vec_form, row_form);
+            assert_eq!(vec_form.len(), ca.delay_count(v));
+        }
     }
 }

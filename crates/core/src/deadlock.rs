@@ -92,7 +92,7 @@ pub fn check_global_with(ca: &ConcurrencyAnalysis<'_>, m: usize) -> GlobalVerdic
     let antichain = ca.max_suspended_forks();
     if antichain.len() >= m {
         GlobalVerdict::DeadlockPossible {
-            suspended_antichain: antichain.into_iter().take(m).collect(),
+            suspended_antichain: antichain.iter().copied().take(m).collect(),
         }
     } else {
         GlobalVerdict::DeadlockFree {
@@ -134,7 +134,7 @@ pub fn check_global_with(ca: &ConcurrencyAnalysis<'_>, m: usize) -> GlobalVerdic
 /// ```
 #[must_use]
 pub fn max_simultaneous_blocking(dag: &Dag) -> usize {
-    ConcurrencyAnalysis::new(dag).max_suspended_forks().len()
+    dag.max_blocking_antichain().len()
 }
 
 /// The paper's practical sufficient check (Section 3.1): deadlock-free if
@@ -243,7 +243,7 @@ pub fn check_partitioned(
     let antichain = ca.max_suspended_forks();
     if antichain.len() >= m {
         return PartitionedVerdict::ConcurrencyExhausted {
-            suspended_antichain: antichain.into_iter().take(m).collect(),
+            suspended_antichain: antichain.iter().copied().take(m).collect(),
         };
     }
     // Eq. 3: for every BC node a, T(a) ∉ P(a) where P(a) collects the
@@ -313,8 +313,9 @@ fn eq3_violation(
     node: NodeId,
 ) -> Option<MappingViolation> {
     let t = mapping.thread_of(node);
-    ca.delay_set(node)
-        .into_iter()
+    ca.delay_row(node)
+        .iter()
+        .map(NodeId::from_index)
         .find(|&f| mapping.thread_of(f) == t)
         .map(|f| MappingViolation {
             node,

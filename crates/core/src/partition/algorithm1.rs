@@ -138,12 +138,9 @@ pub fn algorithm1_with<H: PlacementHeuristic>(
         if dag.kind(v) == NodeKind::BlockingJoin {
             continue;
         }
-        let delay_set = ca.delay_set(v);
+        let delay_row = ca.delay_row(v);
         // Line 5: threads hosting already-assigned delaying forks.
-        let phi_bf: BTreeSet<ThreadId> = delay_set
-            .iter()
-            .filter_map(|&f| assigned[f.index()])
-            .collect();
+        let phi_bf: BTreeSet<ThreadId> = delay_row.iter().filter_map(|f| assigned[f]).collect();
         // Lines 6-7.
         if let Some(t) = assigned[v.index()] {
             if phi_bf.contains(&t) {
@@ -186,15 +183,15 @@ pub fn algorithm1_with<H: PlacementHeuristic>(
         }
         // Lines 14-18: pin the not-yet-placed forks that can delay v, so
         // they can never land on v's thread later.
-        for &fork in &delay_set {
+        for fork in delay_row.iter().map(NodeId::from_index) {
             if assigned[fork.index()].is_some() {
                 continue;
             }
             // Line 15: threads hosting forks concurrent with `fork`.
             let phi_bf_fork: BTreeSet<ThreadId> = ca
-                .delay_set(fork) // fork is BF, so this equals C(fork)
+                .delay_row(fork) // fork is BF, so this equals C(fork)
                 .iter()
-                .filter_map(|&x| assigned[x.index()])
+                .filter_map(|x| assigned[x])
                 .collect();
             // Lines 16-18.
             let allowed: Vec<ThreadId> = all_threads

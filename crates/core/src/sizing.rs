@@ -10,7 +10,6 @@ use rtpool_graph::Dag;
 
 use crate::analysis::global::{self, ConcurrencyModel};
 use crate::analysis::partitioned::{self, PartitionStrategy};
-use crate::concurrency::ConcurrencyAnalysis;
 use crate::deadlock;
 use crate::task::TaskSet;
 
@@ -40,7 +39,7 @@ use crate::task::TaskSet;
 /// ```
 #[must_use]
 pub fn min_threads_deadlock_free(dag: &Dag) -> usize {
-    ConcurrencyAnalysis::new(dag).max_suspended_forks().len() + 1
+    dag.max_blocking_antichain().len() + 1
 }
 
 /// The reserve workers a `GrowPool` recovery policy needs so that a

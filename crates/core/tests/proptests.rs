@@ -206,7 +206,7 @@ proptest! {
     fn concurrent_fork_relation_is_symmetric(seed in any::<u64>(), regions in 1usize..5) {
         let dag = random_task_dag(seed, regions);
         let ca = ConcurrencyAnalysis::new(&dag);
-        let forks: Vec<NodeId> = dag.blocking_forks();
+        let forks: Vec<NodeId> = dag.blocking_forks().to_vec();
         for &f in &forks {
             for &g in &forks {
                 if f == g { continue; }

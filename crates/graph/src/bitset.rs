@@ -143,6 +143,18 @@ impl BitSet {
         self.words.fill(0);
     }
 
+    /// Overwrites `self` with the contents of `other` without
+    /// reallocating — the word-parallel analogue of `clone_from` for
+    /// scratch buffers reused across iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn copy_from(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
     /// Iterates over the contained indices in increasing order.
     pub fn iter(&self) -> Iter<'_> {
         Iter {
@@ -150,6 +162,13 @@ impl BitSet {
             word_idx: 0,
             current: self.words.first().copied().unwrap_or(0),
         }
+    }
+}
+
+impl Default for BitSet {
+    /// An empty set with capacity 0.
+    fn default() -> Self {
+        BitSet::new(0)
     }
 }
 

@@ -216,6 +216,7 @@ impl DagBuilder {
             source: analysis.source,
             sink: analysis.sink,
             edge_count: self.edges.len(),
+            cache: crate::cache::DerivedCache::with_reachability(analysis.reach),
         })
     }
 

@@ -1,0 +1,144 @@
+//! Lazily-memoized derived analyses of an immutable [`Dag`].
+//!
+//! A `Dag` is frozen at construction, so every derived artifact — volume,
+//! path metrics, the transitive-reachability closure, blocking-fork
+//! inventory, the per-node delay sets `X(v)` of Section 3.1, and the
+//! exact maximum `BF` antichain — is a pure function of the graph. This
+//! module stores them in [`OnceLock`] cells on the `Dag` itself so each
+//! is computed at most once per graph and shared by every analysis
+//! (deadlock checks, global/partitioned RTA, Algorithm 1, the linter,
+//! and the experiment harness) instead of being rebuilt per call.
+//!
+//! Because the graph is immutable there is no invalidation: a cell, once
+//! filled, stays valid for the lifetime of the `Dag` (clones carry the
+//! filled cells along). [`Dag::clone_uncached`] produces a structural
+//! copy with every cell empty, for benchmarking the miss path and for
+//! coherence tests.
+
+use std::sync::OnceLock;
+
+use crate::bitset::BitSet;
+use crate::dag::Dag;
+use crate::node::{NodeId, NodeKind};
+use crate::paths::{CriticalPath, PathMetrics};
+use crate::reach::Reachability;
+
+/// The per-node delay sets `X(v)` of the paper's Section 3.1, stored as
+/// bitset rows over the node indices, plus the derived bound
+/// `b̄(τᵢ) = max_v |X(v)|`.
+///
+/// `X(v) = C(v) ∪ F'(v)`: the `BF` nodes subject to no precedence
+/// constraint with `v` (Eq. 2), plus — for a `BC` node — the fork waiting
+/// for `v`. Each row is computed word-parallel from the reachability
+/// closure (`O(|V|²/64)` for the whole profile), replacing the former
+/// per-node `O(|V|·|BF|)` scan with materialized `Vec<NodeId>` sets.
+///
+/// # Examples
+///
+/// ```
+/// use rtpool_graph::DagBuilder;
+///
+/// # fn main() -> Result<(), rtpool_graph::GraphError> {
+/// let mut b = DagBuilder::new();
+/// let (fork, _join) = b.fork_join(1, &[2, 2], 1, true)?;
+/// let dag = b.build()?;
+/// let profile = dag.delay_profile();
+/// // The children are delayed only by their own waiting fork.
+/// assert_eq!(profile.max_delay_count(), 1);
+/// assert!(profile.delay_row(fork).is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct DelayProfile {
+    rows: Vec<BitSet>,
+    counts: Vec<u32>,
+    max_count: usize,
+}
+
+impl DelayProfile {
+    pub(crate) fn new(dag: &Dag, reach: &Reachability) -> Self {
+        let n = dag.node_count();
+        let mut bf_mask = BitSet::new(n);
+        for v in dag.node_ids() {
+            if dag.kind(v) == NodeKind::BlockingFork {
+                bf_mask.insert(v.index());
+            }
+        }
+        let mut rows = Vec::with_capacity(n);
+        let mut counts = Vec::with_capacity(n);
+        let mut max_count = 0usize;
+        for v in dag.node_ids() {
+            // C(v): BF nodes neither preceding nor following v, minus v.
+            let mut row = bf_mask.clone();
+            row.difference_with(reach.descendants(v));
+            row.difference_with(reach.ancestors(v));
+            row.remove(v.index());
+            // F(v) is an ancestor of v, so it was just removed; re-insert
+            // it to obtain X(v) for blocking children.
+            if let Some(f) = dag.waiting_fork_of(v) {
+                row.insert(f.index());
+            }
+            let count = row.len();
+            max_count = max_count.max(count);
+            counts.push(u32::try_from(count).expect("|X(v)| fits in u32"));
+            rows.push(row);
+        }
+        DelayProfile {
+            rows,
+            counts,
+            max_count,
+        }
+    }
+
+    /// `X(v)` as a bitset of node indices (all of kind `BF`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for the profiled graph.
+    #[must_use]
+    pub fn delay_row(&self, v: NodeId) -> &BitSet {
+        &self.rows[v.index()]
+    }
+
+    /// `|X(v)|`, without a popcount sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for the profiled graph.
+    #[must_use]
+    pub fn delay_count(&self, v: NodeId) -> usize {
+        self.counts[v.index()] as usize
+    }
+
+    /// `b̄(τᵢ) = max_v |X(v)|` (Section 3.1).
+    #[must_use]
+    pub fn max_delay_count(&self) -> usize {
+        self.max_count
+    }
+}
+
+/// The lazy cells carried by every [`Dag`]. All fields start empty (or
+/// pre-seeded by the builder, which computes reachability anyway during
+/// validation) and fill on first use.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct DerivedCache {
+    pub(crate) volume: OnceLock<u64>,
+    pub(crate) metrics: OnceLock<PathMetrics>,
+    pub(crate) critical_path: OnceLock<CriticalPath>,
+    pub(crate) reach: OnceLock<Reachability>,
+    pub(crate) blocking_forks: OnceLock<Vec<NodeId>>,
+    pub(crate) bf_antichain: OnceLock<Vec<NodeId>>,
+    pub(crate) delays: OnceLock<DelayProfile>,
+}
+
+impl DerivedCache {
+    /// A cache whose reachability cell is pre-filled — the builder
+    /// computes the closure while validating blocking regions, so the
+    /// finished graph never recomputes it.
+    pub(crate) fn with_reachability(reach: Reachability) -> Self {
+        let cache = DerivedCache::default();
+        let _ = cache.reach.set(reach);
+        cache
+    }
+}

@@ -1,9 +1,11 @@
 //! The immutable, validated DAG task graph.
 
 use crate::builder::DagBuilder;
+use crate::cache::{DelayProfile, DerivedCache};
 use crate::error::GraphError;
 use crate::node::{NodeData, NodeId, NodeKind};
-use crate::paths::{self, CriticalPath};
+use crate::paths::{self, CriticalPath, PathMetrics};
+use crate::reach::Reachability;
 use crate::regions::Region;
 use crate::topo::TopologicalOrder;
 
@@ -50,6 +52,9 @@ pub struct Dag {
     pub(crate) source: NodeId,
     pub(crate) sink: NodeId,
     pub(crate) edge_count: usize,
+    /// Lazily-memoized derived analyses; see [`crate::cache`]. Valid for
+    /// the lifetime of the graph because a `Dag` is immutable once built.
+    pub(crate) cache: DerivedCache,
 }
 
 impl Dag {
@@ -171,31 +176,96 @@ impl Dag {
             .flatten()
     }
 
-    /// Node ids of all `BF` nodes, in index order.
+    /// Node ids of all `BF` nodes, in index order. Memoized.
     #[must_use]
-    pub fn blocking_forks(&self) -> Vec<NodeId> {
-        self.node_ids()
-            .filter(|&v| self.kind(v) == NodeKind::BlockingFork)
-            .collect()
+    pub fn blocking_forks(&self) -> &[NodeId] {
+        self.cache.blocking_forks.get_or_init(|| {
+            self.node_ids()
+                .filter(|&v| self.kind(v) == NodeKind::BlockingFork)
+                .collect()
+        })
     }
 
-    /// The task volume `vol(τᵢ)`: the sum of all node WCETs.
+    /// The task volume `vol(τᵢ)`: the sum of all node WCETs. Memoized.
     #[must_use]
     pub fn volume(&self) -> u64 {
-        self.nodes.iter().map(|n| n.wcet).sum()
+        *self
+            .cache
+            .volume
+            .get_or_init(|| self.nodes.iter().map(|n| n.wcet).sum())
     }
 
-    /// Length `len(λᵢ*)` of the critical (longest) path.
+    /// Length `len(λᵢ*)` of the critical (longest) path. Memoized.
     #[must_use]
     pub fn critical_path_length(&self) -> u64 {
-        paths::critical_path(self).length
+        self.critical_path().length
     }
 
     /// The critical path itself: its length and one witnessing node
-    /// sequence from source to sink.
+    /// sequence from source to sink. Memoized.
     #[must_use]
-    pub fn critical_path(&self) -> CriticalPath {
-        paths::critical_path(self)
+    pub fn critical_path(&self) -> &CriticalPath {
+        self.cache
+            .critical_path
+            .get_or_init(|| paths::critical_path_from(self, self.path_metrics()))
+    }
+
+    /// Per-node longest-path distances (to/from the endpoints). Memoized;
+    /// shared with [`Dag::critical_path`].
+    #[must_use]
+    pub fn path_metrics(&self) -> &PathMetrics {
+        self.cache.metrics.get_or_init(|| PathMetrics::new(self))
+    }
+
+    /// The transitive-reachability closure of the graph. Memoized — and
+    /// normally pre-seeded by [`DagBuilder`], which computes the closure
+    /// while validating blocking regions, so this never recomputes it for
+    /// builder-constructed graphs.
+    #[must_use]
+    pub fn reachability(&self) -> &Reachability {
+        self.cache.reach.get_or_init(|| Reachability::new(self))
+    }
+
+    /// The per-node delay sets `X(v)` and the bound `b̄` of the paper's
+    /// Section 3.1, as bitset rows. Memoized.
+    #[must_use]
+    pub fn delay_profile(&self) -> &DelayProfile {
+        self.cache
+            .delays
+            .get_or_init(|| DelayProfile::new(self, self.reachability()))
+    }
+
+    /// A maximum antichain of the `BF` nodes: the largest set of blocking
+    /// forks that may be simultaneously suspended (exact, via min-chain
+    /// cover). Memoized.
+    #[must_use]
+    pub fn max_blocking_antichain(&self) -> &[NodeId] {
+        self.cache.bf_antichain.get_or_init(|| {
+            crate::antichain::max_antichain_of(self, self.reachability(), self.blocking_forks())
+        })
+    }
+
+    /// A structural copy of this graph with an *empty* derived-analysis
+    /// cache: every memoized artifact will be recomputed on first use.
+    ///
+    /// Plain [`Clone`] carries filled cache cells along; this is the
+    /// cold-start variant, used to benchmark the miss path and to check
+    /// cache coherence in tests.
+    #[must_use]
+    pub fn clone_uncached(&self) -> Dag {
+        Dag {
+            nodes: self.nodes.clone(),
+            succ: self.succ.clone(),
+            pred: self.pred.clone(),
+            pair: self.pair.clone(),
+            region_of: self.region_of.clone(),
+            regions: self.regions.clone(),
+            topo: self.topo.clone(),
+            source: self.source,
+            sink: self.sink,
+            edge_count: self.edge_count,
+            cache: DerivedCache::default(),
+        }
     }
 
     /// Re-validates this graph against the full task-model restrictions.

@@ -61,6 +61,7 @@
 mod antichain;
 mod bitset;
 mod builder;
+mod cache;
 mod dag;
 mod dot;
 mod error;
@@ -75,6 +76,7 @@ mod validate;
 pub use antichain::{max_antichain, max_antichain_of, MinChainCover};
 pub use bitset::BitSet;
 pub use builder::DagBuilder;
+pub use cache::DelayProfile;
 pub use dag::Dag;
 pub use dot::DotOptions;
 pub use error::GraphError;

@@ -30,12 +30,13 @@ pub struct CriticalPath {
     pub nodes: Vec<NodeId>,
 }
 
-/// Computes the critical path of `dag` by longest-path dynamic programming
-/// over the topological order (ties broken toward smaller node ids, so the
-/// result is deterministic).
+/// Extracts the critical path of `dag` from already-computed
+/// [`PathMetrics`] (ties broken toward smaller node ids, so the result is
+/// deterministic). Separated from the metrics computation so the
+/// derived-analysis cache can share one `PathMetrics` between both
+/// artifacts.
 #[must_use]
-pub(crate) fn critical_path(dag: &Dag) -> CriticalPath {
-    let metrics = PathMetrics::new(dag);
+pub(crate) fn critical_path_from(dag: &Dag, metrics: &PathMetrics) -> CriticalPath {
     let mut nodes = Vec::new();
     let mut v = dag.sink();
     loop {

@@ -4,7 +4,6 @@
 use crate::antichain::max_antichain;
 use crate::dag::Dag;
 use crate::node::NodeKind;
-use crate::reach::Reachability;
 
 /// Summary statistics of a task graph.
 ///
@@ -61,10 +60,10 @@ impl GraphStats {
     /// computation, `O(|V|²)`-ish).
     #[must_use]
     pub fn new(dag: &Dag) -> Self {
-        let reach = Reachability::new(dag);
+        let reach = dag.reachability();
         let volume = dag.volume();
         let critical_path = dag.critical_path_length();
-        let width = max_antichain(dag, &reach).len();
+        let width = max_antichain(dag, reach).len();
 
         // Depth: longest path in hops.
         let mut hops = vec![0usize; dag.node_count()];

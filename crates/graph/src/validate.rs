@@ -28,6 +28,10 @@ pub(crate) struct Analysis {
     pub pair: Vec<Option<NodeId>>,
     pub regions: Vec<Region>,
     pub region_of: Vec<Option<u32>>,
+    /// The transitive closure computed during region validation; the
+    /// builder seeds the finished graph's derived-analysis cache with it
+    /// so it is never recomputed.
+    pub reach: Reachability,
 }
 
 /// Analyzes a raw skeleton, deriving node kinds and blocking regions and
@@ -144,6 +148,7 @@ pub(crate) fn analyze(
         pair,
         regions,
         region_of,
+        reach,
     })
 }
 

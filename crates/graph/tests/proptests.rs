@@ -205,6 +205,78 @@ proptest! {
     }
 
     #[test]
+    fn cached_artifacts_match_fresh_computation(depth in 1u32..4, seed in any::<u64>()) {
+        // Memoized derived artifacts must be indistinguishable from a
+        // fresh computation on a structurally identical cache-less DAG.
+        let dag = fork_join_tree(depth, seed);
+        let fresh = dag.clone_uncached();
+
+        prop_assert_eq!(dag.volume(), fresh.volume());
+        prop_assert_eq!(dag.critical_path_length(), fresh.critical_path_length());
+        prop_assert_eq!(&dag.critical_path().nodes, &fresh.critical_path().nodes);
+        prop_assert_eq!(dag.blocking_forks(), fresh.blocking_forks());
+        prop_assert_eq!(dag.max_blocking_antichain(), fresh.max_blocking_antichain());
+
+        let (r_cached, r_fresh) = (dag.reachability(), fresh.reachability());
+        for v in dag.node_ids() {
+            prop_assert_eq!(r_cached.descendants(v), r_fresh.descendants(v));
+            prop_assert_eq!(r_cached.ancestors(v), r_fresh.ancestors(v));
+        }
+
+        let (d_cached, d_fresh) = (dag.delay_profile(), fresh.delay_profile());
+        prop_assert_eq!(d_cached.max_delay_count(), d_fresh.max_delay_count());
+        for v in dag.node_ids() {
+            prop_assert_eq!(d_cached.delay_row(v), d_fresh.delay_row(v));
+            prop_assert_eq!(d_cached.delay_count(v), d_fresh.delay_count(v));
+        }
+    }
+
+    #[test]
+    fn delay_rows_match_pairwise_oracle(depth in 1u32..4, seed in any::<u64>()) {
+        // The word-parallel delay-row kernel must agree with the paper's
+        // set definition of X(v): concurrent blocking forks, plus the
+        // waited-on fork F(v) for blocking children (Sec. 3.1).
+        let dag = fork_join_tree(depth, seed);
+        let reach = dag.reachability();
+        let profile = dag.delay_profile();
+        let forks: Vec<NodeId> = dag
+            .node_ids()
+            .filter(|&f| dag.kind(f) == NodeKind::BlockingFork)
+            .collect();
+        for v in dag.node_ids() {
+            let mut oracle: Vec<usize> = forks
+                .iter()
+                .filter(|&&f| reach.are_concurrent(f, v))
+                .map(|f| f.index())
+                .collect();
+            if let Some(f) = dag.waiting_fork_of(v) {
+                oracle.push(f.index());
+            }
+            oracle.sort_unstable();
+            oracle.dedup();
+            let row: Vec<usize> = profile.delay_row(v).iter().collect();
+            prop_assert_eq!(row, oracle, "delay row mismatch at {}", v);
+            prop_assert_eq!(profile.delay_count(v), profile.delay_row(v).len());
+        }
+    }
+
+    #[test]
+    fn cache_accessors_are_idempotent((layers, seed) in layered_dag()) {
+        // Repeated calls return identical values (and the cached
+        // references are stable across calls).
+        let dag = build_layered(&layers, seed);
+        prop_assert_eq!(dag.volume(), dag.volume());
+        prop_assert_eq!(dag.critical_path_length(), dag.critical_path_length());
+        prop_assert!(std::ptr::eq(dag.reachability(), dag.reachability()));
+        prop_assert!(std::ptr::eq(dag.delay_profile(), dag.delay_profile()));
+        prop_assert!(std::ptr::eq(dag.critical_path(), dag.critical_path()));
+        prop_assert!(std::ptr::eq(
+            dag.blocking_forks().as_ptr(),
+            dag.blocking_forks().as_ptr()
+        ));
+    }
+
+    #[test]
     fn regions_partition_blocking_nodes(depth in 1u32..4, seed in any::<u64>()) {
         let dag = fork_join_tree(depth, seed);
         let mut covered = vec![false; dag.node_count()];

@@ -6,7 +6,7 @@ use std::collections::BTreeSet;
 use rtpool_core::analysis::global::{self, ConcurrencyModel};
 use rtpool_core::analysis::{TaskVerdict, UnschedulableReason};
 use rtpool_core::deadlock::{self, GlobalVerdict};
-use rtpool_core::partition::{algorithm1, worst_fit};
+use rtpool_core::partition::{algorithm1_with, worst_fit, WorstFit};
 use rtpool_core::textfmt::{
     parse_task_set_with_spans, ParseTaskError, SourceSpans, Span, TaskSpans,
 };
@@ -240,7 +240,7 @@ fn semantic_diagnostics(
         for d in structure_rules(id, task, t_spans) {
             emit(d, &mut out);
         }
-        for d in partition_rules(id, task, &ca, m, t_spans) {
+        for d in partition_rules(id, &ca, m, t_spans) {
             emit(d, &mut out);
         }
     }
@@ -346,7 +346,7 @@ fn deadlock_rules(
             }
             // RT104: a naive load-balancing placement deadlocks even
             // though the pool size is safe under global scheduling.
-            if m >= 1 && algorithm1(dag, m).is_ok() {
+            if m >= 1 && algorithm1_with(ca, m, &mut WorstFit).is_ok() {
                 let naive = worst_fit(dag, m);
                 if !deadlock::check_partitioned(ca, m, &naive).is_deadlock_free() {
                     let d = Diagnostic::new(
@@ -427,7 +427,6 @@ fn structure_rules(id: TaskId, task: &Task, spans: Option<&TaskSpans>) -> Vec<Di
 /// RT301: Algorithm 1 feasibility at the analyzed pool size.
 fn partition_rules(
     id: TaskId,
-    task: &Task,
     ca: &ConcurrencyAnalysis<'_>,
     m: usize,
     spans: Option<&TaskSpans>,
@@ -436,7 +435,7 @@ fn partition_rules(
     if ca.blocking_forks().is_empty() {
         return out;
     }
-    if let Err(failure) = algorithm1(task.dag(), m) {
+    if let Err(failure) = algorithm1_with(ca, m, &mut WorstFit) {
         let mut d = Diagnostic::new(
             code::RT301,
             Severity::Warning,
