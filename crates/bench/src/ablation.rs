@@ -8,8 +8,6 @@
 //!    versus first-fit and best-fit for the free placements at lines 11
 //!    and 18.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
 use rand::SeedableRng;
 use rtpool_core::analysis::global::{self, ConcurrencyModel};
 use rtpool_core::analysis::partitioned::{self, BlockingAwareness};
@@ -18,6 +16,8 @@ use rtpool_core::partition::{
 };
 use rtpool_core::{ConcurrencyAnalysis, TaskSet};
 use rtpool_gen::{DagGenConfig, TaskSetConfig};
+
+use crate::sweep::SweepPool;
 
 /// Acceptance ratios of the three global concurrency models at one
 /// parameter point.
@@ -34,34 +34,41 @@ pub struct FloorPoint {
 }
 
 /// Sweeps the task count (the Figure 2(e) setup) and reports the
-/// acceptance of all three concurrency models.
+/// acceptance of all three concurrency models. The whole
+/// `(n × sample)` grid runs as one queue on the shared pool.
 #[must_use]
 pub fn concurrency_floor_ablation(
+    pool: &SweepPool,
     sets_per_point: usize,
     seed: u64,
-    threads: usize,
 ) -> Vec<FloorPoint> {
     let m = 8;
-    (1..=8)
-        .map(|k| {
-            let n = 2 * k;
-            let counts = parallel_count(sets_per_point, threads, |sample| {
-                let mut rng = rand::rngs::StdRng::seed_from_u64(mix(seed, n as u64, sample as u64));
-                let set = TaskSetConfig::new(n, 0.4 * n as f64, DagGenConfig::default())
-                    .generate(&mut rng)
-                    .expect("generation succeeds");
-                [
-                    global::analyze(&set, m, ConcurrencyModel::Full).is_schedulable(),
-                    global::analyze(&set, m, ConcurrencyModel::Limited).is_schedulable(),
-                    global::analyze(&set, m, ConcurrencyModel::LimitedExact).is_schedulable(),
-                ]
-            });
-            FloorPoint {
-                n,
-                full: counts[0] as f64 / sets_per_point as f64,
-                limited: counts[1] as f64 / sets_per_point as f64,
-                limited_exact: counts[2] as f64 / sets_per_point as f64,
-            }
+    let counts = sweep_counts(
+        pool,
+        "ablation:floor",
+        8,
+        sets_per_point,
+        move |point, sample| {
+            let n = 2 * (point + 1);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(mix(seed, n as u64, sample as u64));
+            let set = TaskSetConfig::new(n, 0.4 * n as f64, DagGenConfig::default())
+                .generate(&mut rng)
+                .expect("generation succeeds");
+            [
+                global::analyze(&set, m, ConcurrencyModel::Full).is_schedulable(),
+                global::analyze(&set, m, ConcurrencyModel::Limited).is_schedulable(),
+                global::analyze(&set, m, ConcurrencyModel::LimitedExact).is_schedulable(),
+            ]
+        },
+    );
+    counts
+        .into_iter()
+        .enumerate()
+        .map(|(point, c)| FloorPoint {
+            n: 2 * (point + 1),
+            full: c[0] as f64 / sets_per_point as f64,
+            limited: c[1] as f64 / sets_per_point as f64,
+            limited_exact: c[2] as f64 / sets_per_point as f64,
         })
         .collect()
 }
@@ -80,30 +87,45 @@ pub struct HeuristicPoint {
     pub best_fit: f64,
 }
 
+/// The pool sizes swept by [`heuristic_ablation`] (the Figure 2(d)
+/// setup).
+const HEURISTIC_POOL_SIZES: [usize; 7] = [2, 3, 4, 6, 8, 12, 16];
+
 /// Sweeps the pool size (the Figure 2(d) setup) and reports partitioned
-/// acceptance for each Algorithm 1 tie-breaking heuristic.
+/// acceptance for each Algorithm 1 tie-breaking heuristic. The whole
+/// `(m × sample)` grid runs as one queue on the shared pool.
 #[must_use]
-pub fn heuristic_ablation(sets_per_point: usize, seed: u64, threads: usize) -> Vec<HeuristicPoint> {
-    [2usize, 3, 4, 6, 8, 12, 16]
+pub fn heuristic_ablation(
+    pool: &SweepPool,
+    sets_per_point: usize,
+    seed: u64,
+) -> Vec<HeuristicPoint> {
+    let counts = sweep_counts(
+        pool,
+        "ablation:heuristic",
+        HEURISTIC_POOL_SIZES.len(),
+        sets_per_point,
+        move |point, sample| {
+            let m = HEURISTIC_POOL_SIZES[point];
+            let mut rng = rand::rngs::StdRng::seed_from_u64(mix(seed, m as u64, sample as u64));
+            let set = TaskSetConfig::new(4, 1.0, DagGenConfig::default())
+                .generate(&mut rng)
+                .expect("generation succeeds");
+            [
+                accepts(&set, m, &mut WorstFit),
+                accepts(&set, m, &mut FirstFit),
+                accepts(&set, m, &mut BestFit),
+            ]
+        },
+    );
+    counts
         .into_iter()
-        .map(|m| {
-            let counts = parallel_count(sets_per_point, threads, |sample| {
-                let mut rng = rand::rngs::StdRng::seed_from_u64(mix(seed, m as u64, sample as u64));
-                let set = TaskSetConfig::new(4, 1.0, DagGenConfig::default())
-                    .generate(&mut rng)
-                    .expect("generation succeeds");
-                [
-                    accepts(&set, m, &mut WorstFit),
-                    accepts(&set, m, &mut FirstFit),
-                    accepts(&set, m, &mut BestFit),
-                ]
-            });
-            HeuristicPoint {
-                m,
-                worst_fit: counts[0] as f64 / sets_per_point as f64,
-                first_fit: counts[1] as f64 / sets_per_point as f64,
-                best_fit: counts[2] as f64 / sets_per_point as f64,
-            }
+        .enumerate()
+        .map(|(point, c)| HeuristicPoint {
+            m: HEURISTIC_POOL_SIZES[point],
+            worst_fit: c[0] as f64 / sets_per_point as f64,
+            first_fit: c[1] as f64 / sets_per_point as f64,
+            best_fit: c[2] as f64 / sets_per_point as f64,
         })
         .collect()
 }
@@ -122,35 +144,24 @@ fn accepts<H: PlacementHeuristic>(set: &TaskSet, m: usize, heuristic: &mut H) ->
     partitioned::analyze(set, m, &mappings, BlockingAwareness::Oblivious).is_schedulable()
 }
 
-/// Evaluates `f` for `samples` indices across `threads` OS threads and
-/// returns how many samples answered `true` per slot of the returned
-/// array.
-fn parallel_count<const K: usize>(
+/// Evaluates `f(point, sample)` for the whole `points × samples` grid
+/// as one flat queue on the shared pool and folds the boolean verdicts
+/// into per-point hit counts.
+fn sweep_counts<const K: usize>(
+    pool: &SweepPool,
+    label: &str,
+    points: usize,
     samples: usize,
-    threads: usize,
-    f: impl Fn(usize) -> [bool; K] + Sync,
-) -> [usize; K] {
-    let counters: Vec<AtomicUsize> = (0..K).map(|_| AtomicUsize::new(0)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads.max(1) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= samples {
-                    return;
-                }
-                let results = f(i);
-                for (k, &hit) in results.iter().enumerate() {
-                    if hit {
-                        counters[k].fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            });
-        }
+    f: impl Fn(usize, usize) -> [bool; K] + Send + Sync + 'static,
+) -> Vec<[usize; K]> {
+    let verdicts = pool.run(points * samples, label, move |i| {
+        f(i / samples, i % samples)
     });
-    let mut out = [0usize; K];
-    for (o, c) in out.iter_mut().zip(&counters) {
-        *o = c.load(Ordering::Relaxed);
+    let mut out = vec![[0usize; K]; points];
+    for (i, verdict) in verdicts.iter().enumerate() {
+        for (k, &hit) in verdict.iter().enumerate() {
+            out[i / samples][k] += usize::from(hit);
+        }
     }
     out
 }
@@ -169,7 +180,8 @@ mod tests {
     #[test]
     fn floor_ablation_orders_models() {
         // Full >= LimitedExact >= Limited acceptance, pointwise.
-        for p in concurrency_floor_ablation(24, 11, 4) {
+        let pool = SweepPool::new(4);
+        for p in concurrency_floor_ablation(&pool, 24, 11) {
             assert!(
                 p.full >= p.limited_exact - 1e-12,
                 "full {} < exact {} at n = {}",
@@ -189,7 +201,8 @@ mod tests {
 
     #[test]
     fn heuristic_ablation_produces_ratios() {
-        for p in heuristic_ablation(12, 3, 4) {
+        let pool = SweepPool::new(4);
+        for p in heuristic_ablation(&pool, 12, 3) {
             for v in [p.worst_fit, p.first_fit, p.best_fit] {
                 assert!((0.0..=1.0).contains(&v));
             }
@@ -197,9 +210,23 @@ mod tests {
     }
 
     #[test]
-    fn parallel_count_counts() {
-        let [evens, all] = parallel_count(100, 4, |i| [i % 2 == 0, true]);
-        assert_eq!(evens, 50);
-        assert_eq!(all, 100);
+    fn sweep_counts_counts() {
+        let pool = SweepPool::new(4);
+        let counts = sweep_counts(&pool, "t", 2, 50, |_, sample| [sample % 2 == 0, true]);
+        assert_eq!(counts, vec![[25, 50], [25, 50]]);
+    }
+
+    #[test]
+    fn ablation_independent_of_worker_count() {
+        let serial = SweepPool::new(1);
+        let wide = SweepPool::new(8);
+        assert_eq!(
+            concurrency_floor_ablation(&serial, 12, 5),
+            concurrency_floor_ablation(&wide, 12, 5)
+        );
+        assert_eq!(
+            heuristic_ablation(&serial, 8, 5),
+            heuristic_ablation(&wide, 8, 5)
+        );
     }
 }

@@ -12,6 +12,7 @@
 use std::process::ExitCode;
 
 use rtpool_bench::ablation;
+use rtpool_bench::sweep::SweepPool;
 
 fn main() -> ExitCode {
     let mut study = String::from("all");
@@ -50,6 +51,8 @@ fn main() -> ExitCode {
         }
     }
 
+    // One worker pool for the whole process; both studies share it.
+    let pool = SweepPool::new(threads);
     if study == "floor" || study == "all" {
         println!("Ablation: concurrency floor (global RTA, m=8, U=0.4n; {sets} sets/point)");
         println!(
@@ -57,7 +60,7 @@ fn main() -> ExitCode {
             "n", "oblivious", "b̄ (paper)", "exact (ext.)"
         );
         println!("{}", "-".repeat(50));
-        for p in ablation::concurrency_floor_ablation(sets, seed, threads) {
+        for p in ablation::concurrency_floor_ablation(&pool, sets, seed) {
             println!(
                 "{:>4} | {:>10.3} | {:>12.3} | {:>14.3}",
                 p.n, p.full, p.limited, p.limited_exact
@@ -72,7 +75,7 @@ fn main() -> ExitCode {
             "m", "worst-fit", "first-fit", "best-fit"
         );
         println!("{}", "-".repeat(44));
-        for p in ablation::heuristic_ablation(sets, seed, threads) {
+        for p in ablation::heuristic_ablation(&pool, sets, seed) {
             println!(
                 "{:>4} | {:>10.3} | {:>10.3} | {:>10.3}",
                 p.m, p.worst_fit, p.first_fit, p.best_fit

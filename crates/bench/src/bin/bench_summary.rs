@@ -1,30 +1,36 @@
 //! Emits `BENCH_analysis.json`: before/after medians for the hot
-//! schedulability kernels plus end-to-end Figure 2 sample throughput.
+//! schedulability kernels, the windowed-generation kernel, end-to-end
+//! Figure 2 sample throughput, and the insets-(a)/(b) battery including
+//! generation.
 //!
-//! "Before" replays the pre-cache pipeline: every analysis call receives
-//! task DAGs with an empty derived-artifact cache
-//! ([`rtpool_graph::Dag::clone_uncached`]) and runs the two global models
-//! as separate passes, so reachability, volume, critical paths, delay
-//! sets, and the blocking antichain are recomputed per call — exactly
-//! the sharing behavior of the previous code. "After" analyzes the
-//! shared cached sets through the batched
-//! [`rtpool_bench::pipeline`] entry points.
+//! "Before" replays the pre-optimization pipelines: analysis calls
+//! receive task DAGs with an empty derived-artifact cache
+//! ([`rtpool_graph::Dag::clone_uncached`]), generation builds (and
+//! validates) a full `Dag` per rejection-sampling attempt
+//! ([`rtpool_gen::TaskSetConfig::generate_reference`]), and the
+//! (a)/(b) battery spawns a scope of OS threads per point
+//! ([`rtpool_bench::fig2::run_point_reference`]). "After" uses the
+//! cached [`rtpool_bench::pipeline`] entry points, the scratch-buffer
+//! generation fast path with its early `b̄` window prefilter, and the
+//! persistent work-stealing [`rtpool_bench::sweep::SweepPool`].
 //!
-//! The corpus is pre-generated from a fixed seed outside every timed
-//! region, and both modes are checked to produce bit-identical verdicts
-//! before the numbers are written.
+//! Every before/after pair is gated on bit-identical outputs
+//! (`verdicts_match`, `generation.series_match`,
+//! `fig2_ab_end_to_end.series_match`) before the numbers are written.
 //!
 //! Usage: `bench_summary [--quick] [--out PATH]`
 
 use std::time::Instant;
 
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+use rtpool_bench::fig2::{run_insets, run_point_reference, Fig2Params, Inset, SeriesPoint};
 use rtpool_bench::pipeline;
+use rtpool_bench::sweep::SweepPool;
 use rtpool_core::analysis::global::{self, ConcurrencyModel};
 use rtpool_core::analysis::partitioned::PartitionStrategy;
 use rtpool_core::analysis::SchedResult;
 use rtpool_core::{Task, TaskSet};
-use rtpool_gen::{DagGenConfig, TaskSetConfig};
+use rtpool_gen::{BlockingPolicy, ConcurrencyWindow, DagGenConfig, DagScratch, TaskSetConfig};
 
 const M: usize = 8;
 const N_TASKS: usize = 4;
@@ -159,9 +165,62 @@ fn main() {
         std::hint::black_box(battery_verdicts_after(set));
     });
 
+    // Windowed-generation kernel: the inset (a) cost model (resampled
+    // blocking probability, concurrency window, rejection sampling),
+    // full-build reference path vs scratch fast path. Identical RNG
+    // streams, so the produced sets must match exactly.
+    let gen_samples = if cfg.quick { 8 } else { 24 };
+    let (gen_before_ns, sets_ref) = measure_generation(gen_samples, cfg.reps, false);
+    let (gen_after_ns, sets_fast) = measure_generation(gen_samples, cfg.reps, true);
+    let generation_match = sets_ref == sets_fast;
+    assert!(
+        generation_match,
+        "generation fast path diverged from reference"
+    );
+    eprintln!("generation check: fast path == reference on all {gen_samples} samples");
+
+    // Insets (a)/(b) battery end to end, generation included: the
+    // reference path (scoped threads per point + full-build generation)
+    // vs one sweep over the persistent pool with the scratch fast path.
+    // Single worker on both sides; the series must be bit-identical.
+    let ab_params = Fig2Params {
+        sets_per_point: if cfg.quick { 3 } else { 25 },
+        seed: BASE_SEED,
+        threads: 1,
+    };
+    let ab_insets = [Inset::A, Inset::B];
+    let start = Instant::now();
+    let series_ref: Vec<SeriesPoint> = ab_insets
+        .iter()
+        .flat_map(|&inset| {
+            inset
+                .x_values()
+                .into_iter()
+                .map(move |x| run_point_reference(inset, x, &ab_params))
+        })
+        .collect();
+    let ab_before_secs = start.elapsed().as_secs_f64();
+    let pool = SweepPool::new(1);
+    let start = Instant::now();
+    let series_fast: Vec<SeriesPoint> = run_insets(&pool, &ab_insets, &ab_params)
+        .into_iter()
+        .flat_map(|(_, series)| series)
+        .collect();
+    let ab_after_secs = start.elapsed().as_secs_f64();
+    let series_match = series_ref == series_fast;
+    assert!(series_match, "sweep-engine series diverged from reference");
+    eprintln!(
+        "series check: sweep engine == reference on insets (a)/(b) \
+         ({} points, {} sets/point)",
+        series_fast.len(),
+        ab_params.sets_per_point
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"benchmark\": \"derived-analysis cache + kernel optimization\",\n");
+    json.push_str(
+        "  \"benchmark\": \"derived-analysis cache + sweep engine + generation fast path\",\n",
+    );
     json.push_str(&format!("  \"quick\": {},\n", cfg.quick));
     json.push_str(&format!(
         "  \"corpus\": {{ \"sets\": {}, \"n_tasks\": {N_TASKS}, \"utilization\": {UTILIZATION}, \"m\": {M}, \"seed\": {BASE_SEED}, \"threads\": 1 }},\n",
@@ -177,8 +236,17 @@ fn main() {
     }
     json.push_str("  },\n");
     json.push_str(&format!(
-        "  \"fig2_end_to_end\": {{ \"what\": \"full per-sample verdict battery, generation excluded\", \"before_samples_per_sec\": {fig2_before:.1}, \"after_samples_per_sec\": {fig2_after:.1}, \"speedup\": {:.2}, \"verdicts_match\": {verdicts_match} }}\n",
+        "  \"generation\": {{ \"what\": \"windowed task-set generation (inset (a) cost model): scratch fast path + early b-bar prefilter vs full build per attempt\", \"before_median_ns\": {gen_before_ns}, \"after_median_ns\": {gen_after_ns}, \"speedup\": {:.2}, \"series_match\": {generation_match} }},\n",
+        gen_before_ns as f64 / (gen_after_ns.max(1)) as f64
+    ));
+    json.push_str(&format!(
+        "  \"fig2_end_to_end\": {{ \"what\": \"full per-sample verdict battery, generation excluded\", \"before_samples_per_sec\": {fig2_before:.1}, \"after_samples_per_sec\": {fig2_after:.1}, \"speedup\": {:.2}, \"verdicts_match\": {verdicts_match} }},\n",
         fig2_after / fig2_before.max(f64::MIN_POSITIVE)
+    ));
+    json.push_str(&format!(
+        "  \"fig2_ab_end_to_end\": {{ \"what\": \"insets (a)+(b) battery including generation: per-point scoped threads + full-build generation vs persistent sweep pool + scratch fast path\", \"sets_per_point\": {}, \"before_secs\": {ab_before_secs:.3}, \"after_secs\": {ab_after_secs:.3}, \"speedup\": {:.2}, \"series_match\": {series_match} }}\n",
+        ab_params.sets_per_point,
+        ab_before_secs / ab_after_secs.max(f64::MIN_POSITIVE)
     ));
     json.push_str("}\n");
 
@@ -217,6 +285,69 @@ fn battery_verdicts_after(set: &TaskSet) -> [SchedResult; 4] {
     let wf = pipeline::partition_and(set, M, PartitionStrategy::WorstFit).0;
     let a1 = pipeline::partition_and(set, M, PartitionStrategy::Algorithm1).0;
     [full, limited, wf, a1]
+}
+
+/// One windowed-generation sample: the inset (a) cost model (resampled
+/// blocking-promotion probability, concurrency window, rejection
+/// sampling) without the analysis battery.
+fn generate_windowed(sample: u64, fast: bool, scratch: &mut DagScratch) -> Option<TaskSet> {
+    let x = 1 + (sample % 8) as i64; // cycle the inset (a) sweep
+    let mut rng =
+        rand::rngs::StdRng::seed_from_u64(BASE_SEED ^ sample.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let window = ConcurrencyWindow {
+        m: M,
+        l_min: (x - 1).max(1),
+        l_max: x,
+        max_attempts: 60,
+    };
+    for _ in 0..40 {
+        let p: f64 = rng.gen();
+        let dag_cfg = DagGenConfig {
+            blocking: BlockingPolicy::Fixed(p),
+            ..DagGenConfig::default()
+        };
+        let cfg =
+            TaskSetConfig::new(N_TASKS, 0.5 * M as f64, dag_cfg).with_concurrency_window(window);
+        let result = if fast {
+            cfg.generate_with(&mut rng, scratch)
+        } else {
+            cfg.generate_reference(&mut rng)
+        };
+        if let Ok(set) = result {
+            return Some(set);
+        }
+    }
+    None
+}
+
+/// Times `samples` windowed generations per repetition; returns the
+/// median per-sample time in ns plus a structural fingerprint of the
+/// generated sets (node count, volume, period per task) for the
+/// fast == reference gate.
+fn measure_generation(samples: usize, reps: usize, fast: bool) -> (u128, Vec<(usize, u64, u64)>) {
+    let mut scratch = DagScratch::new();
+    let mut times = Vec::with_capacity(reps);
+    let mut fingerprint = Vec::new();
+    for _ in 0..reps {
+        fingerprint.clear();
+        let start = Instant::now();
+        for sample in 0..samples as u64 {
+            match generate_windowed(sample, fast, &mut scratch) {
+                Some(set) => {
+                    for (_, task) in set.iter() {
+                        fingerprint.push((
+                            task.dag().node_count(),
+                            task.dag().volume(),
+                            task.period(),
+                        ));
+                    }
+                }
+                None => fingerprint.push((0, 0, 0)),
+            }
+        }
+        times.push(start.elapsed().as_nanos() / samples.max(1) as u128);
+    }
+    (median(times), fingerprint)
 }
 
 /// Median over `reps` repetitions of the per-set mean time of `f`, in ns.

@@ -14,7 +14,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use rtpool_bench::fig2::{run_inset, Fig2Params, Inset};
+use rtpool_bench::fig2::{run_insets, Fig2Params, Inset};
+use rtpool_bench::sweep::SweepPool;
 use rtpool_bench::table;
 
 struct Args {
@@ -90,28 +91,34 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    for inset in &args.insets {
-        let start = Instant::now();
-        let series = run_inset(*inset, &args.params);
-        let elapsed = start.elapsed();
-        println!("{}", table::render_text(*inset, &series));
+    // One pool for the whole process: all requested insets run as a
+    // single chunked work queue with no further thread spawns and no
+    // barrier between points.
+    let pool = SweepPool::new(args.params.threads);
+    let start = Instant::now();
+    let results = run_insets(&pool, &args.insets, &args.params);
+    let elapsed = start.elapsed();
+    for (inset, series) in &results {
+        println!("{}", table::render_text(*inset, series));
         if args.plot {
-            println!("{}", table::render_ascii_plot(&series));
+            println!("{}", table::render_ascii_plot(series));
         }
-        println!(
-            "  ({} sets/point, seed {:#x}, {:.1}s)\n",
-            args.params.sets_per_point,
-            args.params.seed,
-            elapsed.as_secs_f64()
-        );
         if let Some(dir) = &args.csv_dir {
             let path = dir.join(format!("fig2{}.csv", inset.letter()));
-            if let Err(e) = std::fs::write(&path, table::render_csv(*inset, &series)) {
+            if let Err(e) = std::fs::write(&path, table::render_csv(*inset, series)) {
                 eprintln!("error: cannot write {}: {e}", path.display());
                 return ExitCode::FAILURE;
             }
             println!("  wrote {}", path.display());
         }
+        println!();
     }
+    println!(
+        "({} sets/point, seed {:#x}, {} workers, {:.1}s total)",
+        args.params.sets_per_point,
+        args.params.seed,
+        pool.threads(),
+        elapsed.as_secs_f64()
+    );
     ExitCode::SUCCESS
 }

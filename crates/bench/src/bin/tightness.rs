@@ -7,6 +7,7 @@
 
 use std::process::ExitCode;
 
+use rtpool_bench::sweep::SweepPool;
 use rtpool_bench::tightness;
 
 fn main() -> ExitCode {
@@ -48,7 +49,8 @@ fn main() -> ExitCode {
         "analysis", "accepted", "mean R/Rsim", "max R/Rsim", "violations"
     );
     println!("{}", "-".repeat(78));
-    for t in tightness::measure(sets, m, n, u, seed, threads) {
+    let pool = SweepPool::new(threads);
+    for t in tightness::measure(&pool, sets, m, n, u, seed) {
         println!(
             "{:<26} | {:>8} | {:>11.3} | {:>10.3} | {:>10}",
             t.label, t.accepted, t.mean_ratio, t.max_ratio, t.violations

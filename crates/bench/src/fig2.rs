@@ -18,13 +18,15 @@
 //! from the ratio.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use rand::{Rng, SeedableRng};
 use rtpool_core::TaskSet;
-use rtpool_gen::{BlockingPolicy, ConcurrencyWindow, DagGenConfig, GenError, TaskSetConfig};
+use rtpool_gen::{
+    BlockingPolicy, ConcurrencyWindow, DagGenConfig, DagScratch, GenError, TaskSetConfig,
+};
 
 use crate::pipeline;
+use crate::sweep::SweepPool;
 
 /// Which Figure 2 inset to reproduce.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -153,6 +155,13 @@ impl Default for Fig2Params {
 }
 
 /// One point of a schedulability-ratio series.
+///
+/// A point with `samples == 0` is *empty*: no sample survived the
+/// discard/window budgets (or all errored). Its ratio fields are `0.0`
+/// placeholders — never `NaN` — and carry no meaning; the table and CSV
+/// renderers skip empty points instead of printing a `baseline = 0`
+/// that would contradict the "baseline ≡ 1 by construction" invariant
+/// of insets (a)/(b).
 #[derive(Clone, Debug, PartialEq)]
 pub struct SeriesPoint {
     /// The swept parameter's value.
@@ -166,6 +175,17 @@ pub struct SeriesPoint {
     pub samples: usize,
     /// Samples skipped because generation/discard budgets ran out.
     pub skipped: usize,
+    /// Samples dropped by a generation *error* (not a budget); the
+    /// harness prints the first few error messages to stderr.
+    pub errors: usize,
+}
+
+impl SeriesPoint {
+    /// `true` when no sample was evaluated (see the type-level docs).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples == 0
+    }
 }
 
 const N_TASKS_SMALL: usize = 4;
@@ -178,23 +198,171 @@ const DISCARD_BUDGET: usize = 400;
 /// attempts).
 const WINDOW_BUDGET: usize = 60;
 
-/// Runs one inset and returns its series.
+/// Outcome of one `(inset, x, sample)` sweep cell.
+enum SampleOutcome {
+    /// The sample survived the discard rule and was analyzed.
+    Evaluated {
+        /// Proposed (concurrency-aware) test verdict.
+        proposed: bool,
+        /// Baseline (oblivious) test verdict.
+        baseline: bool,
+    },
+    /// The discard/window budget ran out — excluded from the ratio.
+    Skipped,
+    /// Generation failed outright.
+    Error(String),
+}
+
+/// Runs every x value of every requested inset as **one** flat sweep
+/// over the shared worker pool: no per-point spawn/join, no barrier
+/// between points. Returns one series per inset, in `insets` order.
+///
+/// Determinism: each `(inset, x, sample)` coordinate derives its own
+/// RNG stream ([`derive_seed`]) and lands in its own result slot, so
+/// the series are bit-identical for any worker count.
 #[must_use]
-pub fn run_inset(inset: Inset, params: &Fig2Params) -> Vec<SeriesPoint> {
-    inset
-        .x_values()
-        .into_iter()
-        .map(|x| run_point(inset, x, params))
+pub fn run_insets(
+    pool: &SweepPool,
+    insets: &[Inset],
+    params: &Fig2Params,
+) -> Vec<(Inset, Vec<SeriesPoint>)> {
+    let coords: Vec<(Inset, i64)> = insets
+        .iter()
+        .flat_map(|&inset| inset.x_values().into_iter().map(move |x| (inset, x)))
+        .collect();
+    let points = run_points(pool, &coords, params);
+
+    let mut by_inset: Vec<(Inset, Vec<SeriesPoint>)> =
+        insets.iter().map(|&inset| (inset, Vec::new())).collect();
+    for (&(inset, _), point) in coords.iter().zip(points) {
+        by_inset
+            .iter_mut()
+            .find(|(i, _)| *i == inset)
+            .expect("coordinate instigated by an entry of `insets`")
+            .1
+            .push(point);
+    }
+    by_inset
+}
+
+/// Runs one inset through the pool. Convenience wrapper over
+/// [`run_insets`]; prefer the batched form when running several insets
+/// so the whole grid forms a single work queue.
+#[must_use]
+pub fn run_inset(pool: &SweepPool, inset: Inset, params: &Fig2Params) -> Vec<SeriesPoint> {
+    run_insets(pool, &[inset], params)
+        .pop()
+        .expect("one series per requested inset")
+        .1
+}
+
+/// Runs a single point through the pool.
+#[must_use]
+pub fn run_point(pool: &SweepPool, inset: Inset, x: i64, params: &Fig2Params) -> SeriesPoint {
+    run_points(pool, &[(inset, x)], params)
+        .pop()
+        .expect("one point per coordinate")
+}
+
+/// Shared driver: evaluates `sets_per_point` samples for every
+/// coordinate as one chunked cell queue, then folds outcomes into
+/// per-point tallies (printing the first few generation errors).
+fn run_points(pool: &SweepPool, coords: &[(Inset, i64)], params: &Fig2Params) -> Vec<SeriesPoint> {
+    let spp = params.sets_per_point;
+    let seed = params.seed;
+    let cell_coords = coords.to_vec();
+    let outcomes = pool.run(coords.len() * spp, "fig2", move |i| {
+        let (inset, x) = cell_coords[i / spp];
+        let sample = i % spp;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(derive_seed(seed, inset, x, sample));
+        let mut scratch = DagScratch::new();
+        match evaluate_sample(inset, x, &mut rng, Some(&mut scratch)) {
+            Ok(Some((proposed, baseline))) => SampleOutcome::Evaluated { proposed, baseline },
+            Ok(None) => SampleOutcome::Skipped,
+            Err(e) => SampleOutcome::Error(e),
+        }
+    });
+
+    let mut printed = 0usize;
+    coords
+        .iter()
+        .enumerate()
+        .map(|(p, &(inset, x))| {
+            fold_point(inset, x, &outcomes[p * spp..(p + 1) * spp], &mut printed)
+        })
         .collect()
 }
 
-fn run_point(inset: Inset, x: i64, params: &Fig2Params) -> SeriesPoint {
-    let proposed_ok = AtomicUsize::new(0);
-    let baseline_ok = AtomicUsize::new(0);
-    let evaluated = AtomicUsize::new(0);
-    let skipped = AtomicUsize::new(0);
+/// Maximum generation-error messages echoed to stderr per run.
+const MAX_PRINTED_ERRORS: usize = 5;
+
+/// Folds one point's sample outcomes into a [`SeriesPoint`], surfacing
+/// the first few error messages on stderr.
+fn fold_point(
+    inset: Inset,
+    x: i64,
+    outcomes: &[SampleOutcome],
+    printed: &mut usize,
+) -> SeriesPoint {
+    let mut evaluated = 0usize;
+    let mut proposed_ok = 0usize;
+    let mut baseline_ok = 0usize;
+    let mut skipped = 0usize;
+    let mut errors = 0usize;
+    for outcome in outcomes {
+        match outcome {
+            SampleOutcome::Evaluated { proposed, baseline } => {
+                evaluated += 1;
+                proposed_ok += usize::from(*proposed);
+                baseline_ok += usize::from(*baseline);
+            }
+            SampleOutcome::Skipped => skipped += 1,
+            SampleOutcome::Error(message) => {
+                errors += 1;
+                if *printed < MAX_PRINTED_ERRORS {
+                    *printed += 1;
+                    eprintln!(
+                        "fig2: generation error at inset ({}), {} = {x}: {message}",
+                        inset.letter(),
+                        inset.x_label()
+                    );
+                }
+            }
+        }
+    }
+    // `evaluated == 0` yields an explicitly empty point (see the
+    // `SeriesPoint` docs): 0.0 placeholders, never NaN, skipped by the
+    // renderers.
+    let ratio = |count: usize| {
+        if evaluated == 0 {
+            0.0
+        } else {
+            count as f64 / evaluated as f64
+        }
+    };
+    SeriesPoint {
+        x,
+        proposed: ratio(proposed_ok),
+        baseline: ratio(baseline_ok),
+        samples: evaluated,
+        skipped,
+        errors,
+    }
+}
+
+/// The pre-sweep-engine point runner: spawns and joins a scope of OS
+/// threads for this single point and routes generation through the
+/// full-build-per-attempt reference path
+/// ([`TaskSetConfig::generate_reference`]). Bit-identical output to
+/// [`run_point`]; kept as the before-side cost model of the
+/// `bench_summary` generation kernel and as an oracle for the
+/// series-identity gate. Not for production use.
+#[must_use]
+pub fn run_point_reference(inset: Inset, x: i64, params: &Fig2Params) -> SeriesPoint {
     let next = AtomicUsize::new(0);
-    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let outcomes: Vec<std::sync::OnceLock<SampleOutcome>> = (0..params.sets_per_point)
+        .map(|_| std::sync::OnceLock::new())
+        .collect();
 
     std::thread::scope(|scope| {
         for _ in 0..params.threads.max(1) {
@@ -205,43 +373,26 @@ fn run_point(inset: Inset, x: i64, params: &Fig2Params) -> SeriesPoint {
                 }
                 let seed = derive_seed(params.seed, inset, x, sample);
                 let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-                match evaluate_sample(inset, x, &mut rng) {
-                    Ok(Some((prop, base))) => {
-                        evaluated.fetch_add(1, Ordering::Relaxed);
-                        if prop {
-                            proposed_ok.fetch_add(1, Ordering::Relaxed);
-                        }
-                        if base {
-                            baseline_ok.fetch_add(1, Ordering::Relaxed);
-                        }
+                let outcome = match evaluate_sample(inset, x, &mut rng, None) {
+                    Ok(Some((proposed, baseline))) => {
+                        SampleOutcome::Evaluated { proposed, baseline }
                     }
-                    Ok(None) => {
-                        skipped.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Err(e) => {
-                        skipped.fetch_add(1, Ordering::Relaxed);
-                        errors.lock().expect("not poisoned").push(e);
-                    }
-                }
+                    Ok(None) => SampleOutcome::Skipped,
+                    Err(e) => SampleOutcome::Error(e),
+                };
+                outcomes[sample]
+                    .set(outcome)
+                    .unwrap_or_else(|_| unreachable!("each sample index claimed once"));
             });
         }
     });
 
-    let evaluated = evaluated.load(Ordering::Relaxed);
-    let ratio = |count: usize| {
-        if evaluated == 0 {
-            0.0
-        } else {
-            count as f64 / evaluated as f64
-        }
-    };
-    SeriesPoint {
-        x,
-        proposed: ratio(proposed_ok.load(Ordering::Relaxed)),
-        baseline: ratio(baseline_ok.load(Ordering::Relaxed)),
-        samples: evaluated,
-        skipped: skipped.load(Ordering::Relaxed),
-    }
+    let outcomes: Vec<SampleOutcome> = outcomes
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("all samples executed"))
+        .collect();
+    let mut printed = MAX_PRINTED_ERRORS; // reference path stays silent
+    fold_point(inset, x, &outcomes, &mut printed)
 }
 
 fn derive_seed(base: u64, inset: Inset, x: i64, sample: usize) -> u64 {
@@ -257,11 +408,23 @@ fn derive_seed(base: u64, inset: Inset, x: i64, sample: usize) -> u64 {
 
 /// Evaluates one sample; `Ok(None)` means the discard/window budget ran
 /// out.
+///
+/// `scratch: Some(..)` routes generation through the scratch-buffer
+/// fast path (buffers reused across all rejection attempts of the
+/// sample); `None` uses the full-build-per-attempt reference path. Both
+/// consume the RNG stream identically and return identical verdicts —
+/// pinned by proptests in `rtpool-gen` and the `series_match` gate of
+/// `bench_summary`.
 fn evaluate_sample(
     inset: Inset,
     x: i64,
     rng: &mut rand::rngs::StdRng,
+    mut scratch: Option<&mut DagScratch>,
 ) -> Result<Option<(bool, bool)>, String> {
+    let mut generate = |cfg: &TaskSetConfig, rng: &mut rand::rngs::StdRng| match scratch.as_mut() {
+        Some(scratch) => cfg.generate_with(rng, scratch),
+        None => cfg.generate_reference(rng),
+    };
     match inset {
         Inset::A | Inset::B => {
             // The partitioned RTA adaptation is substantially more
@@ -290,7 +453,7 @@ fn evaluate_sample(
                 };
                 let cfg =
                     TaskSetConfig::new(N_TASKS_SMALL, u, dag_cfg).with_concurrency_window(window);
-                let set = match cfg.generate(rng) {
+                let set = match generate(&cfg, rng) {
                     Ok(set) => set,
                     Err(GenError::WindowUnsatisfiable { .. }) => continue,
                     Err(e) => return Err(e.to_string()),
@@ -315,7 +478,7 @@ fn evaluate_sample(
             let m = usize::try_from(x).expect("positive m");
             let u = if inset == Inset::C { 2.0 } else { 1.0 };
             let cfg = TaskSetConfig::new(N_TASKS_SMALL, u, DagGenConfig::default());
-            let set = cfg.generate(rng).map_err(|e| e.to_string())?;
+            let set = generate(&cfg, rng).map_err(|e| e.to_string())?;
             Ok(Some(evaluate_set(inset, &set, m)))
         }
         Inset::E | Inset::F => {
@@ -328,7 +491,7 @@ fn evaluate_sample(
             let n = usize::try_from(x).expect("positive n");
             let per_task = if inset == Inset::E { 0.4 } else { 0.15 };
             let cfg = TaskSetConfig::new(n, per_task * n as f64, DagGenConfig::default());
-            let set = cfg.generate(rng).map_err(|e| e.to_string())?;
+            let set = generate(&cfg, rng).map_err(|e| e.to_string())?;
             Ok(Some(evaluate_set(inset, &set, m)))
         }
     }
@@ -382,8 +545,9 @@ mod tests {
     #[test]
     fn inset_c_point_produces_ratios() {
         // m = 8 keeps generation cheap and acceptance high.
-        let point = run_point(Inset::C, 8, &tiny_params());
-        assert_eq!(point.samples + point.skipped, 12);
+        let pool = SweepPool::new(4);
+        let point = run_point(&pool, Inset::C, 8, &tiny_params());
+        assert_eq!(point.samples + point.skipped + point.errors, 12);
         assert!(point.samples > 0);
         assert!((0.0..=1.0).contains(&point.proposed));
         assert!((0.0..=1.0).contains(&point.baseline));
@@ -393,7 +557,8 @@ mod tests {
 
     #[test]
     fn inset_a_baseline_is_one_by_construction() {
-        let point = run_point(Inset::A, 6, &tiny_params());
+        let pool = SweepPool::new(4);
+        let point = run_point(&pool, Inset::A, 6, &tiny_params());
         if point.samples > 0 {
             assert!((point.baseline - 1.0).abs() < 1e-12);
         }
@@ -401,34 +566,49 @@ mod tests {
 
     #[test]
     fn determinism() {
-        let p1 = run_point(Inset::E, 4, &tiny_params());
-        let p2 = run_point(Inset::E, 4, &tiny_params());
+        let pool = SweepPool::new(4);
+        let p1 = run_point(&pool, Inset::E, 4, &tiny_params());
+        let p2 = run_point(&pool, Inset::E, 4, &tiny_params());
         assert_eq!(p1, p2);
     }
 
     #[test]
     fn results_independent_of_thread_count() {
         // Every (inset, x, sample) coordinate derives its own RNG stream
-        // and the per-point tallies are order-free counters, so the
-        // worker count must not leak into the series.
+        // and lands in its own result slot, so the worker count must not
+        // leak into the series. (tests/sweep_determinism.rs pins the
+        // whole multi-inset run; this is the quick per-point check.)
+        let serial_pool = SweepPool::new(1);
+        let wide_pool = SweepPool::new(8);
         for inset in [Inset::C, Inset::E] {
-            let serial = run_point(
-                inset,
-                4,
-                &Fig2Params {
-                    threads: 1,
-                    ..tiny_params()
-                },
-            );
-            let parallel = run_point(
-                inset,
-                4,
-                &Fig2Params {
-                    threads: 4,
-                    ..tiny_params()
-                },
-            );
-            assert_eq!(serial, parallel, "inset {} diverged", inset.letter());
+            let serial = run_point(&serial_pool, inset, 4, &tiny_params());
+            let wide = run_point(&wide_pool, inset, 4, &tiny_params());
+            assert_eq!(serial, wide, "inset {} diverged", inset.letter());
+        }
+    }
+
+    #[test]
+    fn reference_point_matches_sweep_point() {
+        // The reference (pre-optimization) path must stay bit-identical:
+        // same RNG consumption, same verdicts, same tallies.
+        let pool = SweepPool::new(3);
+        for (inset, x) in [(Inset::A, 6), (Inset::C, 8), (Inset::E, 4)] {
+            let fast = run_point(&pool, inset, x, &tiny_params());
+            let reference = run_point_reference(inset, x, &tiny_params());
+            assert_eq!(fast, reference, "inset {} diverged", inset.letter());
+        }
+    }
+
+    #[test]
+    fn run_insets_matches_per_inset_runs() {
+        let pool = SweepPool::new(4);
+        let params = tiny_params();
+        let batched = run_insets(&pool, &[Inset::C, Inset::E], &params);
+        assert_eq!(batched.len(), 2);
+        for (inset, series) in &batched {
+            assert_eq!(series.len(), inset.x_values().len());
+            let alone = run_inset(&pool, *inset, &params);
+            assert_eq!(&alone, series, "inset {} diverged", inset.letter());
         }
     }
 }

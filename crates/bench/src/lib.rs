@@ -21,5 +21,6 @@
 pub mod ablation;
 pub mod fig2;
 pub mod pipeline;
+pub mod sweep;
 pub mod table;
 pub mod tightness;

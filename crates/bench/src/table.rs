@@ -32,6 +32,12 @@ pub fn render_text(inset: Inset, series: &[SeriesPoint]) -> String {
     );
     let _ = writeln!(out, "{}", "-".repeat(6 + 10 + 10 + 8 + 7 + 12));
     for p in series {
+        // Empty points (no sample survived the budgets) carry no ratio;
+        // printing their 0.0 placeholders would fake a baseline of 0.
+        if p.is_empty() {
+            let _ = writeln!(out, "{:>6} | (no samples survived the budgets)", p.x);
+            continue;
+        }
         let _ = writeln!(
             out,
             "{:>6} | {:>10.3} | {:>10.3} | {:>8} | {:>7}",
@@ -47,19 +53,25 @@ pub fn render_csv(inset: Inset, series: &[SeriesPoint]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "inset,{},proposed_ratio,baseline_ratio,samples,skipped",
+        "inset,{},proposed_ratio,baseline_ratio,samples,skipped,errors",
         inset.x_label()
     );
     for p in series {
+        // Empty points are omitted rather than emitted with placeholder
+        // ratios (see `SeriesPoint::is_empty`).
+        if p.is_empty() {
+            continue;
+        }
         let _ = writeln!(
             out,
-            "{},{},{:.6},{:.6},{},{}",
+            "{},{},{:.6},{:.6},{},{},{}",
             inset.letter(),
             p.x,
             p.proposed,
             p.baseline,
             p.samples,
-            p.skipped
+            p.skipped,
+            p.errors
         );
     }
     out
@@ -113,6 +125,7 @@ mod tests {
                 baseline: 1.0,
                 samples: 100,
                 skipped: 0,
+                errors: 0,
             },
             SeriesPoint {
                 x: 2,
@@ -120,8 +133,20 @@ mod tests {
                 baseline: 1.0,
                 samples: 100,
                 skipped: 3,
+                errors: 0,
             },
         ]
+    }
+
+    fn empty_point() -> SeriesPoint {
+        SeriesPoint {
+            x: 3,
+            proposed: 0.0,
+            baseline: 0.0,
+            samples: 0,
+            skipped: 100,
+            errors: 0,
+        }
     }
 
     #[test]
@@ -139,7 +164,21 @@ mod tests {
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("inset,m,"));
-        assert!(lines[1].starts_with("c,1,0.100000,1.000000,100,0"));
+        assert!(lines[0].ends_with(",errors"));
+        assert!(lines[1].starts_with("c,1,0.100000,1.000000,100,0,0"));
+    }
+
+    #[test]
+    fn empty_points_are_skipped_by_renderers() {
+        let mut series = sample_series();
+        series.push(empty_point());
+        let text = render_text(Inset::A, &series);
+        assert!(text.contains("no samples survived"));
+        // The placeholder ratios of the empty point must never render.
+        assert!(!text.contains("0.000 |"));
+        let csv = render_csv(Inset::A, &series);
+        assert_eq!(csv.lines().count(), 3, "empty point must be omitted");
+        assert!(!csv.contains("a,3,"));
     }
 
     #[test]

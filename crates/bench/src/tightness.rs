@@ -6,14 +6,14 @@
 //! This quantifies the price of each analysis' pessimism — information
 //! the paper's schedulability-ratio plots can only show indirectly.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-
 use rand::SeedableRng;
 use rtpool_core::analysis::global::{self, ConcurrencyModel};
 use rtpool_core::analysis::partitioned::{self, PartitionStrategy};
 use rtpool_core::TaskId;
 use rtpool_gen::{DagGenConfig, TaskSetConfig};
 use rtpool_sim::{SchedulingPolicy, SimConfig};
+
+use crate::sweep::SweepPool;
 
 /// Tightness statistics for one analysis.
 #[derive(Clone, Debug, PartialEq)]
@@ -34,76 +34,74 @@ pub struct Tightness {
     pub violations: usize,
 }
 
+/// Labels of the three studied analyses, in evaluation order.
+const STUDY_LABELS: [&str; 3] = [
+    "global full (Melani)",
+    "global limited (paper)",
+    "partitioned Algorithm 1",
+];
+
 /// Runs the study: `samples` random task sets (n tasks, utilization `u`,
 /// `m` cores); for each analysis, accepted sets are simulated for three
 /// hyperperiod-ish windows and per-task `bound/observed` ratios
-/// aggregated.
+/// aggregated. The whole `(analysis × sample)` grid runs as one queue
+/// on the shared pool; aggregation uses the same `1e6` fixed-point
+/// arithmetic as ever (sample order cannot perturb the sums).
 #[must_use]
 pub fn measure(
+    pool: &SweepPool,
     samples: usize,
     m: usize,
     n: usize,
     u: f64,
     seed: u64,
-    threads: usize,
 ) -> Vec<Tightness> {
-    let studies: [(&'static str, Study); 3] = [
-        (
-            "global full (Melani)",
-            Study::Global(ConcurrencyModel::Full),
-        ),
-        (
-            "global limited (paper)",
-            Study::Global(ConcurrencyModel::Limited),
-        ),
-        ("partitioned Algorithm 1", Study::Partitioned),
-    ];
-    studies
-        .into_iter()
-        .map(|(label, study)| {
-            // Fixed-point arithmetic on atomics: ratios scaled by 1e6.
-            let accepted = AtomicUsize::new(0);
-            let count = AtomicUsize::new(0);
-            let sum_scaled = AtomicU64::new(0);
-            let max_scaled = AtomicU64::new(0);
-            let violations = AtomicUsize::new(0);
-            let next = AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                for _ in 0..threads.max(1) {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= samples {
-                            return;
-                        }
-                        let mut rng = rand::rngs::StdRng::seed_from_u64(
-                            seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-                        );
-                        let set = TaskSetConfig::new(n, u, DagGenConfig::default())
-                            .generate(&mut rng)
-                            .expect("generation succeeds");
-                        let Some(ratios) = study.evaluate(&set, m) else {
-                            continue;
-                        };
-                        accepted.fetch_add(1, Ordering::Relaxed);
-                        for r in ratios {
-                            if r < 1.0 {
-                                violations.fetch_add(1, Ordering::Relaxed);
-                            }
-                            let scaled = (r * 1e6) as u64;
-                            count.fetch_add(1, Ordering::Relaxed);
-                            sum_scaled.fetch_add(scaled, Ordering::Relaxed);
-                            max_scaled.fetch_max(scaled, Ordering::Relaxed);
-                        }
-                    });
+    let ratios_per_cell = pool.run(STUDY_LABELS.len() * samples, "tightness", move |i| {
+        let study = match i / samples {
+            0 => Study::Global(ConcurrencyModel::Full),
+            1 => Study::Global(ConcurrencyModel::Limited),
+            _ => Study::Partitioned,
+        };
+        let sample = i % samples;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(
+            seed ^ (sample as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        let set = TaskSetConfig::new(n, u, DagGenConfig::default())
+            .generate(&mut rng)
+            .expect("generation succeeds");
+        study.evaluate(&set, m)
+    });
+
+    STUDY_LABELS
+        .iter()
+        .enumerate()
+        .map(|(s, &label)| {
+            let mut accepted = 0usize;
+            let mut count = 0usize;
+            let mut sum_scaled = 0u64;
+            let mut max_scaled = 0u64;
+            let mut violations = 0usize;
+            for ratios in ratios_per_cell[s * samples..(s + 1) * samples]
+                .iter()
+                .flatten()
+            {
+                accepted += 1;
+                for &r in ratios {
+                    if r < 1.0 {
+                        violations += 1;
+                    }
+                    let scaled = (r * 1e6) as u64;
+                    count += 1;
+                    sum_scaled += scaled;
+                    max_scaled = max_scaled.max(scaled);
                 }
-            });
-            let count = count.load(Ordering::Relaxed).max(1);
+            }
             Tightness {
                 label,
-                accepted: accepted.load(Ordering::Relaxed),
-                mean_ratio: sum_scaled.load(Ordering::Relaxed) as f64 / 1e6 / count as f64,
-                max_ratio: max_scaled.load(Ordering::Relaxed) as f64 / 1e6,
-                violations: violations.load(Ordering::Relaxed),
+                accepted,
+                mean_ratio: sum_scaled as f64 / 1e6 / count.max(1) as f64,
+                max_ratio: max_scaled as f64 / 1e6,
+                violations,
             }
         })
         .collect()
@@ -166,7 +164,8 @@ mod tests {
 
     #[test]
     fn sound_analyses_never_violate() {
-        for t in measure(30, 6, 3, 1.5, 7, 4) {
+        let pool = SweepPool::new(4);
+        for t in measure(&pool, 30, 6, 3, 1.5, 7) {
             assert!(t.max_ratio >= 1.0 || t.accepted == 0);
             if t.label != "global full (Melani)" {
                 assert_eq!(t.violations, 0, "{} violated its bound", t.label);
@@ -178,11 +177,19 @@ mod tests {
     fn oblivious_baseline_can_violate_its_bound() {
         // Statistical: across enough samples, the unsafe baseline
         // under-estimates at least one blocking task's response.
-        let results = measure(120, 4, 2, 1.0, 99, 4);
+        let pool = SweepPool::new(4);
+        let results = measure(&pool, 120, 4, 2, 1.0, 99);
         let full = &results[0];
         assert!(
             full.violations > 0,
             "expected the oblivious baseline to violate at least once"
         );
+    }
+
+    #[test]
+    fn tightness_independent_of_worker_count() {
+        let serial = measure(&SweepPool::new(1), 20, 6, 3, 1.5, 7);
+        let wide = measure(&SweepPool::new(8), 20, 6, 3, 1.5, 7);
+        assert_eq!(serial, wide);
     }
 }

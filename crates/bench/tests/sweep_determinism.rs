@@ -1,0 +1,48 @@
+//! Whole-run determinism of the work-stealing sweep engine: the entire
+//! multi-inset Figure 2 grid — all six insets as one flat work queue —
+//! must produce bit-identical series (including skipped and error
+//! counts) for any worker count, and repeated runs on the same pool
+//! must agree too.
+
+use rtpool_bench::fig2::{run_insets, Fig2Params, Inset};
+use rtpool_bench::sweep::SweepPool;
+
+fn tiny_params() -> Fig2Params {
+    Fig2Params {
+        sets_per_point: 2,
+        seed: 0x5eed_f00d,
+        threads: 8,
+    }
+}
+
+#[test]
+fn whole_multi_inset_run_is_thread_count_independent() {
+    let params = tiny_params();
+    let serial_pool = SweepPool::new(1);
+    let wide_pool = SweepPool::new(8);
+
+    let serial = run_insets(&serial_pool, &Inset::ALL, &params);
+    let wide = run_insets(&wide_pool, &Inset::ALL, &params);
+
+    assert_eq!(serial.len(), wide.len());
+    for ((inset_s, series_s), (inset_w, series_w)) in serial.iter().zip(&wide) {
+        assert_eq!(inset_s, inset_w);
+        assert_eq!(series_s.len(), inset_s.x_values().len());
+        // Bit-identical: ratios, samples, skipped, and error counts.
+        assert_eq!(
+            series_s,
+            series_w,
+            "inset ({}) diverged between 1 and 8 workers",
+            inset_s.letter()
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_on_one_pool_agree() {
+    let params = tiny_params();
+    let pool = SweepPool::new(4);
+    let first = run_insets(&pool, &Inset::ALL, &params);
+    let second = run_insets(&pool, &Inset::ALL, &params);
+    assert_eq!(first, second);
+}

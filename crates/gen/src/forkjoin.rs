@@ -15,9 +15,10 @@
 //! one, as the model forbids nested blocking regions.
 
 use rand::Rng;
-use rtpool_graph::{Dag, DagBuilder, NodeId};
+use rtpool_graph::Dag;
 
 use crate::error::GenError;
+use crate::scratch::DagScratch;
 
 /// How fork–join regions are promoted to blocking (`BF`/`BJ`) regions.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -135,27 +136,47 @@ impl DagGenConfig {
 
     /// Generates one task graph.
     ///
+    /// Convenience wrapper over [`DagGenConfig::generate_into`] with a
+    /// fresh [`DagScratch`]; rejection-sampling loops should hold their
+    /// own scratch and call `generate_into` directly so rejected
+    /// attempts allocate nothing and skip the full graph build.
+    ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid (call
     /// [`DagGenConfig::validate`] first for a `Result`).
     #[must_use]
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Dag {
+        let mut scratch = DagScratch::new();
+        self.generate_into(rng, &mut scratch);
+        scratch.build()
+    }
+
+    /// Generates one task graph's *shape* into reusable scratch buffers
+    /// without building (or validating) a [`Dag`].
+    ///
+    /// Consumes the RNG stream exactly as [`DagGenConfig::generate`]
+    /// does, so `generate(rng)` and
+    /// `{ generate_into(rng, &mut s); s.build() }` produce bit-identical
+    /// graphs and leave `rng` in the same state. Query the early
+    /// concurrency bound with [`DagScratch::max_delay_count`] and
+    /// promote accepted shapes with [`DagScratch::build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (call
+    /// [`DagGenConfig::validate`] first for a `Result`).
+    pub fn generate_into<R: Rng + ?Sized>(&self, rng: &mut R, scratch: &mut DagScratch) {
         self.validate().expect("invalid DagGenConfig");
-        let mut builder = DagBuilder::new();
-        let mut regions: Vec<RegionInfo> = Vec::new();
+        scratch.clear();
 
-        let source = builder.add_node(self.wcet(rng));
-        let (entry, exit) = self.block(rng, &mut builder, 1, None, &mut regions);
-        let sink = builder.add_node(self.wcet(rng));
-        builder.add_edge(source, entry).expect("fresh edge");
-        builder.add_edge(exit, sink).expect("fresh edge");
+        let source = scratch.add_node(self.wcet(rng), -1);
+        let (entry, exit) = self.block(rng, scratch, 1, -1);
+        let sink = scratch.add_node(self.wcet(rng), -1);
+        scratch.add_edge(source, entry);
+        scratch.add_edge(exit, sink);
 
-        self.mark_blocking(rng, &mut builder, &mut regions);
-
-        builder
-            .build()
-            .expect("generated fork-join graphs always satisfy the model")
+        self.mark_blocking(rng, scratch);
     }
 
     fn wcet<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
@@ -167,94 +188,58 @@ impl DagGenConfig {
     fn block<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
-        builder: &mut DagBuilder,
+        scratch: &mut DagScratch,
         depth: u32,
-        parent: Option<usize>,
-        regions: &mut Vec<RegionInfo>,
-    ) -> (NodeId, NodeId) {
+        parent: i32,
+    ) -> (u32, u32) {
         let terminal = depth > self.max_depth || (depth > 1 && rng.gen_bool(self.p_terminal));
         if terminal {
-            let v = builder.add_node(self.wcet(rng));
+            let v = scratch.add_node(self.wcet(rng), parent);
             return (v, v);
         }
-        let fork = builder.add_node(self.wcet(rng));
-        let join = builder.add_node(self.wcet(rng));
-        let region_idx = regions.len();
-        regions.push(RegionInfo {
-            fork,
-            join,
-            depth,
-            parent,
-            has_marked_descendant: false,
-            marked: false,
-        });
+        let fork = scratch.add_node(self.wcet(rng), parent);
+        let join = scratch.add_node(self.wcet(rng), parent);
+        let region_idx = scratch.push_region(fork, join, depth, parent);
+        let region = i32::try_from(region_idx).expect("region count fits in i32");
         let branches = rng.gen_range(self.min_branches..=self.max_branches);
         for _ in 0..branches {
             let blocks = rng.gen_range(1..=self.max_sequence);
-            let mut prev_exit: Option<NodeId> = None;
+            let mut prev_exit: Option<u32> = None;
             for _ in 0..blocks {
-                let (entry, exit) = self.block(rng, builder, depth + 1, Some(region_idx), regions);
+                let (entry, exit) = self.block(rng, scratch, depth + 1, region);
                 match prev_exit {
-                    None => builder.add_edge(fork, entry).expect("fresh edge"),
-                    Some(pe) => builder.add_edge(pe, entry).expect("fresh edge"),
+                    None => scratch.add_edge(fork, entry),
+                    Some(pe) => scratch.add_edge(pe, entry),
                 }
                 prev_exit = Some(exit);
             }
-            builder
-                .add_edge(prev_exit.expect("at least one block"), join)
-                .expect("fresh edge");
+            scratch.add_edge(prev_exit.expect("at least one block"), join);
         }
         (fork, join)
     }
 
     /// Promotes regions to blocking, deepest first, skipping nesting
     /// conflicts.
-    fn mark_blocking<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        builder: &mut DagBuilder,
-        regions: &mut [RegionInfo],
-    ) {
-        let mut order: Vec<usize> = (0..regions.len()).collect();
-        order.sort_by_key(|&i| std::cmp::Reverse(regions[i].depth));
+    fn mark_blocking<R: Rng + ?Sized>(&self, rng: &mut R, scratch: &mut DagScratch) {
+        let mut order: Vec<usize> = (0..scratch.regions.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(scratch.regions[i].depth));
         for i in order {
-            if regions[i].has_marked_descendant {
+            if scratch.regions[i].has_marked_descendant {
                 continue;
             }
             let p = match self.blocking {
                 BlockingPolicy::DepthWeighted => {
-                    let d = f64::from(regions[i].depth);
+                    let d = f64::from(scratch.regions[i].depth);
                     d / (d + 1.0)
                 }
                 BlockingPolicy::Fixed(p) => p,
                 BlockingPolicy::Never => 0.0,
             };
             if p > 0.0 && rng.gen_bool(p.min(1.0)) {
-                builder
-                    .blocking_pair(regions[i].fork, regions[i].join)
-                    .expect("region endpoints exist");
-                regions[i].marked = true;
-                // Propagate up so no ancestor gets marked.
-                let mut cursor = regions[i].parent;
-                while let Some(a) = cursor {
-                    if regions[a].has_marked_descendant {
-                        break;
-                    }
-                    regions[a].has_marked_descendant = true;
-                    cursor = regions[a].parent;
-                }
+                scratch.mark_region(i);
             }
         }
     }
-}
-
-struct RegionInfo {
-    fork: NodeId,
-    join: NodeId,
-    depth: u32,
-    parent: Option<usize>,
-    has_marked_descendant: bool,
-    marked: bool,
 }
 
 #[cfg(test)]

@@ -44,10 +44,12 @@
 mod error;
 mod forkjoin;
 pub mod presets;
+mod scratch;
 mod taskset;
 mod uunifast;
 
 pub use error::GenError;
 pub use forkjoin::{BlockingPolicy, DagGenConfig};
+pub use scratch::DagScratch;
 pub use taskset::{ConcurrencyWindow, TaskSetConfig};
 pub use uunifast::uunifast;

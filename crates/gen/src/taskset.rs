@@ -6,6 +6,7 @@ use rtpool_graph::Dag;
 
 use crate::error::GenError;
 use crate::forkjoin::DagGenConfig;
+use crate::scratch::DagScratch;
 use crate::uunifast::uunifast;
 
 /// Constraint on the available-concurrency floor of generated tasks:
@@ -111,6 +112,52 @@ impl TaskSetConfig {
     /// * [`GenError::WindowUnsatisfiable`] if a task graph inside the
     ///   concurrency window cannot be found within the attempt budget.
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<TaskSet, GenError> {
+        // One scratch for the whole set: every rejected window attempt
+        // of every task reuses the same buffers and skips the full
+        // graph build.
+        let mut scratch = DagScratch::new();
+        self.generate_with(rng, &mut scratch)
+    }
+
+    /// [`TaskSetConfig::generate`] with caller-provided scratch, for
+    /// rejection-sampling harnesses that generate many sets in a row:
+    /// the buffers warm up once and are reused across every attempt of
+    /// every task of every set.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TaskSetConfig::generate`].
+    pub fn generate_with<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        scratch: &mut DagScratch,
+    ) -> Result<TaskSet, GenError> {
+        self.assemble(rng, |cfg, rng| cfg.generate_dag_with(rng, scratch))
+    }
+
+    /// The pre-scratch generation path: every rejection-sampling attempt
+    /// builds (and validates) a full [`Dag`] and evaluates the window on
+    /// the built graph's derived artifacts.
+    ///
+    /// Bit-identical output to [`TaskSetConfig::generate`] for the same
+    /// RNG state; kept as the before-side cost model of the
+    /// `bench_summary` generation kernel and as a coherence oracle in
+    /// tests. Not for production use.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TaskSetConfig::generate`].
+    pub fn generate_reference<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<TaskSet, GenError> {
+        self.assemble(rng, Self::generate_dag_reference)
+    }
+
+    /// Shared assembly: validation, UUniFast utilizations, one graph per
+    /// task via `gen_dag`, periods, deadline-monotonic order.
+    fn assemble<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        mut gen_dag: impl FnMut(&Self, &mut R) -> Result<Dag, GenError>,
+    ) -> Result<TaskSet, GenError> {
         if self.n_tasks == 0 {
             return Err(GenError::InvalidParameter {
                 name: "n_tasks",
@@ -128,7 +175,7 @@ impl TaskSetConfig {
         let utilizations = uunifast(rng, self.n_tasks, self.total_utilization);
         let mut tasks = Vec::with_capacity(self.n_tasks);
         for u in utilizations {
-            let dag = self.generate_dag(rng)?;
+            let dag = gen_dag(self, rng)?;
             let volume = dag.volume();
             // Tᵢ = ⌈Cᵢ/Uᵢ⌉ (integer time), at least 1.
             let period = ((volume as f64 / u).ceil() as u64).max(1);
@@ -148,6 +195,55 @@ impl TaskSetConfig {
     ///
     /// [`GenError::WindowUnsatisfiable`] when the attempt budget runs out.
     pub fn generate_dag<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Dag, GenError> {
+        let mut scratch = DagScratch::new();
+        self.generate_dag_with(rng, &mut scratch)
+    }
+
+    /// [`TaskSetConfig::generate_dag`] with caller-provided scratch: the
+    /// shape of every attempt is generated into `scratch`, the window is
+    /// pre-filtered on the early `b̄` ([`DagScratch::max_delay_count`]),
+    /// and only the accepted attempt is promoted to a full [`Dag`] —
+    /// rejected attempts never pay for validation, reachability, or the
+    /// derived-artifact cache.
+    ///
+    /// # Errors
+    ///
+    /// [`GenError::WindowUnsatisfiable`] when the attempt budget runs out.
+    pub fn generate_dag_with<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        scratch: &mut DagScratch,
+    ) -> Result<Dag, GenError> {
+        match self.window {
+            None => {
+                self.dag.generate_into(rng, scratch);
+                Ok(scratch.build())
+            }
+            Some(window) => {
+                for _ in 0..window.max_attempts {
+                    self.dag.generate_into(rng, scratch);
+                    let floor = window.m as i64 - scratch.max_delay_count() as i64;
+                    if window.contains(floor) {
+                        return Ok(scratch.build());
+                    }
+                }
+                Err(GenError::WindowUnsatisfiable {
+                    l_min: window.l_min,
+                    l_max: window.l_max,
+                    attempts: window.max_attempts,
+                })
+            }
+        }
+    }
+
+    /// The pre-scratch [`TaskSetConfig::generate_dag`]: builds a full
+    /// [`Dag`] per attempt and reads the floor off its derived
+    /// artifacts. Kept as the before-side cost model for benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// [`GenError::WindowUnsatisfiable`] when the attempt budget runs out.
+    fn generate_dag_reference<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Dag, GenError> {
         match self.window {
             None => Ok(self.dag.generate(rng)),
             Some(window) => {

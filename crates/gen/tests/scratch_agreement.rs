@@ -1,0 +1,148 @@
+//! Property tests pinning the generation fast path to the reference path.
+//!
+//! Three guarantees, each load-bearing for the experiment pipeline:
+//!
+//! 1. The early `b̄` computed by [`DagScratch::max_delay_count`] on the
+//!    raw shape equals the post-build `DelayProfile::max_delay_count` of
+//!    the promoted `Dag` — so the window prefilter accepts/rejects
+//!    exactly the attempts the full build would.
+//! 2. `generate_into` + [`DagScratch::build`] consumes the RNG stream
+//!    identically to `generate` and yields a bit-identical graph.
+//! 3. `TaskSetConfig::generate` (fast path) and
+//!    `TaskSetConfig::generate_reference` (full-build-per-attempt)
+//!    produce identical task sets — including the `WindowUnsatisfiable`
+//!    cases — from identical RNG states.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtpool_gen::{BlockingPolicy, ConcurrencyWindow, DagGenConfig, DagScratch, TaskSetConfig};
+use rtpool_graph::NodeId;
+
+/// Strategy over generator knobs that exercise all structural regimes:
+/// shallow/deep nesting, narrow/wide forks, every blocking policy.
+fn gen_config() -> impl Strategy<Value = (DagGenConfig, u64)> {
+    (
+        1u32..4,      // max_depth
+        2usize..6,    // max_branches
+        0usize..3,    // policy selector
+        0u32..100,    // fixed-policy probability (percent)
+        any::<u64>(), // seed
+    )
+        .prop_map(|(max_depth, max_branches, policy_ix, pct, seed)| {
+            let policy = match policy_ix {
+                0 => BlockingPolicy::DepthWeighted,
+                1 => BlockingPolicy::Never,
+                _ => BlockingPolicy::Fixed(f64::from(pct) / 100.0),
+            };
+            let config = DagGenConfig {
+                max_depth,
+                max_branches,
+                blocking: policy,
+                ..DagGenConfig::default()
+            };
+            (config, seed)
+        })
+}
+
+proptest! {
+    /// Guarantee 1: the prefilter's `b̄` equals the built graph's `b̄` on
+    /// every generated structure, hence the window verdict agrees too.
+    #[test]
+    fn early_b_bar_matches_built_profile((config, seed) in gen_config()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scratch = DagScratch::new();
+        config.generate_into(&mut rng, &mut scratch);
+        let early = scratch.max_delay_count();
+        let dag = scratch.build();
+        let built = dag.delay_profile().max_delay_count();
+        prop_assert_eq!(early, built);
+        // Window verdict agreement for every plausible pool size.
+        for m in 1usize..=16 {
+            let window = ConcurrencyWindow::around(m, (m as i64 - 1).max(1));
+            let early_floor = m as i64 - early as i64;
+            let built_floor = m as i64 - built as i64;
+            prop_assert_eq!(window.contains(early_floor), window.contains(built_floor));
+        }
+    }
+
+    /// Guarantee 2: the scratch path is RNG-stream and output identical
+    /// to the direct path.
+    #[test]
+    fn generate_into_is_bit_identical((config, seed) in gen_config()) {
+        let mut rng_direct = StdRng::seed_from_u64(seed);
+        let direct = config.generate(&mut rng_direct);
+
+        let mut rng_scratch = StdRng::seed_from_u64(seed);
+        let mut scratch = DagScratch::new();
+        config.generate_into(&mut rng_scratch, &mut scratch);
+        let via_scratch = scratch.build();
+
+        prop_assert_eq!(direct.node_count(), via_scratch.node_count());
+        for i in 0..direct.node_count() {
+            let v = NodeId::from_index(i);
+            prop_assert_eq!(direct.wcet(v), via_scratch.wcet(v));
+            prop_assert_eq!(direct.kind(v), via_scratch.kind(v));
+            prop_assert_eq!(direct.successors(v), via_scratch.successors(v));
+            prop_assert_eq!(direct.predecessors(v), via_scratch.predecessors(v));
+        }
+        prop_assert_eq!(direct.blocking_forks(), via_scratch.blocking_forks());
+        for &fork in direct.blocking_forks() {
+            prop_assert_eq!(
+                direct.blocking_join_of(fork),
+                via_scratch.blocking_join_of(fork)
+            );
+        }
+        // The RNG streams must be in the same state afterwards: draw one
+        // more value from each and compare.
+        prop_assert_eq!(
+            rand::Rng::gen::<u64>(&mut rng_direct),
+            rand::Rng::gen::<u64>(&mut rng_scratch)
+        );
+    }
+
+    /// Guarantee 3: full task-set generation agrees between the fast
+    /// path and the reference path, windowed or not.
+    #[test]
+    fn taskset_fast_path_matches_reference(
+        (config, seed) in gen_config(),
+        n_tasks in 1usize..5,
+        windowed in any::<bool>(),
+    ) {
+        let mut ts = TaskSetConfig::new(n_tasks, 0.5 * n_tasks as f64, config);
+        if windowed {
+            ts = ts.with_concurrency_window(ConcurrencyWindow {
+                m: 8,
+                l_min: 1,
+                l_max: 7,
+                max_attempts: 40,
+            });
+        }
+
+        let fast = ts.generate(&mut StdRng::seed_from_u64(seed));
+        let reference = ts.generate_reference(&mut StdRng::seed_from_u64(seed));
+
+        match (fast, reference) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.len(), b.len());
+                for ((_, ta), (_, tb)) in a.iter().zip(b.iter()) {
+                    prop_assert_eq!(ta.period(), tb.period());
+                    prop_assert_eq!(ta.deadline(), tb.deadline());
+                    prop_assert_eq!(ta.dag().node_count(), tb.dag().node_count());
+                    prop_assert_eq!(ta.dag().volume(), tb.dag().volume());
+                    prop_assert_eq!(
+                        ta.dag().delay_profile().max_delay_count(),
+                        tb.dag().delay_profile().max_delay_count()
+                    );
+                }
+            }
+            (Err(ea), Err(eb)) => prop_assert_eq!(format!("{ea}"), format!("{eb}")),
+            (a, b) => prop_assert!(
+                false,
+                "fast path and reference disagree: {:?} vs {:?}",
+                a.map(|s| s.len()),
+                b.map(|s| s.len())
+            ),
+        }
+    }
+}

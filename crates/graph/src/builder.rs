@@ -55,11 +55,18 @@ impl DagBuilder {
     /// Creates an empty builder with room for `nodes` nodes.
     #[must_use]
     pub fn with_capacity(nodes: usize) -> Self {
+        DagBuilder::with_capacities(nodes, 0)
+    }
+
+    /// Creates an empty builder with room for `nodes` nodes and `edges`
+    /// edges.
+    #[must_use]
+    pub fn with_capacities(nodes: usize, edges: usize) -> Self {
         DagBuilder {
             wcets: Vec::with_capacity(nodes),
             succ: Vec::with_capacity(nodes),
             pred: Vec::with_capacity(nodes),
-            edges: HashSet::new(),
+            edges: HashSet::with_capacity(edges),
             pairs: Vec::new(),
         }
     }

@@ -54,6 +54,29 @@ pub trait Strategy {
     type Value;
     /// Samples one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (real proptest's `prop_map`;
+    /// the shim has no shrinking, so this is a plain post-map).
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter returned by [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
 }
 
 macro_rules! range_strategy {
@@ -159,7 +182,7 @@ pub mod prop {
 /// Everything a proptest file typically imports.
 pub mod prelude {
     pub use crate::{
-        any, collection, prop, prop_assert, prop_assert_eq, prop_assume, proptest, Any, Just,
+        any, collection, prop, prop_assert, prop_assert_eq, prop_assume, proptest, Any, Just, Map,
         ProptestConfig, Strategy,
     };
 }
