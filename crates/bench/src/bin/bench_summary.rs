@@ -18,7 +18,12 @@
 //! (`verdicts_match`, `generation.series_match`,
 //! `fig2_ab_end_to_end.series_match`) before the numbers are written.
 //!
-//! Usage: `bench_summary [--quick] [--out PATH]`
+//! Usage: `bench_summary [--quick] [--out PATH] [--trace PATH]`
+//!
+//! `--trace PATH` additionally replays the first corpus set under the
+//! simulator with event tracing and writes the Chrome trace-event JSON
+//! to `PATH` — a profiling artifact for inspecting what the measured
+//! battery actually schedules.
 
 use std::time::Instant;
 
@@ -42,6 +47,7 @@ struct Config {
     reps: usize,
     quick: bool,
     out: String,
+    trace: Option<String>,
 }
 
 fn main() {
@@ -50,6 +56,7 @@ fn main() {
         reps: 5,
         quick: false,
         out: "BENCH_analysis.json".to_string(),
+        trace: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -60,9 +67,10 @@ fn main() {
                 cfg.reps = 3;
             }
             "--out" => cfg.out = args.next().expect("--out needs a path"),
+            "--trace" => cfg.trace = Some(args.next().expect("--trace needs a path")),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench_summary [--quick] [--out PATH]");
+                eprintln!("usage: bench_summary [--quick] [--out PATH] [--trace PATH]");
                 std::process::exit(2);
             }
         }
@@ -80,6 +88,22 @@ fn main() {
                 .expect("corpus generation")
         })
         .collect();
+
+    if let Some(path) = &cfg.trace {
+        // Profiling hook: what does one measured sample actually
+        // schedule? Replay corpus set 0 with event tracing and export it
+        // through the shared rtpool-trace exporter.
+        let mut outcome =
+            rtpool_sim::SimConfig::single_job(rtpool_sim::SchedulingPolicy::Global, M)
+                .with_event_trace()
+                .run(&corpus[0])
+                .expect("corpus set simulates");
+        let trace = outcome
+            .take_event_trace()
+            .expect("event tracing was enabled");
+        std::fs::write(path, rtpool_trace::to_chrome_json(&trace)).expect("write trace");
+        eprintln!("wrote event trace of corpus set 0 to {path}");
+    }
 
     // Correctness gate: the cached pipeline must produce bit-identical
     // verdicts to the uncached replay on every corpus set.

@@ -419,8 +419,42 @@ fn evaluate_sample(
     inset: Inset,
     x: i64,
     rng: &mut rand::rngs::StdRng,
-    mut scratch: Option<&mut DagScratch>,
+    scratch: Option<&mut DagScratch>,
 ) -> Result<Option<(bool, bool)>, String> {
+    Ok(sample_with_verdicts(inset, x, rng, scratch)?.map(|(_, _, prop, base)| (prop, base)))
+}
+
+/// Regenerates the task set that sample 0 of the `(inset, x)` sweep cell
+/// evaluates, together with its core count `m` — the replay hook behind
+/// `fig2 --trace` and the `rtpool-trace` CLI, which run the sample under
+/// the simulator or the native pool to produce an event trace.
+///
+/// # Errors
+///
+/// Returns the generation error, or a budget message when no set
+/// survived the inset's discard/window budgets.
+pub fn sample_for_trace(inset: Inset, x: i64, seed: u64) -> Result<(TaskSet, usize), String> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(derive_seed(seed, inset, x, 0));
+    let mut scratch = DagScratch::new();
+    match sample_with_verdicts(inset, x, &mut rng, Some(&mut scratch))? {
+        Some((set, m, _, _)) => Ok((set, m)),
+        None => Err(format!(
+            "no sample survived the discard budget at inset ({}), {} = {x}",
+            inset.letter(),
+            inset.x_label()
+        )),
+    }
+}
+
+/// Shared sample driver: generates (with the inset's discard rule) and
+/// evaluates one sample, returning the surviving set, its core count,
+/// and the `(proposed, baseline)` verdicts.
+fn sample_with_verdicts(
+    inset: Inset,
+    x: i64,
+    rng: &mut rand::rngs::StdRng,
+    mut scratch: Option<&mut DagScratch>,
+) -> Result<Option<(TaskSet, usize, bool, bool)>, String> {
     let mut generate = |cfg: &TaskSetConfig, rng: &mut rand::rngs::StdRng| match scratch.as_mut() {
         Some(scratch) => cfg.generate_with(rng, scratch),
         None => cfg.generate_reference(rng),
@@ -467,7 +501,7 @@ fn evaluate_sample(
                 if !base {
                     continue;
                 }
-                return Ok(Some((prop, true)));
+                return Ok(Some((set, m, prop, true)));
             }
             Ok(None)
         }
@@ -479,7 +513,8 @@ fn evaluate_sample(
             let u = if inset == Inset::C { 2.0 } else { 1.0 };
             let cfg = TaskSetConfig::new(N_TASKS_SMALL, u, DagGenConfig::default());
             let set = generate(&cfg, rng).map_err(|e| e.to_string())?;
-            Ok(Some(evaluate_set(inset, &set, m)))
+            let (prop, base) = evaluate_set(inset, &set, m);
+            Ok(Some((set, m, prop, base)))
         }
         Inset::E | Inset::F => {
             // Constant per-task utilization (0.4 each): adding tasks adds
@@ -492,7 +527,8 @@ fn evaluate_sample(
             let per_task = if inset == Inset::E { 0.4 } else { 0.15 };
             let cfg = TaskSetConfig::new(n, per_task * n as f64, DagGenConfig::default());
             let set = generate(&cfg, rng).map_err(|e| e.to_string())?;
-            Ok(Some(evaluate_set(inset, &set, m)))
+            let (prop, base) = evaluate_set(inset, &set, m);
+            Ok(Some((set, m, prop, base)))
         }
     }
 }
@@ -597,6 +633,18 @@ mod tests {
             let reference = run_point_reference(inset, x, &tiny_params());
             assert_eq!(fast, reference, "inset {} diverged", inset.letter());
         }
+    }
+
+    #[test]
+    fn sample_for_trace_is_deterministic_and_nonempty() {
+        let (set, m) = sample_for_trace(Inset::C, 8, 1).expect("inset (c) always yields a set");
+        assert_eq!(m, 8);
+        assert_eq!(set.iter().count(), N_TASKS_SMALL);
+        let (again, m2) = sample_for_trace(Inset::C, 8, 1).unwrap();
+        assert_eq!(m2, 8);
+        let volumes =
+            |s: &TaskSet| -> Vec<u64> { s.iter().map(|(_, t)| t.dag().volume()).collect() };
+        assert_eq!(volumes(&set), volumes(&again));
     }
 
     #[test]

@@ -49,6 +49,13 @@ pub struct PoolConfig {
     /// Fault-injection plan, for chaos testing. `None` (the default)
     /// injects nothing.
     pub faults: Option<FaultPlan>,
+    /// Record a full event trace of each job in the shared
+    /// `rtpool-trace` schema (node lifecycles, barrier suspensions, core
+    /// occupancy, recovery actions). The trace of a successful job is
+    /// returned in [`JobReport::trace`](crate::JobReport::trace); the
+    /// trace of a failed attempt is kept in
+    /// [`ThreadPool::take_last_trace`](crate::ThreadPool::take_last_trace).
+    pub record_trace: bool,
 }
 
 impl PoolConfig {
@@ -64,7 +71,16 @@ impl PoolConfig {
             watchdog: Duration::from_secs(5),
             recovery: RecoveryPolicy::default(),
             faults: None,
+            record_trace: false,
         }
+    }
+
+    /// Enables event-trace recording in the shared `rtpool-trace`
+    /// schema.
+    #[must_use]
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
     }
 
     /// Overrides the per-WCET-unit duration.
@@ -151,6 +167,8 @@ mod tests {
         assert!(matches!(c.discipline, QueueDiscipline::GlobalFifo));
         assert_eq!(c.recovery, RecoveryPolicy::Abort);
         assert!(c.faults.is_none());
+        assert!(!c.record_trace);
+        assert!(c.with_trace().record_trace);
     }
 
     #[test]

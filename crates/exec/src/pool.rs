@@ -10,6 +10,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use rtpool_graph::{Dag, NodeId, NodeKind};
+use rtpool_trace::{assemble, EngineKind, EventKind, LaneRecorder, SeqClock, TimeUnit, Trace};
 
 use crate::config::{PoolConfig, QueueDiscipline};
 use crate::error::ExecError;
@@ -41,6 +42,9 @@ use crate::report::{JobReport, NodeSpan};
 pub struct ThreadPool {
     shared: Arc<Shared>,
     handles: Vec<thread::JoinHandle<()>>,
+    /// Event trace of the most recent *failed* attempt (stall, panic, or
+    /// watchdog), kept because the failing `run` returns only an error.
+    last_trace: Option<Trace>,
 }
 
 struct Shared {
@@ -105,6 +109,33 @@ struct Job {
     panicked: Option<(usize, String)>,
     started: Instant,
     finished: Option<Duration>,
+    /// Event-trace recording state, when `PoolConfig::record_trace` is
+    /// set (`None` otherwise — recording then costs nothing).
+    trace: Option<JobTrace>,
+}
+
+/// Per-job event-trace state in the shared `rtpool-trace` schema. All
+/// recording happens under the pool mutex, so per-lane single-writer
+/// discipline holds trivially; the shared [`SeqClock`] still gives every
+/// event a globally unique, order-preserving sequence number.
+struct JobTrace {
+    clock: SeqClock,
+    /// Lane 0 carries control-plane events (job lifecycle, stall
+    /// detection, recovery actions); lane `w + 1` belongs to worker `w`.
+    lanes: Vec<LaneRecorder>,
+    /// Whether worker `w` was last seen parked (idle in the fetch loop),
+    /// to emit `ThreadPark`/`ThreadUnpark` only on transitions.
+    parked: Vec<bool>,
+}
+
+/// Saturating index conversion for trace events.
+fn u32c(v: usize) -> u32 {
+    u32::try_from(v).unwrap_or(u32::MAX)
+}
+
+/// Saturating nanosecond conversion for trace timestamps.
+fn dur_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 impl Job {
@@ -115,7 +146,16 @@ impl Job {
             .node_ids()
             .map(|v| u32::try_from(dag.predecessors(v).len()).expect("in-degree fits u32"))
             .collect();
-        Job {
+        let trace = config.record_trace.then(|| {
+            let clock = SeqClock::new();
+            let lanes = (0..=workers).map(|_| LaneRecorder::new(&clock)).collect();
+            JobTrace {
+                clock,
+                lanes,
+                parked: vec![true; workers],
+            }
+        });
+        let mut job = Job {
             epoch,
             attempt,
             dag,
@@ -141,7 +181,18 @@ impl Job {
             panicked: None,
             started: Instant::now(),
             finished: None,
+            trace,
+        };
+        if job.trace.is_some() {
+            job.rec_ctl(EventKind::JobReleased { task: 0, job: 0 });
+            for w in 0..workers {
+                job.rec_ctl(EventKind::ThreadPark {
+                    task: 0,
+                    thread: u32c(w),
+                });
+            }
         }
+        job
     }
 
     /// Workers currently serving this job (base + attached rescuers).
@@ -153,6 +204,68 @@ impl Job {
         self.min_available = self
             .min_available
             .min(self.total_workers() - self.suspended);
+    }
+
+    /// Records `kind` on `lane`, stamped with nanoseconds since job
+    /// submission. No-op when tracing is off.
+    fn rec_lane(&mut self, lane: usize, kind: EventKind) {
+        let now = self.started.elapsed();
+        if let Some(tr) = self.trace.as_mut() {
+            tr.lanes[lane].record(dur_nanos(now), kind);
+        }
+    }
+
+    /// Records a control-plane event (lane 0).
+    fn rec_ctl(&mut self, kind: EventKind) {
+        self.rec_lane(0, kind);
+    }
+
+    /// Records an event on `worker`'s lane.
+    fn rec_worker(&mut self, worker: usize, kind: EventKind) {
+        self.rec_lane(worker + 1, kind);
+    }
+
+    /// Emits `ThreadUnpark` if `worker` was marked parked.
+    fn rec_unpark(&mut self, worker: usize) {
+        let was_parked = match self.trace.as_mut() {
+            Some(tr) => std::mem::replace(&mut tr.parked[worker], false),
+            None => return,
+        };
+        if was_parked {
+            self.rec_worker(
+                worker,
+                EventKind::ThreadUnpark {
+                    task: 0,
+                    thread: u32c(worker),
+                },
+            );
+        }
+    }
+
+    /// Emits `ThreadPark` if `worker` was not already marked parked.
+    fn rec_park(&mut self, worker: usize) {
+        let was_parked = match self.trace.as_mut() {
+            Some(tr) => std::mem::replace(&mut tr.parked[worker], true),
+            None => return,
+        };
+        if !was_parked {
+            self.rec_worker(
+                worker,
+                EventKind::ThreadPark {
+                    task: 0,
+                    thread: u32c(worker),
+                },
+            );
+        }
+    }
+
+    /// Finalizes the event trace of a finished (or aborted) attempt.
+    fn take_trace(&mut self) -> Option<Trace> {
+        let end = dur_nanos(self.started.elapsed());
+        self.trace.take().map(|tr| {
+            let cores = u32c(tr.lanes.len().saturating_sub(1));
+            assemble(EngineKind::Exec, TimeUnit::Nanos, cores, 1, end, tr.lanes)
+        })
     }
 }
 
@@ -180,7 +293,11 @@ impl ThreadPool {
         let handles = (0..workers)
             .map(|id| spawn_worker(&shared, id, None))
             .collect();
-        Ok(ThreadPool { shared, handles })
+        Ok(ThreadPool {
+            shared,
+            handles,
+            last_trace: None,
+        })
     }
 
     /// Spawns `config.workers` worker threads.
@@ -198,6 +315,17 @@ impl ThreadPool {
     #[must_use]
     pub fn workers(&self) -> usize {
         self.shared.config.workers
+    }
+
+    /// Takes the event trace of the most recent *failed* attempt (stall,
+    /// panic, or watchdog timeout), when
+    /// [`PoolConfig::record_trace`](crate::PoolConfig::record_trace) is
+    /// set. Successful jobs return their trace in
+    /// [`JobReport::trace`](crate::JobReport::trace) instead; each call
+    /// to [`ThreadPool::run`] clears this slot first.
+    #[must_use]
+    pub fn take_last_trace(&mut self) -> Option<Trace> {
+        self.last_trace.take()
     }
 
     /// Executes one job (one instance of `dag`) to completion, applying
@@ -229,6 +357,7 @@ impl ThreadPool {
         }
         let dag = Arc::new(dag.clone());
         let policy = self.shared.config.recovery.clone();
+        self.last_trace = None;
         let mut events: Vec<RecoveryEvent> = Vec::new();
         let mut attempt = 0usize;
         loop {
@@ -303,10 +432,22 @@ impl ThreadPool {
                         job.worker_suspended.push(false);
                     }
                     let new_total = job.total_workers();
+                    if let Some(tr) = job.trace.as_mut() {
+                        for _ in 0..add {
+                            let lane = LaneRecorder::new(&tr.clock);
+                            tr.lanes.push(lane);
+                            tr.parked.push(false);
+                        }
+                    }
                     job.events.push(RecoveryEvent::PoolGrown {
                         attempt,
                         added: add,
                         total_workers: new_total,
+                    });
+                    job.rec_ctl(EventKind::Recovery {
+                        task: 0,
+                        label: "pool_grown".to_string(),
+                        node: None,
                     });
                     drop(st);
                     for id in total..new_total {
@@ -319,7 +460,8 @@ impl ThreadPool {
                 continue;
             }
             if let Some(elapsed) = job.finished {
-                let job = st.job.take().expect("present");
+                let mut job = st.job.take().expect("present");
+                let trace = job.take_trace();
                 // Wake epoch-bound rescue workers so they retire.
                 self.shared.cv.notify_all();
                 return Ok(JobReport {
@@ -330,16 +472,19 @@ impl ThreadPool {
                     min_available_workers: job.min_available,
                     attempts: attempt + 1,
                     recovery_events: job.events,
+                    trace,
                 });
             }
             if let Some((node, message)) = job.panicked.clone() {
-                let job = st.job.take().expect("present");
+                let mut job = st.job.take().expect("present");
+                self.last_trace = job.take_trace();
                 *events = job.events;
                 self.shared.cv.notify_all();
                 return Err(ExecError::NodePanicked { node, message });
             }
             if let Some((suspended, executed)) = job.stalled {
-                let job = st.job.take().expect("present");
+                let mut job = st.job.take().expect("present");
+                self.last_trace = job.take_trace();
                 *events = job.events;
                 // Wake barrier waiters so they abandon the aborted job.
                 self.shared.cv.notify_all();
@@ -366,7 +511,8 @@ impl ThreadPool {
                     && !job_ref.grow_pending
                     && job_ref.fake_suspended == 0
                 {
-                    let job = st.job.take().expect("present");
+                    let mut job = st.job.take().expect("present");
+                    self.last_trace = job.take_trace();
                     *events = job.events;
                     self.shared.cv.notify_all();
                     return Err(ExecError::WatchdogTimeout);
@@ -484,6 +630,7 @@ fn complete(discipline: &QueueDiscipline, job: &mut Job, node: NodeId, worker: u
     if node == dag.sink() {
         debug_assert_eq!(job.remaining, 0, "sink completes last");
         job.finished = Some(job.started.elapsed());
+        job.rec_ctl(EventKind::JobCompleted { task: 0, job: 0 });
     }
 }
 
@@ -536,6 +683,11 @@ fn maybe_stall(discipline: &QueueDiscipline, job: &mut Job) {
         // an exhausted growth budget.
     } else {
         job.stalled = Some((job.suspended, job.completion_order.len()));
+        job.rec_ctl(EventKind::StallDetected {
+            task: 0,
+            job: 0,
+            suspended: u32c(job.suspended),
+        });
     }
 }
 
@@ -559,6 +711,7 @@ fn fake_suspend(
     worker: usize,
     epoch: u64,
     dur: Duration,
+    node: NodeId,
 ) -> bool {
     let discipline = &shared.config.discipline;
     {
@@ -570,6 +723,18 @@ fn fake_suspend(
         job.fake_suspended += 1;
         job.worker_suspended[worker] = true;
         job.note_suspension();
+        // An injected suspension is accounted exactly like a barrier
+        // wait, so it is traced as one too (paired with a wake on the
+        // same node when the deadline expires).
+        job.rec_worker(
+            worker,
+            EventKind::BarrierSuspend {
+                task: 0,
+                job: 0,
+                fork: u32c(node.index()),
+                thread: u32c(worker),
+            },
+        );
     }
     let deadline = Instant::now() + dur;
     loop {
@@ -595,6 +760,15 @@ fn fake_suspend(
     job.fake_suspended -= 1;
     job.worker_suspended[worker] = false;
     job.executing += 1;
+    job.rec_worker(
+        worker,
+        EventKind::BarrierWake {
+            task: 0,
+            job: 0,
+            join: u32c(node.index()),
+            thread: u32c(worker),
+        },
+    );
     shared.cv.notify_all();
     true
 }
@@ -624,6 +798,7 @@ fn worker_loop(shared: &Shared, worker: usize, rescue_epoch: Option<u64>) {
                     if job.stalled.is_none() && job.panicked.is_none() && job.remaining > 0 {
                         if let Some(n) = fetch(discipline, job, worker, &mut state.steal_rng) {
                             job.executing += 1;
+                            job.rec_unpark(worker);
                             break n;
                         }
                     }
@@ -631,6 +806,7 @@ fn worker_loop(shared: &Shared, worker: usize, rescue_epoch: Option<u64>) {
                     if job.stalled.is_some() || job.grow_pending {
                         shared.cv.notify_all();
                     }
+                    job.rec_park(worker);
                 }
                 None => {
                     if rescue_epoch.is_some() {
@@ -659,8 +835,13 @@ fn worker_loop(shared: &Shared, worker: usize, rescue_epoch: Option<u64>) {
                         node: node.index(),
                         fault: "suspend_worker",
                     });
+                    job.rec_ctl(EventKind::Recovery {
+                        task: 0,
+                        label: "suspend_worker".to_string(),
+                        node: Some(u32c(node.index())),
+                    });
                 }
-                if !fake_suspend(shared, &mut st, worker, epoch, d) {
+                if !fake_suspend(shared, &mut st, worker, epoch, d, node) {
                     continue 'outer;
                 }
             }
@@ -673,6 +854,11 @@ fn worker_loop(shared: &Shared, worker: usize, rescue_epoch: Option<u64>) {
                         node: node.index(),
                         fault: "panic_body",
                     });
+                    job.rec_ctl(EventKind::Recovery {
+                        task: 0,
+                        label: "panic_body".to_string(),
+                        node: Some(u32c(node.index())),
+                    });
                 }
                 if before.extra_wcet > 0 {
                     job.events.push(RecoveryEvent::FaultInjected {
@@ -680,7 +866,28 @@ fn worker_loop(shared: &Shared, worker: usize, rescue_epoch: Option<u64>) {
                         node: node.index(),
                         fault: "jitter_wcet",
                     });
+                    job.rec_ctl(EventKind::Recovery {
+                        task: 0,
+                        label: "jitter_wcet".to_string(),
+                        node: Some(u32c(node.index())),
+                    });
                 }
+                job.rec_worker(
+                    worker,
+                    EventKind::NodeStart {
+                        task: 0,
+                        job: 0,
+                        node: u32c(node.index()),
+                        thread: u32c(worker),
+                    },
+                );
+                job.rec_worker(
+                    worker,
+                    EventKind::CoreAssign {
+                        core: u32c(worker),
+                        occupant: Some((0, u32c(worker))),
+                    },
+                );
                 (Arc::clone(&job.dag), job.started.elapsed())
             };
             let wcet = dag.wcet(node) + before.extra_wcet;
@@ -701,11 +908,48 @@ fn worker_loop(shared: &Shared, worker: usize, rescue_epoch: Option<u64>) {
                 // Panic isolation: report the poisoned node, keep the
                 // pool's accounting consistent, stay usable.
                 job.executing -= 1;
+                job.rec_worker(
+                    worker,
+                    EventKind::NodeEnd {
+                        task: 0,
+                        job: 0,
+                        node: u32c(node.index()),
+                        thread: u32c(worker),
+                    },
+                );
+                job.rec_worker(
+                    worker,
+                    EventKind::CoreAssign {
+                        core: u32c(worker),
+                        occupant: None,
+                    },
+                );
+                job.rec_ctl(EventKind::Recovery {
+                    task: 0,
+                    label: "node_panicked".to_string(),
+                    node: Some(u32c(node.index())),
+                });
                 job.panicked
                     .get_or_insert((node.index(), panic_message(payload.as_ref())));
                 shared.cv.notify_all();
                 continue 'outer;
             }
+            job.rec_worker(
+                worker,
+                EventKind::NodeEnd {
+                    task: 0,
+                    job: 0,
+                    node: u32c(node.index()),
+                    thread: u32c(worker),
+                },
+            );
+            job.rec_worker(
+                worker,
+                EventKind::CoreAssign {
+                    core: u32c(worker),
+                    occupant: None,
+                },
+            );
             complete(discipline, job, node, worker);
             job.spans.push(NodeSpan {
                 node: node.index(),
@@ -731,11 +975,21 @@ fn worker_loop(shared: &Shared, worker: usize, rescue_epoch: Option<u64>) {
                     node: node.index(),
                     fault: "swallow_wakeup",
                 });
+                job.rec_ctl(EventKind::Recovery {
+                    task: 0,
+                    label: "swallow_wakeup".to_string(),
+                    node: Some(u32c(node.index())),
+                });
             } else if let Some(d) = after.delay_wakeup {
                 job.events.push(RecoveryEvent::FaultInjected {
                     attempt,
                     node: node.index(),
                     fault: "delay_wakeup",
+                });
+                job.rec_ctl(EventKind::Recovery {
+                    task: 0,
+                    label: "delay_wakeup".to_string(),
+                    node: Some(u32c(node.index())),
                 });
                 drop(st);
                 thread::sleep(d);
@@ -761,6 +1015,15 @@ fn worker_loop(shared: &Shared, worker: usize, rescue_epoch: Option<u64>) {
                 job.suspended += 1;
                 job.worker_suspended[worker] = true;
                 job.note_suspension();
+                job.rec_worker(
+                    worker,
+                    EventKind::BarrierSuspend {
+                        task: 0,
+                        job: 0,
+                        fork: u32c(node.index()),
+                        thread: u32c(worker),
+                    },
+                );
             }
             let woke = loop {
                 let Some(job) = st.job.as_mut().filter(|j| j.epoch == epoch) else {
@@ -789,6 +1052,15 @@ fn worker_loop(shared: &Shared, worker: usize, rescue_epoch: Option<u64>) {
                 job.worker_suspended[worker] = false;
                 if woke {
                     job.executing += 1;
+                    job.rec_worker(
+                        worker,
+                        EventKind::BarrierWake {
+                            task: 0,
+                            job: 0,
+                            join: u32c(join.index()),
+                            thread: u32c(worker),
+                        },
+                    );
                 }
             }
             if !woke {
@@ -1038,5 +1310,135 @@ mod tests {
     fn workers_accessor() {
         let pool = fast(4, QueueDiscipline::GlobalFifo);
         assert_eq!(pool.workers(), 4);
+    }
+
+    fn fast_traced(workers: usize, discipline: QueueDiscipline) -> ThreadPool {
+        ThreadPool::new(
+            PoolConfig::new(workers, discipline)
+                .with_time_scale(Duration::from_micros(50))
+                .with_watchdog(Duration::from_secs(10))
+                .with_trace(),
+        )
+    }
+
+    #[test]
+    fn traced_run_produces_valid_trace() {
+        let mut pool = fast_traced(3, QueueDiscipline::GlobalFifo);
+        let report = pool.run(&fork_join(true)).unwrap();
+        let trace = report.trace.expect("tracing was enabled");
+        assert!(
+            trace.validate().is_empty(),
+            "defects: {:?}",
+            trace.validate()
+        );
+        assert_eq!(trace.engine, rtpool_trace::EngineKind::Exec);
+        assert_eq!(trace.cores, 3);
+        assert_eq!(trace.tasks, 1);
+        let names: Vec<&str> = trace.events.iter().map(|e| e.kind.name()).collect();
+        for required in [
+            "JobReleased",
+            "ThreadUnpark",
+            "NodeStart",
+            "CoreAssign",
+            "BarrierSuspend",
+            "BarrierWake",
+            "NodeEnd",
+            "JobCompleted",
+        ] {
+            assert!(names.contains(&required), "missing {required}");
+        }
+        let ana = rtpool_trace::TraceAnalysis::new(&trace);
+        let obs = ana.task(0);
+        assert_eq!(obs.released, 1);
+        assert_eq!(obs.completed, 1);
+        assert_eq!(obs.nodes_executed, 5);
+        assert_eq!(obs.max_simultaneous_blocking, 1);
+        assert_eq!(obs.min_available, report.min_available_workers);
+        // A successful run leaves no failure trace behind.
+        assert!(pool.take_last_trace().is_none());
+    }
+
+    #[test]
+    fn stalled_run_trace_is_kept_on_the_pool() {
+        // Figure 1(c): two blocking replicas deadlock two workers.
+        let mut b = DagBuilder::new();
+        let src = b.add_node(1);
+        let snk = b.add_node(1);
+        for _ in 0..2 {
+            let (f, j) = b.fork_join(1, &[1, 1, 1], 1, true).unwrap();
+            b.add_edge(src, f).unwrap();
+            b.add_edge(j, snk).unwrap();
+        }
+        let dag = b.build().unwrap();
+        let mut pool = fast_traced(2, QueueDiscipline::GlobalFifo);
+        assert!(matches!(pool.run(&dag), Err(ExecError::Stalled { .. })));
+        let trace = pool.take_last_trace().expect("trace of the failed attempt");
+        assert!(
+            trace.validate().is_empty(),
+            "defects: {:?}",
+            trace.validate()
+        );
+        let ana = rtpool_trace::TraceAnalysis::new(&trace);
+        assert!(ana.any_stall());
+        assert_eq!(ana.task(0).min_available, 0);
+        assert_eq!(ana.task(0).completed, 0);
+        // The slot is consumed by the take.
+        assert!(pool.take_last_trace().is_none());
+    }
+
+    #[test]
+    fn panicked_run_trace_records_recovery() {
+        let mut pool = ThreadPool::new(
+            PoolConfig::new(2, QueueDiscipline::GlobalFifo)
+                .with_time_scale(Duration::ZERO)
+                .with_watchdog(Duration::from_secs(10))
+                .with_faults(FaultPlan::seeded(7).panic_on(1))
+                .with_trace(),
+        );
+        assert!(matches!(
+            pool.run(&fork_join(false)),
+            Err(ExecError::NodePanicked { node: 1, .. })
+        ));
+        let trace = pool.take_last_trace().expect("trace of the failed attempt");
+        assert!(
+            trace.validate().is_empty(),
+            "defects: {:?}",
+            trace.validate()
+        );
+        let labels: Vec<&str> = trace
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Recovery { label, .. } => Some(label.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(labels.contains(&"panic_body"));
+        assert!(labels.contains(&"node_panicked"));
+    }
+
+    #[test]
+    fn traced_partitioned_run_is_schema_clean() {
+        let dag = fork_join(true);
+        let mapping = algorithm1(&dag, 2).unwrap();
+        let mut pool = fast_traced(2, QueueDiscipline::Partitioned(mapping));
+        let report = pool.run(&dag).unwrap();
+        let trace = report.trace.expect("tracing was enabled");
+        assert!(
+            trace.validate().is_empty(),
+            "defects: {:?}",
+            trace.validate()
+        );
+        let ana = rtpool_trace::TraceAnalysis::new(&trace);
+        assert_eq!(ana.task(0).nodes_executed, dag.node_count());
+        assert_eq!(ana.task(0).min_available, report.min_available_workers);
+    }
+
+    #[test]
+    fn untraced_run_reports_no_trace() {
+        let mut pool = fast(2, QueueDiscipline::GlobalFifo);
+        let report = pool.run(&fork_join(true)).unwrap();
+        assert!(report.trace.is_none());
+        assert!(pool.take_last_trace().is_none());
     }
 }

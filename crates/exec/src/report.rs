@@ -40,6 +40,10 @@ pub struct JobReport {
     /// Every injected fault and recovery action of the successful run and
     /// all aborted attempts before it, in order of occurrence.
     pub recovery_events: Vec<RecoveryEvent>,
+    /// Event trace of the successful attempt, when
+    /// [`PoolConfig::record_trace`](crate::PoolConfig::record_trace) was
+    /// set. Times are nanoseconds since job submission.
+    pub trace: Option<rtpool_trace::Trace>,
 }
 
 impl JobReport {
@@ -109,6 +113,7 @@ mod tests {
                     total_workers: 4,
                 },
             ],
+            trace: None,
         };
         assert_eq!(r.executed_nodes, r.completion_order.len());
         assert_eq!(r.span_of(1).unwrap().worker, 1);

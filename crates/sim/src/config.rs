@@ -93,6 +93,10 @@ pub struct SimConfig {
     /// Record which thread holds each core between events (a Gantt
     /// chart; see [`CoreTrace`](crate::CoreTrace)).
     pub record_core_trace: bool,
+    /// Record the full event trace in the shared `rtpool-trace` schema
+    /// (job/node lifecycles, barrier suspensions, core occupancy); see
+    /// [`SimOutcome::event_trace`](crate::SimOutcome::event_trace).
+    pub record_event_trace: bool,
 }
 
 impl SimConfig {
@@ -109,6 +113,7 @@ impl SimConfig {
             record_concurrency_trace: false,
             execution_time: ExecutionTime::Wcet,
             record_core_trace: false,
+            record_event_trace: false,
         }
     }
 
@@ -124,6 +129,7 @@ impl SimConfig {
             record_concurrency_trace: false,
             execution_time: ExecutionTime::Wcet,
             record_core_trace: false,
+            record_event_trace: false,
         }
     }
 
@@ -153,6 +159,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_core_trace(mut self) -> Self {
         self.record_core_trace = true;
+        self
+    }
+
+    /// Enables recording of the full event trace in the shared
+    /// `rtpool-trace` schema.
+    #[must_use]
+    pub fn with_event_trace(mut self) -> Self {
+        self.record_event_trace = true;
         self
     }
 

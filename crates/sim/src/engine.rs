@@ -15,10 +15,16 @@ use std::fmt;
 use rtpool_core::partition::NodeMapping;
 use rtpool_core::TaskSet;
 use rtpool_graph::{NodeId, NodeKind};
+use rtpool_trace::{EngineKind, EventKind, TimeUnit, TraceRecorder};
 
 use crate::config::{ExecutionTime, ReleasePattern, SchedulingPolicy, SimConfig};
 use crate::outcome::{SimOutcome, StallInfo, TaskOutcome};
 use crate::trace::CoreTrace;
+
+/// Narrows an engine-side `usize` index for the shared trace schema.
+fn u32c(v: usize) -> u32 {
+    u32::try_from(v).unwrap_or(u32::MAX)
+}
 
 /// SplitMix64: a tiny deterministic stream for sporadic inter-arrival
 /// delays and execution-time variation (the crate deliberately has no
@@ -174,6 +180,10 @@ pub(crate) struct Engine<'a> {
     /// Per-instance execution-time stream (Random mode).
     exec_rng: u64,
     core_trace: Option<CoreTrace>,
+    /// Event trace in the shared `rtpool-trace` schema.
+    recorder: Option<TraceRecorder>,
+    /// Last core occupancy emitted, for `CoreAssign` diffing.
+    prev_cores: Vec<Option<(usize, usize)>>,
 
     time: u64,
     releases: Vec<ReleaseSource>,
@@ -271,6 +281,10 @@ impl<'a> Engine<'a> {
                 _ => 0,
             },
             core_trace: config.record_core_trace.then(CoreTrace::new),
+            recorder: config.record_event_trace.then(|| {
+                TraceRecorder::new(EngineKind::Sim, TimeUnit::Ticks, u32c(config.m), u32c(n))
+            }),
+            prev_cores: vec![None; config.m],
             time: 0,
             releases,
             jobs: (0..n).map(|_| Vec::new()).collect(),
@@ -292,7 +306,7 @@ impl<'a> Engine<'a> {
             self.record_concurrency();
 
             let selected = self.select_cores();
-            if let Some(trace) = &mut self.core_trace {
+            if self.core_trace.is_some() || self.recorder.is_some() {
                 let mut cores: Vec<Option<(usize, usize)>> = vec![None; self.m];
                 match self.policy {
                     // Partitioned: the thread index IS the core.
@@ -309,7 +323,20 @@ impl<'a> Engine<'a> {
                         }
                     }
                 }
-                trace.record(self.time, cores);
+                if self.recorder.is_some() {
+                    for (k, &occ) in cores.iter().enumerate() {
+                        if occ != self.prev_cores[k] {
+                            self.rec(EventKind::CoreAssign {
+                                core: u32c(k),
+                                occupant: occ.map(|(t, th)| (u32c(t), u32c(th))),
+                            });
+                            self.prev_cores[k] = occ;
+                        }
+                    }
+                }
+                if let Some(trace) = &mut self.core_trace {
+                    trace.record(self.time, cores);
+                }
             }
             let next_completion = selected
                 .iter()
@@ -344,6 +371,14 @@ impl<'a> Engine<'a> {
         Ok(self.finalize())
     }
 
+    /// Records `kind` at the current simulation time (no-op unless the
+    /// event trace was requested).
+    fn rec(&mut self, kind: EventKind) {
+        if let Some(r) = &mut self.recorder {
+            r.record(self.time, kind);
+        }
+    }
+
     /// Releases every job due at the current time.
     fn process_releases(&mut self) {
         for t in 0..self.set.len() {
@@ -374,6 +409,10 @@ impl<'a> Engine<'a> {
             waiter: vec![None; n],
         });
         let source = dag.source();
+        self.rec(EventKind::JobReleased {
+            task: u32c(task),
+            job: u32c(job_idx),
+        });
         self.enqueue(NodeRef {
             task,
             job: job_idx,
@@ -470,12 +509,24 @@ impl<'a> Engine<'a> {
             node: nref,
             remaining: actual,
         };
+        self.rec(EventKind::NodeStart {
+            task: u32c(task),
+            job: u32c(nref.job),
+            node: u32c(nref.node.index()),
+            thread: u32c(thread),
+        });
     }
 
     /// Handles the completion of `nref` on `thread` of `task`'s pool.
     fn complete_node(&mut self, task: usize, thread: usize, nref: NodeRef) {
         let dag = self.set.as_slice()[task].dag();
         let kind = dag.kind(nref.node);
+        self.rec(EventKind::NodeEnd {
+            task: u32c(task),
+            job: u32c(nref.job),
+            node: u32c(nref.node.index()),
+            thread: u32c(thread),
+        });
 
         // The serving thread's next state: blocking forks suspend on
         // their barrier (this is the condition-variable wait of
@@ -491,34 +542,50 @@ impl<'a> Engine<'a> {
             };
             self.threads[task][thread] = ThreadState::Suspended { join: join_ref };
             self.jobs[task][nref.job].waiter[join.index()] = Some(thread);
+            self.rec(EventKind::BarrierSuspend {
+                task: u32c(task),
+                job: u32c(nref.job),
+                fork: u32c(nref.node.index()),
+                thread: u32c(thread),
+            });
         } else {
             self.threads[task][thread] = ThreadState::Idle;
         }
 
         // Bookkeeping for the node itself.
+        let is_sink = nref.node == dag.sink();
         {
             let job = &mut self.jobs[task][nref.job];
             debug_assert!(!job.done[nref.node.index()], "node completed twice");
             job.done[nref.node.index()] = true;
             job.remaining_nodes -= 1;
-            if nref.node == dag.sink() {
+            if is_sink {
                 job.completed_at = Some(self.time);
                 debug_assert_eq!(job.remaining_nodes, 0, "sink completes last");
             }
         }
+        if is_sink {
+            self.rec(EventKind::JobCompleted {
+                task: u32c(task),
+                job: u32c(nref.job),
+            });
+        }
 
         // Resolve successors.
         for &s in dag.successors(nref.node) {
-            let job = &mut self.jobs[task][nref.job];
-            job.pending[s.index()] -= 1;
-            if job.pending[s.index()] > 0 {
+            let ready = {
+                let job = &mut self.jobs[task][nref.job];
+                job.pending[s.index()] -= 1;
+                job.pending[s.index()] == 0
+            };
+            if !ready {
                 continue;
             }
             if dag.kind(s) == NodeKind::BlockingJoin {
                 // The barrier opens: the suspended thread wakes and runs
                 // the join as its continuation (it never visits a queue).
-                let waiter =
-                    job.waiter[s.index()].expect("fork completed before its join became ready");
+                let waiter = self.jobs[task][nref.job].waiter[s.index()]
+                    .expect("fork completed before its join became ready");
                 debug_assert!(matches!(
                     self.threads[task][waiter],
                     ThreadState::Suspended { join } if join.node == s && join.job == nref.job
@@ -531,6 +598,18 @@ impl<'a> Engine<'a> {
                     },
                     remaining: dag.wcet(s),
                 };
+                self.rec(EventKind::BarrierWake {
+                    task: u32c(task),
+                    job: u32c(nref.job),
+                    join: u32c(s.index()),
+                    thread: u32c(waiter),
+                });
+                self.rec(EventKind::NodeStart {
+                    task: u32c(task),
+                    job: u32c(nref.job),
+                    node: u32c(s.index()),
+                    thread: u32c(waiter),
+                });
             } else {
                 self.enqueue(NodeRef {
                     task,
@@ -570,6 +649,11 @@ impl<'a> Engine<'a> {
             });
             self.dead[t] = true;
             self.releases[t].disable();
+            self.rec(EventKind::StallDetected {
+                task: u32c(t),
+                job: u32c(job),
+                suspended: u32c(suspended),
+            });
         }
     }
 
@@ -621,9 +705,19 @@ impl<'a> Engine<'a> {
     }
 
     fn finalize(mut self) -> SimOutcome {
+        // The trace window is explicit: a finite horizon defines the end
+        // of the observation window even if the last event fell earlier
+        // (trailing idle time is part of the trace); an unbounded run
+        // ends at the last event.
+        let trace_end = if self.horizon == u64::MAX {
+            self.time
+        } else {
+            self.horizon
+        };
         if let Some(trace) = &mut self.core_trace {
-            trace.finish(self.time);
+            trace.finish(trace_end);
         }
+        let event_trace = self.recorder.take().map(|r| r.finish(trace_end));
         let mut outcomes = Vec::with_capacity(self.set.len());
         for (t, (_, task)) in self.set.iter().enumerate() {
             let jobs = &self.jobs[t];
@@ -661,7 +755,7 @@ impl<'a> Engine<'a> {
                 concurrency_trace: self.record_trace.then(|| self.traces[t].clone()),
             });
         }
-        SimOutcome::new(self.time, outcomes, self.core_trace)
+        SimOutcome::new(self.time, outcomes, self.core_trace, event_trace)
     }
 }
 
@@ -838,6 +932,7 @@ mod tests {
             record_concurrency_trace: false,
             execution_time: ExecutionTime::Wcet,
             record_core_trace: false,
+            record_event_trace: false,
         }
         .run(&set)
         .unwrap();
@@ -946,6 +1041,80 @@ mod tests {
         let trace = out.core_trace().expect("trace recorded");
         let art = trace.to_ascii(6);
         assert_eq!(art.lines().next().unwrap(), "core 0: 000111");
+    }
+
+    #[test]
+    fn event_trace_captures_blocking_lifecycle() {
+        // fork(2) -> {5, 7} -> join(3) on 3 cores, single job.
+        let mut b = DagBuilder::new();
+        b.fork_join(2, &[5, 7], 3, true).unwrap();
+        let set = single(b.build().unwrap(), 100);
+        let out = SimConfig::single_job(SchedulingPolicy::Global, 3)
+            .with_event_trace()
+            .run(&set)
+            .unwrap();
+        let trace = out.event_trace().expect("event trace recorded");
+        assert!(trace.validate().is_empty(), "{:?}", trace.validate());
+        assert_eq!(trace.end_time, 12);
+        let names: Vec<&str> = trace.events.iter().map(|e| e.kind.name()).collect();
+        assert!(names.contains(&"JobReleased"));
+        assert!(names.contains(&"BarrierSuspend"));
+        assert!(names.contains(&"BarrierWake"));
+        assert!(names.contains(&"JobCompleted"));
+        assert!(names.contains(&"CoreAssign"));
+        // The analysis recovers the same quantities the engine reports.
+        let ana = rtpool_trace::TraceAnalysis::new(trace);
+        assert_eq!(ana.task(0).responses, out.task(0).responses);
+        assert_eq!(
+            ana.task(0).min_available,
+            out.task(0).min_available_concurrency
+        );
+        assert_eq!(ana.task(0).max_simultaneous_blocking, 1);
+    }
+
+    #[test]
+    fn event_trace_records_stall() {
+        let mut b = DagBuilder::new();
+        let src = b.add_node(1);
+        let snk = b.add_node(1);
+        for _ in 0..2 {
+            let (f, j) = b.fork_join(10, &[5, 5, 5], 10, true).unwrap();
+            b.add_edge(src, f).unwrap();
+            b.add_edge(j, snk).unwrap();
+        }
+        let set = single(b.build().unwrap(), 100_000);
+        let out = SimConfig::single_job(SchedulingPolicy::Global, 2)
+            .with_event_trace()
+            .run(&set)
+            .unwrap();
+        let trace = out.event_trace().expect("event trace recorded");
+        assert!(trace.validate().is_empty(), "{:?}", trace.validate());
+        let ana = rtpool_trace::TraceAnalysis::new(trace);
+        assert!(ana.any_stall());
+        assert_eq!(
+            ana.task(0).stalled.map(|_| ()),
+            out.task(0).stall.as_ref().map(|_| ())
+        );
+        assert_eq!(ana.task(0).min_available, 0);
+    }
+
+    #[test]
+    fn event_trace_covers_finite_horizon() {
+        // Periodic run with an idle tail: the trace window extends to
+        // the horizon even though the last event falls earlier.
+        let t = Task::with_implicit_deadline(chain(&[2]), 10).unwrap();
+        let set = TaskSet::new(vec![t]);
+        let out = SimConfig::periodic(SchedulingPolicy::Global, 1, 35)
+            .with_event_trace()
+            .run(&set)
+            .unwrap();
+        let trace = out.event_trace().unwrap();
+        assert!(trace.validate().is_empty());
+        assert_eq!(trace.end_time, 35);
+        let ana = rtpool_trace::TraceAnalysis::new(trace);
+        assert_eq!(ana.task(0).released, 4);
+        assert_eq!(ana.task(0).completed, 4);
+        assert_eq!(ana.task(0).responses, vec![2, 2, 2, 2]);
     }
 
     #[test]

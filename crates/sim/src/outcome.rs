@@ -43,6 +43,7 @@ pub struct SimOutcome {
     pub end_time: u64,
     tasks: Vec<TaskOutcome>,
     core_trace: Option<CoreTrace>,
+    event_trace: Option<rtpool_trace::Trace>,
 }
 
 impl SimOutcome {
@@ -50,11 +51,13 @@ impl SimOutcome {
         end_time: u64,
         tasks: Vec<TaskOutcome>,
         core_trace: Option<CoreTrace>,
+        event_trace: Option<rtpool_trace::Trace>,
     ) -> Self {
         SimOutcome {
             end_time,
             tasks,
             core_trace,
+            event_trace,
         }
     }
 
@@ -64,6 +67,20 @@ impl SimOutcome {
     #[must_use]
     pub fn core_trace(&self) -> Option<&CoreTrace> {
         self.core_trace.as_ref()
+    }
+
+    /// The full event trace in the shared `rtpool-trace` schema, when
+    /// [`SimConfig::with_event_trace`](crate::SimConfig::with_event_trace)
+    /// was enabled.
+    #[must_use]
+    pub fn event_trace(&self) -> Option<&rtpool_trace::Trace> {
+        self.event_trace.as_ref()
+    }
+
+    /// Takes ownership of the event trace, leaving `None` behind.
+    #[must_use]
+    pub fn take_event_trace(&mut self) -> Option<rtpool_trace::Trace> {
+        self.event_trace.take()
     }
 
     /// Outcome of task `index` (priority order, as in the input set).
@@ -119,10 +136,12 @@ mod tests {
 
     #[test]
     fn aggregation_helpers() {
-        let ok = SimOutcome::new(10, vec![outcome(None, 0)], None);
+        let mut ok = SimOutcome::new(10, vec![outcome(None, 0)], None, None);
         assert!(!ok.any_stall());
         assert!(ok.all_deadlines_met());
         assert!(ok.core_trace().is_none());
+        assert!(ok.event_trace().is_none());
+        assert!(ok.take_event_trace().is_none());
         let stalled = SimOutcome::new(
             10,
             vec![outcome(
@@ -134,10 +153,11 @@ mod tests {
                 0,
             )],
             None,
+            None,
         );
         assert!(stalled.any_stall());
         assert!(!stalled.all_deadlines_met());
-        let missed = SimOutcome::new(10, vec![outcome(None, 1)], None);
+        let missed = SimOutcome::new(10, vec![outcome(None, 1)], None, None);
         assert!(!missed.all_deadlines_met());
         assert_eq!(missed.tasks().len(), 1);
         assert_eq!(missed.task(0).deadline_misses, 1);

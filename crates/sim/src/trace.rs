@@ -1,11 +1,13 @@
 //! The per-core schedule trace (Gantt chart) and its ASCII rendering.
 
-use std::fmt::Write as _;
-
 /// Which thread holds each core, recorded at every event boundary.
 ///
 /// Entry `(t, cores)` means: from time `t` until the next entry, core
 /// `k` runs `cores[k]` — `Some((task, thread))` or `None` when idle.
+/// The *last* entry holds until [`CoreTrace::end_time`]: recording
+/// deduplicates against the previous snapshot, so a final idle interval
+/// produces no new entry and is represented by the gap between the last
+/// snapshot and `end_time` (trailing idle time is part of the trace).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CoreTrace {
     snapshots: Vec<CoreSnapshot>,
@@ -31,7 +33,11 @@ impl CoreTrace {
     }
 
     pub(crate) fn finish(&mut self, end_time: u64) {
-        self.end_time = end_time;
+        // The trace must cover its own snapshots even if the caller's
+        // end estimate is stale (e.g. the engine stopped advancing time
+        // after the last recorded change).
+        let last = self.snapshots.last().map_or(0, |&(t, _)| t);
+        self.end_time = end_time.max(last);
     }
 
     /// The raw snapshots: `(time, per-core thread)` in time order.
@@ -48,33 +54,15 @@ impl CoreTrace {
 
     /// Renders an ASCII Gantt chart: one row per core, one column per
     /// time unit in `[0, until)`, digits naming the task running there
-    /// (`.` = idle, `+` = task index ≥ 10).
+    /// (`.` = idle, `+` = task index ≥ 10). Trailing idle intervals up
+    /// to [`CoreTrace::end_time`] render as `.` columns.
     ///
     /// Intended for small horizons; the width is capped at 200 columns.
+    /// Delegates to the shared renderer
+    /// [`rtpool_trace::gantt::render_snapshots`].
     #[must_use]
     pub fn to_ascii(&self, until: u64) -> String {
-        let until = until.min(self.end_time.max(1)).min(200);
-        let cores = self.snapshots.first().map_or(0, |(_, c)| c.len());
-        let mut out = String::new();
-        for core in 0..cores {
-            let _ = write!(out, "core {core}: ");
-            let mut cursor = 0usize; // snapshot index
-            for t in 0..until {
-                while cursor + 1 < self.snapshots.len() && self.snapshots[cursor + 1].0 <= t {
-                    cursor += 1;
-                }
-                let ch = match self.snapshots.get(cursor).and_then(|(_, c)| c[core]) {
-                    Some((task, _)) if task < 10 => {
-                        char::from_digit(task as u32, 10).expect("single digit")
-                    }
-                    Some(_) => '+',
-                    None => '.',
-                };
-                out.push(ch);
-            }
-            out.push('\n');
-        }
-        out
+        rtpool_trace::gantt::render_snapshots(&self.snapshots, self.end_time, until)
     }
 }
 
@@ -112,5 +100,29 @@ mod tests {
         t.record(0, vec![Some((11, 0))]);
         t.finish(2);
         assert!(t.to_ascii(2).contains("++"));
+    }
+
+    #[test]
+    fn trailing_idle_interval_renders() {
+        // Dedup means a final all-idle snapshot IS recorded (it differs
+        // from the busy one before it) but nothing after it is; the
+        // interval up to end_time must still render as idle columns.
+        let mut t = CoreTrace::new();
+        t.record(0, vec![Some((0, 0))]);
+        t.record(2, vec![None]);
+        t.finish(6);
+        assert_eq!(t.to_ascii(6), "core 0: 00....\n");
+    }
+
+    #[test]
+    fn finish_clamps_end_time_to_last_snapshot() {
+        // A stale end estimate below the last recorded change must not
+        // truncate the trace.
+        let mut t = CoreTrace::new();
+        t.record(0, vec![Some((0, 0))]);
+        t.record(4, vec![Some((1, 0))]);
+        t.finish(1);
+        assert_eq!(t.end_time(), 4);
+        assert_eq!(t.to_ascii(10), "core 0: 0000\n");
     }
 }

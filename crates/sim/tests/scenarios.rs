@@ -149,6 +149,7 @@ fn newly_released_hp_task_preempts() {
         record_concurrency_trace: false,
         execution_time: ExecutionTime::Wcet,
         record_core_trace: true,
+        record_event_trace: false,
     }
     .run(&set)
     .unwrap();

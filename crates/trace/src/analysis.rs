@@ -1,0 +1,694 @@
+//! Trace analysis: recovering the paper's runtime quantities from an
+//! event stream, and validating traces against the schema's invariants.
+//!
+//! [`TraceAnalysis`] is engine-agnostic: the same sweep computes
+//! observed response times, the observed available-concurrency profile
+//! `l(t, τᵢ)`, and observed simultaneous-blocking antichains from a
+//! simulator trace (ticks) or a native-pool trace (nanoseconds). The
+//! differential test suite feeds both through this one type and checks
+//! them against the static bounds of `rtpool-core`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::event::{EventKind, Trace};
+use crate::metrics::MetricsRegistry;
+
+/// A violation of the trace schema's invariants, found by
+/// [`Trace::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceDefect {
+    /// Sequence numbers are not strictly increasing at event index `at`.
+    NonMonotoneSeq {
+        /// Index into `Trace::events`.
+        at: usize,
+    },
+    /// A thread's events go backwards in time.
+    ThreadTimeRegression {
+        /// Task index.
+        task: u32,
+        /// Thread index.
+        thread: u32,
+        /// Sequence number of the offending event.
+        seq: u64,
+    },
+    /// `NodeEnd` without a matching open `NodeStart` on the thread.
+    UnmatchedNodeEnd {
+        /// Task index.
+        task: u32,
+        /// Thread index.
+        thread: u32,
+        /// Sequence number of the offending event.
+        seq: u64,
+    },
+    /// `NodeStart` while the thread already has an open node.
+    NestedNodeStart {
+        /// Task index.
+        task: u32,
+        /// Thread index.
+        thread: u32,
+        /// Sequence number of the offending event.
+        seq: u64,
+    },
+    /// `BarrierSuspend` while the thread is already suspended.
+    DoubleSuspend {
+        /// Task index.
+        task: u32,
+        /// Thread index.
+        thread: u32,
+        /// Sequence number of the offending event.
+        seq: u64,
+    },
+    /// `BarrierWake` on a thread that was not suspended.
+    WakeWithoutSuspend {
+        /// Task index.
+        task: u32,
+        /// Thread index.
+        thread: u32,
+        /// Sequence number of the offending event.
+        seq: u64,
+    },
+    /// A core's assignments go backwards in time (which would make two
+    /// occupants overlap on the core).
+    CoreTimeRegression {
+        /// Core index.
+        core: u32,
+        /// Sequence number of the offending event.
+        seq: u64,
+    },
+    /// A task, thread, or core index exceeds the trace metadata.
+    IndexOutOfRange {
+        /// Sequence number of the offending event.
+        seq: u64,
+    },
+    /// An event time exceeds the trace's `end_time`.
+    TimeBeyondEnd {
+        /// Sequence number of the offending event.
+        seq: u64,
+    },
+}
+
+impl fmt::Display for TraceDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceDefect::NonMonotoneSeq { at } => {
+                write!(f, "sequence numbers not strictly increasing at event {at}")
+            }
+            TraceDefect::ThreadTimeRegression { task, thread, seq } => write!(
+                f,
+                "time regression on task {task} thread {thread} at seq {seq}"
+            ),
+            TraceDefect::UnmatchedNodeEnd { task, thread, seq } => write!(
+                f,
+                "NodeEnd without open node on task {task} thread {thread} at seq {seq}"
+            ),
+            TraceDefect::NestedNodeStart { task, thread, seq } => write!(
+                f,
+                "NodeStart while a node is open on task {task} thread {thread} at seq {seq}"
+            ),
+            TraceDefect::DoubleSuspend { task, thread, seq } => write!(
+                f,
+                "BarrierSuspend on already-suspended task {task} thread {thread} at seq {seq}"
+            ),
+            TraceDefect::WakeWithoutSuspend { task, thread, seq } => write!(
+                f,
+                "BarrierWake on non-suspended task {task} thread {thread} at seq {seq}"
+            ),
+            TraceDefect::CoreTimeRegression { core, seq } => {
+                write!(f, "core {core} assignments go backwards at seq {seq}")
+            }
+            TraceDefect::IndexOutOfRange { seq } => {
+                write!(f, "task/thread/core index out of range at seq {seq}")
+            }
+            TraceDefect::TimeBeyondEnd { seq } => {
+                write!(f, "event time beyond the trace end_time at seq {seq}")
+            }
+        }
+    }
+}
+
+impl Trace {
+    /// Checks the schema invariants every engine must uphold:
+    ///
+    /// * sequence numbers strictly increase;
+    /// * per `(task, thread)`, event times are monotone;
+    /// * per `(task, thread)`, `NodeStart`/`NodeEnd` alternate (an open
+    ///   node at the end of the trace is allowed — preemption at the
+    ///   horizon or an aborted job);
+    /// * per `(task, thread)`, `BarrierSuspend`/`BarrierWake` pair up
+    ///   (suspended-at-end is allowed — that is a deadlock);
+    /// * per core, assignment times are monotone, so no two occupants
+    ///   ever overlap on one core;
+    /// * all indices fit the metadata and no event lies past `end_time`.
+    #[must_use]
+    pub fn validate(&self) -> Vec<TraceDefect> {
+        let mut defects = Vec::new();
+        let mut last_seq: Option<u64> = None;
+        let mut thread_time: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        let mut open_node: BTreeMap<(u32, u32), u32> = BTreeMap::new();
+        let mut suspended: BTreeMap<(u32, u32), bool> = BTreeMap::new();
+        let mut core_time: BTreeMap<u32, u64> = BTreeMap::new();
+
+        for (at, e) in self.events.iter().enumerate() {
+            if last_seq.is_some_and(|p| e.seq <= p) {
+                defects.push(TraceDefect::NonMonotoneSeq { at });
+            }
+            last_seq = Some(e.seq);
+            if e.time > self.end_time {
+                defects.push(TraceDefect::TimeBeyondEnd { seq: e.seq });
+            }
+            if e.kind.task().is_some_and(|t| t >= self.tasks) {
+                defects.push(TraceDefect::IndexOutOfRange { seq: e.seq });
+            }
+            if e.kind.thread().is_some_and(|th| th >= self.cores) {
+                defects.push(TraceDefect::IndexOutOfRange { seq: e.seq });
+            }
+            if let (Some(task), Some(thread)) = (e.kind.task(), e.kind.thread()) {
+                let key = (task, thread);
+                let last = thread_time.entry(key).or_insert(0);
+                if e.time < *last {
+                    defects.push(TraceDefect::ThreadTimeRegression {
+                        task,
+                        thread,
+                        seq: e.seq,
+                    });
+                }
+                *last = (*last).max(e.time);
+            }
+            match &e.kind {
+                EventKind::NodeStart {
+                    task, node, thread, ..
+                } => {
+                    let already_open = open_node.insert((*task, *thread), *node).is_some();
+                    if already_open {
+                        defects.push(TraceDefect::NestedNodeStart {
+                            task: *task,
+                            thread: *thread,
+                            seq: e.seq,
+                        });
+                    }
+                }
+                EventKind::NodeEnd {
+                    task, node, thread, ..
+                } => {
+                    let closed = open_node.remove(&(*task, *thread));
+                    if closed != Some(*node) {
+                        defects.push(TraceDefect::UnmatchedNodeEnd {
+                            task: *task,
+                            thread: *thread,
+                            seq: e.seq,
+                        });
+                    }
+                }
+                EventKind::BarrierSuspend { task, thread, .. } => {
+                    let s = suspended.entry((*task, *thread)).or_insert(false);
+                    if *s {
+                        defects.push(TraceDefect::DoubleSuspend {
+                            task: *task,
+                            thread: *thread,
+                            seq: e.seq,
+                        });
+                    }
+                    *s = true;
+                }
+                EventKind::BarrierWake { task, thread, .. } => {
+                    let s = suspended.entry((*task, *thread)).or_insert(false);
+                    if !*s {
+                        defects.push(TraceDefect::WakeWithoutSuspend {
+                            task: *task,
+                            thread: *thread,
+                            seq: e.seq,
+                        });
+                    }
+                    *s = false;
+                }
+                EventKind::CoreAssign { core, occupant } => {
+                    if *core >= self.cores
+                        || occupant.is_some_and(|(t, th)| t >= self.tasks || th >= self.cores)
+                    {
+                        defects.push(TraceDefect::IndexOutOfRange { seq: e.seq });
+                    }
+                    let last = core_time.entry(*core).or_insert(0);
+                    if e.time < *last {
+                        defects.push(TraceDefect::CoreTimeRegression {
+                            core: *core,
+                            seq: e.seq,
+                        });
+                    }
+                    *last = (*last).max(e.time);
+                }
+                _ => {}
+            }
+        }
+        defects
+    }
+}
+
+/// Everything observed about one task in a trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskObservation {
+    /// Jobs released.
+    pub released: usize,
+    /// Jobs completed.
+    pub completed: usize,
+    /// Response time of each completed job, in completion order.
+    pub responses: Vec<u64>,
+    /// Largest number of this task's threads simultaneously suspended on
+    /// barriers — by the paper's Section 3 argument, the size of a
+    /// blocking-fork antichain, so it never exceeds `b̄(τᵢ)`.
+    pub max_simultaneous_blocking: usize,
+    /// The blocking forks suspended at (the first) peak — a witness
+    /// antichain of size `max_simultaneous_blocking`.
+    pub blocking_witness: Vec<u32>,
+    /// Smallest observed `cores − suspended`: the observed available
+    /// concurrency floor, never below `l̄(τᵢ) = m − b̄(τᵢ)`.
+    pub min_available: usize,
+    /// Step function `(time, cores − suspended)`; starts at
+    /// `(0, cores)`, one entry per change.
+    pub concurrency_profile: Vec<(u64, usize)>,
+    /// Time of the stall (deadlock) detection, when the task stalled.
+    pub stalled: Option<u64>,
+    /// Node executions finished.
+    pub nodes_executed: usize,
+}
+
+/// Engine-agnostic analysis of one [`Trace`]: per-task observations
+/// derived in a single sweep over the event list.
+#[derive(Clone, Debug)]
+pub struct TraceAnalysis {
+    cores: usize,
+    observations: Vec<TaskObservation>,
+    metrics: MetricsRegistry,
+}
+
+impl TraceAnalysis {
+    /// Analyzes `trace` (one pass over its events).
+    #[must_use]
+    pub fn new(trace: &Trace) -> Self {
+        let cores = trace.cores as usize;
+        let n = trace.tasks as usize;
+        let mut obs: Vec<TaskObservation> = (0..n)
+            .map(|_| TaskObservation {
+                released: 0,
+                completed: 0,
+                responses: Vec::new(),
+                max_simultaneous_blocking: 0,
+                blocking_witness: Vec::new(),
+                min_available: cores,
+                concurrency_profile: vec![(0, cores)],
+                stalled: None,
+                nodes_executed: 0,
+            })
+            .collect();
+        let mut release_times: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        // Per task: the forks currently suspended, as (thread, fork).
+        let mut suspended: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+
+        for e in &trace.events {
+            let t = e.time;
+            match &e.kind {
+                EventKind::JobReleased { task, job } => {
+                    release_times.insert((*task, *job), t);
+                    if let Some(o) = obs.get_mut(*task as usize) {
+                        o.released += 1;
+                    }
+                }
+                EventKind::JobCompleted { task, job } => {
+                    if let Some(o) = obs.get_mut(*task as usize) {
+                        o.completed += 1;
+                        if let Some(release) = release_times.get(&(*task, *job)) {
+                            o.responses.push(t.saturating_sub(*release));
+                        }
+                    }
+                }
+                EventKind::NodeEnd { task, .. } => {
+                    if let Some(o) = obs.get_mut(*task as usize) {
+                        o.nodes_executed += 1;
+                    }
+                }
+                EventKind::BarrierSuspend {
+                    task, fork, thread, ..
+                } => {
+                    let (Some(o), Some(s)) = (
+                        obs.get_mut(*task as usize),
+                        suspended.get_mut(*task as usize),
+                    ) else {
+                        continue;
+                    };
+                    s.push((*thread, *fork));
+                    let avail = cores.saturating_sub(s.len());
+                    o.min_available = o.min_available.min(avail);
+                    if s.len() > o.max_simultaneous_blocking {
+                        o.max_simultaneous_blocking = s.len();
+                        o.blocking_witness = s.iter().map(|&(_, f)| f).collect();
+                    }
+                    push_step(&mut o.concurrency_profile, t, avail);
+                }
+                EventKind::BarrierWake { task, thread, .. } => {
+                    let (Some(o), Some(s)) = (
+                        obs.get_mut(*task as usize),
+                        suspended.get_mut(*task as usize),
+                    ) else {
+                        continue;
+                    };
+                    if let Some(pos) = s.iter().position(|&(th, _)| th == *thread) {
+                        s.remove(pos);
+                    }
+                    push_step(&mut o.concurrency_profile, t, cores.saturating_sub(s.len()));
+                }
+                EventKind::StallDetected { task, .. } => {
+                    if let Some(o) = obs.get_mut(*task as usize) {
+                        o.stalled.get_or_insert(t);
+                    }
+                }
+                _ => {}
+            }
+        }
+        TraceAnalysis {
+            cores,
+            observations: obs,
+            metrics: MetricsRegistry::from_trace(trace),
+        }
+    }
+
+    /// The platform core count of the trace.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Observation of task `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn task(&self, index: usize) -> &TaskObservation {
+        &self.observations[index]
+    }
+
+    /// All per-task observations in task order.
+    #[must_use]
+    pub fn tasks(&self) -> &[TaskObservation] {
+        &self.observations
+    }
+
+    /// The metrics registry built alongside the observations.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// `true` if any task stalled.
+    #[must_use]
+    pub fn any_stall(&self) -> bool {
+        self.observations.iter().any(|o| o.stalled.is_some())
+    }
+
+    /// Human-readable multi-line summary (used by the CLI).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "cores: {}", self.cores);
+        for (i, o) in self.observations.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "task {i}: released={} completed={} nodes={} max_blocking={} min_avail={}{}",
+                o.released,
+                o.completed,
+                o.nodes_executed,
+                o.max_simultaneous_blocking,
+                o.min_available,
+                match o.stalled {
+                    Some(t) => format!(" STALLED@{t}"),
+                    None => String::new(),
+                }
+            );
+            let _ = writeln!(
+                out,
+                "  responses: {}",
+                self.metrics
+                    .task(u32::try_from(i).unwrap_or(u32::MAX))
+                    .map_or_else(|| "n=0".to_string(), |m| m.response_histogram.summary())
+            );
+        }
+        out
+    }
+}
+
+/// Appends `(time, value)` to a step function, collapsing same-time
+/// updates and dropping no-ops.
+fn push_step(profile: &mut Vec<(u64, usize)>, time: u64, value: usize) {
+    match profile.last_mut() {
+        Some((t, v)) if *t == time => {
+            *v = value;
+            // Collapsing may create a no-op step relative to the
+            // previous entry; keep it simple and leave it — profiles
+            // stay small and remain correct step functions.
+        }
+        Some((_, v)) if *v == value => {}
+        _ => profile.push((time, value)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EngineKind, TimeUnit, TraceEvent, TraceRecorder};
+
+    fn base_recorder() -> TraceRecorder {
+        TraceRecorder::new(EngineKind::Sim, TimeUnit::Ticks, 3, 1)
+    }
+
+    #[test]
+    fn analysis_tracks_blocking_and_responses() {
+        let mut r = base_recorder();
+        r.record(0, EventKind::JobReleased { task: 0, job: 0 });
+        r.record(
+            2,
+            EventKind::BarrierSuspend {
+                task: 0,
+                job: 0,
+                fork: 1,
+                thread: 0,
+            },
+        );
+        r.record(
+            3,
+            EventKind::BarrierSuspend {
+                task: 0,
+                job: 0,
+                fork: 4,
+                thread: 1,
+            },
+        );
+        r.record(
+            7,
+            EventKind::BarrierWake {
+                task: 0,
+                job: 0,
+                join: 3,
+                thread: 0,
+            },
+        );
+        r.record(
+            8,
+            EventKind::BarrierWake {
+                task: 0,
+                job: 0,
+                join: 6,
+                thread: 1,
+            },
+        );
+        r.record(10, EventKind::JobCompleted { task: 0, job: 0 });
+        let trace = r.finish(10);
+        assert!(trace.validate().is_empty());
+        let ana = TraceAnalysis::new(&trace);
+        let o = ana.task(0);
+        assert_eq!(o.responses, vec![10]);
+        assert_eq!(o.max_simultaneous_blocking, 2);
+        assert_eq!(o.blocking_witness, vec![1, 4]);
+        assert_eq!(o.min_available, 1);
+        assert_eq!(
+            o.concurrency_profile,
+            vec![(0, 3), (2, 2), (3, 1), (7, 2), (8, 3)]
+        );
+        assert!(o.stalled.is_none());
+        assert!(!ana.any_stall());
+        assert!(ana.summary().contains("max_blocking=2"));
+        assert_eq!(ana.cores(), 3);
+        assert_eq!(ana.metrics().task(0).unwrap().max_simultaneous_blocking, 2);
+    }
+
+    #[test]
+    fn validator_accepts_dangling_open_states() {
+        // A deadlocked trace legitimately ends with suspended threads
+        // and an open node is allowed at the end (aborted job).
+        let mut r = base_recorder();
+        r.record(
+            0,
+            EventKind::NodeStart {
+                task: 0,
+                job: 0,
+                node: 0,
+                thread: 0,
+            },
+        );
+        r.record(
+            1,
+            EventKind::BarrierSuspend {
+                task: 0,
+                job: 0,
+                fork: 2,
+                thread: 1,
+            },
+        );
+        r.record(
+            2,
+            EventKind::StallDetected {
+                task: 0,
+                job: 0,
+                suspended: 1,
+            },
+        );
+        let trace = r.finish(5);
+        assert!(trace.validate().is_empty());
+        assert_eq!(TraceAnalysis::new(&trace).task(0).stalled, Some(2));
+    }
+
+    fn raw(seq: u64, time: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent { seq, time, kind }
+    }
+
+    #[test]
+    fn validator_flags_each_defect() {
+        let mk = |events: Vec<TraceEvent>| Trace {
+            engine: EngineKind::Sim,
+            time_unit: TimeUnit::Ticks,
+            cores: 2,
+            tasks: 1,
+            end_time: 100,
+            events,
+        };
+        // Non-monotone seq.
+        let t = mk(vec![
+            raw(1, 0, EventKind::JobReleased { task: 0, job: 0 }),
+            raw(1, 0, EventKind::JobCompleted { task: 0, job: 0 }),
+        ]);
+        assert!(matches!(
+            t.validate()[0],
+            TraceDefect::NonMonotoneSeq { at: 1 }
+        ));
+        // Thread time regression.
+        let t = mk(vec![
+            raw(0, 5, EventKind::ThreadPark { task: 0, thread: 0 }),
+            raw(1, 3, EventKind::ThreadUnpark { task: 0, thread: 0 }),
+        ]);
+        assert!(matches!(
+            t.validate()[0],
+            TraceDefect::ThreadTimeRegression { seq: 1, .. }
+        ));
+        // Unmatched NodeEnd.
+        let t = mk(vec![raw(
+            0,
+            0,
+            EventKind::NodeEnd {
+                task: 0,
+                job: 0,
+                node: 3,
+                thread: 0,
+            },
+        )]);
+        assert!(matches!(
+            t.validate()[0],
+            TraceDefect::UnmatchedNodeEnd { seq: 0, .. }
+        ));
+        // Nested NodeStart.
+        let start = EventKind::NodeStart {
+            task: 0,
+            job: 0,
+            node: 1,
+            thread: 0,
+        };
+        let t = mk(vec![raw(0, 0, start.clone()), raw(1, 1, start)]);
+        assert!(matches!(
+            t.validate()[0],
+            TraceDefect::NestedNodeStart { seq: 1, .. }
+        ));
+        // Double suspend.
+        let susp = EventKind::BarrierSuspend {
+            task: 0,
+            job: 0,
+            fork: 1,
+            thread: 0,
+        };
+        let t = mk(vec![raw(0, 0, susp.clone()), raw(1, 1, susp)]);
+        assert!(matches!(
+            t.validate()[0],
+            TraceDefect::DoubleSuspend { seq: 1, .. }
+        ));
+        // Wake without suspend.
+        let t = mk(vec![raw(
+            0,
+            0,
+            EventKind::BarrierWake {
+                task: 0,
+                job: 0,
+                join: 1,
+                thread: 0,
+            },
+        )]);
+        assert!(matches!(
+            t.validate()[0],
+            TraceDefect::WakeWithoutSuspend { seq: 0, .. }
+        ));
+        // Core time regression.
+        let t = mk(vec![
+            raw(
+                0,
+                5,
+                EventKind::CoreAssign {
+                    core: 0,
+                    occupant: Some((0, 0)),
+                },
+            ),
+            raw(
+                1,
+                2,
+                EventKind::CoreAssign {
+                    core: 0,
+                    occupant: None,
+                },
+            ),
+        ]);
+        assert!(matches!(
+            t.validate()[0],
+            TraceDefect::CoreTimeRegression { core: 0, seq: 1 }
+        ));
+        // Index out of range (thread beyond cores).
+        let t = mk(vec![raw(
+            0,
+            0,
+            EventKind::ThreadPark { task: 0, thread: 9 },
+        )]);
+        assert!(matches!(
+            t.validate()[0],
+            TraceDefect::IndexOutOfRange { seq: 0 }
+        ));
+        // Time beyond end.
+        let t = mk(vec![raw(
+            0,
+            999,
+            EventKind::JobReleased { task: 0, job: 0 },
+        )]);
+        assert!(matches!(
+            t.validate()[0],
+            TraceDefect::TimeBeyondEnd { seq: 0 }
+        ));
+        // Defects render.
+        for d in t.validate() {
+            assert!(!d.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,907 @@
+//! Trace exporters: Chrome trace-event JSON (loadable in Perfetto /
+//! `chrome://tracing`) and CSV timelines.
+//!
+//! The Chrome export is *lossless*: every event carries its full schema
+//! payload in `args`, and [`from_chrome_json`] reconstructs an identical
+//! [`Trace`] (`export → parse → export` is a fixed point). The `ph`,
+//! `pid`, `tid` fields are cosmetic — they only control how viewers lay
+//! the events out (tracks per `(task, thread)`, durations for node
+//! bodies and barrier suspensions).
+//!
+//! The parser is a tiny recursive-descent JSON reader, kept in-crate so
+//! the exporters stay dependency-free.
+
+use std::fmt;
+
+use crate::event::{EngineKind, EventKind, TimeUnit, Trace, TraceEvent};
+
+/// Why parsing a Chrome trace failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExportError {
+    message: String,
+}
+
+impl ExportError {
+    fn new(message: impl Into<String>) -> Self {
+        ExportError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace import error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ExportError {}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Chrome phase + layout for one event. `pid` groups tracks (one process
+/// per task; core occupancy lives in an extra process `tasks`), `tid`
+/// picks the track within it.
+fn chrome_layout(trace: &Trace, kind: &EventKind) -> (&'static str, u32, u32) {
+    match kind {
+        EventKind::NodeStart { task, thread, .. } => ("B", *task, *thread),
+        EventKind::NodeEnd { task, thread, .. } => ("E", *task, *thread),
+        EventKind::BarrierSuspend { task, thread, .. } => ("B", *task, *thread),
+        EventKind::BarrierWake { task, thread, .. } => ("E", *task, *thread),
+        EventKind::ThreadPark { task, thread } => ("B", *task, *thread),
+        EventKind::ThreadUnpark { task, thread } => ("E", *task, *thread),
+        EventKind::CoreAssign { core, .. } => ("i", trace.tasks, *core),
+        EventKind::JobReleased { task, .. }
+        | EventKind::JobCompleted { task, .. }
+        | EventKind::StallDetected { task, .. }
+        | EventKind::Recovery { task, .. } => ("i", *task, 0),
+    }
+}
+
+/// Canonical `args` payload: every field of the kind, plus `seq`, `time`
+/// and the variant name under `kind`. This is what the importer reads.
+fn chrome_args(e: &TraceEvent) -> String {
+    let mut fields = vec![
+        format!("\"seq\":{}", e.seq),
+        format!("\"time\":{}", e.time),
+        format!("\"kind\":\"{}\"", e.kind.name()),
+    ];
+    match &e.kind {
+        EventKind::JobReleased { task, job } | EventKind::JobCompleted { task, job } => {
+            fields.push(format!("\"task\":{task}"));
+            fields.push(format!("\"job\":{job}"));
+        }
+        EventKind::NodeStart {
+            task,
+            job,
+            node,
+            thread,
+        }
+        | EventKind::NodeEnd {
+            task,
+            job,
+            node,
+            thread,
+        } => {
+            fields.push(format!("\"task\":{task}"));
+            fields.push(format!("\"job\":{job}"));
+            fields.push(format!("\"node\":{node}"));
+            fields.push(format!("\"thread\":{thread}"));
+        }
+        EventKind::BarrierSuspend {
+            task,
+            job,
+            fork,
+            thread,
+        } => {
+            fields.push(format!("\"task\":{task}"));
+            fields.push(format!("\"job\":{job}"));
+            fields.push(format!("\"fork\":{fork}"));
+            fields.push(format!("\"thread\":{thread}"));
+        }
+        EventKind::BarrierWake {
+            task,
+            job,
+            join,
+            thread,
+        } => {
+            fields.push(format!("\"task\":{task}"));
+            fields.push(format!("\"job\":{job}"));
+            fields.push(format!("\"join\":{join}"));
+            fields.push(format!("\"thread\":{thread}"));
+        }
+        EventKind::ThreadPark { task, thread } | EventKind::ThreadUnpark { task, thread } => {
+            fields.push(format!("\"task\":{task}"));
+            fields.push(format!("\"thread\":{thread}"));
+        }
+        EventKind::CoreAssign { core, occupant } => {
+            fields.push(format!("\"core\":{core}"));
+            match occupant {
+                Some((t, th)) => {
+                    fields.push(format!("\"occupantTask\":{t}"));
+                    fields.push(format!("\"occupantThread\":{th}"));
+                }
+                None => fields.push("\"occupantTask\":null".to_string()),
+            }
+        }
+        EventKind::StallDetected {
+            task,
+            job,
+            suspended,
+        } => {
+            fields.push(format!("\"task\":{task}"));
+            fields.push(format!("\"job\":{job}"));
+            fields.push(format!("\"suspended\":{suspended}"));
+        }
+        EventKind::Recovery { task, label, node } => {
+            fields.push(format!("\"task\":{task}"));
+            fields.push(format!("\"label\":\"{}\"", escape_json(label)));
+            match node {
+                Some(n) => fields.push(format!("\"node\":{n}")),
+                None => fields.push("\"node\":null".to_string()),
+            }
+        }
+    }
+    format!("{{{}}}", fields.join(","))
+}
+
+fn chrome_name(kind: &EventKind) -> String {
+    match kind {
+        EventKind::NodeStart { node, .. } | EventKind::NodeEnd { node, .. } => {
+            format!("node {node}")
+        }
+        EventKind::BarrierSuspend { fork, .. } => format!("barrier (fork {fork})"),
+        EventKind::BarrierWake { join, .. } => format!("barrier (join {join})"),
+        EventKind::ThreadPark { .. } | EventKind::ThreadUnpark { .. } => "parked".to_string(),
+        EventKind::CoreAssign { occupant, .. } => match occupant {
+            Some((t, th)) => format!("core: task {t} thread {th}"),
+            None => "core: idle".to_string(),
+        },
+        EventKind::Recovery { label, .. } => format!("recovery: {label}"),
+        other => other.name().to_string(),
+    }
+}
+
+/// Serializes `trace` as Chrome trace-event JSON (object format with
+/// `traceEvents`). Loadable by Perfetto and `chrome://tracing`;
+/// losslessly re-importable with [`from_chrome_json`].
+#[must_use]
+pub fn to_chrome_json(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"displayTimeUnit\": \"ms\",\n");
+    out.push_str(&format!(
+        "  \"otherData\": {{\"engine\": \"{}\", \"timeUnit\": \"{}\", \"cores\": {}, \"tasks\": {}, \"endTime\": {}}},\n",
+        trace.engine.as_str(),
+        trace.time_unit.as_str(),
+        trace.cores,
+        trace.tasks,
+        trace.end_time
+    ));
+    out.push_str("  \"traceEvents\": [\n");
+    for (i, e) in trace.events.iter().enumerate() {
+        let (ph, pid, tid) = chrome_layout(trace, &e.kind);
+        let mut line = format!(
+            "    {{\"name\": \"{}\", \"ph\": \"{}\", \"ts\": {}, \"pid\": {}, \"tid\": {}",
+            escape_json(&chrome_name(&e.kind)),
+            ph,
+            e.time,
+            pid,
+            tid
+        );
+        if ph == "i" {
+            line.push_str(", \"s\": \"t\"");
+        }
+        line.push_str(&format!(", \"args\": {}}}", chrome_args(e)));
+        if i + 1 < trace.events.len() {
+            line.push(',');
+        }
+        line.push('\n');
+        out.push_str(&line);
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader (only what the importer needs).
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum JsonValue {
+    Null,
+    Bool(bool),
+    /// Non-negative integer without exponent/fraction — kept exact so
+    /// u64 sequence numbers and nanosecond stamps survive round-trips.
+    Int(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn as_u32(&self) -> Option<u32> {
+        self.as_u64().and_then(|v| u32::try_from(v).ok())
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(input: &'a str) -> Self {
+        JsonParser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, what: &str) -> ExportError {
+        ExportError::new(format!("{what} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ExportError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, ExportError> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, ExportError> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, ExportError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut float = self.bytes.get(start) == Some(&b'-');
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if float {
+            text.parse::<f64>()
+                .map(JsonValue::Float)
+                .map_err(|_| self.err("invalid number"))
+        } else {
+            text.parse::<u64>()
+                .map(JsonValue::Int)
+                .map_err(|_| self.err("invalid integer"))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ExportError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one UTF-8 code point.
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or_else(|| self.err("truncated UTF-8"))?;
+                    out.push_str(
+                        std::str::from_utf8(chunk).map_err(|_| self.err("invalid UTF-8"))?,
+                    );
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, ExportError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, ExportError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn field_u32(args: &JsonValue, key: &str) -> Result<u32, ExportError> {
+    args.get(key)
+        .and_then(JsonValue::as_u32)
+        .ok_or_else(|| ExportError::new(format!("missing or invalid '{key}' in event args")))
+}
+
+fn kind_from_args(args: &JsonValue) -> Result<EventKind, ExportError> {
+    let kind = args
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ExportError::new("event args missing 'kind'"))?;
+    Ok(match kind {
+        "JobReleased" => EventKind::JobReleased {
+            task: field_u32(args, "task")?,
+            job: field_u32(args, "job")?,
+        },
+        "JobCompleted" => EventKind::JobCompleted {
+            task: field_u32(args, "task")?,
+            job: field_u32(args, "job")?,
+        },
+        "NodeStart" => EventKind::NodeStart {
+            task: field_u32(args, "task")?,
+            job: field_u32(args, "job")?,
+            node: field_u32(args, "node")?,
+            thread: field_u32(args, "thread")?,
+        },
+        "NodeEnd" => EventKind::NodeEnd {
+            task: field_u32(args, "task")?,
+            job: field_u32(args, "job")?,
+            node: field_u32(args, "node")?,
+            thread: field_u32(args, "thread")?,
+        },
+        "BarrierSuspend" => EventKind::BarrierSuspend {
+            task: field_u32(args, "task")?,
+            job: field_u32(args, "job")?,
+            fork: field_u32(args, "fork")?,
+            thread: field_u32(args, "thread")?,
+        },
+        "BarrierWake" => EventKind::BarrierWake {
+            task: field_u32(args, "task")?,
+            job: field_u32(args, "job")?,
+            join: field_u32(args, "join")?,
+            thread: field_u32(args, "thread")?,
+        },
+        "ThreadPark" => EventKind::ThreadPark {
+            task: field_u32(args, "task")?,
+            thread: field_u32(args, "thread")?,
+        },
+        "ThreadUnpark" => EventKind::ThreadUnpark {
+            task: field_u32(args, "task")?,
+            thread: field_u32(args, "thread")?,
+        },
+        "CoreAssign" => {
+            let occupant = match args.get("occupantTask") {
+                Some(JsonValue::Null) | None => None,
+                Some(v) => {
+                    let t = v
+                        .as_u32()
+                        .ok_or_else(|| ExportError::new("invalid 'occupantTask'"))?;
+                    Some((t, field_u32(args, "occupantThread")?))
+                }
+            };
+            EventKind::CoreAssign {
+                core: field_u32(args, "core")?,
+                occupant,
+            }
+        }
+        "StallDetected" => EventKind::StallDetected {
+            task: field_u32(args, "task")?,
+            job: field_u32(args, "job")?,
+            suspended: field_u32(args, "suspended")?,
+        },
+        "Recovery" => EventKind::Recovery {
+            task: field_u32(args, "task")?,
+            label: args
+                .get("label")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| ExportError::new("missing 'label' in Recovery args"))?
+                .to_string(),
+            node: match args.get("node") {
+                Some(JsonValue::Null) | None => None,
+                Some(v) => Some(
+                    v.as_u32()
+                        .ok_or_else(|| ExportError::new("invalid 'node' in Recovery args"))?,
+                ),
+            },
+        },
+        other => return Err(ExportError::new(format!("unknown event kind '{other}'"))),
+    })
+}
+
+/// Parses Chrome trace-event JSON produced by [`to_chrome_json`] back
+/// into a [`Trace`]. Round-trip is exact: `from_chrome_json(
+/// &to_chrome_json(t))? == t`.
+///
+/// # Errors
+///
+/// Returns [`ExportError`] on malformed JSON, missing metadata, or an
+/// event whose `args` payload does not match its declared `kind`.
+pub fn from_chrome_json(input: &str) -> Result<Trace, ExportError> {
+    let root = JsonParser::new(input).parse_value()?;
+    let other = root
+        .get("otherData")
+        .ok_or_else(|| ExportError::new("missing 'otherData'"))?;
+    let engine = other
+        .get("engine")
+        .and_then(JsonValue::as_str)
+        .and_then(EngineKind::parse)
+        .ok_or_else(|| ExportError::new("missing or invalid 'otherData.engine'"))?;
+    let time_unit = other
+        .get("timeUnit")
+        .and_then(JsonValue::as_str)
+        .and_then(TimeUnit::parse)
+        .ok_or_else(|| ExportError::new("missing or invalid 'otherData.timeUnit'"))?;
+    let cores = field_u32(other, "cores")?;
+    let tasks = field_u32(other, "tasks")?;
+    let end_time = other
+        .get("endTime")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| ExportError::new("missing or invalid 'otherData.endTime'"))?;
+    let JsonValue::Array(raw_events) = root
+        .get("traceEvents")
+        .ok_or_else(|| ExportError::new("missing 'traceEvents'"))?
+    else {
+        return Err(ExportError::new("'traceEvents' is not an array"));
+    };
+    let mut events = Vec::with_capacity(raw_events.len());
+    for raw in raw_events {
+        let args = raw
+            .get("args")
+            .ok_or_else(|| ExportError::new("event missing 'args'"))?;
+        let seq = args
+            .get("seq")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| ExportError::new("event args missing 'seq'"))?;
+        let time = args
+            .get("time")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| ExportError::new("event args missing 'time'"))?;
+        events.push(TraceEvent {
+            seq,
+            time,
+            kind: kind_from_args(args)?,
+        });
+    }
+    events.sort_unstable_by_key(|e| e.seq);
+    Ok(Trace {
+        engine,
+        time_unit,
+        cores,
+        tasks,
+        end_time,
+        events,
+    })
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Serializes `trace` as a CSV timeline with the header
+/// `seq,time,kind,task,job,node,thread,core,value,label`. One-way
+/// (spreadsheet-friendly); use the Chrome export for lossless
+/// round-trips.
+#[must_use]
+pub fn to_csv(trace: &Trace) -> String {
+    let mut out = String::from("seq,time,kind,task,job,node,thread,core,value,label\n");
+    for e in &trace.events {
+        let mut task = String::new();
+        let mut job = String::new();
+        let mut node = String::new();
+        let mut thread = String::new();
+        let mut core = String::new();
+        let mut value = String::new();
+        let mut label = String::new();
+        match &e.kind {
+            EventKind::JobReleased { task: t, job: j }
+            | EventKind::JobCompleted { task: t, job: j } => {
+                task = t.to_string();
+                job = j.to_string();
+            }
+            EventKind::NodeStart {
+                task: t,
+                job: j,
+                node: n,
+                thread: th,
+            }
+            | EventKind::NodeEnd {
+                task: t,
+                job: j,
+                node: n,
+                thread: th,
+            } => {
+                task = t.to_string();
+                job = j.to_string();
+                node = n.to_string();
+                thread = th.to_string();
+            }
+            EventKind::BarrierSuspend {
+                task: t,
+                job: j,
+                fork,
+                thread: th,
+            } => {
+                task = t.to_string();
+                job = j.to_string();
+                node = fork.to_string();
+                thread = th.to_string();
+            }
+            EventKind::BarrierWake {
+                task: t,
+                job: j,
+                join,
+                thread: th,
+            } => {
+                task = t.to_string();
+                job = j.to_string();
+                node = join.to_string();
+                thread = th.to_string();
+            }
+            EventKind::ThreadPark {
+                task: t,
+                thread: th,
+            }
+            | EventKind::ThreadUnpark {
+                task: t,
+                thread: th,
+            } => {
+                task = t.to_string();
+                thread = th.to_string();
+            }
+            EventKind::CoreAssign { core: c, occupant } => {
+                core = c.to_string();
+                match occupant {
+                    Some((t, th)) => {
+                        task = t.to_string();
+                        thread = th.to_string();
+                        value = "run".to_string();
+                    }
+                    None => value = "idle".to_string(),
+                }
+            }
+            EventKind::StallDetected {
+                task: t,
+                job: j,
+                suspended,
+            } => {
+                task = t.to_string();
+                job = j.to_string();
+                value = suspended.to_string();
+            }
+            EventKind::Recovery {
+                task: t,
+                label: l,
+                node: n,
+            } => {
+                task = t.to_string();
+                if let Some(n) = n {
+                    node = n.to_string();
+                }
+                label = csv_escape(l);
+            }
+        }
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{}\n",
+            e.seq,
+            e.time,
+            e.kind.name(),
+            task,
+            job,
+            node,
+            thread,
+            core,
+            value,
+            label
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceRecorder;
+
+    fn sample_trace() -> Trace {
+        let mut r = TraceRecorder::new(EngineKind::Sim, TimeUnit::Ticks, 2, 2);
+        r.record(0, EventKind::JobReleased { task: 0, job: 0 });
+        r.record(
+            0,
+            EventKind::NodeStart {
+                task: 0,
+                job: 0,
+                node: 0,
+                thread: 0,
+            },
+        );
+        r.record(
+            0,
+            EventKind::CoreAssign {
+                core: 0,
+                occupant: Some((0, 0)),
+            },
+        );
+        r.record(
+            3,
+            EventKind::NodeEnd {
+                task: 0,
+                job: 0,
+                node: 0,
+                thread: 0,
+            },
+        );
+        r.record(
+            3,
+            EventKind::BarrierSuspend {
+                task: 0,
+                job: 0,
+                fork: 0,
+                thread: 0,
+            },
+        );
+        r.record(
+            5,
+            EventKind::BarrierWake {
+                task: 0,
+                job: 0,
+                join: 2,
+                thread: 0,
+            },
+        );
+        r.record(
+            5,
+            EventKind::CoreAssign {
+                core: 0,
+                occupant: None,
+            },
+        );
+        r.record(
+            6,
+            EventKind::StallDetected {
+                task: 1,
+                job: 0,
+                suspended: 2,
+            },
+        );
+        r.record(
+            6,
+            EventKind::Recovery {
+                task: 1,
+                label: "panic_body".to_string(),
+                node: Some(4),
+            },
+        );
+        r.record(
+            7,
+            EventKind::Recovery {
+                task: 1,
+                label: "pool_grown".to_string(),
+                node: None,
+            },
+        );
+        r.record(7, EventKind::ThreadPark { task: 1, thread: 1 });
+        r.record(8, EventKind::ThreadUnpark { task: 1, thread: 1 });
+        r.record(9, EventKind::JobCompleted { task: 0, job: 0 });
+        r.finish(12)
+    }
+
+    #[test]
+    fn chrome_round_trip_is_exact() {
+        let trace = sample_trace();
+        let json = to_chrome_json(&trace);
+        let back = from_chrome_json(&json).expect("parses");
+        assert_eq!(back, trace);
+        // Fixed point: exporting the re-import is byte-identical.
+        assert_eq!(to_chrome_json(&back), json);
+    }
+
+    #[test]
+    fn chrome_json_has_metadata_and_phases() {
+        let json = to_chrome_json(&sample_trace());
+        assert!(json.contains("\"engine\": \"sim\""));
+        assert!(json.contains("\"timeUnit\": \"ticks\""));
+        assert!(json.contains("\"ph\": \"B\""));
+        assert!(json.contains("\"ph\": \"E\""));
+        assert!(json.contains("\"ph\": \"i\""));
+        assert!(json.contains("recovery: panic_body"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(from_chrome_json("").is_err());
+        assert!(from_chrome_json("{}").is_err());
+        assert!(from_chrome_json("{\"otherData\": {}, \"traceEvents\": []}").is_err());
+        assert!(from_chrome_json("[1, 2").is_err());
+        // An event whose args don't match its kind.
+        let bad = r#"{
+          "otherData": {"engine": "sim", "timeUnit": "ticks", "cores": 1, "tasks": 1, "endTime": 5},
+          "traceEvents": [{"args": {"seq": 0, "time": 0, "kind": "NodeStart", "task": 0}}]
+        }"#;
+        assert!(from_chrome_json(bad).is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut r = TraceRecorder::new(EngineKind::Exec, TimeUnit::Nanos, 1, 1);
+        r.record(
+            0,
+            EventKind::Recovery {
+                task: 0,
+                label: "odd \"label\"\nwith\tescapes\\".to_string(),
+                node: None,
+            },
+        );
+        let trace = r.finish(1);
+        let back = from_chrome_json(&to_chrome_json(&trace)).expect("parses");
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn csv_has_header_and_one_line_per_event() {
+        let trace = sample_trace();
+        let csv = to_csv(&trace);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), trace.events.len() + 1);
+        assert_eq!(
+            lines[0],
+            "seq,time,kind,task,job,node,thread,core,value,label"
+        );
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("CoreAssign") && l.contains("run")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("CoreAssign") && l.contains("idle")));
+        assert!(lines.iter().any(|l| l.contains("panic_body")));
+    }
+}

@@ -1,0 +1,136 @@
+//! Golden-file tests for the trace exporters on a deterministic
+//! workload: the paper's Figure 1(c) DAG (two blocking fork-join
+//! replicas) simulated on `m = 2` cores (deadlock) and `m = 3` cores
+//! (completes). The simulator is a deterministic discrete-event engine,
+//! so every byte of every export is reproducible.
+//!
+//! Bless intentional output changes with `UPDATE_GOLDEN=1 cargo test -p
+//! rtpool-trace --test golden`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rtpool_core::{Task, TaskSet};
+use rtpool_sim::{SchedulingPolicy, SimConfig};
+use rtpool_trace::{from_chrome_json, to_chrome_json, to_csv, Trace, TraceAnalysis};
+
+/// The Figure 1(c) DAG: source → two blocking fork-join(3×1) replicas →
+/// sink. Deadlocks on two threads, completes on three.
+fn figure_1c_set() -> TaskSet {
+    let mut b = rtpool_graph::DagBuilder::new();
+    let src = b.add_node(1);
+    let snk = b.add_node(1);
+    for _ in 0..2 {
+        let (f, j) = b.fork_join(1, &[1, 1, 1], 1, true).unwrap();
+        b.add_edge(src, f).unwrap();
+        b.add_edge(j, snk).unwrap();
+    }
+    TaskSet::new(vec![Task::with_implicit_deadline(
+        b.build().unwrap(),
+        1 << 20,
+    )
+    .unwrap()])
+}
+
+fn sim_trace(m: usize) -> Trace {
+    let mut out = SimConfig::single_job(SchedulingPolicy::Global, m)
+        .with_event_trace()
+        .run(&figure_1c_set())
+        .expect("simulation runs");
+    out.take_event_trace().expect("tracing was enabled")
+}
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn check_golden(stem: &str, ext: &str, rendered: &str, bless: bool) {
+    let golden = golden_dir().join(format!("{stem}.{ext}"));
+    if bless {
+        fs::create_dir_all(golden_dir()).expect("create golden dir");
+        fs::write(&golden, rendered).expect("write golden");
+        return;
+    }
+    let want = fs::read_to_string(&golden).unwrap_or_else(|_| {
+        panic!(
+            "missing golden {}; bless with UPDATE_GOLDEN=1",
+            golden.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        want,
+        "{} differs from its golden; bless intentional changes with UPDATE_GOLDEN=1",
+        golden.display()
+    );
+}
+
+fn check_all_formats(stem: &str, trace: &Trace, bless: bool) {
+    assert!(
+        trace.validate().is_empty(),
+        "{stem}: trace has schema defects"
+    );
+    check_golden(stem, "json", &to_chrome_json(trace), bless);
+    check_golden(stem, "csv", &to_csv(trace), bless);
+    check_golden(
+        stem,
+        "gantt",
+        &rtpool_trace::gantt::render(trace, 72),
+        bless,
+    );
+    check_golden(stem, "summary", &TraceAnalysis::new(trace).summary(), bless);
+}
+
+#[test]
+fn figure_1c_exports_match_goldens() {
+    let bless = std::env::var_os("UPDATE_GOLDEN").is_some();
+    // m = 2: the deadlock of Figure 1(c); the trace covers the stalled
+    // prefix and ends with both workers suspended.
+    check_all_formats("fig1c-m2", &sim_trace(2), bless);
+    // m = 3: one more thread than the blocking bound b̄ = 2 (Lemma 1),
+    // so the same DAG completes.
+    check_all_formats("fig1c-m3", &sim_trace(3), bless);
+}
+
+/// The committed Chrome-JSON fixtures load cleanly through the public
+/// parser and still pass every schema check — guarding both the
+/// exporter *and* the on-disk artifact a viewer would open.
+#[test]
+fn committed_chrome_fixtures_parse_and_validate() {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        // Blessing runs race the fixture writes; the re-run checks them.
+        return;
+    }
+    for stem in ["fig1c-m2", "fig1c-m3"] {
+        let path = golden_dir().join(format!("{stem}.json"));
+        let text = fs::read_to_string(&path).unwrap_or_else(|_| {
+            panic!(
+                "missing golden {}; bless with UPDATE_GOLDEN=1",
+                path.display()
+            )
+        });
+        let trace = from_chrome_json(&text).unwrap_or_else(|e| {
+            panic!("{}: committed fixture fails to parse: {e}", path.display())
+        });
+        assert!(
+            trace.validate().is_empty(),
+            "{}: committed fixture has schema defects",
+            path.display()
+        );
+    }
+}
+
+/// The stalled (m = 2) fixture really shows the deadlock, and the m = 3
+/// fixture really shows completion — so the goldens stay meaningful.
+#[test]
+fn fixtures_capture_the_stall_contrast() {
+    let stalled = TraceAnalysis::new(&sim_trace(2));
+    assert!(stalled.any_stall());
+    assert_eq!(stalled.task(0).completed, 0);
+    assert_eq!(stalled.task(0).min_available, 0);
+
+    let done = TraceAnalysis::new(&sim_trace(3));
+    assert!(!done.any_stall());
+    assert_eq!(done.task(0).completed, 1);
+    assert_eq!(done.task(0).nodes_executed, 12);
+}

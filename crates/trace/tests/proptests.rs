@@ -1,0 +1,209 @@
+//! Property tests over simulator-generated traces: the structural
+//! invariants the schema promises are re-derived here *independently*
+//! of [`Trace::validate`], plus exact exporter round-trips.
+//!
+//! Invariants: sequence numbers strictly increase; per-thread timestamps
+//! are monotone; `NodeStart`/`NodeEnd` intervals nest (one open node per
+//! thread, ends match starts); `BarrierSuspend`/`BarrierWake` pair up
+//! (dangling suspends only in stalled traces); a `(task, thread)` never
+//! occupies two cores at once; Chrome-JSON and CSV exports round-trip.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rtpool_core::TaskSet;
+use rtpool_gen::{DagGenConfig, TaskSetConfig};
+use rtpool_sim::{SchedulingPolicy, SimConfig};
+use rtpool_trace::{from_chrome_json, to_chrome_json, to_csv, EventKind, Trace};
+
+fn random_set(seed: u64, n: usize, util: f64) -> TaskSet {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    TaskSetConfig::new(n, util, DagGenConfig::default())
+        .generate(&mut rng)
+        .expect("unconstrained generation succeeds")
+}
+
+fn sim_trace(seed: u64, m: usize) -> Trace {
+    let set = random_set(seed, 2, 1.0);
+    let mut out = SimConfig::single_job(SchedulingPolicy::Global, m)
+        .with_event_trace()
+        .run(&set)
+        .expect("simulation runs");
+    out.take_event_trace().expect("tracing was enabled")
+}
+
+/// Independent re-derivation of the ordering invariants.
+fn check_ordering(trace: &Trace) -> Result<(), String> {
+    let mut last_seq: Option<u64> = None;
+    let mut thread_time: HashMap<(u32, u32), u64> = HashMap::new();
+    for e in &trace.events {
+        if let Some(prev) = last_seq {
+            prop_assert!(e.seq > prev, "seq {} not after {prev}", e.seq);
+        }
+        last_seq = Some(e.seq);
+        prop_assert!(
+            e.time <= trace.end_time,
+            "event at {} past end_time {}",
+            e.time,
+            trace.end_time
+        );
+        if let (Some(task), Some(thread)) = (e.kind.task(), e.kind.thread()) {
+            let t = thread_time.entry((task, thread)).or_insert(0);
+            prop_assert!(
+                e.time >= *t,
+                "thread ({task},{thread}) time went backwards: {} after {}",
+                e.time,
+                *t
+            );
+            *t = e.time;
+        }
+    }
+    Ok(())
+}
+
+/// Independent re-derivation of interval nesting and barrier pairing.
+fn check_nesting_and_pairing(trace: &Trace) -> Result<(), String> {
+    // (task, thread) -> currently open node.
+    let mut open: HashMap<(u32, u32), u32> = HashMap::new();
+    // (task, thread) -> fork the thread is suspended on.
+    let mut suspended: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut stalled_tasks: Vec<u32> = Vec::new();
+    for e in &trace.events {
+        match e.kind {
+            EventKind::NodeStart {
+                task, node, thread, ..
+            } => {
+                let prev = open.insert((task, thread), node);
+                prop_assert!(
+                    prev.is_none(),
+                    "thread ({task},{thread}) started node {node} with {prev:?} still open"
+                );
+            }
+            EventKind::NodeEnd {
+                task, node, thread, ..
+            } => {
+                let prev = open.remove(&(task, thread));
+                prop_assert_eq!(
+                    prev,
+                    Some(node),
+                    "thread ({},{}) ended node {} but {:?} was open",
+                    task,
+                    thread,
+                    node,
+                    prev
+                );
+            }
+            EventKind::BarrierSuspend {
+                task, fork, thread, ..
+            } => {
+                let prev = suspended.insert((task, thread), fork);
+                prop_assert!(
+                    prev.is_none(),
+                    "thread ({task},{thread}) suspended twice (forks {prev:?} then {fork})"
+                );
+            }
+            EventKind::BarrierWake { task, thread, .. } => {
+                prop_assert!(
+                    suspended.remove(&(task, thread)).is_some(),
+                    "thread ({task},{thread}) woke without a suspend"
+                );
+            }
+            EventKind::StallDetected { task, .. } => stalled_tasks.push(task),
+            _ => {}
+        }
+    }
+    // Dangling suspends are the signature of a stall — legal only then.
+    for (task, thread) in suspended.keys() {
+        prop_assert!(
+            stalled_tasks.contains(task),
+            "thread ({task},{thread}) left suspended without a stall"
+        );
+    }
+    Ok(())
+}
+
+/// Independent re-derivation of core exclusivity: between timestamps, no
+/// `(task, thread)` holds two cores. Checked at time boundaries because
+/// same-instant `CoreAssign` diffs may reorder a migration within the
+/// instant.
+fn check_core_exclusivity(trace: &Trace) -> Result<(), String> {
+    let mut cores: HashMap<u32, (u32, u32)> = HashMap::new();
+    let mut i = 0;
+    let events = &trace.events;
+    while i < events.len() {
+        let t = events[i].time;
+        while i < events.len() && events[i].time == t {
+            if let EventKind::CoreAssign { core, occupant } = events[i].kind {
+                prop_assert!(
+                    (core as usize) < trace.cores as usize,
+                    "core index {core} out of range"
+                );
+                match occupant {
+                    Some(occ) => cores.insert(core, occ),
+                    None => cores.remove(&core),
+                };
+            }
+            i += 1;
+        }
+        let mut holders: Vec<(u32, u32)> = cores.values().copied().collect();
+        holders.sort_unstable();
+        let len = holders.len();
+        holders.dedup();
+        prop_assert_eq!(
+            holders.len(),
+            len,
+            "a thread occupies two cores at time {}",
+            t
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn sim_traces_are_well_ordered(seed in 0u64..5_000, m in 2usize..6) {
+        let trace = sim_trace(seed, m);
+        check_ordering(&trace)?;
+    }
+
+    #[test]
+    fn sim_traces_nest_and_pair(seed in 0u64..5_000, m in 2usize..6) {
+        let trace = sim_trace(seed, m);
+        check_nesting_and_pairing(&trace)?;
+    }
+
+    #[test]
+    fn sim_traces_keep_cores_exclusive(seed in 0u64..5_000, m in 2usize..6) {
+        let trace = sim_trace(seed, m);
+        check_core_exclusivity(&trace)?;
+    }
+
+    /// The hand-rolled Chrome JSON exporter and parser are exact
+    /// inverses on real traces.
+    #[test]
+    fn chrome_json_round_trips(seed in 0u64..5_000, m in 2usize..6) {
+        let trace = sim_trace(seed, m);
+        let json = to_chrome_json(&trace);
+        let back = from_chrome_json(&json).expect("exported JSON parses");
+        prop_assert_eq!(back.engine, trace.engine);
+        prop_assert_eq!(back.time_unit, trace.time_unit);
+        prop_assert_eq!(back.cores, trace.cores);
+        prop_assert_eq!(back.tasks, trace.tasks);
+        prop_assert_eq!(back.end_time, trace.end_time);
+        prop_assert_eq!(back.events, trace.events);
+    }
+
+    /// CSV: exactly one line per event plus the header, and the header
+    /// is the documented column list.
+    #[test]
+    fn csv_has_one_line_per_event(seed in 0u64..5_000, m in 2usize..6) {
+        let trace = sim_trace(seed, m);
+        let csv = to_csv(&trace);
+        let lines: Vec<&str> = csv.lines().collect();
+        prop_assert_eq!(lines.len(), trace.events.len() + 1);
+        prop_assert_eq!(lines[0], "seq,time,kind,task,job,node,thread,core,value,label");
+    }
+}

@@ -18,7 +18,9 @@
 //! * [`exec`] — a real condvar-based thread pool exhibiting the paper's
 //!   Figure 1 phenomena;
 //! * [`lint`] — `rtlint`, span-aware static-analysis diagnostics for
-//!   `.rtp` workloads and pool configurations.
+//!   `.rtp` workloads and pool configurations;
+//! * [`trace`] — the unified trace-event schema, metrics, analysis, and
+//!   exporters shared by the simulator and the native pool.
 
 #![forbid(unsafe_code)]
 
@@ -28,3 +30,4 @@ pub use rtpool_gen as gen;
 pub use rtpool_graph as graph;
 pub use rtpool_lint as lint;
 pub use rtpool_sim as sim;
+pub use rtpool_trace as trace;
