@@ -11,13 +11,20 @@
 //!
 //! ```text
 //! analyze <file.rtp> --m <threads> [--simulate] [--policy global|partitioned]
+//!         [--timeout-ms T]
 //! ```
+//!
+//! `--timeout-ms` bounds the response-time fix-points: past the budget
+//! the analysis stops with a clean "analysis timed out" error instead of
+//! iterating further (pathological parameters can make the
+//! pseudo-polynomial RTA arbitrarily slow).
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use rtpool_core::analysis::global::{self, ConcurrencyModel};
+use rtpool_core::analysis::global::{analyze_many_cancellable, ConcurrencyModel};
 use rtpool_core::analysis::partitioned::{self, PartitionStrategy};
-use rtpool_core::{sizing, ConcurrencyAnalysis, TaskId};
+use rtpool_core::{sizing, CancelToken, ConcurrencyAnalysis, TaskId};
 use rtpool_lint::{check_source, render_human, LintOptions};
 use rtpool_sim::{SchedulingPolicy, SimConfig};
 
@@ -26,6 +33,7 @@ struct Args {
     m: usize,
     simulate: bool,
     policy: SchedulingPolicy,
+    timeout: Option<Duration>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
     let mut m = 4usize;
     let mut simulate = false;
     let mut policy = SchedulingPolicy::Global;
+    let mut timeout = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -44,6 +53,17 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("invalid --m: {e}"))?;
             }
             "--simulate" => simulate = true,
+            "--timeout-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .ok_or("missing value for --timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("invalid --timeout-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--timeout-ms must be positive".into());
+                }
+                timeout = Some(Duration::from_millis(ms));
+            }
             "--policy" => {
                 policy = match it.next().as_deref() {
                     Some("global") => SchedulingPolicy::Global,
@@ -53,7 +73,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: analyze <file.rtp> [--m N] [--simulate] [--policy global|partitioned]"
+                    "usage: analyze <file.rtp> [--m N] [--simulate] \
+                     [--policy global|partitioned] [--timeout-ms T]"
                 );
                 std::process::exit(0);
             }
@@ -66,6 +87,7 @@ fn parse_args() -> Result<Args, String> {
         m,
         simulate,
         policy,
+        timeout,
     })
 }
 
@@ -132,6 +154,10 @@ fn run() -> Result<bool, String> {
         );
     }
 
+    let token = args.timeout.map_or_else(CancelToken::never, |t| {
+        CancelToken::with_deadline(std::time::Instant::now() + t)
+    });
+
     println!("\n== Global schedulability (Section 4.1) ==");
     for (label, model) in [
         ("Melani et al. [14] (oblivious)", ConcurrencyModel::Full),
@@ -141,7 +167,16 @@ fn run() -> Result<bool, String> {
             ConcurrencyModel::LimitedExact,
         ),
     ] {
-        let r = global::analyze(&set, m, model);
+        let r = match analyze_many_cancellable(&set, m, &[model], &token) {
+            Ok(mut results) => results.remove(0),
+            Err(_) => {
+                return Err(format!(
+                    "analysis timed out after {:?} (in {label}); \
+                     re-run with a larger --timeout-ms",
+                    args.timeout.unwrap_or_default()
+                ));
+            }
+        };
         print!(
             "  {label:35} {}",
             if r.is_schedulable() {

@@ -174,6 +174,12 @@ fn export_sample_trace(inset: Inset, seed: u64, dir: &Path) -> Result<PathBuf, S
     let trace = outcome
         .take_event_trace()
         .expect("event tracing was enabled");
+    if outcome.any_stall() {
+        eprintln!(
+            "note: inset {} sample stalled (deadlock); the trace covers the stalled prefix",
+            inset.letter()
+        );
+    }
     let path = dir.join(format!("fig2{}-sample.json", inset.letter()));
     std::fs::write(&path, rtpool_trace::to_chrome_json(&trace))
         .map_err(|e| format!("cannot write {}: {e}", path.display()))?;

@@ -1,0 +1,300 @@
+//! `rtpool-serve`: a long-lived schedulability admission service.
+//!
+//! Reads JSON-lines admission requests (inline `.rtp` source or content
+//! hash of a previously submitted set) from stdin — or, with
+//! `--socket`, from sequential connections on a Unix domain socket —
+//! and writes one JSON verdict line per request. Overload surfaces as
+//! explicit `busy` (bounded ingress queue) and `shed` (latency-SLO
+//! circuit breaker) verdicts; per-request deadline budgets degrade the
+//! analysis gracefully instead of stalling the pipe; panicking analysis
+//! workers are supervised and every request is answered exactly once.
+//!
+//! ```text
+//! rtpool-serve [--workers N] [--queue-cap N] [--batch-max N]
+//!              [--default-deadline-us U] [--slo-p99-us U]
+//!              [--shed-below-priority P] [--window N]
+//!              [--interner-cap N] [--socket PATH]
+//!              [--trace PATH] [--summary]
+//! ```
+//!
+//! Defaults: all cores, queue 256, no default deadline, 50 ms p99 SLO,
+//! shed priorities `< 4`, 64-response breaker window, interner 256. On
+//! EOF (or socket shutdown) the backlog drains, the final report goes
+//! to stderr (`--summary` prints it as JSON), and `--trace PATH` writes
+//! the request-lifecycle trace as Chrome trace-event JSON.
+//!
+//! Request lines: `{"id": 1, "m": 8, "priority": 5, "deadline_us":
+//! 20000, "source": "task period=...\n..."}` or `{"id": 2, "m": 8,
+//! "hash": "<16 hex digits>"}`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rtpool_bench::serve::protocol::encode_response;
+use rtpool_bench::serve::{BreakerConfig, Response, ServeConfig, Server};
+use rtpool_bench::sweep::SweepPool;
+
+struct Args {
+    workers: usize,
+    config: ServeConfig,
+    socket: Option<String>,
+    trace: Option<String>,
+    summary: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: rtpool-serve [--workers N] [--queue-cap N] [--batch-max N] \
+     [--default-deadline-us U] [--slo-p99-us U] [--shed-below-priority P] \
+     [--window N] [--interner-cap N] [--socket PATH] [--trace PATH] [--summary]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workers: 0,
+        config: ServeConfig::default(),
+        socket: None,
+        trace: None,
+        summary: false,
+    };
+    let mut breaker = BreakerConfig::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("invalid --workers: {e}"))?;
+            }
+            "--queue-cap" => {
+                args.config.queue_cap = value("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("invalid --queue-cap: {e}"))?;
+            }
+            "--batch-max" => {
+                args.config.batch_max = value("--batch-max")?
+                    .parse()
+                    .map_err(|e| format!("invalid --batch-max: {e}"))?;
+            }
+            "--default-deadline-us" => {
+                args.config.default_deadline_us = value("--default-deadline-us")?
+                    .parse()
+                    .map_err(|e| format!("invalid --default-deadline-us: {e}"))?;
+            }
+            "--slo-p99-us" => {
+                breaker.slo_p99_us = value("--slo-p99-us")?
+                    .parse()
+                    .map_err(|e| format!("invalid --slo-p99-us: {e}"))?;
+            }
+            "--shed-below-priority" => {
+                breaker.shed_below_priority = value("--shed-below-priority")?
+                    .parse()
+                    .map_err(|e| format!("invalid --shed-below-priority: {e}"))?;
+            }
+            "--window" => {
+                breaker.window = value("--window")?
+                    .parse()
+                    .map_err(|e| format!("invalid --window: {e}"))?;
+            }
+            "--interner-cap" => {
+                args.config.interner_cap = value("--interner-cap")?
+                    .parse()
+                    .map_err(|e| format!("invalid --interner-cap: {e}"))?;
+            }
+            "--socket" => args.socket = Some(value("--socket")?),
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--summary" => args.summary = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    args.config.breaker = breaker;
+    args.config.record_trace = args.trace.is_some();
+    Ok(args)
+}
+
+/// Forwards responses to `write` as JSON lines until the channel closes.
+fn pump_responses(rx: &Receiver<Response>, mut write: impl Write) {
+    // A short timeout keeps the pump responsive to shutdown while
+    // batching flushes under load.
+    loop {
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(resp) => {
+                let mut line = encode_response(&resp);
+                line.push('\n');
+                while let Ok(resp) = rx.try_recv() {
+                    line.push_str(&encode_response(&resp));
+                    line.push('\n');
+                }
+                if write.write_all(line.as_bytes()).is_err() || write.flush().is_err() {
+                    return; // client went away; drain silently
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Feeds stdin lines to the server; returns the response pump handle so
+/// the caller can join it after shutdown (the pump exits when the
+/// response channel disconnects, i.e. once the drained server drops).
+fn serve_stdin(server: &Server, rx: Receiver<Response>) -> std::thread::JoinHandle<()> {
+    let pump = std::thread::spawn(move || pump_responses(&rx, std::io::stdout().lock()));
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        server.submit(&line);
+    }
+    pump
+}
+
+fn serve_socket(server: &Server, rx: Receiver<Response>, path: &str) -> Result<(), String> {
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path)
+        .map_err(|e| format!("cannot bind socket {path}: {e}"))?;
+    eprintln!("rtpool-serve: listening on {path} (one client at a time)");
+    let done = Arc::new(AtomicBool::new(false));
+    // Connections are served sequentially, so every in-flight response
+    // belongs to the currently connected client.
+    for stream in listener.incoming() {
+        let stream = stream.map_err(|e| format!("accept failed: {e}"))?;
+        let out = stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone socket stream: {e}"))?;
+        std::thread::scope(|scope| {
+            let done = Arc::clone(&done);
+            let stream = &stream;
+            scope.spawn(move || {
+                for line in BufReader::new(stream).lines() {
+                    let Ok(line) = line else { break };
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    if trimmed == "\"shutdown\"" {
+                        done.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    server.submit(&line);
+                }
+            });
+            pump_responses_until_idle(&rx, out, server);
+        });
+        if done.load(Ordering::Relaxed) {
+            break;
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+/// Socket variant of the pump: returns once the client has disconnected
+/// and no work remains in flight, so the next client can be accepted.
+fn pump_responses_until_idle(rx: &Receiver<Response>, mut write: impl Write, server: &Server) {
+    let mut idle_polls = 0u32;
+    loop {
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(resp) => {
+                idle_polls = 0;
+                let mut line = encode_response(&resp);
+                line.push('\n');
+                let _ = write.write_all(line.as_bytes());
+                let _ = write.flush();
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutError::Timeout) => {
+                if server.idle() {
+                    idle_polls += 1;
+                    // Two consecutive idle polls: the reader side has
+                    // stopped feeding and nothing is in flight.
+                    if idle_polls >= 2 {
+                        return;
+                    }
+                } else {
+                    idle_polls = 0;
+                }
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let workers = if args.workers == 0 {
+        std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+    } else {
+        args.workers
+    };
+    let pool = Arc::new(SweepPool::new(workers));
+    eprintln!(
+        "rtpool-serve: {} analysis workers, queue {}, SLO p99 {} µs",
+        pool.threads(),
+        args.config.queue_cap,
+        args.config.breaker.slo_p99_us
+    );
+    let trace_path = args.trace.clone();
+    let summary = args.summary;
+    let (server, rx) = Server::start(args.config, pool);
+    let mut pump = None;
+    let result = match &args.socket {
+        None => {
+            pump = Some(serve_stdin(&server, rx));
+            Ok(())
+        }
+        Some(path) => serve_socket(&server, rx, path),
+    };
+    let report = server.shutdown();
+    if let Some(pump) = pump {
+        // The channel is closed now; the pump flushes the final
+        // responses and exits.
+        pump.join().expect("response pump healthy");
+    }
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    if summary {
+        eprintln!("{}", report.to_json());
+    } else {
+        eprintln!(
+            "rtpool-serve: {} accepted, {} admitted, {} rejected, {} busy, {} shed, \
+             {} errors ({} degraded); p99 {} µs",
+            report.accepted,
+            report.admitted,
+            report.rejected,
+            report.busy,
+            report.shed,
+            report.errors,
+            report.degraded,
+            report
+                .latency
+                .quantile_upper(0.99)
+                .map_or_else(|| "-".to_string(), |v| v.to_string()),
+        );
+    }
+    if let (Some(path), Some(trace)) = (trace_path, report.trace.as_ref()) {
+        if let Err(e) = std::fs::write(&path, rtpool_trace::to_chrome_json(trace)) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -6,7 +6,7 @@
 //! rtpool-trace run <workload.rtp> [--engine sim|exec]
 //!              [--policy global|partitioned] [--m N] [--horizon H]
 //!              [--format summary|ascii|chrome|csv] [--out PATH]
-//!              [--time-scale-us U]
+//!              [--time-scale-us U] [--timeout-ms T]
 //! rtpool-trace validate <trace.json>
 //! ```
 //!
@@ -15,7 +15,10 @@
 //! periodic releases up to `H`. Under `--engine exec` each task's DAG
 //! runs as one job on its own pool and yields one trace per task (with
 //! `--out`, files are suffixed `.task<i>`); `--time-scale-us` sets the
-//! wall-clock length of one WCET unit (default 100 µs).
+//! wall-clock length of one WCET unit (default 100 µs), and
+//! `--timeout-ms` bounds each task's wall-clock run via the pool
+//! watchdog (default 10 000 ms) — a workload that deadlocks is reported
+//! as a stall with its partial trace instead of hanging the tool.
 //!
 //! `validate` parses a Chrome trace-event JSON exported by this tool and
 //! checks the schema invariants ([`Trace::validate`]): exit code 0 when
@@ -61,12 +64,14 @@ struct RunArgs {
     format: Format,
     out: Option<PathBuf>,
     time_scale: Duration,
+    timeout: Duration,
 }
 
 fn usage() -> &'static str {
     "usage: rtpool-trace run <workload.rtp> [--engine sim|exec] \
      [--policy global|partitioned] [--m N] [--horizon H] \
-     [--format summary|ascii|chrome|csv] [--out PATH] [--time-scale-us U]\n\
+     [--format summary|ascii|chrome|csv] [--out PATH] [--time-scale-us U] \
+     [--timeout-ms T]\n\
      \x20      rtpool-trace validate <trace.json>"
 }
 
@@ -81,6 +86,7 @@ fn parse_run_args(mut it: std::env::Args) -> Result<RunArgs, String> {
         format: Format::Summary,
         out: None,
         time_scale: Duration::from_micros(100),
+        timeout: Duration::from_secs(10),
     };
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
@@ -128,11 +134,21 @@ fn parse_run_args(mut it: std::env::Args) -> Result<RunArgs, String> {
                         .map_err(|e| format!("invalid --time-scale-us: {e}"))?,
                 );
             }
+            "--timeout-ms" => {
+                args.timeout = Duration::from_millis(
+                    value("--timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("invalid --timeout-ms: {e}"))?,
+                );
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     if args.m == 0 {
         return Err("--m must be positive".into());
+    }
+    if args.timeout.is_zero() {
+        return Err("--timeout-ms must be positive".into());
     }
     Ok(args)
 }
@@ -243,7 +259,7 @@ fn run_exec(args: &RunArgs, set: &TaskSet) -> Result<(), String> {
         };
         let config = PoolConfig::new(args.m, discipline)
             .with_time_scale(args.time_scale)
-            .with_watchdog(Duration::from_secs(10))
+            .with_watchdog(args.timeout)
             .with_trace();
         let mut pool = ThreadPool::try_new(config).map_err(|e| e.to_string())?;
         let trace = match pool.run(task.dag()) {

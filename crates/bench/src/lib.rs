@@ -21,6 +21,7 @@
 pub mod ablation;
 pub mod fig2;
 pub mod pipeline;
+pub mod serve;
 pub mod sweep;
 pub mod table;
 pub mod tightness;

@@ -1,0 +1,201 @@
+//! Latency-driven load-shedding circuit breaker.
+//!
+//! The server feeds every served request's latency into the breaker.
+//! Latencies accumulate into a window histogram (the `rtpool-trace`
+//! log₂ [`LatencyHistogram`]); when a window fills, its p99 upper bound
+//! is compared against the configured SLO:
+//!
+//! * p99 above the SLO → the breaker **opens**: requests whose priority
+//!   is below the shed threshold are answered `shed` immediately at
+//!   ingress, so capacity drains to the traffic the operator cares
+//!   about;
+//! * a full window at or under the SLO → the breaker **re-closes**.
+//!
+//! Windows are sized in responses, not wall time, so the breaker is
+//! deterministic under test (drive N latencies, observe the
+//! transition). While open, windows keep filling from the traffic that
+//! still flows — the breaker needs fresh evidence to close, and
+//! high-priority traffic provides it.
+
+use std::sync::Mutex;
+
+use rtpool_trace::LatencyHistogram;
+
+/// Breaker configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// p99 service-latency objective, microseconds.
+    pub slo_p99_us: u64,
+    /// Responses per evaluation window (clamped to at least 8).
+    pub window: usize,
+    /// While open, requests with priority strictly below this are shed.
+    pub shed_below_priority: u8,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            slo_p99_us: 50_000,
+            window: 64,
+            shed_below_priority: 4,
+        }
+    }
+}
+
+/// Point-in-time breaker statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BreakerStats {
+    /// Whether the breaker is currently open.
+    pub open: bool,
+    /// Closed → open transitions so far.
+    pub opens: u64,
+    /// Open → closed transitions so far.
+    pub closes: u64,
+    /// Requests shed while open.
+    pub shed: u64,
+    /// p99 upper bound of the last *completed* window, microseconds.
+    pub last_window_p99_us: Option<u64>,
+}
+
+struct State {
+    window: LatencyHistogram,
+    stats: BreakerStats,
+}
+
+/// The breaker itself; cheap to share behind an `Arc`.
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: Mutex<State>,
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker.
+    #[must_use]
+    pub fn new(config: BreakerConfig) -> Self {
+        let config = BreakerConfig {
+            window: config.window.max(8),
+            ..config
+        };
+        CircuitBreaker {
+            config,
+            state: Mutex::new(State {
+                window: LatencyHistogram::new(),
+                stats: BreakerStats::default(),
+            }),
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> BreakerConfig {
+        self.config
+    }
+
+    /// Admission check at ingress. Returns `false` when the request
+    /// must be shed (breaker open and priority below the threshold);
+    /// the shed is counted.
+    #[must_use]
+    pub fn admit(&self, priority: u8) -> bool {
+        let mut st = self.state.lock().expect("breaker lock not poisoned");
+        if st.stats.open && priority < self.config.shed_below_priority {
+            st.stats.shed += 1;
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Feeds one served request's latency; evaluates the window when it
+    /// fills.
+    pub fn observe(&self, latency_us: u64) {
+        let mut st = self.state.lock().expect("breaker lock not poisoned");
+        st.window.observe(latency_us);
+        if (st.window.count() as usize) < self.config.window {
+            return;
+        }
+        let p99 = st.window.quantile_upper(0.99).unwrap_or(0);
+        st.stats.last_window_p99_us = Some(p99);
+        st.window = LatencyHistogram::new();
+        let overloaded = p99 > self.config.slo_p99_us;
+        if overloaded && !st.stats.open {
+            st.stats.open = true;
+            st.stats.opens += 1;
+        } else if !overloaded && st.stats.open {
+            st.stats.open = false;
+            st.stats.closes += 1;
+        }
+    }
+
+    /// Whether the breaker is currently open.
+    #[must_use]
+    pub fn is_open(&self) -> bool {
+        self.state
+            .lock()
+            .expect("breaker lock not poisoned")
+            .stats
+            .open
+    }
+
+    /// Current statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> BreakerStats {
+        self.state.lock().expect("breaker lock not poisoned").stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(slo: u64, window: usize) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            slo_p99_us: slo,
+            window,
+            shed_below_priority: 4,
+        })
+    }
+
+    #[test]
+    fn opens_on_slow_window_and_recloses() {
+        let b = breaker(100, 8);
+        assert!(!b.is_open());
+        for _ in 0..8 {
+            b.observe(10_000);
+        }
+        assert!(b.is_open());
+        assert_eq!(b.stats().opens, 1);
+        // While open, low-priority traffic is shed, high flows.
+        assert!(!b.admit(0));
+        assert!(b.admit(7));
+        assert_eq!(b.stats().shed, 1);
+        // A healthy window re-closes it.
+        for _ in 0..8 {
+            b.observe(10);
+        }
+        assert!(!b.is_open());
+        assert_eq!(b.stats().closes, 1);
+        assert!(b.admit(0));
+    }
+
+    #[test]
+    fn closed_breaker_sheds_nothing() {
+        let b = breaker(100, 8);
+        for p in 0..=7 {
+            assert!(b.admit(p));
+        }
+        assert_eq!(b.stats().shed, 0);
+    }
+
+    #[test]
+    fn partial_windows_do_not_transition() {
+        let b = breaker(100, 8);
+        for _ in 0..7 {
+            b.observe(1_000_000);
+        }
+        assert!(!b.is_open(), "window not full yet");
+        assert_eq!(b.stats().last_window_p99_us, None);
+        b.observe(1_000_000);
+        assert!(b.is_open());
+        assert!(b.stats().last_window_p99_us.unwrap() > 100);
+    }
+}

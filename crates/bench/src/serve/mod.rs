@@ -1,0 +1,52 @@
+//! `rtpool-serve`: an overload-resilient schedulability admission
+//! service.
+//!
+//! A long-lived server that accepts JSON-lines admission requests
+//! (inline `.rtp` sources or content hashes of previously seen sets),
+//! analyzes them with the paper's schedulability machinery, and answers
+//! admit/reject verdicts — engineered to stay predictable *under
+//! overload and partial failure* rather than just fast on the happy
+//! path:
+//!
+//! * **Backpressure, not buffering** ([`queue`]): the ingress queue is
+//!   strictly bounded; overflow is answered `busy` immediately.
+//! * **Deadline budgets & graceful degradation** ([`ladder`]): each
+//!   request carries a service budget from arrival; when it runs out
+//!   the analysis ladder answers with its deepest completed rung,
+//!   marked `degraded` — and a degraded *admit* is always sound.
+//! * **Load shedding** ([`breaker`]): a latency-SLO circuit breaker
+//!   sheds low-priority traffic while p99 is out of budget, and
+//!   re-closes on recovery.
+//! * **Supervision** ([`supervisor`]): panicking analysis workers are
+//!   caught, retried under the executor's [`RecoveryPolicy`]
+//!   semantics, and finished on a rescue thread — every request gets
+//!   exactly one verdict.
+//! * **Structural reuse** ([`interner`]): content-hashed interning
+//!   shares parsed sets (and their `DerivedCache`s) across
+//!   structurally identical submissions, with bounded LRU capacity.
+//! * **Observability** ([`server`]): request lifecycles are recorded
+//!   as `rtpool-trace` events and latencies as log₂ histograms.
+//!
+//! The `rtpool_serve` binary wraps [`server::Server`] over
+//! stdin/stdout or a Unix socket; `rtpool_loadgen` drives it at a
+//! configurable overload factor and checks the resilience invariants
+//! from the outside.
+//!
+//! [`RecoveryPolicy`]: rtpool_exec::RecoveryPolicy
+
+pub mod breaker;
+pub mod interner;
+pub mod ladder;
+pub mod loadgen;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod supervisor;
+
+pub use breaker::{BreakerConfig, BreakerStats, CircuitBreaker};
+pub use interner::{InternError, Interner, InternerStats, MemoOutcome};
+pub use ladder::{run_ladder, run_ladder_capped, LadderOutcome};
+pub use protocol::{LadderLevel, Request, RequestBody, Response, VerdictKind};
+pub use queue::IngressQueue;
+pub use server::{ServeConfig, ServeReport, Server};
+pub use supervisor::{ServiceEvent, ServiceOutcome, Supervisor};

@@ -1,0 +1,611 @@
+//! The JSON-lines admission protocol.
+//!
+//! One request per line in, one response per line out. The workspace
+//! deliberately carries no serde dependency, so this module hand-rolls
+//! the (tiny) subset of JSON the protocol needs: objects, strings with
+//! the standard escapes, unsigned integers, and booleans. Both
+//! directions are implemented here — the server decodes requests and
+//! encodes responses, the load generator and the proptest suite do the
+//! reverse — so round-tripping is pinned inside one file.
+//!
+//! ## Request
+//!
+//! ```json
+//! {"id":7,"m":8,"priority":5,"deadline_us":20000,"source":"task period=100\n  node a 10\nend\n"}
+//! {"id":8,"m":8,"hash":"9f3a77c04be21d55"}
+//! ```
+//!
+//! `id` and `m` are required. `priority` (0–7, higher = more important,
+//! default 4) orders load shedding; `deadline_us` (default: server
+//! config) is the per-request service budget measured from *arrival*,
+//! queueing included. The workload is either an inline `.rtp` `source`
+//! or the hex content `hash` of a previously interned set.
+//!
+//! ## Response
+//!
+//! ```json
+//! {"id":7,"verdict":"admit","level":"exact","degraded":false,"latency_us":412,"hash":"9f3a77c04be21d55","detail":""}
+//! ```
+
+use std::fmt;
+
+/// Highest wire priority (inclusive).
+pub const MAX_PRIORITY: u8 = 7;
+/// Priority assumed when a request does not name one.
+pub const DEFAULT_PRIORITY: u8 = 4;
+
+/// A decoded admission request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on the response.
+    pub id: u64,
+    /// Thread-pool size `m` to analyze admission onto.
+    pub m: usize,
+    /// Shedding priority, `0..=MAX_PRIORITY` (higher survives overload
+    /// longer).
+    pub priority: u8,
+    /// Service budget in microseconds from arrival; `0` = server
+    /// default.
+    pub deadline_us: u64,
+    /// The workload itself.
+    pub body: RequestBody,
+}
+
+/// How a request names its task set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RequestBody {
+    /// Inline `.rtp` source text.
+    Source(String),
+    /// Content hash of a previously interned set.
+    Hash(u64),
+}
+
+/// The verdict class of a response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerdictKind {
+    /// The task set is schedulable on the requested pool.
+    Admit,
+    /// The task set is not admitted (deadlock, overload, or missed
+    /// response-time bound).
+    Reject,
+    /// The ingress queue was full — backpressure, retry later.
+    Busy,
+    /// The circuit breaker shed this request (priority too low while
+    /// the breaker is open).
+    Shed,
+    /// The request could not be served (parse failure, unknown hash,
+    /// worker crash beyond the recovery budget).
+    Error,
+}
+
+impl VerdictKind {
+    /// Wire name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            VerdictKind::Admit => "admit",
+            VerdictKind::Reject => "reject",
+            VerdictKind::Busy => "busy",
+            VerdictKind::Shed => "shed",
+            VerdictKind::Error => "error",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "admit" => VerdictKind::Admit,
+            "reject" => VerdictKind::Reject,
+            "busy" => VerdictKind::Busy,
+            "shed" => VerdictKind::Shed,
+            "error" => VerdictKind::Error,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for VerdictKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The ladder rung that produced an analysis verdict (absent for
+/// busy/shed/error responses).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LadderLevel {
+    /// Arithmetic screens: total utilization vs `m`, critical path vs
+    /// deadline.
+    Prefilter,
+    /// Lemma 1/3 deadlock certificates plus the exact `BF` antichain.
+    Deadlock,
+    /// Limited-concurrency RTA (Lemma 4).
+    Limited,
+    /// The exact-antichain RTA — the ladder's definitive rung.
+    Exact,
+}
+
+impl LadderLevel {
+    /// Wire name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LadderLevel::Prefilter => "prefilter",
+            LadderLevel::Deadlock => "deadlock",
+            LadderLevel::Limited => "limited",
+            LadderLevel::Exact => "exact",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "prefilter" => LadderLevel::Prefilter,
+            "deadlock" => LadderLevel::Deadlock,
+            "limited" => LadderLevel::Limited,
+            "exact" => LadderLevel::Exact,
+            _ => return None,
+        })
+    }
+}
+
+/// A response line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// Correlation id of the request.
+    pub id: u64,
+    /// Verdict class.
+    pub verdict: VerdictKind,
+    /// Ladder rung that decided (analysis verdicts only).
+    pub level: Option<LadderLevel>,
+    /// Whether the deadline budget cut the ladder short of its
+    /// definitive rung. A degraded *admit* is still sound (see the
+    /// ladder docs); a degraded *reject* may be pessimistic.
+    pub degraded: bool,
+    /// Observed service latency (arrival to verdict), microseconds.
+    pub latency_us: u64,
+    /// Content hash of the interned set (analysis verdicts only) —
+    /// resubmit with `"hash"` to skip parsing.
+    pub hash: Option<u64>,
+    /// Human-readable detail (reject reason, error cause).
+    pub detail: String,
+}
+
+/// Encodes a response as one JSON line (no trailing newline).
+#[must_use]
+pub fn encode_response(r: &Response) -> String {
+    let mut out = String::with_capacity(96 + r.detail.len());
+    out.push_str("{\"id\":");
+    out.push_str(&r.id.to_string());
+    out.push_str(",\"verdict\":\"");
+    out.push_str(r.verdict.name());
+    out.push('"');
+    if let Some(level) = r.level {
+        out.push_str(",\"level\":\"");
+        out.push_str(level.name());
+        out.push('"');
+    }
+    out.push_str(",\"degraded\":");
+    out.push_str(if r.degraded { "true" } else { "false" });
+    out.push_str(",\"latency_us\":");
+    out.push_str(&r.latency_us.to_string());
+    if let Some(h) = r.hash {
+        out.push_str(",\"hash\":\"");
+        out.push_str(&format!("{h:016x}"));
+        out.push('"');
+    }
+    out.push_str(",\"detail\":\"");
+    escape_into(&r.detail, &mut out);
+    out.push_str("\"}");
+    out
+}
+
+/// Encodes a request as one JSON line (no trailing newline). Used by the
+/// load generator and the round-trip tests.
+#[must_use]
+pub fn encode_request(r: &Request) -> String {
+    let mut out = String::with_capacity(64);
+    out.push_str("{\"id\":");
+    out.push_str(&r.id.to_string());
+    out.push_str(",\"m\":");
+    out.push_str(&r.m.to_string());
+    out.push_str(",\"priority\":");
+    out.push_str(&r.priority.to_string());
+    out.push_str(",\"deadline_us\":");
+    out.push_str(&r.deadline_us.to_string());
+    match &r.body {
+        RequestBody::Source(src) => {
+            out.push_str(",\"source\":\"");
+            escape_into(src, &mut out);
+            out.push('"');
+        }
+        RequestBody::Hash(h) => {
+            out.push_str(",\"hash\":\"");
+            out.push_str(&format!("{h:016x}"));
+            out.push('"');
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Decodes one request line.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first problem found.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let obj = parse_object(line)?;
+    let id = require_u64(&obj, "id")?;
+    let m = usize::try_from(require_u64(&obj, "m")?).map_err(|_| "m out of range".to_string())?;
+    if m == 0 {
+        return Err("m must be positive".to_string());
+    }
+    let priority = match get(&obj, "priority") {
+        None => DEFAULT_PRIORITY,
+        Some(Json::Num(n)) => u8::try_from(*n)
+            .ok()
+            .filter(|p| *p <= MAX_PRIORITY)
+            .ok_or_else(|| format!("priority must be 0..={MAX_PRIORITY}"))?,
+        Some(_) => return Err("priority must be a number".to_string()),
+    };
+    let deadline_us = match get(&obj, "deadline_us") {
+        None => 0,
+        Some(Json::Num(n)) => *n,
+        Some(_) => return Err("deadline_us must be a number".to_string()),
+    };
+    let body = match (get(&obj, "source"), get(&obj, "hash")) {
+        (Some(Json::Str(src)), None) => RequestBody::Source(src.clone()),
+        (None, Some(Json::Str(h))) => RequestBody::Hash(parse_hash(h)?),
+        (Some(_), Some(_)) => return Err("request has both source and hash".to_string()),
+        (None, None) => return Err("request needs source or hash".to_string()),
+        _ => return Err("source must be a string, hash a hex string".to_string()),
+    };
+    Ok(Request {
+        id,
+        m,
+        priority,
+        deadline_us,
+        body,
+    })
+}
+
+/// Decodes one response line.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first problem found.
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    let obj = parse_object(line)?;
+    let id = require_u64(&obj, "id")?;
+    let verdict = match get(&obj, "verdict") {
+        Some(Json::Str(s)) => {
+            VerdictKind::parse(s).ok_or_else(|| format!("unknown verdict {s:?}"))?
+        }
+        _ => return Err("missing verdict".to_string()),
+    };
+    let level = match get(&obj, "level") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(s)) => {
+            Some(LadderLevel::parse(s).ok_or_else(|| format!("unknown level {s:?}"))?)
+        }
+        Some(_) => return Err("level must be a string".to_string()),
+    };
+    let degraded = match get(&obj, "degraded") {
+        Some(Json::Bool(b)) => *b,
+        None => false,
+        Some(_) => return Err("degraded must be a boolean".to_string()),
+    };
+    let latency_us = match get(&obj, "latency_us") {
+        Some(Json::Num(n)) => *n,
+        None => 0,
+        Some(_) => return Err("latency_us must be a number".to_string()),
+    };
+    let hash = match get(&obj, "hash") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(h)) => Some(parse_hash(h)?),
+        Some(_) => return Err("hash must be a hex string".to_string()),
+    };
+    let detail = match get(&obj, "detail") {
+        Some(Json::Str(s)) => s.clone(),
+        None => String::new(),
+        Some(_) => return Err("detail must be a string".to_string()),
+    };
+    Ok(Response {
+        id,
+        verdict,
+        level,
+        degraded,
+        latency_us,
+        hash,
+        detail,
+    })
+}
+
+fn parse_hash(h: &str) -> Result<u64, String> {
+    u64::from_str_radix(h, 16).map_err(|_| format!("invalid content hash {h:?}"))
+}
+
+/// Best-effort extraction of the `id` field from a line that may not be
+/// a valid request, so even a malformed submission can be answered with
+/// a correlated `error` response. Returns 0 when no id is recoverable.
+#[must_use]
+pub fn probe_id(line: &str) -> u64 {
+    parse_object(line)
+        .ok()
+        .and_then(|obj| match get(&obj, "id") {
+            Some(Json::Num(n)) => Some(*n),
+            _ => None,
+        })
+        .unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON
+// ---------------------------------------------------------------------
+
+/// The JSON subset the protocol uses.
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    /// Unsigned integers only — every number on this wire is one.
+    Num(u64),
+    Str(String),
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn require_u64(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
+    match get(obj, key) {
+        Some(Json::Num(n)) => Ok(*n),
+        Some(_) => Err(format!("{key} must be a number")),
+        None => Err(format!("missing {key}")),
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parses a single top-level JSON object into its key/value pairs.
+fn parse_object(line: &str) -> Result<Vec<(String, Json)>, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let obj = p.object()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing input at byte {}", p.pos));
+    }
+    Ok(obj)
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Vec<(String, Json)>, String> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            out.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.bytes.get(self.pos) {
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'0'..=b'9') => self.number(),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            _ => Err(format!("unexpected value at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("unexpected value at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        text.parse::<u64>()
+            .map(Json::Num)
+            .map_err(|_| format!("number out of range at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "invalid \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "invalid \\u escape".to_string())?;
+                            // The protocol never emits surrogate pairs;
+                            // reject rather than mis-decode them.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| "surrogate \\u escape".to_string())?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // boundaries are trustworthy).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8".to_string())?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let reqs = [
+            Request {
+                id: 7,
+                m: 8,
+                priority: 5,
+                deadline_us: 20_000,
+                body: RequestBody::Source("task period=100\n  node a 10\nend\n".to_string()),
+            },
+            Request {
+                id: u64::MAX,
+                m: 1,
+                priority: 0,
+                deadline_us: 0,
+                body: RequestBody::Hash(0x9f3a_77c0_4be2_1d55),
+            },
+        ];
+        for r in &reqs {
+            let line = encode_request(r);
+            assert_eq!(&parse_request(&line).unwrap(), r, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resp = Response {
+            id: 3,
+            verdict: VerdictKind::Reject,
+            level: Some(LadderLevel::Deadlock),
+            degraded: true,
+            latency_us: 412,
+            hash: Some(1),
+            detail: "antichain \"BF\" ≥ m\nnext line\t".to_string(),
+        };
+        let line = encode_response(&resp);
+        assert_eq!(parse_response(&line).unwrap(), resp, "line: {line}");
+        let busy = Response {
+            id: 4,
+            verdict: VerdictKind::Busy,
+            level: None,
+            degraded: false,
+            latency_us: 0,
+            hash: None,
+            detail: String::new(),
+        };
+        assert_eq!(parse_response(&encode_response(&busy)).unwrap(), busy);
+    }
+
+    #[test]
+    fn defaults_and_validation() {
+        let r = parse_request(r#"{"id":1,"m":4,"source":"x"}"#).unwrap();
+        assert_eq!(r.priority, DEFAULT_PRIORITY);
+        assert_eq!(r.deadline_us, 0);
+        assert!(parse_request(r#"{"m":4,"source":"x"}"#).is_err());
+        assert!(parse_request(r#"{"id":1,"source":"x"}"#).is_err());
+        assert!(parse_request(r#"{"id":1,"m":0,"source":"x"}"#).is_err());
+        assert!(parse_request(r#"{"id":1,"m":4,"priority":9,"source":"x"}"#).is_err());
+        assert!(parse_request(r#"{"id":1,"m":4,"source":"x","hash":"ff"}"#).is_err());
+        assert!(parse_request(r#"{"id":1,"m":4}"#).is_err());
+        assert!(parse_request(r#"{"id":1,"m":4,"hash":"zz"}"#).is_err());
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"id":1,"m":4,"source":"x"} extra"#).is_err());
+    }
+
+    #[test]
+    fn escapes_decode() {
+        let r = parse_request(r#"{"id":1,"m":2,"source":"a\nb\t\"q\"\\A"}"#).unwrap();
+        assert_eq!(r.body, RequestBody::Source("a\nb\t\"q\"\\A".to_string()));
+    }
+}

@@ -1,0 +1,173 @@
+//! Bounded ingress queue with explicit backpressure.
+//!
+//! The queue holds accepted-but-unserved requests. Its capacity is a
+//! hard bound: once full, [`IngressQueue::push`] fails *immediately*
+//! and the server answers `busy` — overload surfaces as explicit
+//! backpressure to the client, never as unbounded memory growth or
+//! silently ballooning latency. (The classic alternative — an unbounded
+//! queue — converts overload into queueing delay that grows without
+//! limit while every request still "succeeds"; this module is the
+//! design's refusal to do that.)
+//!
+//! The dispatcher side blocks on [`IngressQueue::pop_batch`] until work
+//! or shutdown; batches drain up to `max` entries at once so the sweep
+//! pool can fan a whole batch across its workers.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Queue state shared between ingest and dispatcher.
+struct State<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+    /// High-water mark of queue depth (observability).
+    peak: usize,
+    rejected: u64,
+}
+
+/// A bounded MPSC queue that rejects instead of growing.
+pub struct IngressQueue<T> {
+    cap: usize,
+    state: Mutex<State<T>>,
+    cv: Condvar,
+}
+
+impl<T> IngressQueue<T> {
+    /// Creates a queue holding at most `cap` entries (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        IngressQueue {
+            cap: cap.max(1),
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                closed: false,
+                peak: 0,
+                rejected: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Enqueues `item`, or returns it when the queue is full (explicit
+    /// backpressure) or closed.
+    ///
+    /// # Errors
+    ///
+    /// The rejected item is handed back so the caller can answer the
+    /// client.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut st = self.state.lock().expect("queue lock not poisoned");
+        if st.closed || st.queue.len() >= self.cap {
+            st.rejected += 1;
+            return Err(item);
+        }
+        st.queue.push_back(item);
+        st.peak = st.peak.max(st.queue.len());
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until at least one entry is available, then drains up to
+    /// `max` entries. Returns an empty vector only after
+    /// [`IngressQueue::close`] once the queue has fully drained.
+    #[must_use]
+    pub fn pop_batch(&self, max: usize) -> Vec<T> {
+        let max = max.max(1);
+        let mut st = self.state.lock().expect("queue lock not poisoned");
+        loop {
+            if !st.queue.is_empty() {
+                let take = st.queue.len().min(max);
+                return st.queue.drain(..take).collect();
+            }
+            if st.closed {
+                return Vec::new();
+            }
+            st = self.cv.wait(st).expect("queue lock not poisoned");
+        }
+    }
+
+    /// Closes the queue: future pushes fail, and `pop_batch` returns
+    /// empty once the backlog is drained.
+    pub fn close(&self) {
+        let mut st = self.state.lock().expect("queue lock not poisoned");
+        st.closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Current depth.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("queue lock not poisoned")
+            .queue
+            .len()
+    }
+
+    /// Whether the queue is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(peak depth, rejected count)` so far.
+    #[must_use]
+    pub fn pressure(&self) -> (usize, u64) {
+        let st = self.state.lock().expect("queue lock not poisoned");
+        (st.peak, st.rejected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_queue_rejects_immediately() {
+        let q = IngressQueue::new(2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pressure(), (2, 1));
+        // Draining frees capacity again.
+        assert_eq!(q.pop_batch(10), vec![1, 2]);
+        assert!(q.push(4).is_ok());
+    }
+
+    #[test]
+    fn batches_respect_max() {
+        let q = IngressQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.pop_batch(3), vec![0, 1, 2]);
+        assert_eq!(q.pop_batch(3), vec![3, 4]);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = IngressQueue::new(8);
+        q.push(1).unwrap();
+        q.close();
+        assert_eq!(q.push(2), Err(2));
+        assert_eq!(q.pop_batch(4), vec![1]);
+        assert!(q.pop_batch(4).is_empty());
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        use std::sync::Arc;
+        let q = Arc::new(IngressQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop_batch(4));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(42).unwrap();
+        assert_eq!(t.join().unwrap(), vec![42]);
+    }
+}

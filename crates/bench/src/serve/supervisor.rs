@@ -1,0 +1,459 @@
+//! Per-request supervision: panic isolation, retry, rescue.
+//!
+//! Every request attempt runs inside [`std::panic::catch_unwind`], so a
+//! crashing analysis worker never unwinds into the sweep pool (which
+//! would strand the pool's completion accounting). A panicked attempt
+//! is retried under the configured
+//! [`RecoveryPolicy`](rtpool_exec::RecoveryPolicy) — the same policy
+//! type, with the same `max_retries`/`backoff_delay` semantics, that
+//! governs the executor's worker recovery. When the retry budget is
+//! exhausted the supervisor makes one final attempt on a freshly
+//! spawned *rescue thread* (the service-layer analogue of the
+//! executor's epoch-bound rescue workers: a clean stack, isolated from
+//! any state the panicking attempts may have wedged) before giving up
+//! and answering an `error` verdict. Whatever happens, **every request
+//! gets exactly one response** — supervision converts crashes into
+//! verdicts, never into silence.
+//!
+//! Service-layer fault injection ([`FaultPlan::service_faults`]) is
+//! applied here, keyed by the request's arrival sequence number and the
+//! attempt index, so chaos runs are reproducible.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::thread;
+
+use rtpool_core::CancelToken;
+use rtpool_exec::{FaultPlan, RecoveryPolicy};
+
+use super::interner::{InternError, Interner, MemoOutcome};
+use super::ladder::{run_ladder, LadderOutcome};
+use super::protocol::{LadderLevel, Request, RequestBody, VerdictKind};
+
+/// Something the supervisor did while serving a request, for the trace
+/// and the metrics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServiceEvent {
+    /// An attempt panicked and was caught.
+    WorkerPanicked,
+    /// A panicked attempt was retried under the policy.
+    Retried,
+    /// The final attempt ran on a fresh rescue thread.
+    RescueAttempt,
+    /// A poisoned cache entry was observed and evicted.
+    PoisonedEntry,
+    /// An injected shard stall delayed the attempt.
+    ShardStalled,
+    /// An injected slowdown delayed the attempt.
+    SlowRequest,
+}
+
+impl ServiceEvent {
+    /// Trace `Recovery` label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ServiceEvent::WorkerPanicked => "serve_worker_panicked",
+            ServiceEvent::Retried => "serve_retried",
+            ServiceEvent::RescueAttempt => "serve_rescue_attempt",
+            ServiceEvent::PoisonedEntry => "serve_poisoned_entry",
+            ServiceEvent::ShardStalled => "serve_shard_stalled",
+            ServiceEvent::SlowRequest => "serve_slow_request",
+        }
+    }
+}
+
+/// The supervised outcome of one request.
+#[derive(Clone, Debug)]
+pub struct ServiceOutcome {
+    /// Final verdict class (`Admit`/`Reject`/`Error`).
+    pub verdict: VerdictKind,
+    /// Ladder rung, when analysis ran.
+    pub level: Option<LadderLevel>,
+    /// Whether the answer is degraded.
+    pub degraded: bool,
+    /// Content hash, when the workload resolved.
+    pub hash: Option<u64>,
+    /// Reason / detail text.
+    pub detail: String,
+    /// Attempts consumed (1 = clean first try).
+    pub attempts: usize,
+    /// Supervision events, in order.
+    pub events: Vec<ServiceEvent>,
+}
+
+/// What one attempt produced internally.
+enum AttemptError {
+    /// Caught panic, with its message.
+    Panicked(String),
+    /// Poisoned cache entry (retryable).
+    Poisoned,
+    /// Terminal resolution failure (parse error, unknown hash).
+    Terminal(String),
+}
+
+/// The per-request supervisor. Stateless between requests; share one
+/// per server.
+pub struct Supervisor {
+    policy: RecoveryPolicy,
+    faults: FaultPlan,
+}
+
+impl Supervisor {
+    /// Creates a supervisor applying `policy` to panicked attempts and
+    /// injecting `faults`.
+    #[must_use]
+    pub fn new(policy: RecoveryPolicy, faults: FaultPlan) -> Self {
+        Supervisor { policy, faults }
+    }
+
+    /// Serves one request to a verdict. `seq` is the server's arrival
+    /// sequence number (the fault plan's request key); `token` carries
+    /// the request's deadline budget.
+    #[must_use]
+    pub fn execute(
+        &self,
+        seq: u64,
+        request: &Request,
+        interner: &Interner,
+        token: &CancelToken,
+    ) -> ServiceOutcome {
+        let mut events = Vec::new();
+        let max_retries = self.policy.max_retries();
+        let mut attempt = 0usize;
+        loop {
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                self.attempt(seq, attempt, request, interner, token, &mut events)
+            }))
+            .unwrap_or_else(|payload| Err(AttemptError::Panicked(panic_message(&payload))));
+            match result {
+                Ok(outcome) => {
+                    return finish(outcome, attempt + 1, events);
+                }
+                Err(AttemptError::Terminal(detail)) => {
+                    return ServiceOutcome {
+                        verdict: VerdictKind::Error,
+                        level: None,
+                        degraded: false,
+                        hash: None,
+                        detail,
+                        attempts: attempt + 1,
+                        events,
+                    };
+                }
+                Err(AttemptError::Poisoned) => {
+                    events.push(ServiceEvent::PoisonedEntry);
+                    // Bound repeated poisoning (a hostile fault plan can
+                    // poison every attempt) the same way panics are
+                    // bounded — but always allow the one retry the
+                    // evict-and-reparse cycle needs.
+                    if attempt > max_retries {
+                        return ServiceOutcome {
+                            verdict: VerdictKind::Error,
+                            level: None,
+                            degraded: false,
+                            hash: None,
+                            detail: "cache entry repeatedly poisoned".to_string(),
+                            attempts: attempt + 1,
+                            events,
+                        };
+                    }
+                }
+                Err(AttemptError::Panicked(message)) => {
+                    events.push(ServiceEvent::WorkerPanicked);
+                    if attempt >= max_retries {
+                        // Retry budget exhausted: one last attempt on a
+                        // fresh rescue thread, then give up.
+                        events.push(ServiceEvent::RescueAttempt);
+                        return match self.rescue(seq, attempt + 1, request, interner, token) {
+                            Ok((outcome, mut rescue_events)) => {
+                                events.append(&mut rescue_events);
+                                finish(outcome, attempt + 2, events)
+                            }
+                            Err(_) => ServiceOutcome {
+                                verdict: VerdictKind::Error,
+                                level: None,
+                                degraded: false,
+                                hash: None,
+                                detail: format!(
+                                    "analysis worker panicked on {} attempts (last: {message})",
+                                    attempt + 2
+                                ),
+                                attempts: attempt + 2,
+                                events,
+                            },
+                        };
+                    }
+                }
+            }
+            events.push(ServiceEvent::Retried);
+            let delay = self.policy.backoff_delay(attempt);
+            if !delay.is_zero() {
+                thread::sleep(delay);
+            }
+            attempt += 1;
+        }
+    }
+
+    /// The final-chance attempt on a dedicated thread: a panic there is
+    /// contained by the thread boundary (and by `catch_unwind` inside
+    /// [`Supervisor::attempt`]'s caller frame on that thread).
+    fn rescue(
+        &self,
+        seq: u64,
+        attempt: usize,
+        request: &Request,
+        interner: &Interner,
+        token: &CancelToken,
+    ) -> Result<(LadderVerdict, Vec<ServiceEvent>), ()> {
+        thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                let mut events = Vec::new();
+                panic::catch_unwind(AssertUnwindSafe(|| {
+                    self.attempt(seq, attempt, request, interner, token, &mut events)
+                }))
+                .map(|r| r.map(|o| (o, events)))
+            });
+            match handle.join() {
+                Ok(Ok(Ok(ok))) => Ok(ok),
+                // Panicked (caught or through the thread), or a
+                // resolution error on the last attempt: give up.
+                _ => Err(()),
+            }
+        })
+    }
+
+    /// One attempt: inject faults, resolve the workload, run (or recall)
+    /// the ladder.
+    fn attempt(
+        &self,
+        seq: u64,
+        attempt: usize,
+        request: &Request,
+        interner: &Interner,
+        token: &CancelToken,
+        events: &mut Vec<ServiceEvent>,
+    ) -> Result<LadderVerdict, AttemptError> {
+        let faults = self.faults.service_faults(seq, attempt);
+        if let Some(d) = faults.slow_request {
+            events.push(ServiceEvent::SlowRequest);
+            thread::sleep(d);
+        }
+        if let Some(d) = faults.stall_shard {
+            events.push(ServiceEvent::ShardStalled);
+            thread::sleep(d);
+        }
+        let (hash, set) = match &request.body {
+            RequestBody::Source(src) => interner.intern(src).map_err(attempt_error)?,
+            RequestBody::Hash(h) => (*h, interner.lookup(*h).map_err(attempt_error)?),
+        };
+        if faults.poison_cache {
+            interner.poison(hash);
+            // Observe our own poison, as any other worker would: the
+            // entry is evicted and this attempt fails retryably.
+            return Err(attempt_error(
+                interner.lookup(hash).err().unwrap_or(InternError::Poisoned),
+            ));
+        }
+        if faults.panic_worker {
+            panic!("injected service fault: worker panic (request {seq}, attempt {attempt})");
+        }
+        if let Some(memo) = interner.memoized(hash, request.m) {
+            return Ok(LadderVerdict {
+                hash,
+                outcome: LadderOutcome {
+                    admit: memo.admit,
+                    level: memo.level,
+                    degraded: false,
+                    detail: "memoized verdict".to_string(),
+                },
+            });
+        }
+        let outcome = run_ladder(&set, request.m, token);
+        if !outcome.degraded {
+            interner.memoize(
+                hash,
+                request.m,
+                MemoOutcome {
+                    admit: outcome.admit,
+                    level: outcome.level,
+                },
+            );
+        }
+        Ok(LadderVerdict { hash, outcome })
+    }
+}
+
+/// A resolved workload plus its ladder answer.
+struct LadderVerdict {
+    hash: u64,
+    outcome: LadderOutcome,
+}
+
+fn finish(v: LadderVerdict, attempts: usize, events: Vec<ServiceEvent>) -> ServiceOutcome {
+    ServiceOutcome {
+        verdict: if v.outcome.admit {
+            VerdictKind::Admit
+        } else {
+            VerdictKind::Reject
+        },
+        level: Some(v.outcome.level),
+        degraded: v.outcome.degraded,
+        hash: Some(v.hash),
+        detail: v.outcome.detail,
+        attempts,
+        events,
+    }
+}
+
+fn attempt_error(e: InternError) -> AttemptError {
+    match e {
+        InternError::Poisoned => AttemptError::Poisoned,
+        other => AttemptError::Terminal(other.to_string()),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use super::*;
+
+    const SRC: &str = "task period=100\n  node a 10\n  node b 5\n  edge a b\nend\n";
+
+    fn request(id: u64, m: usize) -> Request {
+        Request {
+            id,
+            m,
+            priority: 4,
+            deadline_us: 0,
+            body: RequestBody::Source(SRC.to_string()),
+        }
+    }
+
+    fn retrying(faults: FaultPlan) -> Supervisor {
+        Supervisor::new(
+            RecoveryPolicy::RetryWithBackoff {
+                max_retries: 2,
+                base_delay: Duration::ZERO,
+            },
+            faults,
+        )
+    }
+
+    #[test]
+    fn clean_request_admits_first_try() {
+        let interner = Interner::new(8);
+        let sup = retrying(FaultPlan::seeded(1));
+        let out = sup.execute(0, &request(1, 4), &interner, &CancelToken::never());
+        assert_eq!(out.verdict, VerdictKind::Admit);
+        assert_eq!(out.attempts, 1);
+        assert!(out.events.is_empty());
+        assert!(out.hash.is_some());
+        // A second identical request hits the memo.
+        let out2 = sup.execute(1, &request(2, 4), &interner, &CancelToken::never());
+        assert_eq!(out2.verdict, VerdictKind::Admit);
+        assert_eq!(out2.detail, "memoized verdict");
+    }
+
+    #[test]
+    fn transient_panic_is_retried_to_success() {
+        let interner = Interner::new(8);
+        let sup = retrying(FaultPlan::seeded(1).service_panic_on(0));
+        let out = sup.execute(0, &request(1, 4), &interner, &CancelToken::never());
+        assert_eq!(out.verdict, VerdictKind::Admit);
+        assert_eq!(out.attempts, 2);
+        assert_eq!(
+            out.events,
+            vec![ServiceEvent::WorkerPanicked, ServiceEvent::Retried]
+        );
+    }
+
+    #[test]
+    fn persistent_panic_exhausts_into_error() {
+        let interner = Interner::new(8);
+        let sup = retrying(FaultPlan::seeded(1).service_panic_always(0));
+        let out = sup.execute(0, &request(1, 4), &interner, &CancelToken::never());
+        assert_eq!(out.verdict, VerdictKind::Error);
+        // 1 initial + 2 retries + 1 rescue.
+        assert_eq!(out.attempts, 4);
+        assert!(out.events.contains(&ServiceEvent::RescueAttempt));
+        assert!(out.detail.contains("panicked"));
+    }
+
+    #[test]
+    fn abort_policy_goes_straight_to_rescue() {
+        let interner = Interner::new(8);
+        let sup = Supervisor::new(
+            RecoveryPolicy::Abort,
+            FaultPlan::seeded(1).service_panic_on(0),
+        );
+        // The transient fault only fires on attempt 0; Abort grants no
+        // retries, so the rescue thread's attempt (index 1) succeeds.
+        let out = sup.execute(0, &request(1, 4), &interner, &CancelToken::never());
+        assert_eq!(out.verdict, VerdictKind::Admit);
+        assert!(out.events.contains(&ServiceEvent::RescueAttempt));
+    }
+
+    #[test]
+    fn poisoned_entry_is_evicted_and_retried() {
+        let interner = Interner::new(8);
+        let sup = retrying(FaultPlan::seeded(1).service_poison_on(0));
+        let out = sup.execute(0, &request(1, 4), &interner, &CancelToken::never());
+        assert_eq!(out.verdict, VerdictKind::Admit, "detail: {}", out.detail);
+        assert_eq!(out.attempts, 2);
+        assert!(out.events.contains(&ServiceEvent::PoisonedEntry));
+    }
+
+    #[test]
+    fn parse_error_is_terminal() {
+        let interner = Interner::new(8);
+        let sup = retrying(FaultPlan::seeded(1));
+        let req = Request {
+            body: RequestBody::Source("task period=\nend".to_string()),
+            ..request(1, 4)
+        };
+        let out = sup.execute(0, &req, &interner, &CancelToken::never());
+        assert_eq!(out.verdict, VerdictKind::Error);
+        assert_eq!(out.attempts, 1);
+        assert!(out.detail.contains("parse error"));
+    }
+
+    #[test]
+    fn unknown_hash_is_terminal() {
+        let interner = Interner::new(8);
+        let sup = retrying(FaultPlan::seeded(1));
+        let req = Request {
+            body: RequestBody::Hash(0xdead_beef),
+            ..request(1, 4)
+        };
+        let out = sup.execute(0, &req, &interner, &CancelToken::never());
+        assert_eq!(out.verdict, VerdictKind::Error);
+        assert!(out.detail.contains("unknown content hash"));
+    }
+
+    #[test]
+    fn stall_and_slow_faults_delay_but_answer() {
+        let interner = Interner::new(8);
+        let sup = retrying(
+            FaultPlan::seeded(1)
+                .service_stall_prob(1.0, Duration::from_millis(5))
+                .service_slow_prob(1.0, Duration::from_millis(5)),
+        );
+        let t0 = std::time::Instant::now();
+        let out = sup.execute(0, &request(1, 4), &interner, &CancelToken::never());
+        assert_eq!(out.verdict, VerdictKind::Admit);
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+        assert!(out.events.contains(&ServiceEvent::ShardStalled));
+        assert!(out.events.contains(&ServiceEvent::SlowRequest));
+    }
+}

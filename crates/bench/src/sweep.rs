@@ -52,9 +52,10 @@ fn unpack(v: u64) -> (u32, u32) {
     ((v >> 32) as u32, v as u32)
 }
 
-/// Type-erased sweep job: workers only need "run cell `i`".
+/// Type-erased sweep job: workers only need "run cell `i` (as worker
+/// `w`)".
 trait SweepJob: Send + Sync {
-    fn run_cell(&self, index: usize);
+    fn run_cell(&self, index: usize, worker: usize);
 }
 
 /// Concrete job: the cell closure plus one result slot per cell.
@@ -69,10 +70,10 @@ struct Job<T, F> {
 impl<T, F> SweepJob for Job<T, F>
 where
     T: Send + Sync,
-    F: Fn(usize) -> T + Send + Sync,
+    F: Fn(usize, usize) -> T + Send + Sync,
 {
-    fn run_cell(&self, index: usize) {
-        let value = (self.f)(index);
+    fn run_cell(&self, index: usize, worker: usize) {
+        let value = (self.f)(index, worker);
         self.slots[index]
             .set(value)
             .unwrap_or_else(|_| panic!("cell {index} executed twice"));
@@ -178,6 +179,26 @@ impl SweepPool {
     where
         T: Send + Sync + 'static,
         F: Fn(usize) -> T + Send + Sync + 'static,
+    {
+        self.run_indexed(cells, label, move |i, _worker| f(i))
+    }
+
+    /// Like [`SweepPool::run`], but also passes the executing worker's
+    /// index (`0..threads()`) to the closure. Cell `i` may run on any
+    /// worker (stealing moves cells between ranges), so the worker index
+    /// must not influence the *result* of a deterministic sweep — it
+    /// exists for per-worker bookkeeping such as trace lanes or
+    /// shard-local metrics, where "which lane" is allowed to vary run to
+    /// run while the recorded content stays valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` exceeds `u32::MAX` (the packed-range queue
+    /// limit) or if the closure panics in a worker.
+    pub fn run_indexed<T, F>(&self, cells: usize, label: &str, f: F) -> Vec<T>
+    where
+        T: Send + Sync + 'static,
+        F: Fn(usize, usize) -> T + Send + Sync + 'static,
     {
         if cells == 0 {
             return Vec::new();
@@ -292,7 +313,7 @@ fn worker_loop(shared: &Shared, me: usize) {
 
         loop {
             if let Some(cell) = pop_front(&shared.ranges[me]) {
-                job.run_cell(cell as usize);
+                job.run_cell(cell as usize, me);
             } else if !steal(&shared.ranges, me) {
                 break;
             }
@@ -412,6 +433,16 @@ mod tests {
         let pool = SweepPool::new(8);
         let out = pool.run(3, "t", |i| i);
         assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn run_indexed_reports_valid_worker_ids() {
+        let pool = SweepPool::new(3);
+        let out = pool.run_indexed(64, "t", |i, w| (i, w));
+        for (slot, (i, w)) in out.iter().enumerate() {
+            assert_eq!(slot, *i);
+            assert!(*w < 3, "worker id {w} out of range");
+        }
     }
 
     #[test]

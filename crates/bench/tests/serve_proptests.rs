@@ -1,0 +1,154 @@
+//! Property tests for the admission service.
+//!
+//! 1. **Protocol round-trip**: the hand-rolled JSON-lines encoder and
+//!    parser are exact inverses for arbitrary requests and responses,
+//!    including sources containing quotes, backslashes, newlines, and
+//!    control characters.
+//! 2. **Degraded admits are sound**: a degraded *admit* from the
+//!    Limited rung of the degradation ladder implies the definitive
+//!    exact-antichain rung admits the same set on replay (the model
+//!    dominance the ladder documentation promises). Degraded rejects
+//!    carry no such guarantee — only admits are checked.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rtpool_bench::serve::protocol::{
+    encode_request, encode_response, parse_request, parse_response, LadderLevel, Request,
+    RequestBody, Response, VerdictKind,
+};
+use rtpool_bench::serve::{run_ladder, run_ladder_capped};
+use rtpool_core::{CancelToken, TaskSet};
+use rtpool_gen::{DagGenConfig, TaskSetConfig};
+
+/// A source string mixing benign text with every JSON escape class.
+fn source_from(picks: &[u8]) -> String {
+    const ALPHABET: &[&str] = &[
+        "task",
+        " ",
+        "period=100",
+        "\n",
+        "\"",
+        "\\",
+        "\t",
+        "\r",
+        "\u{1}",
+        "{",
+        "}",
+        "é",
+        "∞",
+        "node a wcet=3",
+        "//",
+        ":",
+    ];
+    picks
+        .iter()
+        .map(|p| ALPHABET[*p as usize % ALPHABET.len()])
+        .collect()
+}
+
+fn random_set(seed: u64, n: usize, util: f64) -> TaskSet {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    TaskSetConfig::new(n, util, DagGenConfig::default())
+        .generate(&mut rng)
+        .expect("unconstrained generation succeeds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn request_lines_round_trip(
+        id in 0u64..u64::MAX,
+        m in 1usize..512,
+        priority in 0u8..8,
+        deadline_us in 0u64..10_000_000,
+        hash_body in 0u64..2,
+        hash in 0u64..u64::MAX,
+        picks in prop::collection::vec(0u8..255, 0..40),
+    ) {
+        let body = if hash_body == 1 {
+            RequestBody::Hash(hash)
+        } else {
+            RequestBody::Source(source_from(&picks))
+        };
+        let request = Request { id, m, priority, deadline_us, body };
+        let line = encode_request(&request);
+        prop_assert!(!line.contains('\n'), "encoded request spans lines: {line:?}");
+        let back = parse_request(&line).map_err(|e| format!("parse failed: {e}"))?;
+        prop_assert_eq!(back, request);
+    }
+
+    #[test]
+    fn response_lines_round_trip(
+        id in 0u64..u64::MAX,
+        verdict_pick in 0usize..5,
+        level_pick in 0usize..5,
+        degraded_bit in 0u8..2,
+        latency_us in 0u64..100_000_000,
+        hash_bit in 0u8..2,
+        hash in 0u64..u64::MAX,
+        picks in prop::collection::vec(0u8..255, 0..40),
+    ) {
+        let degraded = degraded_bit == 1;
+        let has_hash = hash_bit == 1;
+        let verdict = [
+            VerdictKind::Admit,
+            VerdictKind::Reject,
+            VerdictKind::Busy,
+            VerdictKind::Shed,
+            VerdictKind::Error,
+        ][verdict_pick];
+        let level = [
+            None,
+            Some(LadderLevel::Prefilter),
+            Some(LadderLevel::Deadlock),
+            Some(LadderLevel::Limited),
+            Some(LadderLevel::Exact),
+        ][level_pick];
+        let response = Response {
+            id,
+            verdict,
+            level,
+            degraded,
+            latency_us,
+            hash: has_hash.then_some(hash),
+            detail: source_from(&picks),
+        };
+        let line = encode_response(&response);
+        prop_assert!(!line.contains('\n'), "encoded response spans lines: {line:?}");
+        let back = parse_response(&line).map_err(|e| format!("parse failed: {e}"))?;
+        prop_assert_eq!(back, response);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A degraded admit from the Limited rung is sound: replaying the
+    /// same set through the full ladder (no budget cap) also admits.
+    #[test]
+    fn degraded_admit_implies_exact_admit(
+        seed in 0u64..100_000,
+        n in 2usize..5,
+        util_tenths in 10u64..60,
+    ) {
+        let set = random_set(seed, n, util_tenths as f64 / 10.0);
+        let m = 8;
+        let token = CancelToken::never();
+        let capped = run_ladder_capped(&set, m, &token, LadderLevel::Limited);
+        if capped.admit && capped.degraded {
+            let exact = run_ladder(&set, m, &token);
+            prop_assert!(
+                exact.admit,
+                "degraded Limited admit but exact reject (seed {seed}, n {n}): {}",
+                exact.detail
+            );
+        }
+        // Non-degraded answers from the capped climb are definitive by
+        // construction; they must agree with the full ladder exactly.
+        if !capped.degraded {
+            let exact = run_ladder(&set, m, &token);
+            prop_assert_eq!(capped.admit, exact.admit);
+        }
+    }
+}

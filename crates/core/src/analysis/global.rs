@@ -18,6 +18,7 @@
 
 use crate::analysis::interference::interfering_workload;
 use crate::analysis::{SchedResult, TaskVerdict, UnschedulableReason};
+use crate::cancel::{CancelToken, Cancelled};
 use crate::concurrency::ConcurrencyAnalysis;
 use crate::task::{TaskId, TaskSet};
 
@@ -112,6 +113,29 @@ pub fn analyze(set: &TaskSet, m: usize, model: ConcurrencyModel) -> SchedResult 
 /// Panics if `m == 0`.
 #[must_use]
 pub fn analyze_many(set: &TaskSet, m: usize, models: &[ConcurrencyModel]) -> Vec<SchedResult> {
+    analyze_many_cancellable(set, m, models, &CancelToken::never())
+        .expect("a never-cancelling token cannot cancel")
+}
+
+/// [`analyze_many`] with cooperative cancellation: the token is polled
+/// between tasks and once per fix-point iteration, so a deadline-bounded
+/// caller (the `rtpool-serve` degradation ladder) regains control within
+/// one iteration of wall-clock work.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when `token` fires at a checkpoint; no partial
+/// results are produced.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn analyze_many_cancellable(
+    set: &TaskSet,
+    m: usize,
+    models: &[ConcurrencyModel],
+    token: &CancelToken,
+) -> Result<Vec<SchedResult>, Cancelled> {
     assert!(m > 0, "platform must have at least one processor");
     let base: Vec<TaskBase> = set
         .iter()
@@ -156,16 +180,21 @@ pub fn analyze_many(set: &TaskSet, m: usize, models: &[ConcurrencyModel]) -> Vec
                     }
                 })
                 .collect();
-            analyze_with_params(&params, m)
+            analyze_with_params(&params, m, token)
         })
         .collect()
 }
 
-fn analyze_with_params(params: &[TaskParams], m: usize) -> SchedResult {
+fn analyze_with_params(
+    params: &[TaskParams],
+    m: usize,
+    token: &CancelToken,
+) -> Result<SchedResult, Cancelled> {
     let mut verdicts: Vec<TaskVerdict> = Vec::with_capacity(params.len());
     let mut hp_response: Vec<Option<u64>> = Vec::with_capacity(params.len());
 
     for i in 0..params.len() {
+        token.checkpoint()?;
         let p = &params[i];
         if p.denom == 0 {
             verdicts.push(TaskVerdict::Unschedulable {
@@ -183,11 +212,11 @@ fn analyze_with_params(params: &[TaskParams], m: usize) -> SchedResult {
             hp_response.push(None);
             continue;
         }
-        let verdict = response_time_fixpoint(p, &params[..i], &hp_response[..i], m);
+        let verdict = response_time_fixpoint(p, &params[..i], &hp_response[..i], m, token)?;
         hp_response.push(verdict.response_time());
         verdicts.push(verdict);
     }
-    SchedResult::new(verdicts)
+    Ok(SchedResult::new(verdicts))
 }
 
 fn response_time_fixpoint(
@@ -195,11 +224,13 @@ fn response_time_fixpoint(
     hp: &[TaskParams],
     hp_response: &[Option<u64>],
     m: usize,
-) -> TaskVerdict {
+    token: &CancelToken,
+) -> Result<TaskVerdict, Cancelled> {
     // Intra-task interference is window-independent: vol − len.
     let self_interference = p.vol - p.len;
     let mut r = p.len;
     loop {
+        token.checkpoint()?;
         let mut interference = u128::from(self_interference);
         for (q, resp) in hp.iter().zip(hp_response) {
             let r_j = resp.expect("caller checked hp schedulability");
@@ -212,12 +243,12 @@ fn response_time_fixpoint(
             .len
             .saturating_add(u64::try_from(interference / u128::from(p.denom)).unwrap_or(u64::MAX));
         if next > p.deadline {
-            return TaskVerdict::Unschedulable {
+            return Ok(TaskVerdict::Unschedulable {
                 reason: UnschedulableReason::ResponseTimeExceedsDeadline { bound: next },
-            };
+            });
         }
         if next == r {
-            return TaskVerdict::Schedulable { response_time: r };
+            return Ok(TaskVerdict::Schedulable { response_time: r });
         }
         debug_assert!(next > r, "fix-point must be monotone");
         r = next;
@@ -401,6 +432,19 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn expired_token_cancels_before_any_result() {
+        let set = TaskSet::new(vec![fork_join_task(&[20, 20, 20], true, 1000)]);
+        let expired = CancelToken::with_deadline(std::time::Instant::now());
+        let r = analyze_many_cancellable(&set, 4, &[ConcurrencyModel::Limited], &expired);
+        assert_eq!(r, Err(Cancelled));
+        // The never token reproduces the plain entry point bit-for-bit.
+        let live =
+            analyze_many_cancellable(&set, 4, &[ConcurrencyModel::Limited], &CancelToken::never())
+                .unwrap();
+        assert_eq!(live, analyze_many(&set, 4, &[ConcurrencyModel::Limited]));
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Cooperative cancellation for long-running analyses.
+//!
+//! The admission service (`rtpool-serve` in `rtpool-bench`) gives every
+//! request a deadline budget: when the budget runs out mid-analysis the
+//! service must stop the current rung of its degradation ladder and
+//! answer with the deepest *completed* rung instead of blowing its SLO.
+//! [`CancelToken`] is the mechanism: analyses accept a token and poll it
+//! at checkpoints (between tasks, once per fix-point iteration), bailing
+//! out with [`Cancelled`] when the deadline has passed or the token was
+//! revoked explicitly.
+//!
+//! Checkpoint granularity is deliberately coarse — one wall-clock read
+//! per fix-point iteration — so the uncancellable fast path stays fast:
+//! [`CancelToken::never`] short-circuits to `false` without touching the
+//! clock.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The analysis was cancelled at a checkpoint before completing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "analysis cancelled before completion")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+/// A cheap, shareable cancellation signal: an optional wall-clock
+/// deadline plus an optional revocation flag. Cloning yields a handle to
+/// the *same* flag.
+///
+/// # Examples
+///
+/// ```
+/// use rtpool_core::cancel::CancelToken;
+///
+/// let never = CancelToken::never();
+/// assert!(!never.is_cancelled());
+///
+/// let token = CancelToken::never().revocable();
+/// assert!(!token.is_cancelled());
+/// token.revoke();
+/// assert!(token.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    deadline: Option<Instant>,
+    flag: Option<Arc<AtomicBool>>,
+}
+
+impl CancelToken {
+    /// A token that never cancels (the default for batch analysis).
+    #[must_use]
+    pub fn never() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that cancels once `deadline` has passed.
+    #[must_use]
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            deadline: Some(deadline),
+            flag: None,
+        }
+    }
+
+    /// Adds an explicit revocation flag ([`CancelToken::revoke`]) shared
+    /// by every clone of this token.
+    #[must_use]
+    pub fn revocable(mut self) -> Self {
+        self.flag = Some(Arc::new(AtomicBool::new(false)));
+        self
+    }
+
+    /// Revokes the token: every clone cancels at its next checkpoint.
+    /// No-op on tokens without a revocation flag.
+    pub fn revoke(&self) {
+        if let Some(flag) = &self.flag {
+            flag.store(true, Ordering::Release);
+        }
+    }
+
+    /// `true` once the deadline has passed or the token was revoked.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        if let Some(flag) = &self.flag {
+            if flag.load(Ordering::Acquire) {
+                return true;
+            }
+        }
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Checkpoint: `Err(Cancelled)` once cancelled, `Ok(())` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] when the deadline passed or the token was
+    /// revoked.
+    pub fn checkpoint(&self) -> Result<(), Cancelled> {
+        if self.is_cancelled() {
+            Err(Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The remaining deadline, when one was set and has not yet passed.
+    #[must_use]
+    pub fn remaining(&self) -> Option<std::time::Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn never_token_never_cancels() {
+        let t = CancelToken::never();
+        assert!(!t.is_cancelled());
+        assert!(t.checkpoint().is_ok());
+        assert_eq!(t.remaining(), None);
+        t.revoke(); // no flag: no-op
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_token_expires() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        assert_eq!(t.checkpoint(), Err(Cancelled));
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn future_deadline_not_yet_cancelled() {
+        let t = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert!(t.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn revocation_is_shared_across_clones() {
+        let t = CancelToken::never().revocable();
+        let c = t.clone();
+        assert!(!c.is_cancelled());
+        t.revoke();
+        assert!(c.is_cancelled());
+        assert_eq!(c.checkpoint(), Err(Cancelled));
+    }
+
+    #[test]
+    fn cancelled_displays() {
+        assert_eq!(
+            Cancelled.to_string(),
+            "analysis cancelled before completion"
+        );
+    }
+}

@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod cancel;
 mod concurrency;
 pub mod deadlock;
 mod error;
@@ -68,6 +69,7 @@ pub mod sizing;
 mod task;
 pub mod textfmt;
 
+pub use cancel::{CancelToken, Cancelled};
 pub use concurrency::ConcurrencyAnalysis;
 pub use error::CoreError;
 pub use task::{Task, TaskId, TaskSet};

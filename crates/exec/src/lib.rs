@@ -63,7 +63,10 @@ mod report;
 
 pub use config::{PoolConfig, QueueDiscipline};
 pub use error::ExecError;
-pub use fault::{FaultKind, FaultPlan, FaultRule, InjectionPoint};
+pub use fault::{
+    FaultKind, FaultPlan, FaultRule, InjectionPoint, ServiceFaultKind, ServiceFaultRule,
+    ServiceFaults,
+};
 pub use pool::ThreadPool;
 pub use recovery::{RecoveryEvent, RecoveryPolicy, RetryCause};
 pub use report::{JobReport, NodeSpan};

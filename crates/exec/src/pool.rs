@@ -476,6 +476,12 @@ impl ThreadPool {
                 });
             }
             if let Some((node, message)) = job.panicked.clone() {
+                // A sibling worker may still be mid-body with the lock
+                // dropped; once we take the job its re-lock hits the epoch
+                // guard and its NodeEnd would be lost. Wait (bounded) for
+                // in-flight bodies to record their terminal events so the
+                // failed attempt's trace is complete.
+                self.drain_executing(&mut st);
                 let mut job = st.job.take().expect("present");
                 self.last_trace = job.take_trace();
                 *events = job.events;
@@ -511,6 +517,17 @@ impl ThreadPool {
                     && !job_ref.grow_pending
                     && job_ref.fake_suspended == 0
                 {
+                    self.drain_executing(&mut st);
+                    let job_ref = st.job.as_ref().expect("present");
+                    if job_ref.finished.is_some()
+                        || job_ref.stalled.is_some()
+                        || job_ref.panicked.is_some()
+                        || job_ref.completion_order.len() != last_progress
+                    {
+                        // The drain surfaced progress; re-dispatch instead
+                        // of aborting a live job.
+                        continue;
+                    }
                     let mut job = st.job.take().expect("present");
                     self.last_trace = job.take_trace();
                     *events = job.events;
@@ -519,6 +536,28 @@ impl ThreadPool {
                 }
             }
             last_progress = progress;
+        }
+    }
+
+    /// Waits — bounded by one watchdog budget — for workers that are
+    /// mid-body (lock dropped) to re-acquire the lock and record their
+    /// terminal trace events (`NodeEnd`, core release). Called before
+    /// detaching an aborted attempt's job, so
+    /// [`ThreadPool::take_last_trace`] never loses events from a sibling
+    /// that was still executing when the abort condition was observed.
+    ///
+    /// Polls rather than relying purely on notification: a fault-injected
+    /// lost wakeup (`swallow_wakeup`) must not turn the drain into a
+    /// watchdog-length sleep after `executing` has already dropped to 0.
+    fn drain_executing(&self, st: &mut MutexGuard<'_, PoolState>) {
+        let deadline = Instant::now() + self.shared.config.watchdog;
+        while st.job.as_ref().is_some_and(|j| j.executing > 0) {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let step = (deadline - now).min(Duration::from_millis(5));
+            let _ = self.shared.cv.wait_for(st, step);
         }
     }
 }

@@ -507,3 +507,66 @@ fn exhausted_reserve_still_reports_exact_stall() {
     let tiny = tiny.build().unwrap();
     assert_eq!(pool.run(&tiny).unwrap().executed_nodes, 1);
 }
+
+/// Regression: a panic observed while a sibling node is mid-body on
+/// another worker must not cost that sibling's `NodeEnd`. The submitter
+/// drains in-flight bodies before detaching the aborted job; without the
+/// drain, the sibling's re-lock hits the epoch guard and its terminal
+/// events vanish from `take_last_trace`.
+#[test]
+fn panic_trace_keeps_mid_body_sibling_node_end() {
+    quiet_worker_panics();
+    // src fans out to a slow node (mid-body when the panic fires) and a
+    // fast chain whose second node panics before its body runs.
+    let mut b = DagBuilder::new();
+    let src = b.add_node(1);
+    let slow = b.add_node(200);
+    let fast = b.add_node(10);
+    let doomed = b.add_node(1);
+    let snk = b.add_node(1);
+    b.add_edge(src, slow).unwrap();
+    b.add_edge(src, fast).unwrap();
+    b.add_edge(fast, doomed).unwrap();
+    b.add_edge(doomed, snk).unwrap();
+    b.add_edge(slow, snk).unwrap();
+    let dag = b.build().unwrap();
+    let config = PoolConfig::new(2, QueueDiscipline::GlobalFifo)
+        .with_time_scale(Duration::from_micros(100))
+        .with_watchdog(Duration::from_secs(20))
+        .with_trace()
+        .with_faults(FaultPlan::seeded(7).panic_on(doomed.index()));
+    let mut pool = ThreadPool::new(config);
+    for round in 0..3 {
+        match pool.run(&dag) {
+            Err(ExecError::NodePanicked { node, .. }) => {
+                assert_eq!(node, doomed.index(), "round {round}");
+            }
+            other => panic!("round {round}: expected NodePanicked, got {other:?}"),
+        }
+        let trace = pool.take_last_trace().expect("trace of the failed attempt");
+        assert!(
+            trace.validate().is_empty(),
+            "round {round}: {:?}",
+            trace.validate()
+        );
+        let mut starts = Vec::new();
+        let mut ends = Vec::new();
+        for e in &trace.events {
+            match e.kind {
+                rtpool_trace::EventKind::NodeStart { node, .. } => starts.push(node),
+                rtpool_trace::EventKind::NodeEnd { node, .. } => ends.push(node),
+                _ => {}
+            }
+        }
+        assert_eq!(
+            starts.len(),
+            ends.len(),
+            "round {round}: a mid-body sibling's NodeEnd was dropped"
+        );
+        let slow_id = u32::try_from(slow.index()).unwrap();
+        assert!(
+            ends.contains(&slow_id),
+            "round {round}: slow sibling's NodeEnd missing ({ends:?})"
+        );
+    }
+}

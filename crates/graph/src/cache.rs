@@ -130,6 +130,7 @@ pub(crate) struct DerivedCache {
     pub(crate) blocking_forks: OnceLock<Vec<NodeId>>,
     pub(crate) bf_antichain: OnceLock<Vec<NodeId>>,
     pub(crate) delays: OnceLock<DelayProfile>,
+    pub(crate) content_hash: OnceLock<u64>,
 }
 
 impl DerivedCache {

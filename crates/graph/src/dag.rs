@@ -245,6 +245,50 @@ impl Dag {
         })
     }
 
+    /// A stable structural fingerprint of the graph: an FNV-1a hash over
+    /// the node WCETs, the edge list, and the declared blocking pairs.
+    /// Memoized.
+    ///
+    /// Two graphs built from the same `.rtp` source (or the same builder
+    /// calls) hash identically, independent of when or where they were
+    /// constructed, so the hash is usable as a content-addressed cache
+    /// key — `rtpool-serve` interns parsed submissions under it to share
+    /// one [`Dag`] (and its filled derived-analysis cache) across
+    /// structurally identical requests. It is *not* a cryptographic hash;
+    /// collisions are possible and callers needing certainty must compare
+    /// structures.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        *self.cache.content_hash.get_or_init(|| {
+            const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+            const PRIME: u64 = 0x0000_0100_0000_01b3;
+            let mut h = OFFSET;
+            let mut mix = |v: u64| {
+                for b in v.to_le_bytes() {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(PRIME);
+                }
+            };
+            mix(self.nodes.len() as u64);
+            for n in &self.nodes {
+                mix(n.wcet);
+            }
+            for (from, succs) in self.succ.iter().enumerate() {
+                for to in succs {
+                    mix(((from as u64) << 32) | to.index() as u64);
+                }
+            }
+            for (v, pair) in self.pair.iter().enumerate() {
+                if let Some(p) = pair {
+                    if p.index() > v {
+                        mix(((v as u64) << 32) | p.index() as u64);
+                    }
+                }
+            }
+            h
+        })
+    }
+
     /// A structural copy of this graph with an *empty* derived-analysis
     /// cache: every memoized artifact will be recomputed on first use.
     ///
@@ -372,6 +416,44 @@ mod tests {
         }
         b.blocking_pair(v1, v5).unwrap();
         (b.build().unwrap(), [v1, v2, v3, v4, v5])
+    }
+
+    #[test]
+    fn content_hash_is_structural() {
+        let (a, _) = figure1a();
+        let (b, _) = figure1a();
+        // Same construction → same hash, across instances and across a
+        // cold-cache copy.
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert_eq!(a.content_hash(), a.clone_uncached().content_hash());
+
+        // A WCET change, an extra edge, or a dropped blocking pair each
+        // change the fingerprint.
+        let mut c = DagBuilder::new();
+        let v1 = c.add_node(11); // 10 in figure1a
+        let v2 = c.add_node(20);
+        let v3 = c.add_node(30);
+        let v4 = c.add_node(20);
+        let v5 = c.add_node(10);
+        for x in [v2, v3, v4] {
+            c.add_edge(v1, x).unwrap();
+            c.add_edge(x, v5).unwrap();
+        }
+        c.blocking_pair(v1, v5).unwrap();
+        assert_ne!(a.content_hash(), c.build().unwrap().content_hash());
+
+        let mut d = DagBuilder::new();
+        let v1 = d.add_node(10);
+        let v2 = d.add_node(20);
+        let v3 = d.add_node(30);
+        let v4 = d.add_node(20);
+        let v5 = d.add_node(10);
+        for x in [v2, v3, v4] {
+            d.add_edge(v1, x).unwrap();
+            d.add_edge(x, v5).unwrap();
+        }
+        // No blocking pair declared.
+        assert_ne!(a.content_hash(), d.build().unwrap().content_hash());
     }
 
     #[test]

@@ -101,6 +101,23 @@ impl LatencyHistogram {
         Some(self.max)
     }
 
+    /// Folds another histogram into this one. Equivalent to having
+    /// observed every value of `other` here: counts, sums, extremes, and
+    /// buckets add exactly, so shard-local histograms (one per worker,
+    /// updated without contention) combine into the same aggregate a
+    /// single shared histogram would have produced.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, &c) in other.buckets.iter().enumerate() {
+            self.buckets[b] += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
     /// One-line summary, e.g. `n=12 mean=4.2 p50<=7 p99<=15 max=15`.
     #[must_use]
     pub fn summary(&self) -> String {
@@ -310,6 +327,25 @@ mod tests {
         // The top quantile is clamped to the observed max.
         assert_eq!(h.quantile_upper(1.0), Some(100));
         assert!(h.summary().starts_with("n=6 "));
+    }
+
+    #[test]
+    fn merge_equals_single_histogram() {
+        let values = [0u64, 1, 5, 17, 300, 4096, 9, 2];
+        let mut whole = LatencyHistogram::new();
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            whole.observe(v);
+            if i % 2 == 0 { &mut a } else { &mut b }.observe(v);
+        }
+        let mut merged = LatencyHistogram::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged, whole);
+        // Merging an empty histogram is the identity.
+        merged.merge(&LatencyHistogram::new());
+        assert_eq!(merged, whole);
     }
 
     fn ev(seq: u64, time: u64, kind: EventKind) -> TraceEvent {
