@@ -1,0 +1,24 @@
+//! Build-time certification of the shipped workloads.
+//!
+//! Each `Codegen::compile` call runs the full `rtlint` pass over an
+//! `.rtp` workload and either writes a typed module into `OUT_DIR`
+//! (included by `examples/certified_pipeline.rs`,
+//! `examples/fault_tolerance.rs`, and `tests/certified.rs`) or fails the
+//! build with the rustc-style lint report. Lowering the `m` below the
+//! workload's deadlock-free minimum — e.g. figure1 at m = 2 — makes
+//! `cargo build` itself reject the program; `tests/compile-fail/`
+//! pins that behavior.
+
+use rtpool_codegen::Codegen;
+
+fn main() {
+    // The three-task sensor pipeline, certified at the CI gate's pool
+    // size under the strictest policy (every warning is a build error).
+    Codegen::new("workloads/pipeline.rtp", 6)
+        .deny_warnings()
+        .compile("certified_pipeline");
+
+    // The paper's Figure 1 workload at the smallest deadlock-free pool:
+    // b̄ = 2, so m = 3 certifies (and m = 2 would fail this very build).
+    Codegen::new("workloads/figure1.rtp", 3).compile("certified_figure1");
+}

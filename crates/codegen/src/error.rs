@@ -1,0 +1,95 @@
+//! The gate's failure type; its `Display` *is* the build-failure text.
+
+use std::fmt;
+use std::io;
+
+use rtpool_lint::{render_human, LintReport, Severity};
+
+use crate::fix_notes;
+
+/// Why certification failed.
+#[derive(Debug)]
+pub enum CodegenError {
+    /// The workload file (or `OUT_DIR`) could not be read/written.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The lint gate rejected the workload.
+    Rejected {
+        /// The workload path.
+        path: String,
+        /// The pool size the gate analyzed against.
+        m: usize,
+        /// Build-failing findings.
+        errors: usize,
+        /// The full rustc-style report (gutter snippets, `^^^` spans,
+        /// `= help:` suggestions), pre-rendered against the source.
+        rendered: String,
+        /// Machine-applicable fix payloads as `note[RTxxx]:` lines.
+        notes: String,
+    },
+}
+
+impl CodegenError {
+    pub(crate) fn rejected(path: &str, m: usize, report: &LintReport, source: &str) -> Self {
+        CodegenError::Rejected {
+            path: path.to_owned(),
+            m,
+            errors: report
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .count(),
+            rendered: render_human(report, Some(source)),
+            notes: fix_notes(report),
+        }
+    }
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::Io { path, source } => {
+                write!(f, "rtpool-codegen: cannot access {path}: {source}")
+            }
+            CodegenError::Rejected {
+                path,
+                m,
+                errors,
+                rendered,
+                notes,
+            } => {
+                writeln!(
+                    f,
+                    "error: rtpool-codegen refused to certify `{path}` for a pool of {m} \
+                     worker{} ({errors} build-failing finding{})",
+                    if *m == 1 { "" } else { "s" },
+                    if *errors == 1 { "" } else { "s" },
+                )?;
+                writeln!(f)?;
+                f.write_str(rendered)?;
+                if !notes.is_empty() {
+                    writeln!(f)?;
+                    f.write_str(notes)?;
+                }
+                write!(
+                    f,
+                    "\nhelp: fix the workload (see the suggestions above), raise `m`, or \
+                     relax the gate's deny policy in build.rs"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodegenError::Io { source, .. } => Some(source),
+            CodegenError::Rejected { .. } => None,
+        }
+    }
+}

@@ -39,7 +39,28 @@ use crate::task::TaskSet;
 /// ```
 #[must_use]
 pub fn min_threads_deadlock_free(dag: &Dag) -> usize {
-    dag.max_blocking_antichain().len() + 1
+    min_threads_for_blocking(dag.max_blocking_antichain().len())
+}
+
+/// The smallest deadlock-free pool size for a graph whose maximum
+/// simultaneously-suspended-forks antichain has `b_bar` elements:
+/// `b̄ + 1`, so the concurrency floor `l̄ = m − b̄` stays ≥ 1.
+///
+/// `const`-evaluable on purpose: `rtpool-codegen` emits it (and
+/// [`deadlock_free_floor`]) into compile-time assertions of generated
+/// modules, so an undersized statically-declared pool is a *build*
+/// error, not a runtime verdict.
+#[must_use]
+pub const fn min_threads_for_blocking(b_bar: usize) -> usize {
+    b_bar + 1
+}
+
+/// Whether a pool of `m` workers satisfies the paper's Lemma 1 floor
+/// `l̄ = m − b̄ ≥ 1` for a maximum blocking antichain of `b_bar` forks.
+/// `const`-evaluable; see [`min_threads_for_blocking`].
+#[must_use]
+pub const fn deadlock_free_floor(m: usize, b_bar: usize) -> bool {
+    m >= min_threads_for_blocking(b_bar)
 }
 
 /// The reserve workers a `GrowPool` recovery policy needs so that a
@@ -135,6 +156,12 @@ mod tests {
             let dag = replicated(replicas);
             assert_eq!(min_threads_deadlock_free(&dag), replicas + 1);
         }
+        // The const helpers agree with the graph-level functions and are
+        // usable in const contexts (this is what codegen relies on).
+        const SAFE: bool = deadlock_free_floor(3, 2);
+        const UNSAFE: bool = deadlock_free_floor(2, 2);
+        const _: () = assert!(SAFE && !UNSAFE);
+        assert_eq!(min_threads_for_blocking(2), 3);
         // A non-blocking graph needs just one thread.
         let mut b = DagBuilder::new();
         b.fork_join(1, &[1, 1], 1, false).unwrap();

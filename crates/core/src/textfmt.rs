@@ -51,6 +51,15 @@ use crate::task::{Task, TaskId, TaskSet};
 
 /// A source location inside an `.rtp` file: 1-based line and column plus
 /// the length of the highlighted region, all counted in characters.
+///
+/// **Guarantee:** columns and lengths count Unicode scalar values
+/// (`char`s), never UTF-8 bytes — `node bêta 2` spans 11 columns even
+/// though it is 12 bytes. Every consumer relies on this: the rustc-style
+/// renderer aligns its `^^^` carets by `char`, `rtlint --fix-dry-run`
+/// splices replacement text into a `Vec<char>`, and the
+/// `rtpool-codegen` build gate replays spans verbatim into build
+/// failures. The `unicode_spans` golden fixture in `rtpool-lint` and the
+/// `spans_count_chars_not_bytes` test below pin the behavior.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct Span {
     /// 1-based line number.
@@ -810,5 +819,45 @@ end
     fn comments_and_blanks_ignored() {
         let text = "# heading\n\ntask period=10 # trailing comment\n node a 1\nend\n";
         assert_eq!(parse_task_set(text).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn spans_count_chars_not_bytes() {
+        // `début` (6 chars / 7 bytes) precedes the wcet token: a
+        // byte-counting tokenizer would report col 14, not 13.
+        let text = "task period=10\n  node début 1\n  node bêta 2\n  edge début bêta\nend\n";
+        let (set, spans) = parse_task_set_with_spans(text).unwrap();
+        let t = spans.task(TaskId(0));
+        assert_eq!(t.name(NodeId::from_index(0)), Some("début"));
+        // Whole-directive span of `  node début 1`: 14 bytes of content
+        // after the 2-space indent, but 12 characters.
+        let d = t.node(NodeId::from_index(0)).unwrap();
+        assert_eq!((d.line, d.col, d.len), (2, 3, 12));
+        // `  node bêta 2` = 11 chars from col 3 (12 bytes would be wrong).
+        let b = t.node(NodeId::from_index(1)).unwrap();
+        assert_eq!((b.line, b.col, b.len), (3, 3, 11));
+        assert_eq!(set.task(TaskId(0)).dag().node_count(), 2);
+    }
+
+    #[test]
+    fn error_spans_after_multibyte_names_are_char_addressed() {
+        // The bad wcet token follows a 2-byte-per-char name; its column
+        // must still be the character column.
+        let text = "task period=10\n  node nœud xx\nend\n";
+        let err = parse_task_set(text).unwrap_err();
+        let span = err.span();
+        // `  node nœud xx`: cols 1-2 indent, `node` at 3, `nœud` at 8,
+        // `xx` at 13 (byte offset would be 14).
+        assert_eq!((span.line, span.col, span.len), (2, 13, 2));
+    }
+
+    #[test]
+    fn tokenizer_columns_are_character_columns() {
+        let toks = tokenize("  node bêta 2");
+        assert_eq!(toks.len(), 3);
+        assert_eq!((toks[0].col, toks[0].text), (3, "node"));
+        assert_eq!((toks[1].col, toks[1].text), (8, "bêta"));
+        assert_eq!((toks[2].col, toks[2].text), (13, "2"));
+        assert_eq!(toks[1].span(1), Span::new(1, 8, 4));
     }
 }

@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod certified;
 mod config;
 mod error;
 mod fault;
@@ -61,6 +62,7 @@ mod pool;
 mod recovery;
 mod report;
 
+pub use certified::{CertifiedConfig, DeadlockFree, StaticNode, StaticTask};
 pub use config::{PoolConfig, QueueDiscipline};
 pub use error::ExecError;
 pub use fault::{

@@ -9,6 +9,8 @@
 //!   --deny warnings     promote every warning to an error
 //!   --deny <RTxxx>      promote one rule to an error (repeatable)
 //!   --allow <RTxxx>     suppress one rule (repeatable)
+//!   --fix-dry-run       print the source patched with machine-applicable
+//!                       fixes to stdout (diagnostics go to stderr)
 //!   --rules             list the rule registry and exit
 //!   -h, --help          this help
 //!
@@ -17,7 +19,9 @@
 
 use std::process::ExitCode;
 
-use rtpool_lint::{lint_source, render_human, render_json, LintOptions, RuleCode, RULES};
+use rtpool_lint::{
+    apply_fixes, lint_source, render_human, render_json, LintOptions, RuleCode, RULES,
+};
 
 const USAGE: &str = "\
 rtlint: span-aware static analysis for .rtp task-set workloads
@@ -31,6 +35,8 @@ options:
   --deny warnings       promote every warning to an error
   --deny <RTxxx>        promote one rule to an error (repeatable)
   --allow <RTxxx>       suppress one rule (repeatable)
+  --fix-dry-run         print each file patched with its machine-applicable
+                        fixes to stdout; diagnostics move to stderr
   --rules               list the rule registry and exit
   -h, --help            show this help
 
@@ -44,6 +50,7 @@ enum Format {
 struct Cli {
     opts: LintOptions,
     format: Format,
+    fix_dry_run: bool,
     files: Vec<String>,
 }
 
@@ -54,6 +61,7 @@ fn parse_code(arg: &str) -> Result<RuleCode, String> {
 fn parse_cli(args: &[String]) -> Result<Option<Cli>, String> {
     let mut opts = LintOptions::default();
     let mut format = Format::Human;
+    let mut fix_dry_run = false;
     let mut files = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -91,6 +99,7 @@ fn parse_cli(args: &[String]) -> Result<Option<Cli>, String> {
                     other => return Err(format!("rtlint: unknown format `{other}`")),
                 };
             }
+            "--fix-dry-run" => fix_dry_run = true,
             "--deny" => {
                 let v = value("--deny")?;
                 if v == "warnings" {
@@ -115,6 +124,7 @@ fn parse_cli(args: &[String]) -> Result<Option<Cli>, String> {
     Ok(Some(Cli {
         opts,
         format,
+        fix_dry_run,
         files,
     }))
 }
@@ -144,6 +154,13 @@ fn main() -> ExitCode {
         failed |= report.has_failures();
         errors += report.errors();
         warnings += report.warnings();
+        if cli.fix_dry_run {
+            // Patched source on stdout, diagnostics on stderr, so the
+            // output can be piped straight into a file or a diff.
+            eprint!("{}", render_human(&report, Some(&text)));
+            print!("{}", apply_fixes(&text, &report));
+            continue;
+        }
         match cli.format {
             Format::Human => print!("{}", render_human(&report, Some(&text))),
             Format::Json => println!("{}", render_json(&report)),

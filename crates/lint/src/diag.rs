@@ -37,6 +37,68 @@ pub struct Label {
     pub message: String,
 }
 
+/// One span replacement of a machine-applicable fix: the `span.len`
+/// characters starting at `span.line:span.col` are replaced by
+/// `replacement` (columns count `char`s, like every [`Span`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FixEdit {
+    /// The source region to replace.
+    pub span: Span,
+    /// The replacement text (never contains a newline).
+    pub replacement: String,
+}
+
+/// A machine-applicable fix attached to a diagnostic.
+///
+/// A fix carries two payload kinds, either of which may be empty:
+///
+/// * `data` — structured key/value suggestions that are *not* source
+///   edits (e.g. `suggested_m` on RT101, `suggested_reserve` on RT302):
+///   they describe the corrected analysis parameter or `PoolConfig`
+///   field. CI consumers read them from the JSON rendering; the
+///   `rtpool-codegen` build gate replays them as build-failure notes.
+/// * `edits` — span replacements applicable to the `.rtp` source text
+///   itself (e.g. the corrected `deadline=` header for RT204). `rtlint
+///   --fix-dry-run` applies them and prints the patched file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fix {
+    /// Human-readable summary of the fix.
+    pub message: String,
+    /// Structured non-edit payload values, in emission order.
+    pub data: Vec<(&'static str, u64)>,
+    /// Source edits, in document order, non-overlapping.
+    pub edits: Vec<FixEdit>,
+}
+
+impl Fix {
+    /// A fix with the given summary and no payloads yet.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        Fix {
+            message: message.into(),
+            data: Vec::new(),
+            edits: Vec::new(),
+        }
+    }
+
+    /// Adds a structured payload value.
+    #[must_use]
+    pub fn with_data(mut self, key: &'static str, value: u64) -> Self {
+        self.data.push((key, value));
+        self
+    }
+
+    /// Adds a source edit.
+    #[must_use]
+    pub fn with_edit(mut self, span: Span, replacement: impl Into<String>) -> Self {
+        self.edits.push(FixEdit {
+            span,
+            replacement: replacement.into(),
+        });
+        self
+    }
+}
+
 /// One finding of the lint pass.
 ///
 /// A diagnostic carries everything a renderer needs: the stable rule
@@ -59,6 +121,9 @@ pub struct Diagnostic {
     pub notes: Vec<String>,
     /// Actionable fix suggestion (rendered as `= help: …`).
     pub suggestion: Option<String>,
+    /// Machine-applicable fix payload (rendered only in JSON; see
+    /// [`Fix`]).
+    pub fix: Option<Fix>,
 }
 
 impl Diagnostic {
@@ -73,6 +138,7 @@ impl Diagnostic {
             labels: Vec::new(),
             notes: Vec::new(),
             suggestion: None,
+            fix: None,
         }
     }
 
@@ -104,6 +170,13 @@ impl Diagnostic {
     #[must_use]
     pub fn with_suggestion(mut self, suggestion: impl Into<String>) -> Self {
         self.suggestion = Some(suggestion.into());
+        self
+    }
+
+    /// Attaches a machine-applicable fix payload.
+    #[must_use]
+    pub fn with_fix(mut self, fix: Fix) -> Self {
+        self.fix = Some(fix);
         self
     }
 }

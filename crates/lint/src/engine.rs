@@ -15,7 +15,7 @@ use rtpool_exec::{PoolConfig, QueueDiscipline};
 use rtpool_graph::{Dag, NodeId};
 
 use crate::code::{self, RuleCode};
-use crate::diag::{Diagnostic, LintReport, Severity};
+use crate::diag::{Diagnostic, Fix, LintReport, Severity};
 
 /// Options of one lint run.
 #[derive(Clone, Debug)]
@@ -127,9 +127,17 @@ pub fn lint_task_set(set: &TaskSet, opts: &LintOptions) -> LintReport {
 pub fn lint_config(config: &PoolConfig, dag: &Dag) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     if let Err(e) = config.validate() {
+        let suggested_workers = match &config.discipline {
+            QueueDiscipline::Partitioned(mapping) => mapping.pool_size().max(1),
+            _ => config.workers.max(1),
+        };
         out.push(
             Diagnostic::new(code::RT303, Severity::Error, e.to_string())
-                .with_note("ThreadPool::try_new rejects this configuration before any node runs"),
+                .with_note("ThreadPool::try_new rejects this configuration before any node runs")
+                .with_fix(
+                    Fix::new(format!("set PoolConfig.workers = {suggested_workers}"))
+                        .with_data("suggested_workers", suggested_workers as u64),
+                ),
         );
         return out;
     }
@@ -187,7 +195,14 @@ pub fn lint_config(config: &PoolConfig, dag: &Dag) -> Vec<Diagnostic> {
             ))
             .with_suggestion(format!(
                 "configure RecoveryPolicy::GrowPool {{ reserve: {reserve} }}, or run on m >= {min_safe} workers"
-            )),
+            ))
+            .with_fix(
+                Fix::new(format!(
+                    "set PoolConfig.recovery = GrowPool {{ reserve: {reserve} }} or PoolConfig.workers = {min_safe}"
+                ))
+                .with_data("suggested_reserve", reserve as u64)
+                .with_data("suggested_workers", min_safe as u64),
+            ),
         );
     }
     out
@@ -296,7 +311,12 @@ fn deadlock_rules(
                     "run on m >= {min_safe} workers (the smallest deadlock-free pool for this \
                      task), or configure RecoveryPolicy::GrowPool {{ reserve: {reserve} }} to \
                      recover at runtime"
-                ));
+                ))
+                .with_fix(
+                    Fix::new(format!("analyze and run with m = {min_safe}"))
+                        .with_data("suggested_m", min_safe as u64)
+                        .with_data("suggested_reserve", reserve as u64),
+                );
             out.push(d);
         }
         GlobalVerdict::DeadlockFree { max_suspended, .. } => {
@@ -396,6 +416,11 @@ fn structure_rules(id: TaskId, task: &Task, spans: Option<&TaskSpans>) -> Vec<Di
     }
     for v in dag.node_ids() {
         if dag.wcet(v) == 0 {
+            let mut fix =
+                Fix::new("give the node a minimal one-unit WCET").with_data("suggested_wcet", 1);
+            if let Some(span) = spans.and_then(|t| t.node(v)) {
+                fix = fix.with_edit(span, format!("node {} 1", node_name(spans, v)));
+            }
             let d = Diagnostic::new(
                 code::RT202,
                 Severity::Warning,
@@ -404,11 +429,25 @@ fn structure_rules(id: TaskId, task: &Task, spans: Option<&TaskSpans>) -> Vec<Di
             .with_note(
                 "zero-WCET nodes contribute nothing to volume or critical path; if the node \
                  is structural only, this is fine",
-            );
+            )
+            .with_fix(fix);
             out.push(with_span(d, spans.and_then(|t| t.node(v))));
         }
     }
     if task.critical_path_length() > task.deadline() {
+        // The smallest feasible header: D = len(τ), stretching T with it
+        // when the critical path also exceeds the period (D ≤ T must keep
+        // holding for the patched file to parse).
+        let cp = task.critical_path_length();
+        let period = task.period().max(cp);
+        let mut fix = Fix::new(format!(
+            "relax the deadline to the critical-path length {cp}"
+        ))
+        .with_data("suggested_deadline", cp)
+        .with_data("suggested_period", period);
+        if let Some(header) = spans.map(TaskSpans::header) {
+            fix = fix.with_edit(header, format!("task period={period} deadline={cp}"));
+        }
         let d = Diagnostic::new(
             code::RT204,
             Severity::Error,
@@ -418,7 +457,8 @@ fn structure_rules(id: TaskId, task: &Task, spans: Option<&TaskSpans>) -> Vec<Di
                 task.deadline()
             ),
         )
-        .with_note("no pool, however large, can shorten the critical path (density > 1)");
+        .with_note("no pool, however large, can shorten the critical path (density > 1)")
+        .with_fix(fix);
         out.push(with_span(d, spans.map(TaskSpans::header)));
     }
     out
@@ -544,6 +584,10 @@ mod tests {
         let d = &report.diagnostics[0];
         assert_eq!(d.code, code::RT101);
         assert!(d.suggestion.as_deref().unwrap().contains("m >= 3"));
+        let fix = d.fix.as_ref().expect("RT101 carries a fix payload");
+        assert!(fix.data.contains(&("suggested_m", 3)));
+        assert!(fix.data.contains(&("suggested_reserve", 1)));
+        assert!(fix.edits.is_empty(), "no source edit can fix pool sizing");
         // Safe pool: RT101 gone.
         let report = lint_task_set(&set, &LintOptions::with_m(3));
         assert!(!report.codes().contains(&code::RT101));
@@ -629,6 +673,9 @@ mod tests {
             .as_deref()
             .unwrap()
             .contains("reserve: 1"));
+        let fix = diags[0].fix.as_ref().expect("RT302 carries a fix payload");
+        assert!(fix.data.contains(&("suggested_reserve", 1)));
+        assert!(fix.data.contains(&("suggested_workers", 3)));
         // A sufficient growth reserve silences the finding.
         let config = config.with_recovery(RecoveryPolicy::GrowPool { reserve: 1 });
         assert!(lint_config(&config, &dag).is_empty());

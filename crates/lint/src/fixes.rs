@@ -1,0 +1,123 @@
+//! Applying machine-applicable fixes to `.rtp` source text.
+//!
+//! Only the [`Fix::edits`](crate::diag::Fix) payload is applicable to a
+//! file; `data` payloads (corrected pool sizes, `PoolConfig` fields)
+//! describe tool parameters and are surfaced as notes instead. `rtlint
+//! --fix-dry-run` uses [`apply_fixes`] to print the patched file without
+//! touching the original.
+
+use crate::diag::{FixEdit, LintReport};
+
+/// Applies every source edit of `report` to `source` and returns the
+/// patched text.
+///
+/// Edits are applied line-locally in reverse document order so earlier
+/// replacements never shift later spans. Overlapping edits (which the
+/// engine does not emit) are resolved first-wins: an edit intersecting an
+/// already-applied one is skipped. Columns and lengths count `char`s, in
+/// agreement with [`Span`](rtpool_core::textfmt::Span).
+#[must_use]
+pub fn apply_fixes(source: &str, report: &LintReport) -> String {
+    let mut edits: Vec<&FixEdit> = report
+        .diagnostics
+        .iter()
+        .filter_map(|d| d.fix.as_ref())
+        .flat_map(|f| f.edits.iter())
+        .collect();
+    edits.sort_by_key(|e| (e.span.line, e.span.col));
+
+    let mut lines: Vec<Vec<char>> = source.lines().map(|l| l.chars().collect()).collect();
+    // First pass, document order: drop out-of-range edits and resolve
+    // overlaps first-wins, recording char ranges in original coordinates.
+    let mut kept: Vec<(&FixEdit, usize, usize)> = Vec::new(); // (edit, start, end)
+    for edit in edits {
+        let span = edit.span;
+        let Some(line) = span.line.checked_sub(1).and_then(|i| lines.get(i)) else {
+            continue;
+        };
+        let start = span.col.saturating_sub(1);
+        let end = (start + span.len.max(1)).min(line.len());
+        if start >= line.len() {
+            continue;
+        }
+        let overlaps = kept
+            .iter()
+            .any(|&(k, s, e)| k.span.line == span.line && start < e && s < end);
+        if !overlaps {
+            kept.push((edit, start, end));
+        }
+    }
+    // Second pass, reverse document order, so earlier replacements never
+    // shift the ranges of edits still to be applied.
+    for &(edit, start, end) in kept.iter().rev() {
+        let line = &mut lines[edit.span.line - 1];
+        line.splice(start..end, edit.replacement.chars());
+    }
+
+    let mut out = String::with_capacity(source.len());
+    for line in &lines {
+        out.extend(line.iter());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::RT204;
+    use crate::diag::{Diagnostic, Fix, Severity};
+    use rtpool_core::textfmt::Span;
+
+    fn report_with_edits(edits: Vec<(Span, &str)>) -> LintReport {
+        let mut fix = Fix::new("patch");
+        for (span, repl) in edits {
+            fix = fix.with_edit(span, repl);
+        }
+        LintReport {
+            file: Some("t.rtp".into()),
+            diagnostics: vec![Diagnostic::new(RT204, Severity::Error, "x").with_fix(fix)],
+        }
+    }
+
+    #[test]
+    fn applies_single_edit() {
+        let src = "task period=10 deadline=5\n  node a 7\nend\n";
+        let report = report_with_edits(vec![(Span::new(1, 1, 25), "task period=10 deadline=7")]);
+        assert_eq!(
+            apply_fixes(src, &report),
+            "task period=10 deadline=7\n  node a 7\nend\n"
+        );
+    }
+
+    #[test]
+    fn applies_multiple_edits_without_shifting() {
+        let src = "node a 0\nnode b 0\n";
+        let report = report_with_edits(vec![
+            (Span::new(1, 1, 8), "node a 1"),
+            (Span::new(2, 1, 8), "node b 1"),
+        ]);
+        assert_eq!(apply_fixes(src, &report), "node a 1\nnode b 1\n");
+    }
+
+    #[test]
+    fn counts_chars_not_bytes() {
+        // `bêta` is 4 chars / 5 bytes: a byte-based splice would cut the
+        // line one position too far right.
+        let src = "  node bêta 0\n";
+        let report = report_with_edits(vec![(Span::new(1, 3, 11), "node bêta 1")]);
+        assert_eq!(apply_fixes(src, &report), "  node bêta 1\n");
+    }
+
+    #[test]
+    fn skips_overlapping_and_out_of_range_edits() {
+        let src = "node a 0\n";
+        let report = report_with_edits(vec![
+            (Span::new(1, 1, 8), "node a 1"),
+            (Span::new(1, 4, 3), "xxx"),  // overlaps the first edit
+            (Span::new(9, 1, 1), "gone"), // line out of range
+            (Span::new(1, 99, 1), "off"), // column out of range
+        ]);
+        assert_eq!(apply_fixes(src, &report), "node a 1\n");
+    }
+}

@@ -54,9 +54,11 @@
 pub mod code;
 pub mod diag;
 pub mod engine;
+pub mod fixes;
 pub mod render;
 
 pub use code::{RuleCode, RuleInfo, RULES};
-pub use diag::{Diagnostic, Label, LintReport, Severity};
+pub use diag::{Diagnostic, Fix, FixEdit, Label, LintReport, Severity};
 pub use engine::{check_source, lint_config, lint_source, lint_task_set, LintOptions};
+pub use fixes::apply_fixes;
 pub use render::{render_human, render_json};

@@ -162,7 +162,34 @@ fn json_diagnostic(out: &mut String, d: &Diagnostic) {
         }
         None => out.push_str("null"),
     }
+    out.push_str(",\"fix\":");
+    match &d.fix {
+        Some(fix) => json_fix(out, fix),
+        None => out.push_str("null"),
+    }
     out.push('}');
+}
+
+/// The machine-applicable payload: `data` as an object in emission
+/// order, `edits` as span/replacement pairs.
+fn json_fix(out: &mut String, fix: &crate::diag::Fix) {
+    let _ = write!(out, "{{\"message\":\"{}\",\"data\":{{", esc(&fix.message));
+    for (i, (key, value)) in fix.data.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", esc(key), value);
+    }
+    out.push_str("},\"edits\":[");
+    for (i, e) in fix.edits.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"span\":");
+        json_span(out, Some(e.span));
+        let _ = write!(out, ",\"replacement\":\"{}\"}}", esc(&e.replacement));
+    }
+    out.push_str("]}");
 }
 
 fn json_span(out: &mut String, span: Option<Span>) {

@@ -8,7 +8,12 @@
 //!    `rtlint` config pass (`lint::lint_config`) and resolved by adopting
 //!    its suggested `GrowPool` reserve;
 //! 3. an injected worker suspension stalls a job, and `RetryWithBackoff`
-//!    re-runs it to completion.
+//!    re-runs it to completion;
+//! 4. the *compile-time certified* Figure 1 workload (typed module
+//!    emitted by `rtpool-codegen` from `workloads/figure1.rtp`, proof
+//!    token `DeadlockFree<3, 2>`) survives a chaos `FaultPlan`: the
+//!    certificate pins the deadlock-free pool size, so even under WCET
+//!    jitter and delayed wakeups every run completes.
 //!
 //! Run with: `cargo run --example fault_tolerance`
 
@@ -18,6 +23,11 @@ use rtpool::core::sizing;
 use rtpool::exec::{ExecError, FaultPlan, PoolConfig, QueueDiscipline, RecoveryPolicy, ThreadPool};
 use rtpool::graph::{Dag, DagBuilder};
 use rtpool::lint;
+
+#[allow(dead_code)]
+mod certified_figure1 {
+    include!(concat!(env!("OUT_DIR"), "/certified_figure1.rs"));
+}
 
 fn figure_1c() -> Result<Dag, Box<dyn std::error::Error>> {
     let mut b = DagBuilder::new();
@@ -108,8 +118,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut pool = ThreadPool::new(config);
     let report = pool.run(&chain)?;
     println!(
-        "[3] chain completed after {} attempts; events: {:?}",
+        "[3] chain completed after {} attempts; events: {:?}\n",
         report.attempts, report.recovery_events
     );
+
+    // Act 4: the certified Figure 1 workload under chaos. The pool size
+    // is not a runtime choice here — `build.rs` certified m = 3 against
+    // b̄ = 2 and cargo checked the `DeadlockFree<3, 2>` token during
+    // compilation — so injected jitter and delayed wakeups can slow the
+    // job down but cannot reintroduce the inset (c) deadlock.
+    let wl = &certified_figure1::CONFIG;
+    println!(
+        "[4] certified {}: m = {}, b\u{304} = {}, floor l\u{304} = {}",
+        wl.source,
+        certified_figure1::M,
+        certified_figure1::B_BAR,
+        certified_figure1::L_BAR
+    );
+    let mut pool = ThreadPool::new_static_with(wl, |c| {
+        c.with_time_scale(Duration::from_micros(100)).with_faults(
+            FaultPlan::seeded(1913)
+                .jitter_prob(0.5, 3)
+                .delay_wakeup_prob(0.25, Duration::from_millis(2)),
+        )
+    });
+    let blocking_dag = &wl.dags()[0];
+    for round in 0..3 {
+        let report = pool.run(blocking_dag)?;
+        println!(
+            "[4]   chaos round {round}: {} nodes, makespan {:?}, min available {} (\u{2265} {})",
+            report.executed_nodes,
+            report.makespan,
+            report.min_available_workers,
+            certified_figure1::L_BAR
+        );
+    }
     Ok(())
 }

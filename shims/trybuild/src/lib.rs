@@ -1,0 +1,261 @@
+//! Offline stand-in for `trybuild`.
+//!
+//! The real `trybuild` compiles fixture crates with cargo and compares
+//! the compiler's stderr against `.stderr` goldens. This environment has
+//! no registry access (and test-time cargo recursion is unwanted), so
+//! this shim keeps trybuild's *harness shape* — `compile_fail` /
+//! `pass` over fixture globs, `.stderr` goldens, `TRYBUILD=overwrite`
+//! blessing — but delegates the "compile" step to a caller-supplied
+//! **driver closure**: the caller decides what building a fixture means
+//! (for this workspace: running the `rtpool-codegen` lint gate, which is
+//! exactly the step that fails `cargo build` of a certified crate) and
+//! returns the build outcome.
+//!
+//! The shim itself is dependency-free and knows nothing about the
+//! workspace crates.
+//!
+//! ```no_run
+//! let mut t = trybuild::TestCases::new(|path| {
+//!     let source = std::fs::read_to_string(path).unwrap();
+//!     if source.contains("bad") {
+//!         trybuild::Outcome::Fail(format!("error: {} is bad", path.display()))
+//!     } else {
+//!         trybuild::Outcome::Pass
+//!     }
+//! });
+//! t.compile_fail("tests/compile-fail/*.rtp");
+//! t.pass("tests/compile-pass/*.rtp");
+//! // Outcomes are checked when `t` drops (like the real trybuild).
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// What "building" a fixture produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The fixture builds cleanly.
+    Pass,
+    /// The build failed with this stderr text.
+    Fail(String),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Expectation {
+    Pass,
+    CompileFail,
+}
+
+struct Case {
+    path: PathBuf,
+    expectation: Expectation,
+}
+
+/// A batch of fixture cases sharing one driver. Checked when dropped
+/// (or explicitly via [`TestCases::run`]), mirroring the real trybuild.
+pub struct TestCases {
+    driver: Box<dyn Fn(&Path) -> Outcome>,
+    cases: Vec<Case>,
+    ran: bool,
+}
+
+impl TestCases {
+    /// A harness whose fixtures are "built" by `driver`.
+    #[must_use]
+    pub fn new(driver: impl Fn(&Path) -> Outcome + 'static) -> Self {
+        TestCases {
+            driver: Box::new(driver),
+            cases: Vec::new(),
+            ran: false,
+        }
+    }
+
+    /// Adds fixtures that must **fail** to build, with stderr matching
+    /// the `.stderr` golden next to each fixture. `pattern` is a path
+    /// with optional `*` wildcards in its file name (no recursion).
+    pub fn compile_fail(&mut self, pattern: &str) {
+        self.add(pattern, Expectation::CompileFail);
+    }
+
+    /// Adds fixtures that must build cleanly.
+    pub fn pass(&mut self, pattern: &str) {
+        self.add(pattern, Expectation::Pass);
+    }
+
+    fn add(&mut self, pattern: &str, expectation: Expectation) {
+        let paths = expand(pattern);
+        assert!(
+            !paths.is_empty(),
+            "trybuild: no fixture matches `{pattern}`"
+        );
+        for path in paths {
+            self.cases.push(Case { path, expectation });
+        }
+    }
+
+    /// Runs every queued case now, panicking with a combined report on
+    /// any mismatch. Golden `.stderr` files are (re)written instead when
+    /// `TRYBUILD=overwrite` or `UPDATE_GOLDEN=1` is set.
+    pub fn run(&mut self) {
+        if self.ran {
+            return;
+        }
+        self.ran = true;
+        let bless = std::env::var_os("TRYBUILD").is_some_and(|v| v == "overwrite")
+            || std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| v == "1");
+        let mut failures = String::new();
+        for case in &self.cases {
+            let outcome = (self.driver)(&case.path);
+            let name = case.path.display();
+            match (case.expectation, outcome) {
+                (Expectation::Pass, Outcome::Pass) => {}
+                (Expectation::Pass, Outcome::Fail(stderr)) => {
+                    let _ = writeln!(
+                        failures,
+                        "{name}: expected to build, but failed with:\n{stderr}\n"
+                    );
+                }
+                (Expectation::CompileFail, Outcome::Pass) => {
+                    let _ = writeln!(failures, "{name}: expected to fail to build, but passed\n");
+                }
+                (Expectation::CompileFail, Outcome::Fail(stderr)) => {
+                    let golden_path = case.path.with_extension("stderr");
+                    let golden = fs::read_to_string(&golden_path).ok();
+                    if golden.as_deref() == Some(stderr.as_str()) {
+                        continue;
+                    }
+                    if bless {
+                        fs::write(&golden_path, &stderr).unwrap_or_else(|e| {
+                            panic!("cannot bless {}: {e}", golden_path.display())
+                        });
+                        eprintln!("trybuild: blessed {}", golden_path.display());
+                    } else {
+                        let _ = writeln!(
+                            failures,
+                            "{name}: stderr differs from {} \
+                             (set TRYBUILD=overwrite to bless)\n--- expected\n{}\n--- actual\n{stderr}\n",
+                            golden_path.display(),
+                            golden.unwrap_or_else(|| "<golden file missing>".into()),
+                        );
+                    }
+                }
+            }
+        }
+        assert!(failures.is_empty(), "trybuild failures:\n\n{failures}");
+    }
+}
+
+impl Drop for TestCases {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            self.run();
+        }
+    }
+}
+
+/// Expands a pattern whose final component may contain `*` wildcards
+/// into sorted matching paths. Non-wildcard patterns pass through (the
+/// file need not exist yet — the driver will report that).
+fn expand(pattern: &str) -> Vec<PathBuf> {
+    let path = Path::new(pattern);
+    let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+        return vec![path.to_path_buf()];
+    };
+    if !name.contains('*') {
+        return vec![path.to_path_buf()];
+    }
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let dir = dir.unwrap_or_else(|| Path::new("."));
+    let Ok(entries) = fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut out: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_file())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| wildcard_match(name, n))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// `*`-only glob matching (no `?`, no character classes).
+fn wildcard_match(pattern: &str, text: &str) -> bool {
+    let pat: Vec<char> = pattern.chars().collect();
+    let txt: Vec<char> = text.chars().collect();
+    // Classic two-pointer star matcher.
+    let (mut p, mut t) = (0usize, 0usize);
+    let (mut star, mut mark) = (usize::MAX, 0usize);
+    while t < txt.len() {
+        if p < pat.len() && (pat[p] == txt[t]) {
+            p += 1;
+            t += 1;
+        } else if p < pat.len() && pat[p] == '*' {
+            star = p;
+            mark = t;
+            p += 1;
+        } else if star != usize::MAX {
+            p = star + 1;
+            mark += 1;
+            t = mark;
+        } else {
+            return false;
+        }
+    }
+    while p < pat.len() && pat[p] == '*' {
+        p += 1;
+    }
+    p == pat.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wildcard_basics() {
+        assert!(wildcard_match("*.rtp", "a.rtp"));
+        assert!(wildcard_match("rt*_m2.rtp", "rt101_fig1_m2.rtp"));
+        assert!(!wildcard_match("*.rtp", "a.stderr"));
+        assert!(wildcard_match("*", "anything"));
+        assert!(!wildcard_match("a*b", "acb-not"));
+    }
+
+    #[test]
+    fn pass_and_fail_expectations() {
+        let dir = std::env::temp_dir().join("trybuild-shim-test");
+        fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.fix");
+        let bad = dir.join("bad.fix");
+        fs::write(&good, "ok").unwrap();
+        fs::write(&bad, "boom").unwrap();
+        fs::write(dir.join("bad.stderr"), "error: boom").unwrap();
+        let mut t = TestCases::new(|p| {
+            if fs::read_to_string(p).unwrap().contains("boom") {
+                Outcome::Fail("error: boom".into())
+            } else {
+                Outcome::Pass
+            }
+        });
+        t.pass(good.to_str().unwrap());
+        t.compile_fail(bad.to_str().unwrap());
+        t.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "expected to fail to build")]
+    fn unexpected_pass_is_reported() {
+        let dir = std::env::temp_dir().join("trybuild-shim-test2");
+        fs::create_dir_all(&dir).unwrap();
+        let fixture = dir.join("fine.fix");
+        fs::write(&fixture, "ok").unwrap();
+        let mut t = TestCases::new(|_| Outcome::Pass);
+        t.compile_fail(fixture.to_str().unwrap());
+        t.run();
+    }
+}

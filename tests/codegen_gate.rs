@@ -1,0 +1,128 @@
+//! Compile-fail suite for the `rtpool-codegen` build gate.
+//!
+//! Each fixture under `tests/compile-fail/` is an `.rtp` workload plus a
+//! first-line `# codegen:` directive giving the gate's pool size and
+//! deny policy; "building" a fixture means running the exact
+//! certification step a `build.rs` runs, so a fixture that fails here
+//! fails `cargo build` of any crate certifying it (see
+//! `tests/compile-fail/bad_crate/` for the cargo-level twin, exercised
+//! by CI). The failure text is pinned by a `.stderr` golden next to each
+//! fixture — re-bless with `TRYBUILD=overwrite cargo test --test
+//! codegen_gate`.
+//!
+//! Fixtures under `tests/compile-pass/` must certify cleanly.
+
+use std::fs;
+use std::path::Path;
+
+use rtpool_codegen::{Codegen, CodegenError};
+use trybuild::Outcome;
+
+/// The `# codegen: m=N [deny_warnings] [deny=..] [allow=..] [expect=..]`
+/// first-line directive of a fixture.
+struct Directive {
+    m: usize,
+    deny_warnings: bool,
+    deny: Vec<String>,
+    allow: Vec<String>,
+    expect: Vec<String>,
+}
+
+fn parse_directive(path: &Path, text: &str) -> Directive {
+    let first = text.lines().next().unwrap_or_default();
+    let body = first
+        .strip_prefix("# codegen:")
+        .unwrap_or_else(|| panic!("{}: missing `# codegen:` directive", path.display()));
+    let mut d = Directive {
+        m: 0,
+        deny_warnings: false,
+        deny: Vec::new(),
+        allow: Vec::new(),
+        expect: Vec::new(),
+    };
+    let csv = |v: &str| v.split(',').map(str::to_owned).collect::<Vec<_>>();
+    for word in body.split_whitespace() {
+        if let Some(m) = word.strip_prefix("m=") {
+            d.m = m.parse().expect("m=<int>");
+        } else if word == "deny_warnings" {
+            d.deny_warnings = true;
+        } else if let Some(v) = word.strip_prefix("deny=") {
+            d.deny = csv(v);
+        } else if let Some(v) = word.strip_prefix("allow=") {
+            d.allow = csv(v);
+        } else if let Some(v) = word.strip_prefix("expect=") {
+            d.expect = csv(v);
+        } else {
+            panic!("{}: unknown directive word `{word}`", path.display());
+        }
+    }
+    assert!(d.m > 0, "{}: directive must set m", path.display());
+    d
+}
+
+/// Runs the gate over a fixture exactly as a `build.rs` would.
+fn drive(path: &Path) -> Outcome {
+    let text = fs::read_to_string(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    let d = parse_directive(path, &text);
+    let mut gate = Codegen::new(path, d.m);
+    if d.deny_warnings {
+        gate = gate.deny_warnings();
+    }
+    for code in &d.deny {
+        gate = gate.deny(code);
+    }
+    for code in &d.allow {
+        gate = gate.allow(code);
+    }
+    // Certify from the in-memory text with the repo-relative path so the
+    // rendered spans (and thus the .stderr goldens) are host-independent.
+    match gate.certify_source(path.display().to_string(), text) {
+        Ok(certified) => {
+            // A passing fixture must also emit a loadable module; emission
+            // itself must not panic.
+            let module = rtpool_codegen::certified_module_source(&certified);
+            assert!(
+                module.contains("DeadlockFree"),
+                "{}: emitted module misses the proof token",
+                path.display()
+            );
+            Outcome::Pass
+        }
+        Err(e @ CodegenError::Rejected { .. }) => {
+            let stderr = e.to_string();
+            for code in &d.expect {
+                assert!(
+                    stderr.contains(code.as_str()),
+                    "{}: expected {code} in the build failure, got:\n{stderr}",
+                    path.display()
+                );
+            }
+            Outcome::Fail(stderr)
+        }
+        Err(e) => panic!("{}: unexpected I/O failure: {e}", path.display()),
+    }
+}
+
+#[test]
+fn compile_fail_fixtures() {
+    let mut t = trybuild::TestCases::new(drive);
+    t.compile_fail("tests/compile-fail/*.rtp");
+    t.run();
+}
+
+#[test]
+fn compile_pass_fixtures() {
+    let mut t = trybuild::TestCases::new(drive);
+    t.pass("tests/compile-pass/*.rtp");
+    t.run();
+}
+
+#[test]
+fn fixture_floor() {
+    let count = fs::read_dir("tests/compile-fail")
+        .unwrap()
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "rtp"))
+        .count();
+    assert!(count >= 6, "compile-fail suite shrank to {count} fixtures");
+}

@@ -1,0 +1,9 @@
+//! Certifies Figure 1 for m = 2 — an undersized pool. The gate rejects
+//! it, so this crate never builds (which is the point: see the crate's
+//! Cargo.toml and the CI codegen-gate job).
+
+use rtpool_codegen::Codegen;
+
+fn main() {
+    Codegen::new("../../../workloads/figure1.rtp", 2).compile("certified_figure1");
+}

@@ -1,0 +1,15 @@
+//! Unreachable: build.rs fails the build before this compiles. Kept
+//! honest anyway — were the gate to wrongly pass, this binary would run
+//! the workload on the (deadlock-prone) 2-worker pool.
+
+#[allow(dead_code)]
+mod certified_figure1 {
+    include!(concat!(env!("OUT_DIR"), "/certified_figure1.rs"));
+}
+
+fn main() {
+    let mut pool = rtpool_exec::ThreadPool::new_static(&certified_figure1::CONFIG);
+    for dag in certified_figure1::CONFIG.dags() {
+        pool.run(&dag).expect("certified workload");
+    }
+}
