@@ -10,14 +10,17 @@
 //! workers are supervised and every request is answered exactly once.
 //!
 //! ```text
-//! rtpool-serve [--workers N] [--queue-cap N] [--batch-max N]
+//! rtpool-serve [--workers N] [--pool injector|sweep]
+//!              [--queue-cap N] [--batch-max N]
 //!              [--default-deadline-us U] [--slo-p99-us U]
 //!              [--shed-below-priority P] [--window N]
 //!              [--interner-cap N] [--socket PATH]
 //!              [--trace PATH] [--summary]
 //! ```
 //!
-//! Defaults: all cores, queue 256, no default deadline, 50 ms p99 SLO,
+//! Defaults: all cores, lock-free injector dispatch (`--pool sweep`
+//! falls back to the locked-range sweep pool), queue 256, no default
+//! deadline, 50 ms p99 SLO,
 //! shed priorities `< 4`, 64-response breaker window, interner 256. On
 //! EOF (or socket shutdown) the backlog drains, the final report goes
 //! to stderr (`--summary` prints it as JSON), and `--trace PATH` writes
@@ -35,11 +38,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use rtpool_bench::serve::protocol::encode_response;
-use rtpool_bench::serve::{BreakerConfig, Response, ServeConfig, Server};
+use rtpool_bench::serve::{BreakerConfig, InjectorPool, Response, ServeConfig, ServePool, Server};
 use rtpool_bench::sweep::SweepPool;
 
 struct Args {
     workers: usize,
+    /// Dispatch engine: `true` = lock-free injector pool (default),
+    /// `false` = locked-range sweep pool.
+    injector: bool,
     config: ServeConfig,
     socket: Option<String>,
     trace: Option<String>,
@@ -47,7 +53,8 @@ struct Args {
 }
 
 fn usage() -> &'static str {
-    "usage: rtpool-serve [--workers N] [--queue-cap N] [--batch-max N] \
+    "usage: rtpool-serve [--workers N] [--pool injector|sweep] \
+     [--queue-cap N] [--batch-max N] \
      [--default-deadline-us U] [--slo-p99-us U] [--shed-below-priority P] \
      [--window N] [--interner-cap N] [--socket PATH] [--trace PATH] [--summary]"
 }
@@ -55,6 +62,7 @@ fn usage() -> &'static str {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         workers: 0,
+        injector: true,
         config: ServeConfig::default(),
         socket: None,
         trace: None,
@@ -69,6 +77,13 @@ fn parse_args() -> Result<Args, String> {
                 args.workers = value("--workers")?
                     .parse()
                     .map_err(|e| format!("invalid --workers: {e}"))?;
+            }
+            "--pool" => {
+                args.injector = match value("--pool")?.as_str() {
+                    "injector" => true,
+                    "sweep" => false,
+                    other => return Err(format!("invalid --pool `{other}` (injector|sweep)")),
+                };
             }
             "--queue-cap" => {
                 args.config.queue_cap = value("--queue-cap")?
@@ -242,16 +257,21 @@ fn main() -> ExitCode {
     } else {
         args.workers
     };
-    let pool = Arc::new(SweepPool::new(workers));
+    let pool = if args.injector {
+        ServePool::from(Arc::new(InjectorPool::new(workers)))
+    } else {
+        ServePool::from(Arc::new(SweepPool::new(workers)))
+    };
     eprintln!(
-        "rtpool-serve: {} analysis workers, queue {}, SLO p99 {} µs",
+        "rtpool-serve: {} analysis workers ({} dispatch), queue {}, SLO p99 {} µs",
         pool.threads(),
+        pool.engine_label(),
         args.config.queue_cap,
         args.config.breaker.slo_p99_us
     );
     let trace_path = args.trace.clone();
     let summary = args.summary;
-    let (server, rx) = Server::start(args.config, pool);
+    let (server, rx) = Server::start_on(args.config, pool);
     let mut pump = None;
     let result = match &args.socket {
         None => {

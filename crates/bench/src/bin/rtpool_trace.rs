@@ -4,9 +4,9 @@
 //!
 //! ```text
 //! rtpool-trace run <workload.rtp> [--engine sim|exec]
-//!              [--policy global|partitioned] [--m N] [--horizon H]
-//!              [--format summary|ascii|chrome|csv] [--out PATH]
-//!              [--time-scale-us U] [--timeout-ms T]
+//!              [--policy global|partitioned] [--pool v1|v2] [--m N]
+//!              [--horizon H] [--format summary|ascii|chrome|csv]
+//!              [--out PATH] [--time-scale-us U] [--timeout-ms T]
 //! rtpool-trace validate <trace.json>
 //! ```
 //!
@@ -14,7 +14,10 @@
 //! job per task, summary on stdout. `--horizon H` (sim only) switches to
 //! periodic releases up to `H`. Under `--engine exec` each task's DAG
 //! runs as one job on its own pool and yields one trace per task (with
-//! `--out`, files are suffixed `.task<i>`); `--time-scale-us` sets the
+//! `--out`, files are suffixed `.task<i>`); `--pool v1|v2` selects the
+//! pool's dispatch engine (default `v1`, the mutex/condvar engine; `v2`
+//! is the lock-free injector/stealer engine — both emit the same trace
+//! schema); `--time-scale-us` sets the
 //! wall-clock length of one WCET unit (default 100 µs), and
 //! `--timeout-ms` bounds each task's wall-clock run via the pool
 //! watchdog (default 10 000 ms) — a workload that deadlocks is reported
@@ -31,7 +34,7 @@ use std::time::Duration;
 use rtpool_core::partition::{algorithm1, NodeMapping};
 use rtpool_core::textfmt::parse_task_set;
 use rtpool_core::TaskSet;
-use rtpool_exec::{ExecError, PoolConfig, QueueDiscipline, ThreadPool};
+use rtpool_exec::{Engine as PoolEngine, ExecError, PoolConfig, QueueDiscipline, ThreadPool};
 use rtpool_sim::{SchedulingPolicy, SimConfig};
 use rtpool_trace::{from_chrome_json, to_chrome_json, to_csv, Trace, TraceAnalysis};
 
@@ -59,6 +62,7 @@ struct RunArgs {
     workload: PathBuf,
     engine: Engine,
     policy: Policy,
+    pool: PoolEngine,
     m: usize,
     horizon: Option<u64>,
     format: Format,
@@ -69,7 +73,7 @@ struct RunArgs {
 
 fn usage() -> &'static str {
     "usage: rtpool-trace run <workload.rtp> [--engine sim|exec] \
-     [--policy global|partitioned] [--m N] [--horizon H] \
+     [--policy global|partitioned] [--pool v1|v2] [--m N] [--horizon H] \
      [--format summary|ascii|chrome|csv] [--out PATH] [--time-scale-us U] \
      [--timeout-ms T]\n\
      \x20      rtpool-trace validate <trace.json>"
@@ -81,6 +85,7 @@ fn parse_run_args(mut it: std::env::Args) -> Result<RunArgs, String> {
         workload: PathBuf::from(workload),
         engine: Engine::Sim,
         policy: Policy::Global,
+        pool: PoolEngine::default(),
         m: 4,
         horizon: None,
         format: Format::Summary,
@@ -103,6 +108,13 @@ fn parse_run_args(mut it: std::env::Args) -> Result<RunArgs, String> {
                     "global" => Policy::Global,
                     "partitioned" => Policy::Partitioned,
                     other => return Err(format!("unknown policy `{other}`")),
+                };
+            }
+            "--pool" => {
+                args.pool = match value("--pool")?.as_str() {
+                    "v1" => PoolEngine::V1Condvar,
+                    "v2" => PoolEngine::V2LockFree,
+                    other => return Err(format!("unknown pool engine `{other}` (v1|v2)")),
                 };
             }
             "--m" => {
@@ -258,6 +270,7 @@ fn run_exec(args: &RunArgs, set: &TaskSet) -> Result<(), String> {
             ),
         };
         let config = PoolConfig::new(args.m, discipline)
+            .with_engine(args.pool)
             .with_time_scale(args.time_scale)
             .with_watchdog(args.timeout)
             .with_trace();

@@ -1,0 +1,452 @@
+//! Lock-free batch dispatch for the admission server.
+//!
+//! [`InjectorPool`] is the serve-side counterpart of the executor's
+//! `Engine::V2LockFree` dispatch engine: request indices flow through a
+//! global [`Injector`] FIFO into per-worker Chase-Lev deques, and
+//! workers run the canonical local-pop → injector-steal →
+//! steal-from-peer loop. The only lock on the hot path of a batch is
+//! the one `Mutex` acquire per *job* that publishes the batch to the
+//! workers — every per-request hand-off (claim, steal, completion
+//! count) is a single atomic operation, mirroring how
+//! `crates/exec/src/engine_v2.rs` dispatches DAG nodes.
+//!
+//! [`ServePool`] lets [`Server`](super::server::Server) fan out on
+//! either engine: the classic [`SweepPool`] (shared packed-range queue
+//! under its own CAS protocol, v1 of the serve path) or an
+//! `InjectorPool`. Both expose the same `run_indexed` contract —
+//! results land in index order regardless of worker count or steal
+//! interleaving — so the server's dispatch loop is engine-agnostic.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use crossbeam_deque::{Injector, Steal, Stealer, Worker};
+
+use crate::sweep::SweepPool;
+
+/// Injector capacity: an upper bound on the cells of one batch. Serve
+/// batches are bounded by `batch_max` (typically `2 × workers`), so
+/// this is generous; [`InjectorPool::run_indexed`] rejects larger jobs
+/// up front rather than risking the shim's overflow panic mid-flight.
+const INJECTOR_CAP: usize = 1 << 16;
+
+/// Per-worker deque capacity: bounds how many cells a single batch
+/// steal can park locally. Batch steals cap themselves to the deque's
+/// spare room, so this only shapes steal granularity.
+const LOCAL_CAP: usize = 256;
+
+/// Type-erased batch job: workers only need "run cell `i` (as worker
+/// `w`)".
+trait DispatchJob: Send + Sync {
+    fn run_cell(&self, index: usize, worker: usize);
+}
+
+/// Concrete job: the cell closure plus one result slot per cell.
+struct Job<T, F> {
+    f: F,
+    slots: Vec<OnceLock<T>>,
+}
+
+impl<T, F> DispatchJob for Job<T, F>
+where
+    T: Send + Sync,
+    F: Fn(usize, usize) -> T + Send + Sync,
+{
+    fn run_cell(&self, index: usize, worker: usize) {
+        let value = (self.f)(index, worker);
+        self.slots[index]
+            .set(value)
+            .unwrap_or_else(|_| panic!("cell {index} executed twice"));
+    }
+}
+
+struct State {
+    /// Bumped once per job; workers participate in each generation
+    /// exactly once.
+    generation: u64,
+    job: Option<Arc<dyn DispatchJob>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    /// Global FIFO the submitter feeds; workers drain it into their
+    /// local deques in batches.
+    injector: Injector<u64>,
+    /// Steal endpoints of every worker's local deque.
+    stealers: Vec<Stealer<u64>>,
+    state: Mutex<State>,
+    /// Signals workers that a new job was published (or shutdown).
+    work_cv: Condvar,
+    /// Signals the submitter that a worker finished its part.
+    done_cv: Condvar,
+    /// Workers still draining the current job. The submitter only reads
+    /// results once this hits zero, which guarantees every cell has
+    /// executed and no worker still holds the job `Arc`.
+    active: AtomicUsize,
+    /// Lifetime count of successful peer-deque steals (observability).
+    steals: AtomicU64,
+}
+
+/// A persistent pool of dispatch workers fanning batches out through a
+/// lock-free injector/stealer pipeline. Same `run_indexed` contract as
+/// [`SweepPool`]: create once per process, submit any number of jobs.
+///
+/// # Examples
+///
+/// ```
+/// use rtpool_bench::serve::dispatch::InjectorPool;
+///
+/// let pool = InjectorPool::new(4);
+/// let squares = pool.run_indexed(10, "squares", |i, _worker| i * i);
+/// assert_eq!(squares[7], 49);
+/// ```
+pub struct InjectorPool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    /// Serializes jobs: one batch in flight at a time.
+    submit: Mutex<()>,
+}
+
+impl InjectorPool {
+    /// Creates a pool with `threads` long-lived workers (clamped to at
+    /// least 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let deques: Vec<Worker<u64>> = (0..threads).map(|_| Worker::new_lifo(LOCAL_CAP)).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(INJECTOR_CAP),
+            stealers: deques.iter().map(Worker::stealer).collect(),
+            state: Mutex::new(State {
+                generation: 0,
+                job: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            active: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+        });
+        let workers = deques
+            .into_iter()
+            .enumerate()
+            .map(|(me, local)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dispatch-{me}"))
+                    .spawn(move || worker_loop(&shared, me, &local))
+                    .expect("spawning dispatch worker")
+            })
+            .collect();
+        InjectorPool {
+            shared,
+            workers,
+            submit: Mutex::new(()),
+        }
+    }
+
+    /// Number of workers.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Lifetime count of successful peer-deque steals across all jobs.
+    #[must_use]
+    pub fn steal_count(&self) -> u64 {
+        self.shared.steals.load(Ordering::Relaxed)
+    }
+
+    /// Executes `f` for every cell index in `0..cells` across the pool
+    /// and returns the results in index order. `f` also receives the
+    /// executing worker's index (`0..threads()`) for per-worker
+    /// bookkeeping (shard histograms, trace lanes); cell `i` may run on
+    /// any worker, so the worker index must not influence the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` exceeds the injector capacity (65 536 — far
+    /// above any admissible serve batch) or if the closure panics in a
+    /// worker.
+    pub fn run_indexed<T, F>(&self, cells: usize, _label: &str, f: F) -> Vec<T>
+    where
+        T: Send + Sync + 'static,
+        F: Fn(usize, usize) -> T + Send + Sync + 'static,
+    {
+        if cells == 0 {
+            return Vec::new();
+        }
+        assert!(
+            cells <= INJECTOR_CAP,
+            "InjectorPool batch of {cells} cells exceeds injector capacity {INJECTOR_CAP}"
+        );
+
+        let _job_guard = self.submit.lock().expect("submit lock not poisoned");
+        let job = Arc::new(Job {
+            f,
+            slots: (0..cells).map(|_| OnceLock::new()).collect(),
+        });
+
+        // Feed every cell before publishing the job: a worker that sees
+        // the new generation must already see the whole batch, so the
+        // drain loop's "everything empty" exit is conclusive.
+        for i in 0..cells {
+            self.shared.injector.push(i as u64);
+        }
+        self.shared
+            .active
+            .store(self.workers.len(), Ordering::Release);
+        {
+            let mut st = self.shared.state.lock().expect("pool state not poisoned");
+            st.generation += 1;
+            st.job = Some(Arc::clone(&job) as Arc<dyn DispatchJob>);
+            self.shared.work_cv.notify_all();
+        }
+
+        // Wait for every worker to bow out of this generation.
+        {
+            let mut st = self.shared.state.lock().expect("pool state not poisoned");
+            while self.shared.active.load(Ordering::Acquire) > 0 {
+                st = self
+                    .shared
+                    .done_cv
+                    .wait(st)
+                    .expect("pool state not poisoned");
+            }
+            // Drop the pool's reference so the submitter's Arc is unique.
+            st.job = None;
+        }
+
+        let job = Arc::try_unwrap(job)
+            .unwrap_or_else(|_| unreachable!("workers release the job before finishing"));
+        job.slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.into_inner()
+                    .unwrap_or_else(|| panic!("cell {i} was never executed"))
+            })
+            .collect()
+    }
+}
+
+impl Drop for InjectorPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool state not poisoned");
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, me: usize, local: &Worker<u64>) {
+    let mut seen_generation = 0u64;
+    loop {
+        // Wait for a job we have not participated in yet (the job stays
+        // published until *every* worker has, so none is missed).
+        let job = {
+            let mut st = shared.state.lock().expect("pool state not poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != seen_generation {
+                    if let Some(job) = &st.job {
+                        seen_generation = st.generation;
+                        break Arc::clone(job);
+                    }
+                }
+                st = shared.work_cv.wait(st).expect("pool state not poisoned");
+            }
+        };
+
+        // Canonical dispatch loop: local pop, then refill from the
+        // injector, then steal half a peer's deque. All cells are fed
+        // before the generation is published and a worker never exits
+        // with a non-empty local deque, so a full scan observing Empty
+        // everywhere means this worker's part is done (cells claimed by
+        // other workers finish on those workers).
+        loop {
+            if let Some(cell) = local.pop() {
+                job.run_cell(cell as usize, me);
+                continue;
+            }
+            match fetch(shared, me, local) {
+                Some(cell) => {
+                    job.run_cell(cell as usize, me);
+                }
+                None => break,
+            }
+        }
+
+        // Release the job before announcing completion: once `active`
+        // hits zero the submitter unwraps its Arc.
+        drop(job);
+        if shared.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _st = shared.state.lock().expect("pool state not poisoned");
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// One refill attempt: injector first (FIFO fairness for request
+/// latency), then the richest peer deque. Retries transient `Retry`
+/// races until every source conclusively reads `Empty`.
+fn fetch(shared: &Shared, me: usize, local: &Worker<u64>) -> Option<u64> {
+    loop {
+        let mut retry = false;
+        match shared.injector.steal_batch_and_pop(local) {
+            Steal::Success(cell) => return Some(cell),
+            Steal::Retry => retry = true,
+            Steal::Empty => {}
+        }
+        let richest = shared
+            .stealers
+            .iter()
+            .enumerate()
+            .filter(|&(w, _)| w != me)
+            .max_by_key(|(_, s)| s.len())
+            .filter(|(_, s)| !s.is_empty());
+        if let Some((_, stealer)) = richest {
+            match stealer.steal_batch_and_pop(local) {
+                Steal::Success(cell) => {
+                    shared.steals.fetch_add(1, Ordering::Relaxed);
+                    return Some(cell);
+                }
+                Steal::Retry | Steal::Empty => retry = true,
+            }
+        }
+        if !retry {
+            return None;
+        }
+        // Transient race (a steal CAS lost, or a mid-flight batch
+        // move): let the winning thread run rather than spinning — this
+        // host may have a single hardware thread.
+        std::thread::yield_now();
+    }
+}
+
+/// The pool a [`Server`](super::server::Server) fans analysis out on:
+/// the classic locked-range [`SweepPool`] or the lock-free
+/// [`InjectorPool`]. Cheap to clone (both variants are `Arc`s).
+#[derive(Clone)]
+pub enum ServePool {
+    /// v1 serve path: shared packed-range queue (`SweepPool`).
+    Sweep(Arc<SweepPool>),
+    /// v2 serve path: injector/stealer dispatch (`InjectorPool`).
+    Injector(Arc<InjectorPool>),
+}
+
+impl ServePool {
+    /// Number of analysis workers.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        match self {
+            ServePool::Sweep(p) => p.threads(),
+            ServePool::Injector(p) => p.threads(),
+        }
+    }
+
+    /// Engine label for logs and summaries.
+    #[must_use]
+    pub fn engine_label(&self) -> &'static str {
+        match self {
+            ServePool::Sweep(_) => "sweep",
+            ServePool::Injector(_) => "injector",
+        }
+    }
+
+    /// Fans `0..cells` across the pool, returning results in index
+    /// order; see [`InjectorPool::run_indexed`] /
+    /// [`SweepPool::run_indexed`].
+    pub fn run_indexed<T, F>(&self, cells: usize, label: &str, f: F) -> Vec<T>
+    where
+        T: Send + Sync + 'static,
+        F: Fn(usize, usize) -> T + Send + Sync + 'static,
+    {
+        match self {
+            ServePool::Sweep(p) => p.run_indexed(cells, label, f),
+            ServePool::Injector(p) => p.run_indexed(cells, label, f),
+        }
+    }
+}
+
+impl From<Arc<SweepPool>> for ServePool {
+    fn from(pool: Arc<SweepPool>) -> Self {
+        ServePool::Sweep(pool)
+    }
+}
+
+impl From<Arc<InjectorPool>> for ServePool {
+    fn from(pool: Arc<InjectorPool>) -> Self {
+        ServePool::Injector(pool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_all_cells_in_order() {
+        let pool = InjectorPool::new(3);
+        let out = pool.run_indexed(100, "t", |i, _w| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_cells_is_empty() {
+        let pool = InjectorPool::new(2);
+        let out: Vec<usize> = pool.run_indexed(0, "t", |i, _w| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_index_is_in_range() {
+        let pool = InjectorPool::new(4);
+        let workers = pool.run_indexed(64, "t", |_i, w| w);
+        assert!(workers.iter().all(|&w| w < 4));
+    }
+
+    #[test]
+    fn reusable_across_jobs() {
+        let pool = InjectorPool::new(2);
+        for round in 0..20usize {
+            let out = pool.run_indexed(17, "t", move |i, _w| i + round);
+            assert_eq!(out, (0..17).map(|i| i + round).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn single_worker_pool_completes() {
+        let pool = InjectorPool::new(1);
+        let out = pool.run_indexed(32, "t", |i, _w| i);
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_larger_than_local_deques() {
+        // More cells than LOCAL_CAP forces multiple injector refills.
+        let pool = InjectorPool::new(3);
+        let cells = super::LOCAL_CAP * 3 + 7;
+        let out = pool.run_indexed(cells, "t", |i, _w| i);
+        assert_eq!(out, (0..cells).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serve_pool_dispatches_both_engines() {
+        let engines = [
+            ServePool::from(Arc::new(SweepPool::new(2))),
+            ServePool::from(Arc::new(InjectorPool::new(2))),
+        ];
+        for pool in engines {
+            let out = pool.run_indexed(25, "t", |i, _w| i * i);
+            assert_eq!(out, (0..25).map(|i| i * i).collect::<Vec<_>>());
+            assert_eq!(pool.threads(), 2);
+        }
+    }
+}

@@ -26,6 +26,10 @@
 //!   structurally identical submissions, with bounded LRU capacity.
 //! * **Observability** ([`server`]): request lifecycles are recorded
 //!   as `rtpool-trace` events and latencies as log₂ histograms.
+//! * **Lock-free fan-out** ([`dispatch`]): request batches dispatch
+//!   through an injector/stealer pool mirroring the executor's
+//!   `Engine::V2LockFree` engine; the locked-range sweep pool remains
+//!   selectable as the v1 serve path.
 //!
 //! The `rtpool_serve` binary wraps [`server::Server`] over
 //! stdin/stdout or a Unix socket; `rtpool_loadgen` drives it at a
@@ -35,6 +39,7 @@
 //! [`RecoveryPolicy`]: rtpool_exec::RecoveryPolicy
 
 pub mod breaker;
+pub mod dispatch;
 pub mod interner;
 pub mod ladder;
 pub mod loadgen;
@@ -44,6 +49,7 @@ pub mod server;
 pub mod supervisor;
 
 pub use breaker::{BreakerConfig, BreakerStats, CircuitBreaker};
+pub use dispatch::{InjectorPool, ServePool};
 pub use interner::{InternError, Interner, InternerStats, MemoOutcome};
 pub use ladder::{run_ladder, run_ladder_capped, LadderOutcome};
 pub use protocol::{LadderLevel, Request, RequestBody, Response, VerdictKind};

@@ -40,6 +40,7 @@ use rtpool_trace::{
 };
 
 use super::breaker::{BreakerConfig, BreakerStats, CircuitBreaker};
+use super::dispatch::ServePool;
 use super::interner::{Interner, InternerStats};
 use super::protocol::{self, Request, Response, VerdictKind};
 use super::queue::IngressQueue;
@@ -263,16 +264,25 @@ fn job_id(seq: u64) -> u32 {
 /// finish with [`Server::shutdown`].
 pub struct Server {
     inner: Arc<Inner>,
-    pool: Arc<SweepPool>,
+    pool: ServePool,
     dispatcher: Option<std::thread::JoinHandle<()>>,
     seq: AtomicU64,
 }
 
 impl Server {
-    /// Starts a server fanning analysis across `pool`. Returns the
-    /// server handle and the outbound response channel.
+    /// Starts a server fanning analysis across a [`SweepPool`] (the v1
+    /// serve path). Returns the server handle and the outbound response
+    /// channel. Use [`Server::start_on`] to select the dispatch engine.
     #[must_use]
     pub fn start(config: ServeConfig, pool: Arc<SweepPool>) -> (Server, Receiver<Response>) {
+        Server::start_on(config, ServePool::Sweep(pool))
+    }
+
+    /// Starts a server fanning analysis across `pool` — either serve
+    /// dispatch engine. Returns the server handle and the outbound
+    /// response channel.
+    #[must_use]
+    pub fn start_on(config: ServeConfig, pool: ServePool) -> (Server, Receiver<Response>) {
         let workers = pool.threads();
         let batch_max = if config.batch_max == 0 {
             workers * 2
@@ -307,7 +317,7 @@ impl Server {
         });
         let dispatcher = {
             let inner = Arc::clone(&inner);
-            let pool = Arc::clone(&pool);
+            let pool = pool.clone();
             std::thread::Builder::new()
                 .name("rtpool-serve-dispatch".to_string())
                 .spawn(move || dispatch_loop(&inner, &pool, batch_max))
@@ -336,9 +346,9 @@ impl Server {
         self.inner.queue.is_empty() && served == accepted
     }
 
-    /// The sweep pool the server fans out on.
+    /// The dispatch pool the server fans out on.
     #[must_use]
-    pub fn pool(&self) -> &Arc<SweepPool> {
+    pub fn pool(&self) -> &ServePool {
         &self.pool
     }
 
@@ -478,7 +488,7 @@ fn take_lane(lane: &Mutex<LaneRecorder>, clock: &SeqClock) -> LaneRecorder {
     )
 }
 
-fn dispatch_loop(inner: &Arc<Inner>, pool: &Arc<SweepPool>, batch_max: usize) {
+fn dispatch_loop(inner: &Arc<Inner>, pool: &ServePool, batch_max: usize) {
     loop {
         let batch = inner.queue.pop_batch(batch_max);
         if batch.is_empty() {
@@ -628,6 +638,37 @@ mod tests {
         // Round-trip a response line for good measure.
         let encoded = protocol::encode_response(&responses[0]);
         assert_eq!(parse_response(&encoded).unwrap(), responses[0]);
+    }
+
+    #[test]
+    fn serves_on_injector_pool() {
+        use crate::serve::dispatch::InjectorPool;
+        let pool = ServePool::from(Arc::new(InjectorPool::new(2)));
+        assert_eq!(pool.engine_label(), "injector");
+        let (server, rx) = Server::start_on(
+            ServeConfig {
+                record_trace: true,
+                ..ServeConfig::default()
+            },
+            pool,
+        );
+        for id in 0..10 {
+            server.submit(&line(id, 4));
+        }
+        let report = server.shutdown();
+        let responses: Vec<Response> = rx.iter().collect();
+        assert_eq!(responses.len(), 10, "one response per submission");
+        let mut ids: Vec<u64> = responses.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>().as_slice());
+        assert_eq!(report.accepted, 10);
+        assert_eq!(report.admitted, 10);
+        let trace = report.trace.expect("trace recorded");
+        assert!(
+            trace.validate().is_empty(),
+            "defects: {:?}",
+            trace.validate()
+        );
     }
 
     #[test]

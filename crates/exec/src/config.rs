@@ -28,6 +28,39 @@ pub enum QueueDiscipline {
     },
 }
 
+/// Which dispatch engine a [`ThreadPool`](crate::ThreadPool) runs on.
+///
+/// Both engines implement the same execution model — identical queue
+/// disciplines, Listing-1 blocking-join semantics, exact stall
+/// detection, fault injection, and recovery — and are asserted
+/// equivalent by the differential trace suite. They differ only in how
+/// dispatch is synchronized, so the paper's `l(t)` / `b̄` accounting is
+/// engine-independent.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// The v1 engine: every dispatch, completion, and wakeup goes
+    /// through one pool mutex with a broadcast condvar (the seed
+    /// behavior, and the default).
+    #[default]
+    V1Condvar,
+    /// The v2 engine: lock-free injector/stealer queues
+    /// (Chase-Lev deques + an MPMC injector) with atomic
+    /// sequence-count parking; a condvar is used only for the
+    /// Listing-1 blocking-join suspensions the paper's model requires.
+    V2LockFree,
+}
+
+impl Engine {
+    /// Stable lower-case name (CLI / benchmark labels).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Engine::V1Condvar => "v1-condvar",
+            Engine::V2LockFree => "v2-lockfree",
+        }
+    }
+}
+
 /// Configuration of a [`ThreadPool`](crate::ThreadPool).
 #[derive(Clone, Debug)]
 pub struct PoolConfig {
@@ -35,6 +68,8 @@ pub struct PoolConfig {
     pub workers: usize,
     /// Queue discipline.
     pub discipline: QueueDiscipline,
+    /// Dispatch engine (default: [`Engine::V1Condvar`]).
+    pub engine: Engine,
     /// Wall-clock duration of one WCET unit; node bodies sleep for
     /// `wcet × time_scale`. `Duration::ZERO` runs bodies instantaneously
     /// (useful in tests — synchronization behavior is unaffected).
@@ -67,6 +102,7 @@ impl PoolConfig {
         PoolConfig {
             workers,
             discipline,
+            engine: Engine::default(),
             time_scale: Duration::from_micros(200),
             watchdog: Duration::from_secs(5),
             recovery: RecoveryPolicy::default(),
@@ -80,6 +116,21 @@ impl PoolConfig {
     #[must_use]
     pub fn with_trace(mut self) -> Self {
         self.record_trace = true;
+        self
+    }
+
+    /// Selects the dispatch engine.
+    ///
+    /// ```
+    /// use rtpool_exec::{Engine, PoolConfig, QueueDiscipline};
+    ///
+    /// let config = PoolConfig::new(4, QueueDiscipline::GlobalFifo)
+    ///     .with_engine(Engine::V2LockFree);
+    /// assert_eq!(config.engine, Engine::V2LockFree);
+    /// ```
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -168,6 +219,13 @@ mod tests {
         assert_eq!(c.recovery, RecoveryPolicy::Abort);
         assert!(c.faults.is_none());
         assert!(!c.record_trace);
+        assert_eq!(c.engine, Engine::V1Condvar);
+        assert_eq!(
+            c.clone().with_engine(Engine::V2LockFree).engine,
+            Engine::V2LockFree
+        );
+        assert_eq!(Engine::V1Condvar.as_str(), "v1-condvar");
+        assert_eq!(Engine::V2LockFree.as_str(), "v2-lockfree");
         assert!(c.with_trace().record_trace);
     }
 

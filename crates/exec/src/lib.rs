@@ -26,7 +26,14 @@
 //!   exponential backoff, or resolves an exact-detected stall by growing
 //!   the pool with reserve workers (restoring the available concurrency
 //!   `l̄(τᵢ) = m − b̄(τᵢ)` of Section 4). Recovery actions are recorded in
-//!   [`JobReport::recovery_events`].
+//!   [`JobReport::recovery_events`];
+//! * **two dispatch engines** behind one API: the default
+//!   [`Engine::V1Condvar`] serializes every dispatch under one pool mutex
+//!   with a broadcast condvar; [`Engine::V2LockFree`] dispatches through
+//!   lock-free Chase-Lev deques and an MPMC injector with atomic
+//!   sequence-count parking, keeping a condvar only for the Listing-1
+//!   blocking-join suspensions the paper's model requires (select with
+//!   [`PoolConfig::with_engine`]).
 //!
 //! This crate is the demonstration substrate for the paper's Figure 1:
 //! the suspension-induced slowdown (inset b) and the two-replica deadlock
@@ -56,6 +63,7 @@
 
 pub mod certified;
 mod config;
+mod engine_v2;
 mod error;
 mod fault;
 mod pool;
@@ -63,7 +71,7 @@ mod recovery;
 mod report;
 
 pub use certified::{CertifiedConfig, DeadlockFree, StaticNode, StaticTask};
-pub use config::{PoolConfig, QueueDiscipline};
+pub use config::{Engine, PoolConfig, QueueDiscipline};
 pub use error::ExecError;
 pub use fault::{
     FaultKind, FaultPlan, FaultRule, InjectionPoint, ServiceFaultKind, ServiceFaultRule,

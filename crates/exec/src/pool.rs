@@ -12,7 +12,8 @@ use parking_lot::{Condvar, Mutex, MutexGuard};
 use rtpool_graph::{Dag, NodeId, NodeKind};
 use rtpool_trace::{assemble, EngineKind, EventKind, LaneRecorder, SeqClock, TimeUnit, Trace};
 
-use crate::config::{PoolConfig, QueueDiscipline};
+use crate::config::{Engine, PoolConfig, QueueDiscipline};
+use crate::engine_v2::V2Pool;
 use crate::error::ExecError;
 use crate::fault::FaultPlan;
 use crate::recovery::{RecoveryEvent, RecoveryPolicy, RetryCause};
@@ -38,13 +39,43 @@ use crate::report::{JobReport, NodeSpan};
 /// Fault injection for chaos testing is available through
 /// [`FaultPlan`] (see [`PoolConfig::with_faults`]).
 ///
+/// The pool runs on one of two dispatch engines selected by
+/// [`PoolConfig::with_engine`](crate::PoolConfig::with_engine): the
+/// default mutex/condvar engine ([`Engine::V1Condvar`]) or the lock-free
+/// injector/stealer engine ([`Engine::V2LockFree`]). Both expose exactly
+/// this API and the same execution semantics.
+///
 /// See the [crate docs](crate) for an end-to-end example.
 pub struct ThreadPool {
-    shared: Arc<Shared>,
-    handles: Vec<thread::JoinHandle<()>>,
+    imp: PoolImpl,
     /// Event trace of the most recent *failed* attempt (stall, panic, or
     /// watchdog), kept because the failing `run` returns only an error.
     last_trace: Option<Trace>,
+    /// Traces of every failed attempt of the current `run` (in attempt
+    /// order), retained so retries don't overwrite earlier attempts.
+    attempt_traces: Vec<Trace>,
+}
+
+/// The engine actually executing jobs behind the [`ThreadPool`] facade.
+enum PoolImpl {
+    V1(V1Pool),
+    V2(V2Pool),
+}
+
+/// Outcome of one failed execution attempt: the error plus the attempt's
+/// event trace (when recording was on). Returned by the engines so the
+/// shared retry loop can retain *every* attempt's trace instead of only
+/// the last one.
+pub(crate) struct FailedAttempt {
+    pub(crate) error: ExecError,
+    pub(crate) trace: Option<Trace>,
+}
+
+/// The v1 engine: all dispatch state behind one mutex, all wakeups
+/// through one broadcast condvar.
+struct V1Pool {
+    shared: Arc<Shared>,
+    handles: Vec<thread::JoinHandle<()>>,
 }
 
 struct Shared {
@@ -129,12 +160,12 @@ struct JobTrace {
 }
 
 /// Saturating index conversion for trace events.
-fn u32c(v: usize) -> u32 {
+pub(crate) fn u32c(v: usize) -> u32 {
     u32::try_from(v).unwrap_or(u32::MAX)
 }
 
 /// Saturating nanosecond conversion for trace timestamps.
-fn dur_nanos(d: Duration) -> u64 {
+pub(crate) fn dur_nanos(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
@@ -270,7 +301,7 @@ impl Job {
 }
 
 impl ThreadPool {
-    /// Spawns `config.workers` worker threads.
+    /// Spawns `config.workers` worker threads on the configured engine.
     ///
     /// # Errors
     ///
@@ -279,24 +310,14 @@ impl ThreadPool {
     /// from the worker count.
     pub fn try_new(config: PoolConfig) -> Result<Self, ExecError> {
         config.validate()?;
-        let workers = config.workers;
-        let shared = Arc::new(Shared {
-            config,
-            state: Mutex::new(PoolState {
-                shutdown: false,
-                job: None,
-                steal_rng: 0x9e37_79b9_7f4a_7c15,
-                next_epoch: 0,
-            }),
-            cv: Condvar::new(),
-        });
-        let handles = (0..workers)
-            .map(|id| spawn_worker(&shared, id, None))
-            .collect();
+        let imp = match config.engine {
+            Engine::V1Condvar => PoolImpl::V1(V1Pool::new(config)),
+            Engine::V2LockFree => PoolImpl::V2(V2Pool::new(config)?),
+        };
         Ok(ThreadPool {
-            shared,
-            handles,
+            imp,
             last_trace: None,
+            attempt_traces: Vec::new(),
         })
     }
 
@@ -310,11 +331,24 @@ impl ThreadPool {
         ThreadPool::try_new(config).expect("invalid pool configuration")
     }
 
+    fn config(&self) -> &PoolConfig {
+        match &self.imp {
+            PoolImpl::V1(p) => &p.shared.config,
+            PoolImpl::V2(p) => p.config(),
+        }
+    }
+
     /// Number of permanent workers (`m`). Rescue workers added by
     /// [`RecoveryPolicy::GrowPool`] are job-scoped and not counted.
     #[must_use]
     pub fn workers(&self) -> usize {
-        self.shared.config.workers
+        self.config().workers
+    }
+
+    /// The dispatch engine this pool runs on.
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        self.config().engine
     }
 
     /// Takes the event trace of the most recent *failed* attempt (stall,
@@ -326,6 +360,20 @@ impl ThreadPool {
     #[must_use]
     pub fn take_last_trace(&mut self) -> Option<Trace> {
         self.last_trace.take()
+    }
+
+    /// Takes the traces of every *failed* attempt of the most recent
+    /// [`ThreadPool::run`], in attempt order, when
+    /// [`PoolConfig::record_trace`](crate::PoolConfig::record_trace) is
+    /// set. A successful retried run reports the same traces in
+    /// [`JobReport::attempt_traces`](crate::JobReport::attempt_traces);
+    /// this accessor additionally covers runs whose final attempt failed
+    /// (the final attempt's trace is then both the last element here and
+    /// in [`ThreadPool::take_last_trace`]). Each call to
+    /// [`ThreadPool::run`] clears the backlog first.
+    #[must_use]
+    pub fn take_attempt_traces(&mut self) -> Vec<Trace> {
+        std::mem::take(&mut self.attempt_traces)
     }
 
     /// Executes one job (one instance of `dag`) to completion, applying
@@ -344,7 +392,7 @@ impl ThreadPool {
     /// * [`ExecError::WatchdogTimeout`] if the watchdog fires (runtime
     ///   bug guard, e.g. a lost wakeup).
     pub fn run(&mut self, dag: &Dag) -> Result<JobReport, ExecError> {
-        if let QueueDiscipline::Partitioned(mapping) = &self.shared.config.discipline {
+        if let QueueDiscipline::Partitioned(mapping) = &self.config().discipline {
             if mapping.node_count() != dag.node_count() {
                 return Err(ExecError::IncompatibleJob {
                     message: format!(
@@ -356,22 +404,37 @@ impl ThreadPool {
             }
         }
         let dag = Arc::new(dag.clone());
-        let policy = self.shared.config.recovery.clone();
+        let policy = self.config().recovery.clone();
         self.last_trace = None;
+        self.attempt_traces.clear();
         let mut events: Vec<RecoveryEvent> = Vec::new();
         let mut attempt = 0usize;
         loop {
-            match self.run_attempt(&dag, attempt, &mut events) {
-                Ok(report) => return Ok(report),
-                Err(e) => {
-                    let cause = match &e {
+            let outcome = match &mut self.imp {
+                PoolImpl::V1(p) => p.run_attempt(&dag, attempt, &mut events),
+                PoolImpl::V2(p) => p.run_attempt(&dag, attempt, &mut events),
+            };
+            match outcome {
+                Ok(mut report) => {
+                    report.attempt_traces = std::mem::take(&mut self.attempt_traces);
+                    return Ok(report);
+                }
+                Err(FailedAttempt { error, trace }) => {
+                    let cause = match &error {
                         ExecError::Stalled { .. } => RetryCause::Stalled,
                         ExecError::NodePanicked { node, .. } => RetryCause::NodePanicked(*node),
                         ExecError::WatchdogTimeout => RetryCause::WatchdogTimeout,
-                        _ => return Err(e),
+                        _ => return Err(error),
                     };
                     if attempt >= policy.max_retries() {
-                        return Err(e);
+                        if let Some(t) = trace {
+                            self.attempt_traces.push(t.clone());
+                            self.last_trace = Some(t);
+                        }
+                        return Err(error);
+                    }
+                    if let Some(t) = trace {
+                        self.attempt_traces.push(t);
                     }
                     let delay = policy.backoff_delay(attempt);
                     events.push(RecoveryEvent::Retried {
@@ -385,6 +448,28 @@ impl ThreadPool {
             }
         }
     }
+}
+
+impl V1Pool {
+    /// Spawns the permanent workers. The configuration was validated by
+    /// [`ThreadPool::try_new`].
+    fn new(config: PoolConfig) -> Self {
+        let workers = config.workers;
+        let shared = Arc::new(Shared {
+            config,
+            state: Mutex::new(PoolState {
+                shutdown: false,
+                job: None,
+                steal_rng: 0x9e37_79b9_7f4a_7c15,
+                next_epoch: 0,
+            }),
+            cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|id| spawn_worker(&shared, id, None))
+            .collect();
+        V1Pool { shared, handles }
+    }
 
     /// One execution attempt of the job. `events` carries recovery events
     /// accumulated by earlier attempts in and out (so a successful retry
@@ -394,7 +479,7 @@ impl ThreadPool {
         dag: &Arc<Dag>,
         attempt: usize,
         events: &mut Vec<RecoveryEvent>,
-    ) -> Result<JobReport, ExecError> {
+    ) -> Result<JobReport, FailedAttempt> {
         let mut st = self.shared.state.lock();
         debug_assert!(st.job.is_none(), "runs are serialized by &mut self");
         let epoch = st.next_epoch;
@@ -473,6 +558,7 @@ impl ThreadPool {
                     attempts: attempt + 1,
                     recovery_events: job.events,
                     trace,
+                    attempt_traces: Vec::new(),
                 });
             }
             if let Some((node, message)) = job.panicked.clone() {
@@ -483,20 +569,26 @@ impl ThreadPool {
                 // failed attempt's trace is complete.
                 self.drain_executing(&mut st);
                 let mut job = st.job.take().expect("present");
-                self.last_trace = job.take_trace();
+                let trace = job.take_trace();
                 *events = job.events;
                 self.shared.cv.notify_all();
-                return Err(ExecError::NodePanicked { node, message });
+                return Err(FailedAttempt {
+                    error: ExecError::NodePanicked { node, message },
+                    trace,
+                });
             }
             if let Some((suspended, executed)) = job.stalled {
                 let mut job = st.job.take().expect("present");
-                self.last_trace = job.take_trace();
+                let trace = job.take_trace();
                 *events = job.events;
                 // Wake barrier waiters so they abandon the aborted job.
                 self.shared.cv.notify_all();
-                return Err(ExecError::Stalled {
-                    suspended_workers: suspended,
-                    executed_nodes: executed,
+                return Err(FailedAttempt {
+                    error: ExecError::Stalled {
+                        suspended_workers: suspended,
+                        executed_nodes: executed,
+                    },
+                    trace,
                 });
             }
             let progress = job.completion_order.len();
@@ -529,10 +621,13 @@ impl ThreadPool {
                         continue;
                     }
                     let mut job = st.job.take().expect("present");
-                    self.last_trace = job.take_trace();
+                    let trace = job.take_trace();
                     *events = job.events;
                     self.shared.cv.notify_all();
-                    return Err(ExecError::WatchdogTimeout);
+                    return Err(FailedAttempt {
+                        error: ExecError::WatchdogTimeout,
+                        trace,
+                    });
                 }
             }
             last_progress = progress;
@@ -562,7 +657,7 @@ impl ThreadPool {
     }
 }
 
-impl Drop for ThreadPool {
+impl Drop for V1Pool {
     fn drop(&mut self) {
         {
             let mut st = self.shared.state.lock();
@@ -602,6 +697,19 @@ fn enqueue(discipline: &QueueDiscipline, job: &mut Job, node: NodeId, spawner: u
     }
 }
 
+/// A fetched node plus dispatch metadata for the trace: the post-fetch
+/// depth of the queue the node came from, and — when the node was taken
+/// from another worker's queue — the steal provenance.
+struct Fetched {
+    node: NodeId,
+    /// Depth of the source queue right after this fetch.
+    depth: u32,
+    /// `Some((victim, count))` when the node was stolen: `victim` is the
+    /// robbed worker (`None` would mean the shared injector, which the v1
+    /// engine never batch-steals from), `count` the nodes taken.
+    steal: Option<(Option<u32>, u32)>,
+}
+
 /// Takes the next node for `worker`, if any is reachable.
 ///
 /// Rescue workers (`worker >= job.base_workers`, added by `GrowPool`
@@ -612,22 +720,40 @@ fn fetch(
     job: &mut Job,
     worker: usize,
     steal_rng: &mut u64,
-) -> Option<NodeId> {
+) -> Option<Fetched> {
     match discipline {
-        QueueDiscipline::GlobalFifo => job.global.pop_front(),
+        QueueDiscipline::GlobalFifo => job.global.pop_front().map(|node| Fetched {
+            node,
+            depth: u32c(job.global.len()),
+            steal: None,
+        }),
         QueueDiscipline::Partitioned(_) => {
             if worker < job.base_workers {
-                job.local[worker].pop_front()
+                job.local[worker].pop_front().map(|node| Fetched {
+                    node,
+                    depth: u32c(job.local[worker].len()),
+                    steal: None,
+                })
             } else {
                 (0..job.base_workers)
                     .find(|&w| job.worker_suspended[w] && !job.local[w].is_empty())
-                    .and_then(|w| job.local[w].pop_front())
+                    .and_then(|w| {
+                        job.local[w].pop_front().map(|node| Fetched {
+                            node,
+                            depth: u32c(job.local[w].len()),
+                            steal: Some((Some(u32c(w)), 1)),
+                        })
+                    })
             }
         }
         QueueDiscipline::WorkStealing { .. } => {
             // Local LIFO first (cache-friendly, Eigen-style)...
-            if let Some(n) = job.local[worker].pop_back() {
-                return Some(n);
+            if let Some(node) = job.local[worker].pop_back() {
+                return Some(Fetched {
+                    node,
+                    depth: u32c(job.local[worker].len()),
+                    steal: None,
+                });
             }
             // ...then steal the oldest entry of a pseudo-random victim.
             let w = job.local.len();
@@ -638,8 +764,12 @@ fn fetch(
             for i in 0..w {
                 let victim = (start + i) % w;
                 if victim != worker {
-                    if let Some(n) = job.local[victim].pop_front() {
-                        return Some(n);
+                    if let Some(node) = job.local[victim].pop_front() {
+                        return Some(Fetched {
+                            node,
+                            depth: u32c(job.local[victim].len()),
+                            steal: Some((Some(u32c(victim)), 1)),
+                        });
                     }
                 }
             }
@@ -731,7 +861,7 @@ fn maybe_stall(discipline: &QueueDiscipline, job: &mut Job) {
 }
 
 /// Extracts a printable message from a panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -835,10 +965,30 @@ fn worker_loop(shared: &Shared, worker: usize, rescue_epoch: Option<u64>) {
                         return; // our job ended; retire
                     }
                     if job.stalled.is_none() && job.panicked.is_none() && job.remaining > 0 {
-                        if let Some(n) = fetch(discipline, job, worker, &mut state.steal_rng) {
+                        if let Some(fetched) = fetch(discipline, job, worker, &mut state.steal_rng)
+                        {
                             job.executing += 1;
                             job.rec_unpark(worker);
-                            break n;
+                            if let Some((victim, count)) = fetched.steal {
+                                job.rec_worker(
+                                    worker,
+                                    EventKind::StealBatch {
+                                        task: 0,
+                                        thread: u32c(worker),
+                                        victim,
+                                        count,
+                                    },
+                                );
+                            }
+                            job.rec_worker(
+                                worker,
+                                EventKind::QueueDepth {
+                                    task: 0,
+                                    thread: u32c(worker),
+                                    depth: fetched.depth,
+                                },
+                            );
+                            break fetched.node;
                         }
                     }
                     maybe_stall(discipline, job);
@@ -1111,7 +1261,7 @@ fn worker_loop(shared: &Shared, worker: usize, rescue_epoch: Option<u64>) {
 }
 
 /// Simulates `wcet` units of sequential work.
-fn busy_work(wcet: u64, time_scale: Duration) {
+pub(crate) fn busy_work(wcet: u64, time_scale: Duration) {
     if time_scale.is_zero() || wcet == 0 {
         return;
     }

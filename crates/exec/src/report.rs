@@ -44,6 +44,12 @@ pub struct JobReport {
     /// [`PoolConfig::record_trace`](crate::PoolConfig::record_trace) was
     /// set. Times are nanoseconds since job submission.
     pub trace: Option<rtpool_trace::Trace>,
+    /// Event traces of the failed attempts that preceded the successful
+    /// one (in attempt order), when
+    /// [`PoolConfig::record_trace`](crate::PoolConfig::record_trace) was
+    /// set and a `RetryWithBackoff` policy re-ran the job. Empty for a
+    /// first-try success.
+    pub attempt_traces: Vec<rtpool_trace::Trace>,
 }
 
 impl JobReport {
@@ -114,6 +120,7 @@ mod tests {
                 },
             ],
             trace: None,
+            attempt_traces: Vec::new(),
         };
         assert_eq!(r.executed_nodes, r.completion_order.len());
         assert_eq!(r.span_of(1).unwrap().worker, 1);

@@ -12,8 +12,8 @@ use rtpool_core::partition::worst_fit;
 use rtpool_core::ConcurrencyAnalysis;
 use rtpool_core::{deadlock, sizing};
 use rtpool_exec::{
-    ExecError, FaultPlan, PoolConfig, QueueDiscipline, RecoveryEvent, RecoveryPolicy, RetryCause,
-    ThreadPool,
+    Engine, ExecError, FaultPlan, PoolConfig, QueueDiscipline, RecoveryEvent, RecoveryPolicy,
+    RetryCause, ThreadPool,
 };
 use rtpool_gen::DagGenConfig;
 use rtpool_graph::{Dag, DagBuilder};
@@ -42,8 +42,13 @@ fn random_dag(seed: u64) -> Dag {
     DagGenConfig::default().generate(&mut rng)
 }
 
-fn base_config(workers: usize, discipline: QueueDiscipline) -> PoolConfig {
+/// Both dispatch engines: every chaos scenario must hold under the v1
+/// condvar engine and the v2 lock-free engine alike.
+const ENGINES: [Engine; 2] = [Engine::V1Condvar, Engine::V2LockFree];
+
+fn base_config(workers: usize, discipline: QueueDiscipline, engine: Engine) -> PoolConfig {
     PoolConfig::new(workers, discipline)
+        .with_engine(engine)
         .with_time_scale(Duration::ZERO)
         .with_watchdog(Duration::from_secs(20))
 }
@@ -107,6 +112,12 @@ fn figure_1c() -> Dag {
 ///   state except lost wakeups, which this mix does not contain).
 #[test]
 fn seeded_fault_plans_across_all_disciplines() {
+    for engine in ENGINES {
+        seeded_fault_plans_across_all_disciplines_on(engine);
+    }
+}
+
+fn seeded_fault_plans_across_all_disciplines_on(engine: Engine) {
     quiet_worker_panics();
     let mut plans_run = 0u32;
     for seed in 0..35u64 {
@@ -127,7 +138,7 @@ fn seeded_fault_plans_across_all_disciplines() {
                 }
                 _ => true,
             };
-            let config = base_config(safe, discipline).with_faults(benign_plan(seed));
+            let config = base_config(safe, discipline, engine).with_faults(benign_plan(seed));
             let mut pool = ThreadPool::new(config);
             match pool.run(&dag) {
                 Ok(report) => assert_valid_run(&dag, &report),
@@ -155,7 +166,8 @@ fn seeded_fault_plans_across_all_disciplines() {
                 }
                 _ => deadlock::check_global(&dag, workers).is_deadlock_free(),
             };
-            let config = base_config(workers, discipline.clone()).with_faults(hostile_plan(seed));
+            let config =
+                base_config(workers, discipline.clone(), engine).with_faults(hostile_plan(seed));
             let mut pool = ThreadPool::new(config);
             match pool.run(&dag) {
                 Ok(report) => assert_valid_run(&dag, &report),
@@ -170,8 +182,8 @@ fn seeded_fault_plans_across_all_disciplines() {
                         // (panic draws are keyed by the same rule index,
                         // so they repeat identically) must never stall.
                         let no_suspensions = benign_plan(seed).panic_prob(0.04);
-                        let config =
-                            base_config(workers, discipline.clone()).with_faults(no_suspensions);
+                        let config = base_config(workers, discipline.clone(), engine)
+                            .with_faults(no_suspensions);
                         let mut pool = ThreadPool::new(config);
                         match pool.run(&dag) {
                             Ok(report) => assert_valid_run(&dag, &report),
@@ -191,19 +203,29 @@ fn seeded_fault_plans_across_all_disciplines() {
             plans_run += 1;
         }
     }
-    assert!(plans_run >= 200, "only {plans_run} fault plans were run");
+    assert!(
+        plans_run >= 200,
+        "only {plans_run} fault plans were run under {}",
+        engine.as_str()
+    );
 }
 
 /// Identical seeds produce identical fault decisions, hence identical
 /// outcome classes, regardless of thread interleaving.
 #[test]
 fn chaos_outcomes_are_reproducible_from_the_seed() {
+    for engine in ENGINES {
+        chaos_outcomes_are_reproducible_from_the_seed_on(engine);
+    }
+}
+
+fn chaos_outcomes_are_reproducible_from_the_seed_on(engine: Engine) {
     quiet_worker_panics();
     for seed in 50..65u64 {
         let dag = random_dag(seed);
         let workers = sizing::min_threads_deadlock_free(&dag).max(2) - 1;
         let outcome = |_: ()| {
-            let config = base_config(workers.max(1), QueueDiscipline::GlobalFifo)
+            let config = base_config(workers.max(1), QueueDiscipline::GlobalFifo, engine)
                 .with_faults(hostile_plan(seed));
             let mut p = ThreadPool::new(config);
             match p.run(&dag) {
@@ -233,13 +255,19 @@ fn chaos_outcomes_are_reproducible_from_the_seed() {
 /// when another worker was suspended on a barrier at panic time.
 #[test]
 fn node_panic_is_isolated_and_pool_stays_usable() {
+    for engine in ENGINES {
+        node_panic_is_isolated_and_pool_stays_usable_on(engine);
+    }
+}
+
+fn node_panic_is_isolated_and_pool_stays_usable_on(engine: Engine) {
     quiet_worker_panics();
     // Blocking fork-join: node 0 = BF, nodes 1-2 = children, node 3 = BJ.
     let mut b = DagBuilder::new();
     b.fork_join(1, &[2, 2], 1, true).unwrap();
     let dag = b.build().unwrap();
-    let config =
-        base_config(2, QueueDiscipline::GlobalFifo).with_faults(FaultPlan::seeded(7).panic_on(2));
+    let config = base_config(2, QueueDiscipline::GlobalFifo, engine)
+        .with_faults(FaultPlan::seeded(7).panic_on(2));
     let mut pool = ThreadPool::new(config);
     // Deterministic plans fail deterministically, run after run.
     for round in 0..3 {
@@ -270,6 +298,12 @@ fn node_panic_is_isolated_and_pool_stays_usable() {
 /// watchdog must catch it, deterministically.
 #[test]
 fn watchdog_catches_swallowed_wakeup() {
+    for engine in ENGINES {
+        watchdog_catches_swallowed_wakeup_on(engine);
+    }
+}
+
+fn watchdog_catches_swallowed_wakeup_on(engine: Engine) {
     // Node 0 = BF (its worker suspends on the barrier), node 1 = BJ,
     // node 2 = the child. Swallowing the child's completion wakeup
     // leaves the barrier sleeper unnotified forever.
@@ -277,6 +311,7 @@ fn watchdog_catches_swallowed_wakeup() {
     b.fork_join(1, &[1], 1, true).unwrap();
     let dag = b.build().unwrap();
     let config = PoolConfig::new(2, QueueDiscipline::GlobalFifo)
+        .with_engine(engine)
         .with_time_scale(Duration::ZERO)
         .with_watchdog(Duration::from_millis(150))
         .with_faults(FaultPlan::seeded(3).swallow_wakeup_on(2));
@@ -302,6 +337,12 @@ fn watchdog_catches_swallowed_wakeup() {
 /// longer matches) succeeds. The report carries the whole history.
 #[test]
 fn retry_with_backoff_recovers_injected_stall() {
+    for engine in ENGINES {
+        retry_with_backoff_recovers_injected_stall_on(engine);
+    }
+}
+
+fn retry_with_backoff_recovers_injected_stall_on(engine: Engine) {
     // A 3-node chain on one worker: suspending the worker on node 1
     // leaves nothing fetchable and nobody executing — an exact stall.
     let mut b = DagBuilder::new();
@@ -313,7 +354,7 @@ fn retry_with_backoff_recovers_injected_stall() {
     let dag = b.build().unwrap();
 
     let base_delay = Duration::from_millis(25);
-    let config = base_config(1, QueueDiscipline::GlobalFifo)
+    let config = base_config(1, QueueDiscipline::GlobalFifo, engine)
         .with_recovery(RecoveryPolicy::RetryWithBackoff {
             max_retries: 2,
             base_delay,
@@ -348,12 +389,18 @@ fn retry_with_backoff_recovers_injected_stall() {
 /// between attempts.
 #[test]
 fn retry_with_backoff_recovers_injected_panic() {
+    for engine in ENGINES {
+        retry_with_backoff_recovers_injected_panic_on(engine);
+    }
+}
+
+fn retry_with_backoff_recovers_injected_panic_on(engine: Engine) {
     quiet_worker_panics();
     let mut b = DagBuilder::new();
     b.add_node(1);
     let dag = b.build().unwrap();
     let base_delay = Duration::from_millis(5);
-    let config = base_config(1, QueueDiscipline::GlobalFifo)
+    let config = base_config(1, QueueDiscipline::GlobalFifo, engine)
         .with_recovery(RecoveryPolicy::RetryWithBackoff {
             max_retries: 3,
             base_delay,
@@ -387,7 +434,7 @@ fn retry_with_backoff_recovers_injected_panic() {
         "exponential backoff per attempt"
     );
     // An exhausted retry budget surfaces the final error.
-    let config = base_config(1, QueueDiscipline::GlobalFifo)
+    let config = base_config(1, QueueDiscipline::GlobalFifo, engine)
         .with_recovery(RecoveryPolicy::RetryWithBackoff {
             max_retries: 1,
             base_delay,
@@ -405,6 +452,12 @@ fn retry_with_backoff_recovers_injected_panic() {
 /// `l̄ = m − b̄ ≥ 1` and the job completes on an under-provisioned pool.
 #[test]
 fn grow_pool_resolves_figure_1c_deadlock() {
+    for engine in ENGINES {
+        grow_pool_resolves_figure_1c_deadlock_on(engine);
+    }
+}
+
+fn grow_pool_resolves_figure_1c_deadlock_on(engine: Engine) {
     let dag = figure_1c();
     let workers = 2;
     let reserve = sizing::reserve_for(&dag, workers);
@@ -416,8 +469,8 @@ fn grow_pool_resolves_figure_1c_deadlock() {
         QueueDiscipline::GlobalFifo,
         QueueDiscipline::WorkStealing { seed: 17 },
     ] {
-        let config =
-            base_config(workers, discipline).with_recovery(RecoveryPolicy::GrowPool { reserve });
+        let config = base_config(workers, discipline, engine)
+            .with_recovery(RecoveryPolicy::GrowPool { reserve });
         let mut pool = ThreadPool::new(config);
         let report = pool.run(&dag).unwrap();
         assert_valid_run(&dag, &report);
@@ -439,13 +492,19 @@ fn grow_pool_resolves_figure_1c_deadlock() {
 /// behind its suspended fork.
 #[test]
 fn grow_pool_rescues_unsafe_partitioned_mapping() {
+    for engine in ENGINES {
+        grow_pool_rescues_unsafe_partitioned_mapping_on(engine);
+    }
+}
+
+fn grow_pool_rescues_unsafe_partitioned_mapping_on(engine: Engine) {
     let mut b = DagBuilder::new();
     b.fork_join(1, &[1], 1, true).unwrap();
     let dag = b.build().unwrap();
     // Everything on the single worker: the child sits in the queue of the
     // worker suspended on the fork's barrier.
     let mapping = worst_fit(&dag, 1);
-    let config = base_config(1, QueueDiscipline::Partitioned(mapping))
+    let config = base_config(1, QueueDiscipline::Partitioned(mapping), engine)
         .with_recovery(RecoveryPolicy::GrowPool { reserve: 1 });
     let mut pool = ThreadPool::new(config);
     let report = pool.run(&dag).unwrap();
@@ -458,13 +517,19 @@ fn grow_pool_rescues_unsafe_partitioned_mapping() {
 /// injected suspension) `GrowPool` must always complete the job.
 #[test]
 fn grow_pool_completes_safe_jobs_under_injected_suspensions() {
+    for engine in ENGINES {
+        grow_pool_completes_safe_jobs_under_injected_suspensions_on(engine);
+    }
+}
+
+fn grow_pool_completes_safe_jobs_under_injected_suspensions_on(engine: Engine) {
     for seed in 70..82u64 {
         let dag = random_dag(seed);
         let workers = sizing::min_threads_deadlock_free(&dag);
         assert_eq!(sizing::reserve_for(&dag, workers), 0, "statically safe");
         // The hostile suspension mix can suspend every worker at once in
         // the worst case: allow one spare per worker.
-        let config = base_config(workers, QueueDiscipline::GlobalFifo)
+        let config = base_config(workers, QueueDiscipline::GlobalFifo, engine)
             .with_recovery(RecoveryPolicy::GrowPool { reserve: workers })
             .with_faults(FaultPlan::seeded(seed).suspend_prob(0.3, Duration::from_millis(2)));
         let mut pool = ThreadPool::new(config);
@@ -479,6 +544,12 @@ fn grow_pool_completes_safe_jobs_under_injected_suspensions() {
 /// verdict instead of hanging or watchdogging.
 #[test]
 fn exhausted_reserve_still_reports_exact_stall() {
+    for engine in ENGINES {
+        exhausted_reserve_still_reports_exact_stall_on(engine);
+    }
+}
+
+fn exhausted_reserve_still_reports_exact_stall_on(engine: Engine) {
     // Three concurrent blocking forks on one worker: needs three spares,
     // gets one.
     let mut b = DagBuilder::new();
@@ -490,7 +561,7 @@ fn exhausted_reserve_still_reports_exact_stall() {
         b.add_edge(j, snk).unwrap();
     }
     let dag = b.build().unwrap();
-    let config = base_config(1, QueueDiscipline::GlobalFifo)
+    let config = base_config(1, QueueDiscipline::GlobalFifo, engine)
         .with_recovery(RecoveryPolicy::GrowPool { reserve: 1 });
     let mut pool = ThreadPool::new(config);
     match pool.run(&dag) {
@@ -515,6 +586,12 @@ fn exhausted_reserve_still_reports_exact_stall() {
 /// events vanish from `take_last_trace`.
 #[test]
 fn panic_trace_keeps_mid_body_sibling_node_end() {
+    for engine in ENGINES {
+        panic_trace_keeps_mid_body_sibling_node_end_on(engine);
+    }
+}
+
+fn panic_trace_keeps_mid_body_sibling_node_end_on(engine: Engine) {
     quiet_worker_panics();
     // src fans out to a slow node (mid-body when the panic fires) and a
     // fast chain whose second node panics before its body runs.
@@ -531,6 +608,7 @@ fn panic_trace_keeps_mid_body_sibling_node_end() {
     b.add_edge(slow, snk).unwrap();
     let dag = b.build().unwrap();
     let config = PoolConfig::new(2, QueueDiscipline::GlobalFifo)
+        .with_engine(engine)
         .with_time_scale(Duration::from_micros(100))
         .with_watchdog(Duration::from_secs(20))
         .with_trace()
@@ -569,4 +647,76 @@ fn panic_trace_keeps_mid_body_sibling_node_end() {
             "round {round}: slow sibling's NodeEnd missing ({ends:?})"
         );
     }
+}
+
+/// Satellite (a): failed attempts keep their traces. A deterministic
+/// first-attempt panic under `RetryWithBackoff` must leave exactly one
+/// schema-clean trace in `JobReport::attempt_traces`, separate from the
+/// successful attempt's trace — and an exhausted retry budget must leave
+/// the failed attempts' traces retrievable from the pool.
+#[test]
+fn retry_preserves_failed_attempt_traces() {
+    for engine in ENGINES {
+        retry_preserves_failed_attempt_traces_on(engine);
+    }
+}
+
+fn retry_preserves_failed_attempt_traces_on(engine: Engine) {
+    quiet_worker_panics();
+    let mut b = DagBuilder::new();
+    b.fork_join(1, &[2, 2], 1, false).unwrap();
+    let dag = b.build().unwrap();
+    let retrying = |faults: FaultPlan| {
+        base_config(2, QueueDiscipline::GlobalFifo, engine)
+            .with_trace()
+            .with_recovery(RecoveryPolicy::RetryWithBackoff {
+                max_retries: 2,
+                base_delay: Duration::from_millis(1),
+            })
+            .with_faults(faults)
+    };
+
+    // One failed attempt, then success: the report carries both traces.
+    let mut pool = ThreadPool::new(retrying(FaultPlan::seeded(11).panic_on_attempt(0, 2)));
+    let report = pool.run(&dag).unwrap();
+    assert_eq!(report.attempts, 2, "{}", engine.as_str());
+    assert_eq!(
+        report.attempt_traces.len(),
+        1,
+        "one failed attempt, one kept trace ({})",
+        engine.as_str()
+    );
+    let failed = &report.attempt_traces[0];
+    assert!(failed.validate().is_empty(), "{:?}", failed.validate());
+    assert!(
+        failed
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, rtpool_trace::EventKind::Recovery { .. })),
+        "failed attempt trace records the injected panic ({})",
+        engine.as_str()
+    );
+    let success = report.trace.as_ref().expect("successful attempt trace");
+    assert!(success.validate().is_empty(), "{:?}", success.validate());
+    assert!(
+        pool.take_attempt_traces().is_empty(),
+        "success moves the traces onto the report"
+    );
+
+    // Retry budget exhausted: every attempt's trace stays on the pool,
+    // and the final one doubles as the last trace.
+    let mut pool = ThreadPool::new(retrying(FaultPlan::seeded(11).panic_on(2)));
+    assert!(matches!(
+        pool.run(&dag),
+        Err(ExecError::NodePanicked { node: 2, .. })
+    ));
+    let attempts = pool.take_attempt_traces();
+    assert_eq!(attempts.len(), 3, "{}", engine.as_str());
+    for t in &attempts {
+        assert!(t.validate().is_empty(), "{:?}", t.validate());
+    }
+    assert!(
+        pool.take_last_trace().is_some(),
+        "final failed attempt is also the last trace"
+    );
 }

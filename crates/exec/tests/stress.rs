@@ -7,7 +7,7 @@ use std::time::Duration;
 use rand::SeedableRng;
 use rtpool_core::partition::algorithm1;
 use rtpool_core::{deadlock, sizing};
-use rtpool_exec::{ExecError, PoolConfig, QueueDiscipline, ThreadPool};
+use rtpool_exec::{Engine, ExecError, PoolConfig, QueueDiscipline, ThreadPool};
 use rtpool_gen::DagGenConfig;
 use rtpool_graph::Dag;
 
@@ -16,9 +16,14 @@ fn random_dag(seed: u64) -> Dag {
     DagGenConfig::default().generate(&mut rng)
 }
 
-fn fast_pool(workers: usize, discipline: QueueDiscipline) -> ThreadPool {
+/// Both dispatch engines: every stress workload must hold under the v1
+/// condvar engine and the v2 lock-free engine alike.
+const ENGINES: [Engine; 2] = [Engine::V1Condvar, Engine::V2LockFree];
+
+fn fast_pool(workers: usize, discipline: QueueDiscipline, engine: Engine) -> ThreadPool {
     ThreadPool::new(
         PoolConfig::new(workers, discipline)
+            .with_engine(engine)
             .with_time_scale(Duration::ZERO)
             .with_watchdog(Duration::from_secs(20)),
     )
@@ -49,10 +54,16 @@ fn assert_valid_run(dag: &Dag, report: &rtpool_exec::JobReport) {
 
 #[test]
 fn global_fifo_random_workloads() {
+    for engine in ENGINES {
+        global_fifo_random_workloads_on(engine);
+    }
+}
+
+fn global_fifo_random_workloads_on(engine: Engine) {
     for seed in 0..25 {
         let dag = random_dag(seed);
         let workers = sizing::min_threads_deadlock_free(&dag);
-        let mut pool = fast_pool(workers, QueueDiscipline::GlobalFifo);
+        let mut pool = fast_pool(workers, QueueDiscipline::GlobalFifo, engine);
         let report = pool
             .run(&dag)
             .unwrap_or_else(|e| panic!("seed {seed}: safe pool size {workers} stalled: {e}"));
@@ -62,10 +73,16 @@ fn global_fifo_random_workloads() {
 
 #[test]
 fn work_stealing_random_workloads() {
+    for engine in ENGINES {
+        work_stealing_random_workloads_on(engine);
+    }
+}
+
+fn work_stealing_random_workloads_on(engine: Engine) {
     for seed in 100..120 {
         let dag = random_dag(seed);
         let workers = sizing::min_threads_deadlock_free(&dag);
-        let mut pool = fast_pool(workers, QueueDiscipline::WorkStealing { seed });
+        let mut pool = fast_pool(workers, QueueDiscipline::WorkStealing { seed }, engine);
         let report = pool.run(&dag).unwrap();
         assert_valid_run(&dag, &report);
     }
@@ -73,6 +90,12 @@ fn work_stealing_random_workloads() {
 
 #[test]
 fn partitioned_random_workloads_with_algorithm1() {
+    for engine in ENGINES {
+        partitioned_random_workloads_with_algorithm1_on(engine);
+    }
+}
+
+fn partitioned_random_workloads_with_algorithm1_on(engine: Engine) {
     let mut ran = 0;
     for seed in 200..240 {
         let dag = random_dag(seed);
@@ -80,7 +103,7 @@ fn partitioned_random_workloads_with_algorithm1() {
         let Ok(mapping) = algorithm1(&dag, workers) else {
             continue;
         };
-        let mut pool = fast_pool(workers, QueueDiscipline::Partitioned(mapping));
+        let mut pool = fast_pool(workers, QueueDiscipline::Partitioned(mapping), engine);
         let report = pool.run(&dag).unwrap();
         assert_valid_run(&dag, &report);
         ran += 1;
@@ -90,6 +113,12 @@ fn partitioned_random_workloads_with_algorithm1() {
 
 #[test]
 fn under_provisioned_pools_stall_only_when_predicted() {
+    for engine in ENGINES {
+        under_provisioned_pools_stall_only_when_predicted_on(engine);
+    }
+}
+
+fn under_provisioned_pools_stall_only_when_predicted_on(engine: Engine) {
     // Run every workload on a 1..=safe range of pool sizes; the pool
     // must stall exactly when the analysis says deadlock is possible.
     for seed in 300..315 {
@@ -97,7 +126,7 @@ fn under_provisioned_pools_stall_only_when_predicted() {
         let safe = sizing::min_threads_deadlock_free(&dag);
         for workers in 1..=safe {
             let verdict = deadlock::check_global(&dag, workers);
-            let mut pool = fast_pool(workers, QueueDiscipline::GlobalFifo);
+            let mut pool = fast_pool(workers, QueueDiscipline::GlobalFifo, engine);
             match pool.run(&dag) {
                 Ok(report) => {
                     assert_valid_run(&dag, &report);
@@ -119,7 +148,13 @@ fn under_provisioned_pools_stall_only_when_predicted() {
 
 #[test]
 fn pool_survives_a_batch_of_mixed_jobs() {
-    let mut pool = fast_pool(3, QueueDiscipline::GlobalFifo);
+    for engine in ENGINES {
+        pool_survives_a_batch_of_mixed_jobs_on(engine);
+    }
+}
+
+fn pool_survives_a_batch_of_mixed_jobs_on(engine: Engine) {
+    let mut pool = fast_pool(3, QueueDiscipline::GlobalFifo, engine);
     let mut stalls = 0;
     let mut completions = 0;
     for seed in 400..430 {
@@ -135,4 +170,40 @@ fn pool_survives_a_batch_of_mixed_jobs() {
     }
     assert_eq!(stalls + completions, 30);
     assert!(completions > 0, "some jobs must fit 3 workers");
+}
+
+/// Satellite (c): a deliberately oversubscribed m = 32 pool (this runner
+/// has far fewer cores) churning many tiny-WCET wide jobs back to back.
+/// Every completion wakeup under the v2 engine is a *targeted* unpark; a
+/// lost wakeup would strand a parked worker and surface as a watchdog
+/// abort or a spurious stall. Seeded and deterministic in workload.
+#[test]
+fn no_lost_wakeups_at_m32_oversubscribed() {
+    use rand::Rng;
+    for engine in ENGINES {
+        let mut pool = ThreadPool::new(
+            PoolConfig::new(32, QueueDiscipline::GlobalFifo)
+                .with_engine(engine)
+                .with_time_scale(Duration::ZERO)
+                .with_watchdog(Duration::from_secs(20)),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xA11CE);
+        for round in 0..40 {
+            // Wide, shallow, all-tiny-WCET fork-joins: maximal enqueue /
+            // park churn per unit of body work.
+            let width = rng.gen_range(8..=64);
+            let blocking = round % 3 == 0;
+            let mut b = rtpool_graph::DagBuilder::new();
+            let wcets = vec![1u64; width];
+            b.fork_join(1, &wcets, 1, blocking).unwrap();
+            let dag = b.build().unwrap();
+            let report = pool.run(&dag).unwrap_or_else(|e| {
+                panic!(
+                    "{} round {round}: lost wakeup suspected: {e}",
+                    engine.as_str()
+                )
+            });
+            assert_eq!(report.executed_nodes, width + 2, "round {round}");
+        }
+    }
 }

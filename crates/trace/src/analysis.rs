@@ -425,13 +425,31 @@ impl TraceAnalysis {
                     None => String::new(),
                 }
             );
+            let ti = u32::try_from(i).unwrap_or(u32::MAX);
             let _ = writeln!(
                 out,
                 "  responses: {}",
                 self.metrics
-                    .task(u32::try_from(i).unwrap_or(u32::MAX))
+                    .task(ti)
                     .map_or_else(|| "n=0".to_string(), |m| m.response_histogram.summary())
             );
+            // Dispatch observability (engines emitting QueueDepth /
+            // StealBatch events): fetched-queue backlog and steal volume.
+            let mut depths = crate::LatencyHistogram::new();
+            for ((t, _), h) in self.metrics.queue_depths() {
+                if t == ti {
+                    depths.merge(h);
+                }
+            }
+            let steals = self.metrics.total_steals(ti);
+            if depths.count() > 0 || steals > 0 {
+                let _ = writeln!(
+                    out,
+                    "  dispatch: steals={} queue_depth[{}]",
+                    steals,
+                    depths.summary()
+                );
+            }
         }
         out
     }

@@ -202,6 +202,33 @@ pub enum EventKind {
         /// The node involved, when the action is node-scoped.
         node: Option<u32>,
     },
+    /// Depth of the queue `thread` fetched from, sampled right after a
+    /// successful fetch (exec only): the remaining backlog the worker
+    /// left behind. Observes dispatch pressure per worker.
+    QueueDepth {
+        /// Task index.
+        task: u32,
+        /// The fetching pool thread.
+        thread: u32,
+        /// Entries left in the fetched-from queue after the fetch.
+        depth: u32,
+    },
+    /// `thread` stole work it did not spawn (exec only): from a peer
+    /// worker's deque (`victim = Some(peer)`) or from the shared
+    /// injector queue (`victim = None`). `count` is the number of nodes
+    /// moved by the steal (the v1 engine always moves 1; the v2
+    /// lock-free engine steals batches of up to half the victim's
+    /// backlog).
+    StealBatch {
+        /// Task index.
+        task: u32,
+        /// The stealing pool thread.
+        thread: u32,
+        /// The victim worker, or `None` for the shared injector.
+        victim: Option<u32>,
+        /// Nodes moved by this steal.
+        count: u32,
+    },
 }
 
 impl EventKind {
@@ -220,6 +247,8 @@ impl EventKind {
             EventKind::CoreAssign { .. } => "CoreAssign",
             EventKind::StallDetected { .. } => "StallDetected",
             EventKind::Recovery { .. } => "Recovery",
+            EventKind::QueueDepth { .. } => "QueueDepth",
+            EventKind::StealBatch { .. } => "StealBatch",
         }
     }
 
@@ -237,7 +266,9 @@ impl EventKind {
             | EventKind::ThreadPark { task, .. }
             | EventKind::ThreadUnpark { task, .. }
             | EventKind::StallDetected { task, .. }
-            | EventKind::Recovery { task, .. } => Some(*task),
+            | EventKind::Recovery { task, .. }
+            | EventKind::QueueDepth { task, .. }
+            | EventKind::StealBatch { task, .. } => Some(*task),
             EventKind::CoreAssign { occupant, .. } => occupant.map(|(t, _)| t),
         }
     }
@@ -252,7 +283,9 @@ impl EventKind {
             | EventKind::BarrierSuspend { thread, .. }
             | EventKind::BarrierWake { thread, .. }
             | EventKind::ThreadPark { thread, .. }
-            | EventKind::ThreadUnpark { thread, .. } => Some(*thread),
+            | EventKind::ThreadUnpark { thread, .. }
+            | EventKind::QueueDepth { thread, .. }
+            | EventKind::StealBatch { thread, .. } => Some(*thread),
             _ => None,
         }
     }
@@ -270,7 +303,9 @@ impl EventKind {
             | EventKind::ThreadPark { task, .. }
             | EventKind::ThreadUnpark { task, .. }
             | EventKind::StallDetected { task, .. }
-            | EventKind::Recovery { task, .. } => *task = new,
+            | EventKind::Recovery { task, .. }
+            | EventKind::QueueDepth { task, .. }
+            | EventKind::StealBatch { task, .. } => *task = new,
             EventKind::CoreAssign { occupant, .. } => {
                 if let Some((t, _)) = occupant {
                     *t = new;

@@ -67,6 +67,9 @@ fn chrome_layout(trace: &Trace, kind: &EventKind) -> (&'static str, u32, u32) {
         EventKind::ThreadPark { task, thread } => ("B", *task, *thread),
         EventKind::ThreadUnpark { task, thread } => ("E", *task, *thread),
         EventKind::CoreAssign { core, .. } => ("i", trace.tasks, *core),
+        EventKind::QueueDepth { task, thread, .. } | EventKind::StealBatch { task, thread, .. } => {
+            ("i", *task, *thread)
+        }
         EventKind::JobReleased { task, .. }
         | EventKind::JobCompleted { task, .. }
         | EventKind::StallDetected { task, .. }
@@ -157,6 +160,29 @@ fn chrome_args(e: &TraceEvent) -> String {
                 None => fields.push("\"node\":null".to_string()),
             }
         }
+        EventKind::QueueDepth {
+            task,
+            thread,
+            depth,
+        } => {
+            fields.push(format!("\"task\":{task}"));
+            fields.push(format!("\"thread\":{thread}"));
+            fields.push(format!("\"depth\":{depth}"));
+        }
+        EventKind::StealBatch {
+            task,
+            thread,
+            victim,
+            count,
+        } => {
+            fields.push(format!("\"task\":{task}"));
+            fields.push(format!("\"thread\":{thread}"));
+            match victim {
+                Some(v) => fields.push(format!("\"victim\":{v}")),
+                None => fields.push("\"victim\":null".to_string()),
+            }
+            fields.push(format!("\"count\":{count}"));
+        }
     }
     format!("{{{}}}", fields.join(","))
 }
@@ -174,6 +200,11 @@ fn chrome_name(kind: &EventKind) -> String {
             None => "core: idle".to_string(),
         },
         EventKind::Recovery { label, .. } => format!("recovery: {label}"),
+        EventKind::QueueDepth { depth, .. } => format!("queue depth {depth}"),
+        EventKind::StealBatch { victim, count, .. } => match victim {
+            Some(v) => format!("steal {count} from worker {v}"),
+            None => format!("steal {count} from injector"),
+        },
         other => other.name().to_string(),
     }
 }
@@ -550,6 +581,23 @@ fn kind_from_args(args: &JsonValue) -> Result<EventKind, ExportError> {
                 ),
             },
         },
+        "QueueDepth" => EventKind::QueueDepth {
+            task: field_u32(args, "task")?,
+            thread: field_u32(args, "thread")?,
+            depth: field_u32(args, "depth")?,
+        },
+        "StealBatch" => EventKind::StealBatch {
+            task: field_u32(args, "task")?,
+            thread: field_u32(args, "thread")?,
+            victim: match args.get("victim") {
+                Some(JsonValue::Null) | None => None,
+                Some(v) => Some(
+                    v.as_u32()
+                        .ok_or_else(|| ExportError::new("invalid 'victim' in StealBatch args"))?,
+                ),
+            },
+            count: field_u32(args, "count")?,
+        },
         other => return Err(ExportError::new(format!("unknown event kind '{other}'"))),
     })
 }
@@ -729,6 +777,29 @@ pub fn to_csv(trace: &Trace) -> String {
                 }
                 label = csv_escape(l);
             }
+            EventKind::QueueDepth {
+                task: t,
+                thread: th,
+                depth,
+            } => {
+                task = t.to_string();
+                thread = th.to_string();
+                value = depth.to_string();
+            }
+            EventKind::StealBatch {
+                task: t,
+                thread: th,
+                victim,
+                count,
+            } => {
+                task = t.to_string();
+                thread = th.to_string();
+                value = count.to_string();
+                label = match victim {
+                    Some(v) => format!("victim={v}"),
+                    None => "victim=injector".to_string(),
+                };
+            }
         }
         out.push_str(&format!(
             "{},{},{},{},{},{},{},{},{},{}\n",
@@ -831,6 +902,32 @@ mod tests {
         );
         r.record(7, EventKind::ThreadPark { task: 1, thread: 1 });
         r.record(8, EventKind::ThreadUnpark { task: 1, thread: 1 });
+        r.record(
+            8,
+            EventKind::QueueDepth {
+                task: 1,
+                thread: 1,
+                depth: 4,
+            },
+        );
+        r.record(
+            8,
+            EventKind::StealBatch {
+                task: 1,
+                thread: 1,
+                victim: Some(0),
+                count: 2,
+            },
+        );
+        r.record(
+            9,
+            EventKind::StealBatch {
+                task: 1,
+                thread: 1,
+                victim: None,
+                count: 1,
+            },
+        );
         r.record(9, EventKind::JobCompleted { task: 0, job: 0 });
         r.finish(12)
     }

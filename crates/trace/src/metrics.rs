@@ -184,6 +184,8 @@ pub struct MetricsRegistry {
     cores: usize,
     tasks: BTreeMap<u32, TaskMetrics>,
     node_latency: BTreeMap<(u32, u32), LatencyHistogram>,
+    queue_depth: BTreeMap<(u32, u32), LatencyHistogram>,
+    steal_counts: BTreeMap<(u32, u32), u64>,
     // Transient pairing state.
     open_nodes: BTreeMap<(u32, u32), u64>,
     release_times: BTreeMap<(u32, u32), u64>,
@@ -198,6 +200,8 @@ impl MetricsRegistry {
             cores,
             tasks: BTreeMap::new(),
             node_latency: BTreeMap::new(),
+            queue_depth: BTreeMap::new(),
+            steal_counts: BTreeMap::new(),
             open_nodes: BTreeMap::new(),
             release_times: BTreeMap::new(),
             suspended: BTreeMap::new(),
@@ -269,6 +273,24 @@ impl MetricsRegistry {
             EventKind::StallDetected { task, .. } => {
                 self.task_mut(*task).stalls += 1;
             }
+            EventKind::QueueDepth {
+                task,
+                thread,
+                depth,
+            } => {
+                self.queue_depth
+                    .entry((*task, *thread))
+                    .or_default()
+                    .observe(u64::from(*depth));
+            }
+            EventKind::StealBatch {
+                task,
+                thread,
+                count,
+                ..
+            } => {
+                *self.steal_counts.entry((*task, *thread)).or_insert(0) += u64::from(*count);
+            }
             EventKind::ThreadPark { .. }
             | EventKind::ThreadUnpark { .. }
             | EventKind::CoreAssign { .. }
@@ -302,6 +324,35 @@ impl MetricsRegistry {
     /// All per-node latency histograms, by `(task, node)`.
     pub fn node_latencies(&self) -> impl Iterator<Item = ((u32, u32), &LatencyHistogram)> {
         self.node_latency.iter().map(|(&k, h)| (k, h))
+    }
+
+    /// Histogram of the queue depths `(task, thread)` observed at its
+    /// fetches, when the engine emitted [`EventKind::QueueDepth`].
+    #[must_use]
+    pub fn queue_depth(&self, task: u32, thread: u32) -> Option<&LatencyHistogram> {
+        self.queue_depth.get(&(task, thread))
+    }
+
+    /// All per-thread queue-depth histograms, by `(task, thread)`.
+    pub fn queue_depths(&self) -> impl Iterator<Item = ((u32, u32), &LatencyHistogram)> {
+        self.queue_depth.iter().map(|(&k, h)| (k, h))
+    }
+
+    /// Nodes `(task, thread)` stole from peers or the shared injector
+    /// (sum of [`EventKind::StealBatch`] counts).
+    #[must_use]
+    pub fn steals(&self, task: u32, thread: u32) -> u64 {
+        self.steal_counts.get(&(task, thread)).copied().unwrap_or(0)
+    }
+
+    /// Total nodes stolen across all threads of `task`.
+    #[must_use]
+    pub fn total_steals(&self, task: u32) -> u64 {
+        self.steal_counts
+            .iter()
+            .filter(|((t, _), _)| *t == task)
+            .map(|(_, &c)| c)
+            .sum()
     }
 }
 

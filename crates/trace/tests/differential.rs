@@ -25,7 +25,7 @@ use rtpool_core::analysis::global::{self, ConcurrencyModel};
 use rtpool_core::deadlock;
 use rtpool_core::partition::algorithm1;
 use rtpool_core::{ConcurrencyAnalysis, TaskId, TaskSet};
-use rtpool_exec::{ExecError, PoolConfig, QueueDiscipline, ThreadPool};
+use rtpool_exec::{Engine, ExecError, PoolConfig, QueueDiscipline, ThreadPool};
 use rtpool_gen::{DagGenConfig, TaskSetConfig};
 use rtpool_sim::{SchedulingPolicy, SimConfig, SimOutcome};
 use rtpool_trace::{EventKind, Trace, TraceAnalysis};
@@ -200,9 +200,14 @@ fn sim_partitioned_traces_respect_paper_bounds() {
     }
 }
 
-fn exec_pool(m: usize, discipline: QueueDiscipline) -> ThreadPool {
+/// Both pool dispatch engines: the trace-level invariants must hold
+/// regardless of how the native pool dispatches nodes.
+const POOL_ENGINES: [Engine; 2] = [Engine::V1Condvar, Engine::V2LockFree];
+
+fn exec_pool(m: usize, discipline: QueueDiscipline, engine: Engine) -> ThreadPool {
     ThreadPool::new(
         PoolConfig::new(m, discipline)
+            .with_engine(engine)
             .with_time_scale(Duration::ZERO)
             .with_watchdog(Duration::from_secs(10))
             .with_trace(),
@@ -211,6 +216,12 @@ fn exec_pool(m: usize, discipline: QueueDiscipline) -> ThreadPool {
 
 #[test]
 fn exec_global_traces_respect_paper_bounds() {
+    for engine in POOL_ENGINES {
+        exec_global_traces_respect_paper_bounds_on(engine);
+    }
+}
+
+fn exec_global_traces_respect_paper_bounds_on(engine: Engine) {
     const M: usize = 3;
     for seed in 0..EXEC_GLOBAL_SETS as u64 {
         let set = random_set(seed, 2, 1.0);
@@ -220,8 +231,8 @@ fn exec_global_traces_respect_paper_bounds() {
             if !deadlock::check_global(task.dag(), M).is_deadlock_free() {
                 continue;
             }
-            let mut pool = exec_pool(M, QueueDiscipline::GlobalFifo);
-            let ctx = format!("exec/global seed {seed} task {i}");
+            let mut pool = exec_pool(M, QueueDiscipline::GlobalFifo, engine);
+            let ctx = format!("exec/global/{} seed {seed} task {i}", engine.as_str());
             let mut report = pool
                 .run(task.dag())
                 .unwrap_or_else(|e| panic!("{ctx}: certified-free DAG failed: {e}"));
@@ -255,6 +266,12 @@ fn exec_global_traces_respect_paper_bounds() {
 
 #[test]
 fn exec_partitioned_traces_respect_paper_bounds() {
+    for engine in POOL_ENGINES {
+        exec_partitioned_traces_respect_paper_bounds_on(engine);
+    }
+}
+
+fn exec_partitioned_traces_respect_paper_bounds_on(engine: Engine) {
     const M: usize = 3;
     let mut checked = 0usize;
     let mut seed = 20_000u64;
@@ -269,8 +286,12 @@ fn exec_partitioned_traces_respect_paper_bounds() {
             let Ok(mapping) = algorithm1(task.dag(), M) else {
                 continue;
             };
-            let mut pool = exec_pool(M, QueueDiscipline::Partitioned(mapping));
-            let ctx = format!("exec/partitioned seed {} task {i}", seed - 1);
+            let mut pool = exec_pool(M, QueueDiscipline::Partitioned(mapping), engine);
+            let ctx = format!(
+                "exec/partitioned/{} seed {} task {i}",
+                engine.as_str(),
+                seed - 1
+            );
             // Lemma 3: Algorithm 1 mappings never stall on the real pool.
             let mut report = pool
                 .run(task.dag())
@@ -320,32 +341,36 @@ fn figure_1c_stall_is_observed_identically_by_both_engines() {
         .expect("simulation runs");
     let sim_trace = out.take_event_trace().expect("tracing was enabled");
     assert!(sim_trace.validate().is_empty());
-    let sim_analysis = TraceAnalysis::new(&sim_trace);
-    assert!(sim_analysis.any_stall(), "sim missed the Figure 1(c) stall");
 
-    // Native pool.
-    let mut pool = exec_pool(2, QueueDiscipline::GlobalFifo);
-    match pool.run(&dag) {
-        Err(ExecError::Stalled { .. }) => {}
-        other => panic!("expected the pool to stall, got {other:?}"),
+    // Native pool, under both dispatch engines.
+    let mut traces = vec![sim_trace];
+    for engine in POOL_ENGINES {
+        let mut pool = exec_pool(2, QueueDiscipline::GlobalFifo, engine);
+        match pool.run(&dag) {
+            Err(ExecError::Stalled { .. }) => {}
+            other => panic!(
+                "expected the {} pool to stall, got {other:?}",
+                engine.as_str()
+            ),
+        }
+        let exec_trace = pool.take_last_trace().expect("tracing was enabled");
+        assert!(exec_trace.validate().is_empty());
+        traces.push(exec_trace);
     }
-    let exec_trace = pool.take_last_trace().expect("tracing was enabled");
-    assert!(exec_trace.validate().is_empty());
-    let exec_analysis = TraceAnalysis::new(&exec_trace);
-    assert!(
-        exec_analysis.any_stall(),
-        "pool missed the Figure 1(c) stall"
-    );
 
     // Identical observations through the one shared analysis.
-    for analysis in [&sim_analysis, &exec_analysis] {
+    for trace in &traces {
+        let analysis = TraceAnalysis::new(trace);
+        assert!(
+            analysis.any_stall(),
+            "{} trace missed the Figure 1(c) stall",
+            trace.engine.as_str()
+        );
         let obs = analysis.task(0);
         assert!(obs.stalled.is_some());
         assert_eq!(obs.completed, 0);
         assert_eq!(obs.min_available, 0);
         assert_eq!(obs.max_simultaneous_blocking, 2);
-    }
-    for trace in [&sim_trace, &exec_trace] {
         assert!(
             trace
                 .events

@@ -1,0 +1,650 @@
+//! Offline stand-in for the `crossbeam-deque` crate, implementing the
+//! subset the repo uses: a Chase-Lev work-stealing deque
+//! ([`Worker`]/[`Stealer`]) and an MPMC FIFO [`Injector`], with the
+//! [`Steal`] result enum. The build environment has no registry access,
+//! so — like `shims/parking_lot` — this mirrors the upstream API surface
+//! closely enough that swapping in the real crate is a one-line
+//! `Cargo.toml` change.
+//!
+//! # Deviations from upstream
+//!
+//! The real crate stores arbitrary `T` in growable buffers using raw
+//! pointers. Staying within safe Rust (the executor crate forbids
+//! `unsafe`), this shim instead:
+//!
+//! - constrains elements to the [`Word`] trait (`Copy` values that
+//!   round-trip through a `u64`, e.g. node indices), so every slot is a
+//!   plain `AtomicU64`;
+//! - uses **fixed-capacity** power-of-two rings: [`Worker::new_lifo`]
+//!   and [`Injector::new`] take a capacity, and `Worker::push` panics
+//!   on overflow (callers size queues to the DAG, where the node count
+//!   bounds all queue depths);
+//! - offers only the LIFO worker flavor (the one the executor needs).
+//!
+//! # Correctness notes
+//!
+//! `Worker`/`Stealer` follow the Chase-Lev protocol with monotone `u64`
+//! `top`/`bottom` counters and `SeqCst` ordering throughout. A
+//! [`Stealer::steal`] reads the slot *before* its CAS on `top`; the
+//! value is nevertheless valid on CAS success because a slot at index
+//! `t` can only be overwritten once `bottom` reaches `t + capacity`,
+//! which `Worker::push`'s overflow check forbids while `top == t`.
+//!
+//! [`Injector`] is a bounded Vyukov MPMC queue: each cell pairs a
+//! sequence word with a data word, producers claim cells by CAS on the
+//! enqueue cursor and publish by bumping the cell sequence, consumers
+//! mirror that on the dequeue cursor. `push` spins (yielding) through
+//! the transient "full" window where a claimed cell has not yet been
+//! republished by a lagging consumer; a genuine capacity overflow —
+//! unreachable when the queue is sized to the DAG — trips a bounded
+//! spin and panics rather than deadlocking.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
+
+/// Element constraint: `Copy` values that round-trip through a `u64`
+/// (the shim stores every slot in an `AtomicU64`).
+pub trait Word: Copy {
+    /// Encodes the value into a `u64` slot.
+    fn to_u64(self) -> u64;
+    /// Decodes a value previously produced by [`Word::to_u64`].
+    fn from_u64(raw: u64) -> Self;
+}
+
+impl Word for u64 {
+    fn to_u64(self) -> u64 {
+        self
+    }
+    fn from_u64(raw: u64) -> Self {
+        raw
+    }
+}
+
+impl Word for u32 {
+    fn to_u64(self) -> u64 {
+        u64::from(self)
+    }
+    fn from_u64(raw: u64) -> Self {
+        raw as u32
+    }
+}
+
+impl Word for usize {
+    fn to_u64(self) -> u64 {
+        self as u64
+    }
+    fn from_u64(raw: u64) -> Self {
+        raw as usize
+    }
+}
+
+/// Outcome of a steal attempt, mirroring `crossbeam_deque::Steal`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[must_use]
+pub enum Steal<T> {
+    /// The queue was observed empty.
+    Empty,
+    /// One element was stolen.
+    Success(T),
+    /// A concurrent operation interfered; the caller may retry.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// True if the steal observed an empty queue.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// True if an element was stolen.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    /// True if the attempt should be retried.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+
+    /// Extracts the stolen element, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+fn next_pow2(n: usize) -> usize {
+    n.max(2).next_power_of_two()
+}
+
+// ---------------------------------------------------------------------
+// Chase-Lev deque: Worker (owner) + Stealer (any thread).
+// ---------------------------------------------------------------------
+
+struct ClBuffer {
+    /// Monotone steal cursor; advanced only by successful CAS.
+    top: AtomicU64,
+    /// Monotone-ish push cursor; written only by the owner.
+    bottom: AtomicU64,
+    mask: u64,
+    slots: Box<[AtomicU64]>,
+}
+
+impl ClBuffer {
+    fn new(capacity: usize) -> Self {
+        let cap = next_pow2(capacity);
+        ClBuffer {
+            top: AtomicU64::new(0),
+            bottom: AtomicU64::new(0),
+            mask: (cap as u64) - 1,
+            slots: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn len(&self) -> usize {
+        let t = self.top.load(SeqCst);
+        let b = self.bottom.load(SeqCst);
+        b.saturating_sub(t) as usize
+    }
+}
+
+/// Owner endpoint of a fixed-capacity Chase-Lev deque. `push`/`pop`
+/// operate LIFO at the bottom; [`Stealer`]s take FIFO from the top.
+///
+/// `Worker` is `Send` but deliberately not `Sync`: only one thread may
+/// own it at a time (`bottom` has a single writer).
+pub struct Worker<T: Word> {
+    buf: Arc<ClBuffer>,
+    /// `Cell` is `Send + !Sync`; it opts the owner handle out of `Sync`
+    /// without runtime cost.
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+    _elem: PhantomData<T>,
+}
+
+impl<T: Word> Worker<T> {
+    /// Creates a LIFO worker deque holding at most `capacity` elements
+    /// (rounded up to a power of two). Deviation from upstream: the
+    /// real crate grows on demand; this shim panics on overflow.
+    pub fn new_lifo(capacity: usize) -> Self {
+        Worker {
+            buf: Arc::new(ClBuffer::new(capacity)),
+            _not_sync: PhantomData,
+            _elem: PhantomData,
+        }
+    }
+
+    /// Creates a stealer handle sharing this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            buf: Arc::clone(&self.buf),
+            _elem: PhantomData,
+        }
+    }
+
+    /// Number of elements currently in the deque (racy under
+    /// concurrent steals, exact when quiescent).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if the deque is observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fixed slot capacity of the deque.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Pushes an element at the bottom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the deque is full — callers must size the deque to an
+    /// upper bound on occupancy (the executor uses the DAG node count).
+    pub fn push(&self, value: T) {
+        let buf = &self.buf;
+        let b = buf.bottom.load(SeqCst);
+        let t = buf.top.load(SeqCst);
+        assert!(
+            b.wrapping_sub(t) < buf.capacity() as u64,
+            "crossbeam-deque shim: Worker overflow (capacity {})",
+            buf.capacity()
+        );
+        buf.slots[(b & buf.mask) as usize].store(value.to_u64(), SeqCst);
+        buf.bottom.store(b + 1, SeqCst);
+    }
+
+    /// Pops the most recently pushed element (LIFO), racing stealers
+    /// for the last one.
+    pub fn pop(&self) -> Option<T> {
+        let buf = &self.buf;
+        let b = buf.bottom.load(SeqCst);
+        let t = buf.top.load(SeqCst);
+        // Owner-only writes keep `bottom` exact; `top` only grows, so
+        // `b <= t` conclusively means empty (and guards the u64
+        // decrement below).
+        if b <= t {
+            return None;
+        }
+        let b = b - 1;
+        buf.bottom.store(b, SeqCst);
+        let t = buf.top.load(SeqCst);
+        if b > t {
+            // At least two elements remained; the bottom one is ours.
+            return Some(T::from_u64(buf.slots[(b & buf.mask) as usize].load(SeqCst)));
+        }
+        if b == t {
+            // Single element: race any stealer via CAS on `top`.
+            let won = buf.top.compare_exchange(t, t + 1, SeqCst, SeqCst).is_ok();
+            buf.bottom.store(b + 1, SeqCst);
+            if won {
+                return Some(T::from_u64(buf.slots[(b & buf.mask) as usize].load(SeqCst)));
+            }
+            return None;
+        }
+        // Stealers emptied the deque while we decremented; restore.
+        buf.bottom.store(b + 1, SeqCst);
+        None
+    }
+}
+
+/// Steal endpoint of a [`Worker`] deque; clone freely across threads.
+pub struct Stealer<T: Word> {
+    buf: Arc<ClBuffer>,
+    _elem: PhantomData<T>,
+}
+
+impl<T: Word> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            buf: Arc::clone(&self.buf),
+            _elem: PhantomData,
+        }
+    }
+}
+
+impl<T: Word> Stealer<T> {
+    /// Number of elements observed in the deque (racy).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if the deque is observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Steals the oldest element (FIFO end).
+    pub fn steal(&self) -> Steal<T> {
+        let buf = &self.buf;
+        let t = buf.top.load(SeqCst);
+        let b = buf.bottom.load(SeqCst);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Reading before the CAS is safe: while `top == t`, the push
+        // overflow check prevents slot `t & mask` from being reused.
+        let raw = buf.slots[(t & buf.mask) as usize].load(SeqCst);
+        if buf.top.compare_exchange(t, t + 1, SeqCst, SeqCst).is_ok() {
+            Steal::Success(T::from_u64(raw))
+        } else {
+            Steal::Retry
+        }
+    }
+
+    /// Steals roughly half the victim's elements, moving all but one
+    /// into `dest` and returning that one (mirrors upstream
+    /// `steal_batch_and_pop`). The batch is additionally capped by
+    /// `dest`'s spare capacity.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let want = self.len().div_ceil(2);
+        let spare = dest.capacity() - dest.len();
+        let want = want.min(spare + 1).max(1);
+        let first = match self.steal() {
+            Steal::Success(v) => v,
+            other => return other,
+        };
+        for _ in 1..want {
+            match self.steal() {
+                Steal::Success(v) => dest.push(v),
+                _ => break,
+            }
+        }
+        Steal::Success(first)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Injector: bounded Vyukov MPMC FIFO.
+// ---------------------------------------------------------------------
+
+/// Shared FIFO injector queue, mirroring `crossbeam_deque::Injector`.
+/// Any thread may `push`; any thread may `steal`. Deviation from
+/// upstream: bounded capacity, set at construction.
+pub struct Injector<T: Word> {
+    seq: Box<[AtomicU64]>,
+    data: Box<[AtomicU64]>,
+    mask: u64,
+    enqueue_pos: AtomicU64,
+    dequeue_pos: AtomicU64,
+    _elem: PhantomData<T>,
+}
+
+impl<T: Word> Injector<T> {
+    /// Creates an injector holding at most `capacity` elements (rounded
+    /// up to a power of two).
+    pub fn new(capacity: usize) -> Self {
+        let cap = next_pow2(capacity);
+        Injector {
+            seq: (0..cap).map(|i| AtomicU64::new(i as u64)).collect(),
+            data: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            mask: (cap as u64) - 1,
+            enqueue_pos: AtomicU64::new(0),
+            dequeue_pos: AtomicU64::new(0),
+            _elem: PhantomData,
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Number of queued elements (racy snapshot).
+    pub fn len(&self) -> usize {
+        let e = self.enqueue_pos.load(SeqCst);
+        let d = self.dequeue_pos.load(SeqCst);
+        e.saturating_sub(d) as usize
+    }
+
+    /// True if the queue is observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.enqueue_pos.load(SeqCst) == self.dequeue_pos.load(SeqCst)
+    }
+
+    /// Enqueues an element at the FIFO tail.
+    ///
+    /// Spins (yielding) through the transient window where the tail
+    /// cell is claimed by a consumer that has not republished it yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spin does not resolve — a genuine overflow, which
+    /// sized-to-the-DAG queues cannot reach — rather than deadlocking.
+    pub fn push(&self, value: T) {
+        let cap = self.capacity() as u64;
+        let mut spins: u64 = 0;
+        loop {
+            let pos = self.enqueue_pos.load(SeqCst);
+            let cell = (pos & self.mask) as usize;
+            let s = self.seq[cell].load(SeqCst);
+            if s == pos {
+                if self
+                    .enqueue_pos
+                    .compare_exchange(pos, pos + 1, SeqCst, SeqCst)
+                    .is_ok()
+                {
+                    self.data[cell].store(value.to_u64(), SeqCst);
+                    self.seq[cell].store(pos + 1, SeqCst);
+                    return;
+                }
+            } else if s < pos {
+                // Cell still held by a lagging consumer (or truly full).
+                spins += 1;
+                assert!(
+                    spins < 1 << 22,
+                    "crossbeam-deque shim: Injector overflow (capacity {cap})"
+                );
+                std::thread::yield_now();
+            }
+            // s > pos: another producer claimed this cell; reload.
+        }
+    }
+
+    /// Steals the oldest element (FIFO head).
+    pub fn steal(&self) -> Steal<T> {
+        let cap = self.capacity() as u64;
+        let pos = self.dequeue_pos.load(SeqCst);
+        let cell = (pos & self.mask) as usize;
+        let s = self.seq[cell].load(SeqCst);
+        if s == pos + 1 {
+            if self
+                .dequeue_pos
+                .compare_exchange(pos, pos + 1, SeqCst, SeqCst)
+                .is_ok()
+            {
+                let raw = self.data[cell].load(SeqCst);
+                self.seq[cell].store(pos + cap, SeqCst);
+                return Steal::Success(T::from_u64(raw));
+            }
+            return Steal::Retry;
+        }
+        if s <= pos {
+            // Head cell unpublished: empty, or a producer mid-publish.
+            if self.enqueue_pos.load(SeqCst) <= pos {
+                return Steal::Empty;
+            }
+            return Steal::Retry;
+        }
+        // s > pos + 1: a consumer lapped our cursor read.
+        Steal::Retry
+    }
+
+    /// Steals up to half the queued elements, moving all but one into
+    /// `dest` and returning that one.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let want = self.len().div_ceil(2);
+        let spare = dest.capacity() - dest.len();
+        let want = want.min(spare + 1).max(1);
+        let first = match self.steal() {
+            Steal::Success(v) => v,
+            other => return other,
+        };
+        for _ in 1..want {
+            match self.steal() {
+                Steal::Success(v) => dest.push(v),
+                _ => break,
+            }
+        }
+        Steal::Success(first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn worker_pops_lifo() {
+        let w: Worker<usize> = Worker::new_lifo(8);
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn stealer_takes_fifo() {
+        let w: Worker<u32> = Worker::new_lifo(8);
+        let s = w.stealer();
+        for v in 0..4 {
+            w.push(v);
+        }
+        assert_eq!(s.steal(), Steal::Success(0));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Success(2));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn worker_ring_reuses_slots_beyond_capacity() {
+        let w: Worker<u64> = Worker::new_lifo(4);
+        for round in 0..100u64 {
+            w.push(round * 2);
+            w.push(round * 2 + 1);
+            assert_eq!(w.pop(), Some(round * 2 + 1));
+            assert_eq!(w.pop(), Some(round * 2));
+        }
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "Worker overflow")]
+    fn worker_overflow_panics() {
+        let w: Worker<usize> = Worker::new_lifo(4);
+        for v in 0..5 {
+            w.push(v);
+        }
+    }
+
+    #[test]
+    fn steal_batch_takes_about_half() {
+        let victim: Worker<usize> = Worker::new_lifo(16);
+        let dest: Worker<usize> = Worker::new_lifo(16);
+        for v in 0..8 {
+            victim.push(v);
+        }
+        let got = victim.stealer().steal_batch_and_pop(&dest);
+        assert_eq!(got, Steal::Success(0));
+        // Half of 8 = 4 stolen: one returned, three moved to dest.
+        assert_eq!(dest.len(), 3);
+        assert_eq!(victim.len(), 4);
+    }
+
+    #[test]
+    fn injector_is_fifo_and_wraps() {
+        let q: Injector<usize> = Injector::new(4);
+        assert!(q.is_empty());
+        for round in 0..50 {
+            q.push(round * 3);
+            q.push(round * 3 + 1);
+            q.push(round * 3 + 2);
+            assert_eq!(q.len(), 3);
+            assert_eq!(q.steal(), Steal::Success(round * 3));
+            assert_eq!(q.steal(), Steal::Success(round * 3 + 1));
+            assert_eq!(q.steal(), Steal::Success(round * 3 + 2));
+        }
+        assert_eq!(q.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_steal_batch_and_pop() {
+        let q: Injector<u32> = Injector::new(16);
+        let dest: Worker<u32> = Worker::new_lifo(16);
+        for v in 0..6 {
+            q.push(v);
+        }
+        assert_eq!(q.steal_batch_and_pop(&dest), Steal::Success(0));
+        assert_eq!(dest.len(), 2);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn concurrent_injector_drain_loses_nothing() {
+        const PRODUCERS: usize = 4;
+        const PER: usize = 500;
+        let q: Arc<Injector<usize>> = Arc::new(Injector::new(64));
+        let seen = Arc::new(AtomicUsize::new(0));
+        let sum = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER {
+                    q.push(p * PER + i);
+                }
+            }));
+        }
+        for _ in 0..2 {
+            let q = Arc::clone(&q);
+            let seen = Arc::clone(&seen);
+            let sum = Arc::clone(&sum);
+            handles.push(std::thread::spawn(move || loop {
+                match q.steal() {
+                    Steal::Success(v) => {
+                        sum.fetch_add(v, SeqCst);
+                        if seen.fetch_add(1, SeqCst) + 1 == PRODUCERS * PER {
+                            return;
+                        }
+                    }
+                    Steal::Retry => std::thread::yield_now(),
+                    Steal::Empty => {
+                        if seen.load(SeqCst) == PRODUCERS * PER {
+                            return;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let n = PRODUCERS * PER;
+        assert_eq!(seen.load(SeqCst), n);
+        assert_eq!(sum.load(SeqCst), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn concurrent_owner_and_stealers_keep_every_element() {
+        let w: Worker<usize> = Worker::new_lifo(1024);
+        let total = 1000usize;
+        let popped = Arc::new(AtomicUsize::new(0));
+        let stolen = Arc::new(AtomicUsize::new(0));
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let s = w.stealer();
+            let stolen = Arc::clone(&stolen);
+            let done = Arc::clone(&done);
+            handles.push(std::thread::spawn(move || loop {
+                match s.steal() {
+                    Steal::Success(v) => {
+                        stolen.fetch_add(v, SeqCst);
+                    }
+                    _ => {
+                        if done.load(SeqCst) == 1 && s.is_empty() {
+                            return;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for v in 1..=total {
+            w.push(v);
+            if v % 3 == 0 {
+                if let Some(x) = w.pop() {
+                    popped.fetch_add(x, SeqCst);
+                }
+            }
+        }
+        while let Some(x) = w.pop() {
+            popped.fetch_add(x, SeqCst);
+        }
+        done.store(1, SeqCst);
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Drain anything stolen-but-unpopped races left behind.
+        assert_eq!(
+            popped.load(SeqCst) + stolen.load(SeqCst),
+            total * (total + 1) / 2
+        );
+    }
+}
