@@ -31,6 +31,17 @@
 //! shed rate at 2× overload (SLO pinned to the sustained-phase p99).
 //! Writes `BENCH_serve.json` (or `--out PATH`).
 //!
+//! `--incremental` switches to the incremental-analysis benchmark
+//! instead: on a task set whose biggest DAG has ≥ 10⁴ nodes, a sequence
+//! of single-node WCET edits is answered by `Dag::edit` (derived cache
+//! patched in place) plus warm-started RTA
+//! ([`rtpool_core::analysis::incremental::analyze_many_warm`]), and by
+//! the from-scratch path (uncached rebuild + cold RTA). Every edit is
+//! gated on bit-identical verdicts across all three concurrency models
+//! before the numbers are written; in full mode the incremental path
+//! must be ≥ 10× faster. Writes `BENCH_incremental.json`
+//! (or `--out PATH`).
+//!
 //! `--exec` switches to the executor dispatch benchmark instead: the v1
 //! condvar engine vs the v2 lock-free injector/stealer engine on a
 //! dispatch-bound workload (a wide flat fork-join of wcet-1 nodes at
@@ -50,8 +61,10 @@ use rtpool_bench::serve::loadgen::{drive, gen_request_lines, LoadConfig};
 use rtpool_bench::serve::{BreakerConfig, ServeConfig, Server};
 use rtpool_bench::sweep::SweepPool;
 use rtpool_core::analysis::global::{self, ConcurrencyModel};
+use rtpool_core::analysis::incremental::analyze_many_warm;
 use rtpool_core::analysis::partitioned::PartitionStrategy;
 use rtpool_core::analysis::SchedResult;
+use rtpool_core::CancelToken;
 use rtpool_core::{Task, TaskSet};
 use rtpool_gen::{BlockingPolicy, ConcurrencyWindow, DagGenConfig, DagScratch, TaskSetConfig};
 
@@ -68,6 +81,7 @@ struct Config {
     trace: Option<String>,
     serve: bool,
     exec: bool,
+    incremental: bool,
 }
 
 fn main() {
@@ -79,6 +93,7 @@ fn main() {
         trace: None,
         serve: false,
         exec: false,
+        incremental: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -92,10 +107,12 @@ fn main() {
             "--trace" => cfg.trace = Some(args.next().expect("--trace needs a path")),
             "--serve" => cfg.serve = true,
             "--exec" => cfg.exec = true,
+            "--incremental" => cfg.incremental = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: bench_summary [--quick] [--out PATH] [--trace PATH] [--serve] [--exec]"
+                    "usage: bench_summary [--quick] [--out PATH] [--trace PATH] [--serve] \
+                     [--exec] [--incremental]"
                 );
                 std::process::exit(2);
             }
@@ -106,6 +123,8 @@ fn main() {
             "BENCH_serve.json".to_string()
         } else if cfg.exec {
             "BENCH_exec.json".to_string()
+        } else if cfg.incremental {
+            "BENCH_incremental.json".to_string()
         } else {
             "BENCH_analysis.json".to_string()
         };
@@ -116,6 +135,10 @@ fn main() {
     }
     if cfg.exec {
         exec_benchmark(&cfg);
+        return;
+    }
+    if cfg.incremental {
+        incremental_benchmark(&cfg);
         return;
     }
 
@@ -597,6 +620,155 @@ fn serve_benchmark(cfg: &Config) {
     );
     std::fs::write(&cfg.out, &json).expect("write serve benchmark artifact");
     eprintln!("wrote {}", cfg.out);
+}
+
+/// Builds a layered DAG — source → `layers` rows of `width` wcet-1
+/// nodes (each wired to two nodes of the next row) → sink — of
+/// `layers * width + 2` nodes, the incremental benchmark's big graph.
+fn layered_dag(layers: usize, width: usize) -> rtpool_graph::Dag {
+    use rtpool_graph::DagBuilder;
+    let mut b = DagBuilder::with_capacities(layers * width + 2, 2 * layers * width + 2);
+    let source = b.add_node(1);
+    let rows: Vec<Vec<rtpool_graph::NodeId>> = (0..layers)
+        .map(|_| (0..width).map(|_| b.add_node(1)).collect())
+        .collect();
+    for v in &rows[0] {
+        b.add_edge(source, *v).expect("source edge");
+    }
+    for l in 0..layers - 1 {
+        for (i, v) in rows[l].iter().enumerate() {
+            b.add_edge(*v, rows[l + 1][i]).expect("straight edge");
+            b.add_edge(*v, rows[l + 1][(i + 1) % width])
+                .expect("diagonal edge");
+        }
+    }
+    let sink = b.add_node(1);
+    for v in &rows[layers - 1] {
+        b.add_edge(*v, sink).expect("sink edge");
+    }
+    b.build().expect("layered dag is valid")
+}
+
+/// Runs the incremental-analysis benchmark (`--incremental`) and writes
+/// `BENCH_incremental.json`: single-node WCET edits answered by
+/// `Dag::edit` + warm-started RTA vs an uncached rebuild + cold RTA,
+/// gated on bit-identical verdicts per edit (and on ≥ 10× speedup in
+/// full mode).
+fn incremental_benchmark(cfg: &Config) {
+    let (layers, width) = if cfg.quick { (25, 40) } else { (100, 100) };
+    let edits = if cfg.quick { 4 } else { 8 };
+    let models = [
+        ConcurrencyModel::Full,
+        ConcurrencyModel::Limited,
+        ConcurrencyModel::LimitedExact,
+    ];
+    let big = layered_dag(layers, width);
+    let big_nodes = big.node_count();
+    // Two light higher-priority tasks ahead of the big DAG, so warm
+    // starts also exercise the hp-interference guard.
+    let hp = |wcets: &[u64], period: u64| {
+        let mut b = rtpool_graph::DagBuilder::new();
+        let ids: Vec<_> = wcets.iter().map(|&w| b.add_node(w)).collect();
+        b.add_chain(&ids).expect("chain");
+        Task::new(b.build().expect("chain dag"), period, period).expect("hp task")
+    };
+    let period = (big_nodes as u64) * 4;
+    let mut set = TaskSet::new(vec![
+        hp(&[40, 40], 4_000),
+        hp(&[60, 60, 60], 9_000),
+        Task::new(big.clone(), period, period).expect("big task"),
+    ]);
+    eprintln!(
+        "incremental benchmark: big DAG {big_nodes} nodes ({layers}x{width}), \
+         {edits} WCET edits, m={M}, 3 models"
+    );
+    let never = CancelToken::never();
+
+    // Warm the caches and the warm-start state once (steady-state server
+    // behavior: the base set is resident before edits arrive).
+    let (mut cold_base, _) = (global::analyze_many(&set, M, &models), ());
+    let (warm_base, mut warm) =
+        analyze_many_warm(&set, M, &models, &never, None).expect("never cancelled");
+    assert_eq!(cold_base, warm_base, "cold pass must match before any edit");
+
+    let big_index = 2usize;
+    let mut incr_ns: Vec<u128> = Vec::with_capacity(edits);
+    let mut scratch_ns: Vec<u128> = Vec::with_capacity(edits);
+    let mut seeded_total = 0usize;
+    let mut verdicts_match = true;
+    for k in 0..edits {
+        // Deterministically pick an interior node and bump its WCET.
+        let node = 1 + (k * 7919) % (big_nodes - 2);
+        let new_wcet = 2 + (k as u64 % 5);
+
+        // Incremental path: patch the derived cache, warm-start the RTA.
+        let t0 = Instant::now();
+        let mut e = set.as_slice()[big_index].dag().edit();
+        e.set_wcet(rtpool_graph::NodeId::from_index(node), new_wcet);
+        let (edited, delta) = e.apply().expect("WCET edit is valid");
+        assert!(delta.is_wcet_only());
+        let mut tasks: Vec<Task> = set.as_slice().to_vec();
+        tasks[big_index] = Task::new(edited, period, period).expect("edited task");
+        let edited_set = TaskSet::new(tasks);
+        let (warm_results, next_warm) =
+            analyze_many_warm(&edited_set, M, &models, &never, Some(&warm)).expect("never");
+        incr_ns.push(t0.elapsed().as_nanos());
+        seeded_total += next_warm.seeded_tasks();
+
+        // From-scratch path: uncached rebuild, cold RTA.
+        let t0 = Instant::now();
+        let rebuilt = rebuild_uncached(&edited_set);
+        let cold_results = global::analyze_many(&rebuilt, M, &models);
+        scratch_ns.push(t0.elapsed().as_nanos());
+
+        verdicts_match &= warm_results == cold_results;
+        assert!(
+            verdicts_match,
+            "edit {k}: warm-started verdicts diverged from cold recompute"
+        );
+        set = edited_set;
+        warm = next_warm;
+        cold_base = cold_results;
+    }
+    let _ = cold_base;
+    let incr_med = median(incr_ns.clone());
+    let scratch_med = median(scratch_ns.clone());
+    let speedup = scratch_med as f64 / incr_med.max(1) as f64;
+    let gate_10x = speedup >= 10.0;
+    eprintln!(
+        "  per-edit medians: incremental {incr_med} ns, from-scratch {scratch_med} ns \
+         ({speedup:.1}x), {seeded_total} warm-seeded task fix-points"
+    );
+    if !cfg.quick {
+        assert!(
+            gate_10x,
+            "incremental path must be >= 10x faster than from-scratch on \
+             single-node WCET edits (got {speedup:.2}x)"
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(
+        "  \"benchmark\": \"incremental analysis: Dag::edit + warm-started RTA vs uncached rebuild + cold RTA\",\n",
+    );
+    json.push_str(&format!("  \"quick\": {},\n", cfg.quick));
+    json.push_str(&format!(
+        "  \"workload\": {{ \"tasks\": 3, \"big_dag_nodes\": {big_nodes}, \"big_dag_shape\": \"{layers}x{width} layered\", \"m\": {M}, \"models\": [\"full\", \"limited\", \"limited_exact\"], \"edits\": {edits} }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"incremental\": {{ \"per_edit_median_ns\": {incr_med}, \"seeded_task_fixpoints\": {seeded_total} }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"from_scratch\": {{ \"per_edit_median_ns\": {scratch_med} }},\n"
+    ));
+    json.push_str(&format!("  \"speedup\": {speedup:.2},\n"));
+    json.push_str(&format!("  \"verdicts_match\": {verdicts_match},\n"));
+    json.push_str(&format!("  \"gate_10x\": {gate_10x}\n"));
+    json.push_str("}\n");
+    std::fs::write(&cfg.out, &json).expect("write incremental benchmark artifact");
+    eprintln!("wrote {}", cfg.out);
+    print!("{json}");
 }
 
 /// One engine × pool-size measurement of the dispatch benchmark.

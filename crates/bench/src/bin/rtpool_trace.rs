@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! rtpool-trace run <workload.rtp> [--engine sim|exec]
-//!              [--policy global|partitioned] [--pool v1|v2] [--m N]
+//!              [--policy global|partitioned] [--pool v1|v2|both] [--m N]
 //!              [--horizon H] [--format summary|ascii|chrome|csv]
 //!              [--out PATH] [--time-scale-us U] [--timeout-ms T]
 //! rtpool-trace validate <trace.json>
@@ -17,7 +17,10 @@
 //! `--out`, files are suffixed `.task<i>`); `--pool v1|v2` selects the
 //! pool's dispatch engine (default `v1`, the mutex/condvar engine; `v2`
 //! is the lock-free injector/stealer engine — both emit the same trace
-//! schema); `--time-scale-us` sets the
+//! schema, and `--pool both` runs every task under *both* engines and
+//! prints a per-task table comparing their NodeStart→NodeEnd latency
+//! percentiles, backed by the trace metrics histograms);
+//! `--time-scale-us` sets the
 //! wall-clock length of one WCET unit (default 100 µs), and
 //! `--timeout-ms` bounds each task's wall-clock run via the pool
 //! watchdog (default 10 000 ms) — a workload that deadlocks is reported
@@ -36,7 +39,10 @@ use rtpool_core::textfmt::parse_task_set;
 use rtpool_core::TaskSet;
 use rtpool_exec::{Engine as PoolEngine, ExecError, PoolConfig, QueueDiscipline, ThreadPool};
 use rtpool_sim::{SchedulingPolicy, SimConfig};
-use rtpool_trace::{from_chrome_json, to_chrome_json, to_csv, Trace, TraceAnalysis};
+use rtpool_trace::{
+    from_chrome_json, to_chrome_json, to_csv, LatencyHistogram, MetricsRegistry, Trace,
+    TraceAnalysis,
+};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Engine {
@@ -51,6 +57,12 @@ enum Policy {
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
+enum PoolChoice {
+    One(PoolEngine),
+    Both,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
 enum Format {
     Summary,
     Ascii,
@@ -62,7 +74,7 @@ struct RunArgs {
     workload: PathBuf,
     engine: Engine,
     policy: Policy,
-    pool: PoolEngine,
+    pool: PoolChoice,
     m: usize,
     horizon: Option<u64>,
     format: Format,
@@ -73,7 +85,7 @@ struct RunArgs {
 
 fn usage() -> &'static str {
     "usage: rtpool-trace run <workload.rtp> [--engine sim|exec] \
-     [--policy global|partitioned] [--pool v1|v2] [--m N] [--horizon H] \
+     [--policy global|partitioned] [--pool v1|v2|both] [--m N] [--horizon H] \
      [--format summary|ascii|chrome|csv] [--out PATH] [--time-scale-us U] \
      [--timeout-ms T]\n\
      \x20      rtpool-trace validate <trace.json>"
@@ -85,7 +97,7 @@ fn parse_run_args(mut it: std::env::Args) -> Result<RunArgs, String> {
         workload: PathBuf::from(workload),
         engine: Engine::Sim,
         policy: Policy::Global,
-        pool: PoolEngine::default(),
+        pool: PoolChoice::One(PoolEngine::default()),
         m: 4,
         horizon: None,
         format: Format::Summary,
@@ -112,9 +124,10 @@ fn parse_run_args(mut it: std::env::Args) -> Result<RunArgs, String> {
             }
             "--pool" => {
                 args.pool = match value("--pool")?.as_str() {
-                    "v1" => PoolEngine::V1Condvar,
-                    "v2" => PoolEngine::V2LockFree,
-                    other => return Err(format!("unknown pool engine `{other}` (v1|v2)")),
+                    "v1" => PoolChoice::One(PoolEngine::V1Condvar),
+                    "v2" => PoolChoice::One(PoolEngine::V2LockFree),
+                    "both" => PoolChoice::Both,
+                    other => return Err(format!("unknown pool engine `{other}` (v1|v2|both)")),
                 };
             }
             "--m" => {
@@ -158,6 +171,9 @@ fn parse_run_args(mut it: std::env::Args) -> Result<RunArgs, String> {
     }
     if args.m == 0 {
         return Err("--m must be positive".into());
+    }
+    if args.pool == PoolChoice::Both && args.engine != Engine::Exec {
+        return Err("--pool both requires --engine exec".into());
     }
     if args.timeout.is_zero() {
         return Err("--timeout-ms must be positive".into());
@@ -255,35 +271,100 @@ fn task_out(out: Option<&PathBuf>, task: usize, tasks: usize) -> Option<PathBuf>
     Some(PathBuf::from(name))
 }
 
+/// Runs task `i` of the set once on `engine`, returning its trace
+/// (re-indexed to position `i`).
+fn run_task_trace(
+    args: &RunArgs,
+    i: usize,
+    task: &rtpool_core::Task,
+    engine: PoolEngine,
+) -> Result<Trace, String> {
+    let discipline = match args.policy {
+        Policy::Global => QueueDiscipline::GlobalFifo,
+        Policy::Partitioned => QueueDiscipline::Partitioned(
+            algorithm1(task.dag(), args.m)
+                .map_err(|e| format!("task {i}: Algorithm 1 found no safe mapping: {e}"))?,
+        ),
+    };
+    let config = PoolConfig::new(args.m, discipline)
+        .with_engine(engine)
+        .with_time_scale(args.time_scale)
+        .with_watchdog(args.timeout)
+        .with_trace();
+    let mut pool = ThreadPool::try_new(config).map_err(|e| e.to_string())?;
+    let trace = match pool.run(task.dag()) {
+        Ok(report) => report.trace.expect("tracing was enabled"),
+        Err(e @ (ExecError::Stalled { .. } | ExecError::NodePanicked { .. })) => {
+            eprintln!("note: task {i} failed ({e}); exporting the failed attempt's trace");
+            pool.take_last_trace().expect("tracing was enabled")
+        }
+        Err(e) => return Err(format!("task {i}: {e}")),
+    };
+    Ok(trace.with_task_index(u32::try_from(i).unwrap_or(u32::MAX)))
+}
+
+fn engine_label(engine: PoolEngine) -> &'static str {
+    match engine {
+        PoolEngine::V1Condvar => "v1_condvar",
+        PoolEngine::V2LockFree => "v2_lockfree",
+    }
+}
+
+/// `--pool both`: runs every task under both dispatch engines and
+/// prints a per-task table comparing their NodeStart→NodeEnd latency
+/// percentiles (from the trace metrics histograms).
+fn compare_engines(args: &RunArgs, set: &TaskSet) -> Result<(), String> {
+    use std::fmt::Write as _;
+    if args.format != Format::Summary {
+        return Err("--pool both produces the comparison table; use --format summary".into());
+    }
+    let mut out = String::new();
+    for (id, task) in set.iter() {
+        let i = id.index();
+        let _ = writeln!(out, "task {i}: NodeStart→NodeEnd latency (ns) by engine");
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>7} {:>10} {:>10} {:>10} {:>10}",
+            "engine", "count", "p50", "p90", "p99", "max"
+        );
+        for engine in [PoolEngine::V1Condvar, PoolEngine::V2LockFree] {
+            let trace = run_task_trace(args, i, task, engine)?;
+            let metrics = MetricsRegistry::from_trace(&trace);
+            let ti = u32::try_from(i).unwrap_or(u32::MAX);
+            let mut lat = LatencyHistogram::new();
+            for ((t, _), h) in metrics.node_latencies() {
+                if t == ti {
+                    lat.merge(h);
+                }
+            }
+            let q = |p| lat.quantile_upper(p).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>7} {:>10} {:>10} {:>10} {:>10}",
+                engine_label(engine),
+                lat.count(),
+                q(0.50),
+                q(0.90),
+                q(0.99),
+                lat.max().unwrap_or(0)
+            );
+        }
+    }
+    emit(&out, args.out.as_ref())
+}
+
 fn run_exec(args: &RunArgs, set: &TaskSet) -> Result<(), String> {
     if args.horizon.is_some() {
         return Err("--horizon applies to the simulator only".into());
     }
+    let engine = match args.pool {
+        PoolChoice::Both => return compare_engines(args, set),
+        PoolChoice::One(engine) => engine,
+    };
     let tasks = set.iter().count();
     for (id, task) in set.iter() {
         let i = id.index();
-        let discipline = match args.policy {
-            Policy::Global => QueueDiscipline::GlobalFifo,
-            Policy::Partitioned => QueueDiscipline::Partitioned(
-                algorithm1(task.dag(), args.m)
-                    .map_err(|e| format!("task {i}: Algorithm 1 found no safe mapping: {e}"))?,
-            ),
-        };
-        let config = PoolConfig::new(args.m, discipline)
-            .with_engine(args.pool)
-            .with_time_scale(args.time_scale)
-            .with_watchdog(args.timeout)
-            .with_trace();
-        let mut pool = ThreadPool::try_new(config).map_err(|e| e.to_string())?;
-        let trace = match pool.run(task.dag()) {
-            Ok(report) => report.trace.expect("tracing was enabled"),
-            Err(e @ (ExecError::Stalled { .. } | ExecError::NodePanicked { .. })) => {
-                eprintln!("note: task {i} failed ({e}); exporting the failed attempt's trace");
-                pool.take_last_trace().expect("tracing was enabled")
-            }
-            Err(e) => return Err(format!("task {i}: {e}")),
-        };
-        let trace = trace.with_task_index(u32::try_from(i).unwrap_or(u32::MAX));
+        let trace = run_task_trace(args, i, task, engine)?;
         if args.format == Format::Summary && args.out.is_none() && tasks > 1 {
             println!("--- task {i} ---");
         }

@@ -74,6 +74,7 @@ struct Stats {
     misses: u64,
     evictions: u64,
     memo_hits: u64,
+    delta_hits: u64,
 }
 
 /// Point-in-time interner statistics.
@@ -89,6 +90,10 @@ pub struct InternerStats {
     pub evictions: u64,
     /// Requests answered from the per-`m` verdict memo.
     pub memo_hits: u64,
+    /// `edit` requests answered from a delta-patched entry: the base set
+    /// was resident, so the patched set entered the cache with its
+    /// `DerivedCache` carried over by `Dag::edit` instead of rebuilt.
+    pub delta_hits: u64,
 }
 
 struct State {
@@ -196,6 +201,64 @@ impl Interner {
         Ok((hash, set))
     }
 
+    /// Interns an already-built set (the `edit` verb's delta-patched
+    /// result), returning its content hash and the shared set. A
+    /// structurally identical resident set is reused — memo included —
+    /// so repeated identical edits of the same base hit the verdict
+    /// memo. A poisoned resident entry is replaced by the fresh set.
+    pub fn intern_set(&self, set: TaskSet) -> (u64, Arc<TaskSet>) {
+        let hash = Interner::hash_set(&set);
+        let mut st = self.state.lock().expect("interner lock not poisoned");
+        st.tick += 1;
+        let tick = st.tick;
+        let mut resident = None;
+        let mut poisoned = false;
+        if let Some(entry) = st.entries.get_mut(&hash) {
+            if entry.poisoned {
+                poisoned = true;
+            } else {
+                entry.last_used = tick;
+                resident = Some(Arc::clone(&entry.set));
+            }
+        }
+        if poisoned {
+            st.entries.remove(&hash);
+            st.stats.evictions += 1;
+        }
+        if let Some(shared) = resident {
+            st.stats.hits += 1;
+            return (hash, shared);
+        }
+        st.stats.misses += 1;
+        let shared = Arc::new(set);
+        if st.entries.len() >= self.capacity {
+            let lru = st
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&h, _)| h)
+                .expect("non-empty at capacity");
+            st.entries.remove(&lru);
+            st.stats.evictions += 1;
+        }
+        st.entries.insert(
+            hash,
+            Entry {
+                set: Arc::clone(&shared),
+                last_used: tick,
+                poisoned: false,
+                memo: Vec::new(),
+            },
+        );
+        (hash, shared)
+    }
+
+    /// Counts one `edit` request answered from a delta-patched entry.
+    pub fn record_delta_hit(&self) {
+        let mut st = self.state.lock().expect("interner lock not poisoned");
+        st.stats.delta_hits += 1;
+    }
+
     /// Resolves a hash-only request.
     ///
     /// # Errors
@@ -282,6 +345,7 @@ impl Interner {
             misses: st.stats.misses,
             evictions: st.stats.evictions,
             memo_hits: st.stats.memo_hits,
+            delta_hits: st.stats.delta_hits,
         }
     }
 }
@@ -359,6 +423,29 @@ mod tests {
         let (h2, _) = interner.intern(SRC_A).unwrap();
         assert_eq!(h, h2);
         assert!(interner.lookup(h).is_ok());
+    }
+
+    #[test]
+    fn intern_set_shares_with_source_interning() {
+        let interner = Interner::new(8);
+        let (h1, s1) = interner.intern(SRC_A).unwrap();
+        // Re-interning the same structure as a built set reuses the
+        // resident entry (memo included).
+        interner.memoize(
+            h1,
+            4,
+            MemoOutcome {
+                admit: true,
+                level: LadderLevel::Exact,
+            },
+        );
+        let rebuilt = (*s1).clone();
+        let (h2, s2) = interner.intern_set(rebuilt);
+        assert_eq!(h1, h2);
+        assert!(Arc::ptr_eq(&s1, &s2));
+        assert!(interner.memoized(h2, 4).is_some());
+        interner.record_delta_hit();
+        assert_eq!(interner.stats().delta_hits, 1);
     }
 
     #[test]

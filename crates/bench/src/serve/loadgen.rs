@@ -232,7 +232,7 @@ mod tests {
                     .body
                 {
                     RequestBody::Source(s) => s,
-                    RequestBody::Hash(_) => unreachable!("loadgen emits sources"),
+                    _ => unreachable!("loadgen emits sources"),
                 }
             })
             .collect();

@@ -24,6 +24,12 @@
 //! * **Structural reuse** ([`interner`]): content-hashed interning
 //!   shares parsed sets (and their `DerivedCache`s) across
 //!   structurally identical submissions, with bounded LRU capacity.
+//! * **Incremental resubmission** ([`protocol`]'s `edit` verb): a
+//!   request can name a resident set by hash plus an edit script
+//!   (WCET changes, edge/node inserts, blocking toggles); the server
+//!   patches the base graphs' `DerivedCache`s via `Dag::edit` instead
+//!   of reparsing and reanalyzing from scratch, records a
+//!   `CacheDeltaHit`, and memoizes under the patched set's own hash.
 //! * **Observability** ([`server`]): request lifecycles are recorded
 //!   as `rtpool-trace` events and latencies as log₂ histograms.
 //! * **Lock-free fan-out** ([`dispatch`]): request batches dispatch
@@ -52,7 +58,10 @@ pub use breaker::{BreakerConfig, BreakerStats, CircuitBreaker};
 pub use dispatch::{InjectorPool, ServePool};
 pub use interner::{InternError, Interner, InternerStats, MemoOutcome};
 pub use ladder::{run_ladder, run_ladder_capped, LadderOutcome};
-pub use protocol::{LadderLevel, Request, RequestBody, Response, VerdictKind};
+pub use protocol::{
+    parse_edit_script, EditScript, EditScriptOp, LadderLevel, Request, RequestBody, Response,
+    VerdictKind,
+};
 pub use queue::IngressQueue;
 pub use server::{ServeConfig, ServeReport, Server};
 pub use supervisor::{ServiceEvent, ServiceOutcome, Supervisor};

@@ -13,13 +13,17 @@
 //! ```json
 //! {"id":7,"m":8,"priority":5,"deadline_us":20000,"source":"task period=100\n  node a 10\nend\n"}
 //! {"id":8,"m":8,"hash":"9f3a77c04be21d55"}
+//! {"id":9,"m":8,"base":"9f3a77c04be21d55","edits":"wcet:0.2=35; edge:0.1>3"}
 //! ```
 //!
 //! `id` and `m` are required. `priority` (0–7, higher = more important,
 //! default 4) orders load shedding; `deadline_us` (default: server
 //! config) is the per-request service budget measured from *arrival*,
-//! queueing included. The workload is either an inline `.rtp` `source`
-//! or the hex content `hash` of a previously interned set.
+//! queueing included. The workload is one of: an inline `.rtp` `source`,
+//! the hex content `hash` of a previously interned set, or — the `edit`
+//! verb — a `base` hash plus an `edits` script describing a mutation of
+//! that set (see [`EditScript`]), which the server answers from a
+//! delta-patched cache entry instead of a cold miss.
 //!
 //! ## Response
 //!
@@ -58,6 +62,171 @@ pub enum RequestBody {
     Source(String),
     /// Content hash of a previously interned set.
     Hash(u64),
+    /// The `edit` verb: a mutation of the previously interned set
+    /// `base`, described by an edit script (see [`EditScript`]).
+    Edit {
+        /// Content hash of the base set to patch.
+        base: u64,
+        /// The edit script, unparsed (validated at service time).
+        script: String,
+    },
+}
+
+/// One operation of an `edit` script, addressed to one task of the base
+/// set.
+///
+/// The wire syntax is `;`-separated operations (whitespace around
+/// separators is ignored):
+///
+/// * `wcet:T.N=W` — set node `N` of task `T` to WCET `W`;
+/// * `edge:T.U>V` — insert precedence edge `U -> V` in task `T`;
+/// * `node:T=W@P1+P2>S1+S2` — insert a WCET-`W` node into task `T` with
+///   predecessors `P1, P2` and successors `S1, S2`;
+/// * `block:T.F-J=on` / `block:T.F-J=off` — declare or dissolve the
+///   blocking pair `(F, J)` in task `T`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EditScript {
+    /// Task index within the base set.
+    pub task: usize,
+    /// The graph-level operation.
+    pub op: EditScriptOp,
+}
+
+/// The graph-level half of one [`EditScript`] operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EditScriptOp {
+    /// `wcet:T.N=W`.
+    SetWcet {
+        /// Node index.
+        node: usize,
+        /// New WCET.
+        wcet: u64,
+    },
+    /// `edge:T.U>V`.
+    InsertEdge {
+        /// Edge tail.
+        from: usize,
+        /// Edge head.
+        to: usize,
+    },
+    /// `node:T=W@P1+P2>S1+S2`.
+    InsertNode {
+        /// WCET of the new node.
+        wcet: u64,
+        /// Predecessor node indices.
+        preds: Vec<usize>,
+        /// Successor node indices.
+        succs: Vec<usize>,
+    },
+    /// `block:T.F-J=on|off`.
+    SetBlocking {
+        /// The fork node.
+        fork: usize,
+        /// The join node.
+        join: usize,
+        /// `true` to declare the pair, `false` to dissolve it.
+        on: bool,
+    },
+}
+
+/// Parses an `edits` script into per-task operations, in script order.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first malformed
+/// operation.
+pub fn parse_edit_script(script: &str) -> Result<Vec<EditScript>, String> {
+    let mut ops = Vec::new();
+    for raw in script.split(';') {
+        let item = raw.trim();
+        if item.is_empty() {
+            continue;
+        }
+        let (verb, rest) = item
+            .split_once(':')
+            .ok_or_else(|| format!("edit op {item:?} is missing its ':'"))?;
+        let op = match verb {
+            "wcet" => {
+                let (addr, wcet) = split2(rest, '=', item)?;
+                let (task, node) = split2(&addr, '.', item)?;
+                EditScript {
+                    task: num(&task, item)?,
+                    op: EditScriptOp::SetWcet {
+                        node: num(&node, item)?,
+                        wcet: num64(&wcet, item)?,
+                    },
+                }
+            }
+            "edge" => {
+                let (task, pair) = split2(rest, '.', item)?;
+                let (from, to) = split2(&pair, '>', item)?;
+                EditScript {
+                    task: num(&task, item)?,
+                    op: EditScriptOp::InsertEdge {
+                        from: num(&from, item)?,
+                        to: num(&to, item)?,
+                    },
+                }
+            }
+            "node" => {
+                let (task, spec) = split2(rest, '=', item)?;
+                let (wcet, ends) = split2(&spec, '@', item)?;
+                let (preds, succs) = split2(&ends, '>', item)?;
+                EditScript {
+                    task: num(&task, item)?,
+                    op: EditScriptOp::InsertNode {
+                        wcet: num64(&wcet, item)?,
+                        preds: num_list(&preds, item)?,
+                        succs: num_list(&succs, item)?,
+                    },
+                }
+            }
+            "block" => {
+                let (addr, state) = split2(rest, '=', item)?;
+                let (task, pair) = split2(&addr, '.', item)?;
+                let (fork, join) = split2(&pair, '-', item)?;
+                let on = match state.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("edit op {item:?}: unknown state {other:?}")),
+                };
+                EditScript {
+                    task: num(&task, item)?,
+                    op: EditScriptOp::SetBlocking {
+                        fork: num(&fork, item)?,
+                        join: num(&join, item)?,
+                        on,
+                    },
+                }
+            }
+            other => return Err(format!("unknown edit verb {other:?}")),
+        };
+        ops.push(op);
+    }
+    if ops.is_empty() {
+        return Err("edit script has no operations".to_string());
+    }
+    Ok(ops)
+}
+
+fn split2(s: &str, sep: char, ctx: &str) -> Result<(String, String), String> {
+    s.split_once(sep)
+        .map(|(a, b)| (a.trim().to_string(), b.trim().to_string()))
+        .ok_or_else(|| format!("edit op {ctx:?} is missing its {sep:?}"))
+}
+
+fn num(s: &str, ctx: &str) -> Result<usize, String> {
+    s.parse::<usize>()
+        .map_err(|_| format!("edit op {ctx:?}: invalid index {s:?}"))
+}
+
+fn num64(s: &str, ctx: &str) -> Result<u64, String> {
+    s.parse::<u64>()
+        .map_err(|_| format!("edit op {ctx:?}: invalid value {s:?}"))
+}
+
+fn num_list(s: &str, ctx: &str) -> Result<Vec<usize>, String> {
+    s.split('+').map(|part| num(part.trim(), ctx)).collect()
 }
 
 /// The verdict class of a response.
@@ -222,6 +391,13 @@ pub fn encode_request(r: &Request) -> String {
             out.push_str(&format!("{h:016x}"));
             out.push('"');
         }
+        RequestBody::Edit { base, script } => {
+            out.push_str(",\"base\":\"");
+            out.push_str(&format!("{base:016x}"));
+            out.push_str("\",\"edits\":\"");
+            escape_into(script, &mut out);
+            out.push('"');
+        }
     }
     out.push('}');
     out
@@ -252,12 +428,26 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         Some(Json::Num(n)) => *n,
         Some(_) => return Err("deadline_us must be a number".to_string()),
     };
-    let body = match (get(&obj, "source"), get(&obj, "hash")) {
-        (Some(Json::Str(src)), None) => RequestBody::Source(src.clone()),
-        (None, Some(Json::Str(h))) => RequestBody::Hash(parse_hash(h)?),
-        (Some(_), Some(_)) => return Err("request has both source and hash".to_string()),
-        (None, None) => return Err("request needs source or hash".to_string()),
-        _ => return Err("source must be a string, hash a hex string".to_string()),
+    let body = match (
+        get(&obj, "source"),
+        get(&obj, "hash"),
+        get(&obj, "base"),
+        get(&obj, "edits"),
+    ) {
+        (Some(Json::Str(src)), None, None, None) => RequestBody::Source(src.clone()),
+        (None, Some(Json::Str(h)), None, None) => RequestBody::Hash(parse_hash(h)?),
+        (None, None, Some(Json::Str(b)), Some(Json::Str(script))) => RequestBody::Edit {
+            base: parse_hash(b)?,
+            script: script.clone(),
+        },
+        (None, None, Some(_), None) => return Err("edit request needs edits".to_string()),
+        (None, None, None, Some(_)) => return Err("edit request needs base".to_string()),
+        (None, None, None, None) => {
+            return Err("request needs source, hash, or base+edits".to_string())
+        }
+        _ => {
+            return Err("request must carry exactly one of source, hash, or base+edits".to_string())
+        }
     };
     Ok(Request {
         id,
@@ -555,6 +745,16 @@ mod tests {
                 deadline_us: 0,
                 body: RequestBody::Hash(0x9f3a_77c0_4be2_1d55),
             },
+            Request {
+                id: 9,
+                m: 8,
+                priority: 7,
+                deadline_us: 50,
+                body: RequestBody::Edit {
+                    base: 0x0000_00c0_ffee_0001,
+                    script: "wcet:0.2=35; edge:0.1>3".to_string(),
+                },
+            },
         ];
         for r in &reqs {
             let line = encode_request(r);
@@ -599,8 +799,76 @@ mod tests {
         assert!(parse_request(r#"{"id":1,"m":4,"source":"x","hash":"ff"}"#).is_err());
         assert!(parse_request(r#"{"id":1,"m":4}"#).is_err());
         assert!(parse_request(r#"{"id":1,"m":4,"hash":"zz"}"#).is_err());
+        assert!(parse_request(r#"{"id":1,"m":4,"base":"ff"}"#).is_err());
+        assert!(parse_request(r#"{"id":1,"m":4,"edits":"wcet:0.0=1"}"#).is_err());
+        assert!(parse_request(r#"{"id":1,"m":4,"source":"x","base":"ff","edits":"e"}"#).is_err());
+        let edit = parse_request(r#"{"id":1,"m":4,"base":"ff","edits":"wcet:0.0=1"}"#).unwrap();
+        assert_eq!(
+            edit.body,
+            RequestBody::Edit {
+                base: 0xff,
+                script: "wcet:0.0=1".to_string(),
+            }
+        );
         assert!(parse_request("not json").is_err());
         assert!(parse_request(r#"{"id":1,"m":4,"source":"x"} extra"#).is_err());
+    }
+
+    #[test]
+    fn edit_scripts_parse() {
+        let ops = parse_edit_script("wcet:0.2=35; edge:1.0>3 ;node:2=7@0+1>3+4; block:0.1-4=off;")
+            .unwrap();
+        assert_eq!(
+            ops,
+            vec![
+                EditScript {
+                    task: 0,
+                    op: EditScriptOp::SetWcet { node: 2, wcet: 35 },
+                },
+                EditScript {
+                    task: 1,
+                    op: EditScriptOp::InsertEdge { from: 0, to: 3 },
+                },
+                EditScript {
+                    task: 2,
+                    op: EditScriptOp::InsertNode {
+                        wcet: 7,
+                        preds: vec![0, 1],
+                        succs: vec![3, 4],
+                    },
+                },
+                EditScript {
+                    task: 0,
+                    op: EditScriptOp::SetBlocking {
+                        fork: 1,
+                        join: 4,
+                        on: false,
+                    },
+                },
+            ]
+        );
+        assert_eq!(
+            parse_edit_script("block:0.1-4=on").unwrap()[0].op,
+            EditScriptOp::SetBlocking {
+                fork: 1,
+                join: 4,
+                on: true,
+            }
+        );
+        for bad in [
+            "",
+            " ; ",
+            "wcet:0.2",
+            "wcet:02=5",
+            "wcet:a.b=5",
+            "edge:0.1",
+            "node:0=5@1",
+            "node:0=5@x>2",
+            "block:0.1-2=maybe",
+            "teleport:0.1=2",
+        ] {
+            assert!(parse_edit_script(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

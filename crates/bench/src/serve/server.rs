@@ -158,7 +158,7 @@ impl ServeReport {
              \"p999\": {}, \"max\": {} }}, \
              \"breaker\": {{ \"open\": {}, \"opens\": {}, \"closes\": {}, \"shed\": {} }}, \
              \"interner\": {{ \"entries\": {}, \"hits\": {}, \"misses\": {}, \
-             \"evictions\": {}, \"memo_hits\": {} }} }}",
+             \"evictions\": {}, \"memo_hits\": {}, \"delta_hits\": {} }} }}",
             self.accepted,
             self.busy,
             self.shed,
@@ -185,6 +185,7 @@ impl ServeReport {
             self.interner.misses,
             self.interner.evictions,
             self.interner.memo_hits,
+            self.interner.delta_hits,
         )
     }
 }
@@ -546,11 +547,21 @@ fn serve_one(inner: &Inner, pending: &Pending, worker: usize) {
             }
             _ => {}
         }
-        inner.rec_control(EventKind::Recovery {
-            task: 0,
-            label: event.label().to_string(),
-            node: None,
-        });
+        if *event == ServiceEvent::CacheDeltaHit {
+            // Delta hits get their own first-class trace event (the
+            // rtpool-trace metrics count them per task), not a generic
+            // Recovery label.
+            inner.rec_control(EventKind::CacheDeltaHit {
+                task: 0,
+                job: job_id(seq),
+            });
+        } else {
+            inner.rec_control(EventKind::Recovery {
+                task: 0,
+                label: event.label().to_string(),
+                node: None,
+            });
+        }
     }
     let latency = pending.arrival.elapsed();
     let latency_us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
@@ -692,6 +703,49 @@ mod tests {
         assert_eq!(second.detail, "memoized verdict");
         let report = server.shutdown();
         assert_eq!(report.admitted, 2);
+    }
+
+    #[test]
+    fn edit_resubmission_hits_delta_path() {
+        let pool = Arc::new(SweepPool::new(2));
+        let (server, rx) = Server::start(
+            ServeConfig {
+                record_trace: true,
+                ..ServeConfig::default()
+            },
+            pool,
+        );
+        server.submit(&line(1, 4));
+        let first = rx.recv().expect("first response");
+        let base = first.hash.expect("hash present");
+        server.submit(&encode_request(&Request {
+            id: 2,
+            m: 4,
+            priority: 4,
+            deadline_us: 0,
+            body: RequestBody::Edit {
+                base,
+                script: "wcet:0.0=12".to_string(),
+            },
+        }));
+        let second = rx.recv().expect("second response");
+        assert_eq!(second.verdict, VerdictKind::Admit, "{}", second.detail);
+        assert_ne!(second.hash, Some(base), "edit produces a new content hash");
+        let report = server.shutdown();
+        assert_eq!(report.interner.delta_hits, 1);
+        assert!(report.to_json().contains("\"delta_hits\": 1"));
+        let trace = report.trace.expect("trace recorded");
+        assert!(
+            trace.validate().is_empty(),
+            "defects: {:?}",
+            trace.validate()
+        );
+        let hits = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::CacheDeltaHit { .. }))
+            .count();
+        assert_eq!(hits, 1, "one CacheDeltaHit trace event for the edit");
     }
 
     #[test]

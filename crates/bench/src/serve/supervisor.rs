@@ -22,12 +22,15 @@
 use std::panic::{self, AssertUnwindSafe};
 use std::thread;
 
-use rtpool_core::CancelToken;
+use rtpool_core::{CancelToken, Task, TaskSet};
 use rtpool_exec::{FaultPlan, RecoveryPolicy};
+use rtpool_graph::NodeId;
 
 use super::interner::{InternError, Interner, MemoOutcome};
 use super::ladder::{run_ladder, LadderOutcome};
-use super::protocol::{LadderLevel, Request, RequestBody, VerdictKind};
+use super::protocol::{
+    parse_edit_script, EditScript, EditScriptOp, LadderLevel, Request, RequestBody, VerdictKind,
+};
 
 /// Something the supervisor did while serving a request, for the trace
 /// and the metrics.
@@ -45,6 +48,10 @@ pub enum ServiceEvent {
     ShardStalled,
     /// An injected slowdown delayed the attempt.
     SlowRequest,
+    /// An `edit` request was answered from a delta-patched cache entry:
+    /// the base set was resident, so the patched set carried the base's
+    /// `DerivedCache` over instead of rebuilding it from scratch.
+    CacheDeltaHit,
 }
 
 impl ServiceEvent {
@@ -58,6 +65,7 @@ impl ServiceEvent {
             ServiceEvent::PoisonedEntry => "serve_poisoned_entry",
             ServiceEvent::ShardStalled => "serve_shard_stalled",
             ServiceEvent::SlowRequest => "serve_slow_request",
+            ServiceEvent::CacheDeltaHit => "serve_cache_delta_hit",
         }
     }
 }
@@ -245,6 +253,15 @@ impl Supervisor {
         let (hash, set) = match &request.body {
             RequestBody::Source(src) => interner.intern(src).map_err(attempt_error)?,
             RequestBody::Hash(h) => (*h, interner.lookup(*h).map_err(attempt_error)?),
+            RequestBody::Edit { base, script } => {
+                let ops = parse_edit_script(script).map_err(AttemptError::Terminal)?;
+                let base_set = interner.lookup(*base).map_err(attempt_error)?;
+                let patched = apply_edit_script(&base_set, &ops).map_err(AttemptError::Terminal)?;
+                let (hash, set) = interner.intern_set(patched);
+                interner.record_delta_hit();
+                events.push(ServiceEvent::CacheDeltaHit);
+                (hash, set)
+            }
         };
         if faults.poison_cache {
             interner.poison(hash);
@@ -281,6 +298,67 @@ impl Supervisor {
         }
         Ok(LadderVerdict { hash, outcome })
     }
+}
+
+/// Applies a parsed edit script to a resident base set, producing the
+/// patched set. Each edited task's graph goes through [`Dag::edit`], so
+/// its `DerivedCache` is patched in place (shared outright for
+/// WCET-only scripts) rather than rebuilt; untouched tasks share their
+/// `Task` wholesale.
+///
+/// [`Dag::edit`]: rtpool_graph::Dag::edit
+fn apply_edit_script(base: &TaskSet, ops: &[EditScript]) -> Result<TaskSet, String> {
+    let tasks: Vec<&Task> = base.iter().map(|(_, t)| t).collect();
+    for op in ops {
+        if op.task >= tasks.len() {
+            return Err(format!(
+                "edit addresses task {} but the base set has {}",
+                op.task,
+                tasks.len()
+            ));
+        }
+    }
+    let mut out = Vec::with_capacity(tasks.len());
+    for (ti, task) in tasks.iter().enumerate() {
+        let mine: Vec<&EditScriptOp> = ops
+            .iter()
+            .filter(|op| op.task == ti)
+            .map(|op| &op.op)
+            .collect();
+        if mine.is_empty() {
+            out.push((*task).clone());
+            continue;
+        }
+        let mut edit = task.dag().edit();
+        for op in mine {
+            match op {
+                EditScriptOp::SetWcet { node, wcet } => {
+                    edit.set_wcet(NodeId::from_index(*node), *wcet);
+                }
+                EditScriptOp::InsertEdge { from, to } => {
+                    edit.insert_edge(NodeId::from_index(*from), NodeId::from_index(*to));
+                }
+                EditScriptOp::InsertNode { wcet, preds, succs } => {
+                    let preds: Vec<NodeId> =
+                        preds.iter().copied().map(NodeId::from_index).collect();
+                    let succs: Vec<NodeId> =
+                        succs.iter().copied().map(NodeId::from_index).collect();
+                    edit.insert_node(*wcet, &preds, &succs);
+                }
+                EditScriptOp::SetBlocking { fork, join, on } => {
+                    edit.set_blocking(NodeId::from_index(*fork), NodeId::from_index(*join), *on);
+                }
+            }
+        }
+        let (dag, _delta) = edit
+            .apply()
+            .map_err(|e| format!("edit rejected on task {ti}: {e}"))?;
+        out.push(
+            Task::new(dag, task.period(), task.deadline())
+                .map_err(|e| format!("edited task {ti} is invalid: {e}"))?,
+        );
+    }
+    Ok(TaskSet::new(out))
 }
 
 /// A resolved workload plus its ladder answer.
@@ -439,6 +517,114 @@ mod tests {
         let out = sup.execute(0, &req, &interner, &CancelToken::never());
         assert_eq!(out.verdict, VerdictKind::Error);
         assert!(out.detail.contains("unknown content hash"));
+    }
+
+    fn edit_request(id: u64, m: usize, base: u64, script: &str) -> Request {
+        Request {
+            id,
+            m,
+            priority: 4,
+            deadline_us: 0,
+            body: RequestBody::Edit {
+                base,
+                script: script.to_string(),
+            },
+        }
+    }
+
+    #[test]
+    fn edit_request_answers_from_patched_entry() {
+        let interner = Interner::new(8);
+        let sup = retrying(FaultPlan::seeded(1));
+        let first = sup.execute(0, &request(1, 4), &interner, &CancelToken::never());
+        let base = first.hash.expect("base interned");
+        let out = sup.execute(
+            1,
+            &edit_request(2, 4, base, "wcet:0.0=12"),
+            &interner,
+            &CancelToken::never(),
+        );
+        assert_eq!(out.verdict, VerdictKind::Admit, "detail: {}", out.detail);
+        assert!(out.events.contains(&ServiceEvent::CacheDeltaHit));
+        let patched = out.hash.expect("patched hash");
+        assert_ne!(patched, base, "the edit changes the content hash");
+        assert_eq!(interner.stats().delta_hits, 1);
+        // The delta-patched answer equals the cold-path answer for the
+        // equivalent inline source.
+        let cold_interner = Interner::new(8);
+        let cold = sup.execute(
+            2,
+            &Request {
+                body: RequestBody::Source(SRC.replace("node a 10", "node a 12")),
+                ..request(3, 4)
+            },
+            &cold_interner,
+            &CancelToken::never(),
+        );
+        assert_eq!(cold.verdict, out.verdict);
+        assert_eq!(cold.level, out.level);
+        assert_eq!(
+            cold.hash, out.hash,
+            "structural hash agrees with cold parse"
+        );
+        // Resubmitting the same edit hits the patched entry's memo.
+        let again = sup.execute(
+            3,
+            &edit_request(4, 4, base, "wcet:0.0=12"),
+            &interner,
+            &CancelToken::never(),
+        );
+        assert_eq!(again.detail, "memoized verdict");
+        assert_eq!(interner.stats().delta_hits, 2);
+    }
+
+    #[test]
+    fn edit_errors_are_terminal() {
+        let interner = Interner::new(8);
+        let sup = retrying(FaultPlan::seeded(1));
+        let first = sup.execute(0, &request(1, 4), &interner, &CancelToken::never());
+        let base = first.hash.expect("base interned");
+        // Unknown base hash.
+        let out = sup.execute(
+            1,
+            &edit_request(2, 4, base ^ 1, "wcet:0.0=12"),
+            &interner,
+            &CancelToken::never(),
+        );
+        assert_eq!(out.verdict, VerdictKind::Error);
+        assert!(out.detail.contains("unknown content hash"));
+        // Malformed script.
+        let out = sup.execute(
+            2,
+            &edit_request(3, 4, base, "warp:0.0=12"),
+            &interner,
+            &CancelToken::never(),
+        );
+        assert_eq!(out.verdict, VerdictKind::Error);
+        assert!(out.detail.contains("unknown edit verb"));
+        // Script addressing a task the set does not have.
+        let out = sup.execute(
+            3,
+            &edit_request(4, 4, base, "wcet:9.0=12"),
+            &interner,
+            &CancelToken::never(),
+        );
+        assert_eq!(out.verdict, VerdictKind::Error);
+        assert!(out.detail.contains("addresses task 9"));
+        // Graph-level rejection (self-loop edge).
+        let out = sup.execute(
+            4,
+            &edit_request(5, 4, base, "edge:0.0>0"),
+            &interner,
+            &CancelToken::never(),
+        );
+        assert_eq!(out.verdict, VerdictKind::Error);
+        assert!(
+            out.detail.contains("edit rejected on task 0"),
+            "{}",
+            out.detail
+        );
+        assert_eq!(interner.stats().delta_hits, 0, "failed edits are not hits");
     }
 
     #[test]

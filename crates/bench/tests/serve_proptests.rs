@@ -9,6 +9,11 @@
 //!    exact-antichain rung admits the same set on replay (the model
 //!    dominance the ladder documentation promises). Degraded rejects
 //!    carry no such guarantee — only admits are checked.
+//! 3. **Delta hits are exact**: an `edit` request answered from a
+//!    delta-patched cache entry produces the same verdict, rung, and
+//!    content hash as submitting the equivalent mutated source cold to
+//!    a fresh server — the patched `DerivedCache` never changes an
+//!    answer, only its cost.
 
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -16,9 +21,12 @@ use rtpool_bench::serve::protocol::{
     encode_request, encode_response, parse_request, parse_response, LadderLevel, Request,
     RequestBody, Response, VerdictKind,
 };
-use rtpool_bench::serve::{run_ladder, run_ladder_capped};
-use rtpool_core::{CancelToken, TaskSet};
+use rtpool_bench::serve::{run_ladder, run_ladder_capped, Interner, ServiceEvent, Supervisor};
+use rtpool_core::textfmt::write_task_set;
+use rtpool_core::{CancelToken, Task, TaskSet};
+use rtpool_exec::{FaultPlan, RecoveryPolicy};
 use rtpool_gen::{DagGenConfig, TaskSetConfig};
+use rtpool_graph::NodeId;
 
 /// A source string mixing benign text with every JSON escape class.
 fn source_from(picks: &[u8]) -> String {
@@ -62,14 +70,14 @@ proptest! {
         m in 1usize..512,
         priority in 0u8..8,
         deadline_us in 0u64..10_000_000,
-        hash_body in 0u64..2,
+        hash_body in 0u64..3,
         hash in 0u64..u64::MAX,
         picks in prop::collection::vec(0u8..255, 0..40),
     ) {
-        let body = if hash_body == 1 {
-            RequestBody::Hash(hash)
-        } else {
-            RequestBody::Source(source_from(&picks))
+        let body = match hash_body {
+            1 => RequestBody::Hash(hash),
+            2 => RequestBody::Edit { base: hash, script: source_from(&picks) },
+            _ => RequestBody::Source(source_from(&picks)),
         };
         let request = Request { id, m, priority, deadline_us, body };
         let line = encode_request(&request);
@@ -150,5 +158,83 @@ proptest! {
             let exact = run_ladder(&set, m, &token);
             prop_assert_eq!(capped.admit, exact.admit);
         }
+    }
+
+    /// An `edit` request answered from the delta-patched cache entry
+    /// agrees exactly — verdict, rung, and content hash — with the
+    /// cold path: rendering the mutated set to source and submitting it
+    /// to a fresh interner.
+    #[test]
+    fn delta_patched_edit_equals_cold_path(
+        seed in 0u64..50_000,
+        n in 1usize..4,
+        util_tenths in 10u64..50,
+        tpick in 0usize..64,
+        npick in 0usize..256,
+        wcet in 1u64..500,
+    ) {
+        let set = random_set(seed, n, util_tenths as f64 / 10.0);
+        let task = tpick % set.len();
+        let node = npick % set.iter().nth(task).expect("in range").1.dag().node_count();
+        let m = 8;
+        let sup = Supervisor::new(RecoveryPolicy::Abort, FaultPlan::seeded(0));
+        let req = |id: u64, body: RequestBody| Request {
+            id,
+            m,
+            priority: 4,
+            deadline_us: 0,
+            body,
+        };
+        let never = CancelToken::never();
+
+        let interner = Interner::new(8);
+        let based = sup.execute(
+            0,
+            &req(1, RequestBody::Source(write_task_set(&set))),
+            &interner,
+            &never,
+        );
+        let base = based.hash.expect("base request resolves a hash");
+        let warm = sup.execute(
+            1,
+            &req(2, RequestBody::Edit {
+                base,
+                script: format!("wcet:{task}.{node}={wcet}"),
+            }),
+            &interner,
+            &never,
+        );
+        prop_assert!(
+            warm.events.contains(&ServiceEvent::CacheDeltaHit),
+            "resident base must produce a delta hit: {}",
+            warm.detail
+        );
+
+        // Cold path: the same mutation applied out-of-band, rendered to
+        // source, analyzed by a fresh interner with no warm state.
+        let patched: Vec<Task> = set
+            .iter()
+            .enumerate()
+            .map(|(i, (_, t))| {
+                if i == task {
+                    let mut e = t.dag().edit();
+                    e.set_wcet(NodeId::from_index(node), wcet);
+                    let (dag, _) = e.apply().expect("a WCET edit is always valid");
+                    Task::new(dag, t.period(), t.deadline()).expect("periods unchanged")
+                } else {
+                    t.clone()
+                }
+            })
+            .collect();
+        let cold_interner = Interner::new(8);
+        let cold = sup.execute(
+            2,
+            &req(3, RequestBody::Source(write_task_set(&TaskSet::new(patched)))),
+            &cold_interner,
+            &never,
+        );
+        prop_assert_eq!(cold.verdict, warm.verdict, "warm detail: {}", warm.detail);
+        prop_assert_eq!(cold.level, warm.level);
+        prop_assert_eq!(cold.hash, warm.hash, "patched set hashes like its source form");
     }
 }

@@ -43,24 +43,53 @@ pub enum ConcurrencyModel {
 }
 
 /// Per-task interference summary used by the fix-point.
-struct TaskParams {
-    len: u64,
-    vol: u64,
-    period: u64,
-    deadline: u64,
+///
+/// Shared with the warm-start layer
+/// ([`incremental`](crate::analysis::incremental)), which compares the
+/// previous pass's parameters against the current ones to decide whether
+/// the previous response time is a sound fix-point seed.
+pub(crate) struct TaskParams {
+    pub(crate) len: u64,
+    pub(crate) vol: u64,
+    pub(crate) period: u64,
+    pub(crate) deadline: u64,
     /// Divisor for the interference term.
-    denom: u64,
+    pub(crate) denom: u64,
     /// `l̄` as computed (for error reporting).
-    floor: i64,
+    pub(crate) floor: i64,
 }
 
-/// Model-independent per-task quantities, computed once and shared by all
-/// concurrency models in [`analyze_many`].
-struct TaskBase {
-    len: u64,
-    vol: u64,
-    period: u64,
-    deadline: u64,
+/// Builds the per-task fix-point parameters for one concurrency model.
+///
+/// The model-independent quantities (critical path, volume) are memoized
+/// on each task's [`Dag`](rtpool_graph::Dag), so calling this once per
+/// model does not repeat the underlying graph work.
+pub(crate) fn build_params(set: &TaskSet, m: usize, model: ConcurrencyModel) -> Vec<TaskParams> {
+    set.iter()
+        .map(|(_, task)| {
+            let dag = task.dag();
+            let (denom, floor) = match model {
+                ConcurrencyModel::Full => (m as u64, m as i64),
+                ConcurrencyModel::Limited => {
+                    let floor = ConcurrencyAnalysis::new(dag).concurrency_lower_bound(m);
+                    (floor.max(0) as u64, floor)
+                }
+                ConcurrencyModel::LimitedExact => {
+                    let suspended = ConcurrencyAnalysis::new(dag).max_suspended_forks().len();
+                    let floor = m as i64 - suspended as i64;
+                    (floor.max(0) as u64, floor)
+                }
+            };
+            TaskParams {
+                len: dag.critical_path_length(),
+                vol: dag.volume(),
+                period: task.period(),
+                deadline: task.deadline(),
+                denom,
+                floor,
+            }
+        })
+        .collect()
 }
 
 /// Runs the analysis on `set` (tasks in priority order, index 0 highest)
@@ -137,49 +166,10 @@ pub fn analyze_many_cancellable(
     token: &CancelToken,
 ) -> Result<Vec<SchedResult>, Cancelled> {
     assert!(m > 0, "platform must have at least one processor");
-    let base: Vec<TaskBase> = set
-        .iter()
-        .map(|(_, task)| {
-            let dag = task.dag();
-            TaskBase {
-                len: dag.critical_path_length(),
-                vol: dag.volume(),
-                period: task.period(),
-                deadline: task.deadline(),
-            }
-        })
-        .collect();
     models
         .iter()
         .map(|&model| {
-            let params: Vec<TaskParams> = set
-                .iter()
-                .zip(&base)
-                .map(|((_, task), b)| {
-                    let dag = task.dag();
-                    let (denom, floor) = match model {
-                        ConcurrencyModel::Full => (m as u64, m as i64),
-                        ConcurrencyModel::Limited => {
-                            let floor = ConcurrencyAnalysis::new(dag).concurrency_lower_bound(m);
-                            (floor.max(0) as u64, floor)
-                        }
-                        ConcurrencyModel::LimitedExact => {
-                            let suspended =
-                                ConcurrencyAnalysis::new(dag).max_suspended_forks().len();
-                            let floor = m as i64 - suspended as i64;
-                            (floor.max(0) as u64, floor)
-                        }
-                    };
-                    TaskParams {
-                        len: b.len,
-                        vol: b.vol,
-                        period: b.period,
-                        deadline: b.deadline,
-                        denom,
-                        floor,
-                    }
-                })
-                .collect();
+            let params = build_params(set, m, model);
             analyze_with_params(&params, m, token)
         })
         .collect()
@@ -212,23 +202,34 @@ fn analyze_with_params(
             hp_response.push(None);
             continue;
         }
-        let verdict = response_time_fixpoint(p, &params[..i], &hp_response[..i], m, token)?;
+        let verdict = response_time_fixpoint(p, &params[..i], &hp_response[..i], m, token, p.len)?;
         hp_response.push(verdict.response_time());
         verdicts.push(verdict);
     }
     Ok(SchedResult::new(verdicts))
 }
 
-fn response_time_fixpoint(
+/// Solves the response-time fix-point for one task, iterating from
+/// `start`.
+///
+/// The cold path starts from `len(λᵢ*)`. A warm caller may pass a larger
+/// `start` that it knows is `≤` the least fixed point (e.g. the previous
+/// pass's response time under the monotonicity guard of
+/// [`incremental`](crate::analysis::incremental)); the iteration then
+/// converges to the *same* least fixed point in fewer steps, because the
+/// right-hand side is monotone and every iterate from an
+/// under-approximation stays an under-approximation.
+pub(crate) fn response_time_fixpoint(
     p: &TaskParams,
     hp: &[TaskParams],
     hp_response: &[Option<u64>],
     m: usize,
     token: &CancelToken,
+    start: u64,
 ) -> Result<TaskVerdict, Cancelled> {
     // Intra-task interference is window-independent: vol − len.
     let self_interference = p.vol - p.len;
-    let mut r = p.len;
+    let mut r = start.max(p.len);
     loop {
         token.checkpoint()?;
         let mut interference = u128::from(self_interference);

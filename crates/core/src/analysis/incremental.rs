@@ -1,0 +1,641 @@
+//! Warm-started (incremental) response-time analysis.
+//!
+//! After a small edit to a task set — a WCET re-estimate, an extra edge,
+//! a toggled blocking pair — re-running the full analysis from scratch
+//! discards two reusable artifacts:
+//!
+//! 1. **The previous response-time vector.** The global fix-point
+//!    `Rᵢ = F(Rᵢ)` is monotone in every input (volumes, critical paths,
+//!    higher-priority response times) and *anti*tone in the concurrency
+//!    divisor. Whenever the edit moved every input in the pessimistic
+//!    direction, the old response time is still an under-approximation of
+//!    the new least fixed point, so the iteration may resume from it
+//!    instead of from `len(λᵢ*)` and converge in a handful of steps —
+//!    often exactly one. See [`analyze_many_warm`].
+//! 2. **The node-to-thread mappings.** Algorithm 1's output stays valid
+//!    under WCET-only edits (its deadlock-freedom argument, Lemma 3, is
+//!    purely structural), so the partitioned analysis can skip
+//!    repartitioning and re-analyze the deployed mapping directly. See
+//!    [`analyze_partitioned_warm`].
+//!
+//! Both entry points are *bit-identical fallbacks*: whenever the
+//! monotonicity guard cannot be established the affected task is simply
+//! analyzed cold, and a warm iteration that trips the deadline is rerun
+//! cold so the reported [`ResponseTimeExceedsDeadline`] bound — which
+//! depends on the iteration's starting point — matches the from-scratch
+//! analysis exactly.
+//!
+//! # Why resuming is sound
+//!
+//! Let `F_old`/`F_new` be the fix-point right-hand sides before and after
+//! the edit, and `R_old = lfp(F_old)` the previous response time. The
+//! seed guard checks, per task `i` (and numerically, using the values at
+//! hand rather than a conservative structural argument):
+//!
+//! * `len′ ≥ len` and `vol′ − len′ ≥ vol − len` (both terms of the
+//!   self-interference grew),
+//! * `denom′ ≤ denom` (the concurrency divisor shrank or held),
+//! * for every higher-priority task `j`: `T′ⱼ = Tⱼ`, `vol′ⱼ ≥ volⱼ`, and
+//!   the carry-in jitter `R′ⱼ − vol′ⱼ/m ≥ Rⱼ − volⱼ/m`.
+//!
+//! Under these conditions `F_new(x) ≥ F_old(x)` for every window `x`.
+//! Every `F_old`-iterate from `len` is then bounded by `lfp(F_new)` (by
+//! induction: `x ≤ lfp(F_new)` gives `F_old(x) ≤ F_new(x) ≤ lfp(F_new)`),
+//! hence `R_old ≤ lfp(F_new)` and the monotone iteration restarted at
+//! `max(R_old, len′)` converges to exactly `lfp(F_new)` — the same value
+//! the cold iteration reaches from `len′`.
+
+use crate::analysis::global::{build_params, response_time_fixpoint, ConcurrencyModel, TaskParams};
+use crate::analysis::partitioned::{
+    analyze as analyze_partitioned, partition_and_analyze, BlockingAwareness, PartitionStrategy,
+};
+use crate::analysis::{SchedResult, TaskVerdict, UnschedulableReason};
+use crate::cancel::{CancelToken, Cancelled};
+use crate::partition::NodeMapping;
+use crate::task::{TaskId, TaskSet};
+
+#[cfg(doc)]
+use crate::analysis::UnschedulableReason::ResponseTimeExceedsDeadline;
+
+/// Everything the next warm pass needs from the previous one: the
+/// parameters each response time was computed *from* (to validate the
+/// monotonicity guard) and the response times themselves (the seeds).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct TaskSnapshot {
+    len: u64,
+    vol: u64,
+    period: u64,
+    denom: u64,
+    response: Option<u64>,
+}
+
+/// Snapshot of a completed global analysis pass, used to warm-start the
+/// next one via [`analyze_many_warm`].
+///
+/// Opaque by design: it is only meaningful when fed back to the same
+/// analysis with the same platform. A snapshot taken for a different
+/// `m` or model list is silently ignored (the pass runs cold).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WarmStart {
+    m: usize,
+    models: Vec<ConcurrencyModel>,
+    snaps: Vec<Vec<TaskSnapshot>>,
+    seeded: usize,
+}
+
+impl WarmStart {
+    /// How many per-task fix-points of the pass that produced this
+    /// snapshot were warm-started from a previous response time (summed
+    /// over all models). Zero for a cold pass.
+    #[must_use]
+    pub fn seeded_tasks(&self) -> usize {
+        self.seeded
+    }
+}
+
+/// [`analyze_many`](crate::analysis::global::analyze_many) with
+/// warm-started fix-points: each task's iteration resumes from the
+/// previous pass's response time whenever the monotonicity guard holds
+/// (see the [module docs](self)), and falls back to the cold start
+/// otherwise. Verdicts are **bit-identical** to the from-scratch
+/// analysis in every case.
+///
+/// Returns the per-model results together with a [`WarmStart`] snapshot
+/// for the next pass. Pass `prev: None` for the first (cold) pass.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when `token` fires at a checkpoint; no partial
+/// results are produced.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rtpool_core::analysis::global::{analyze_many, ConcurrencyModel};
+/// use rtpool_core::analysis::incremental::analyze_many_warm;
+/// use rtpool_core::{CancelToken, Task, TaskSet};
+/// use rtpool_graph::DagBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = DagBuilder::new();
+/// let (_, _) = b.fork_join(10, &[20, 20, 20], 10, true)?;
+/// let dag = b.build()?;
+/// let models = [ConcurrencyModel::Full, ConcurrencyModel::Limited];
+/// let token = CancelToken::never();
+///
+/// let set = TaskSet::new(vec![Task::with_implicit_deadline(dag.clone(), 200)?]);
+/// let (_, warm) = analyze_many_warm(&set, 4, &models, &token, None)?;
+///
+/// // Re-estimate one branch WCET upward and resubmit: the fix-points
+/// // resume from the previous response times instead of starting over.
+/// let mut e = dag.edit();
+/// e.set_wcet(rtpool_graph::NodeId::from_index(2), 25);
+/// let (edited, _delta) = e.apply()?;
+/// let set = TaskSet::new(vec![Task::with_implicit_deadline(edited, 200)?]);
+/// let (warm_results, next) = analyze_many_warm(&set, 4, &models, &token, Some(&warm))?;
+/// assert_eq!(warm_results, analyze_many(&set, 4, &models));
+/// assert!(next.seeded_tasks() > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze_many_warm(
+    set: &TaskSet,
+    m: usize,
+    models: &[ConcurrencyModel],
+    token: &CancelToken,
+    prev: Option<&WarmStart>,
+) -> Result<(Vec<SchedResult>, WarmStart), Cancelled> {
+    assert!(m > 0, "platform must have at least one processor");
+    let mut results = Vec::with_capacity(models.len());
+    let mut snaps = Vec::with_capacity(models.len());
+    let mut seeded = 0;
+    for (mi, &model) in models.iter().enumerate() {
+        let params = build_params(set, m, model);
+        let prev_snaps = prev.and_then(|w| {
+            (w.m == m && w.models.get(mi).copied() == Some(model)).then(|| w.snaps[mi].as_slice())
+        });
+        let (result, snap, n) = analyze_model_seeded(&params, m, token, prev_snaps)?;
+        results.push(result);
+        snaps.push(snap);
+        seeded += n;
+    }
+    let warm = WarmStart {
+        m,
+        models: models.to_vec(),
+        snaps,
+        seeded,
+    };
+    Ok((results, warm))
+}
+
+/// One model's pass: the same task loop as the cold analysis, except the
+/// fix-point start is lifted to the previous response time when the seed
+/// guard holds.
+fn analyze_model_seeded(
+    params: &[TaskParams],
+    m: usize,
+    token: &CancelToken,
+    prev: Option<&[TaskSnapshot]>,
+) -> Result<(SchedResult, Vec<TaskSnapshot>, usize), Cancelled> {
+    let mut verdicts: Vec<TaskVerdict> = Vec::with_capacity(params.len());
+    let mut hp_response: Vec<Option<u64>> = Vec::with_capacity(params.len());
+    let mut seeded = 0;
+
+    for i in 0..params.len() {
+        token.checkpoint()?;
+        let p = &params[i];
+        if p.denom == 0 {
+            verdicts.push(TaskVerdict::Unschedulable {
+                reason: UnschedulableReason::NonPositiveConcurrency { floor: p.floor },
+            });
+            hp_response.push(None);
+            continue;
+        }
+        if let Some(bad) = (0..i).find(|&j| hp_response[j].is_none()) {
+            verdicts.push(TaskVerdict::Unschedulable {
+                reason: UnschedulableReason::DependsOnUnschedulable { task: TaskId(bad) },
+            });
+            hp_response.push(None);
+            continue;
+        }
+        let seed = prev
+            .and_then(|snaps| fixpoint_seed(i, params, &hp_response, snaps, m))
+            .unwrap_or(p.len);
+        if seed > p.len {
+            seeded += 1;
+        }
+        let mut verdict =
+            response_time_fixpoint(p, &params[..i], &hp_response[..i], m, token, seed)?;
+        if seed > p.len && !verdict.is_schedulable() {
+            // The reported over-deadline bound is the first iterate past
+            // the deadline, which depends on where the iteration started;
+            // rerun cold so it matches the from-scratch analysis exactly.
+            verdict = response_time_fixpoint(p, &params[..i], &hp_response[..i], m, token, p.len)?;
+        }
+        hp_response.push(verdict.response_time());
+        verdicts.push(verdict);
+    }
+    let snaps = params
+        .iter()
+        .zip(&hp_response)
+        .map(|(p, r)| TaskSnapshot {
+            len: p.len,
+            vol: p.vol,
+            period: p.period,
+            denom: p.denom,
+            response: *r,
+        })
+        .collect();
+    Ok((SchedResult::new(verdicts), snaps, seeded))
+}
+
+/// Decides whether task `i`'s fix-point may resume from its previous
+/// response time, returning the seed if so.
+///
+/// All conditions are checked numerically against the snapshot (see the
+/// [module docs](self) for why they imply `F_new ≥ F_old` pointwise and
+/// hence that the old response time under-approximates the new least
+/// fixed point).
+fn fixpoint_seed(
+    i: usize,
+    params: &[TaskParams],
+    hp_response_new: &[Option<u64>],
+    snaps: &[TaskSnapshot],
+    m: usize,
+) -> Option<u64> {
+    let old = snaps.get(i)?;
+    let prev_r = old.response?;
+    let p = &params[i];
+    if p.len < old.len || p.vol - p.len < old.vol - old.len || p.denom > old.denom {
+        return None;
+    }
+    for j in 0..i {
+        let q = &params[j];
+        let oq = snaps.get(j)?;
+        let r_new = hp_response_new[j]?;
+        let r_old = oq.response?;
+        if q.period != oq.period || q.vol < oq.vol {
+            return None;
+        }
+        let jit_new = r_new.saturating_sub(q.vol / m as u64);
+        let jit_old = r_old.saturating_sub(oq.vol / m as u64);
+        if jit_new < jit_old {
+            return None;
+        }
+    }
+    Some(prev_r)
+}
+
+/// Snapshot of a completed partitioned pass: the node-to-thread mappings
+/// it deployed, reusable by [`analyze_partitioned_warm`] as long as the
+/// task structures are unchanged.
+#[derive(Clone, Debug)]
+pub struct PartitionedWarm {
+    m: usize,
+    strategy: PartitionStrategy,
+    mappings: Vec<Option<NodeMapping>>,
+}
+
+impl PartitionedWarm {
+    /// The mappings deployed by the pass that produced this snapshot
+    /// (`None` where partitioning failed).
+    #[must_use]
+    pub fn mappings(&self) -> &[Option<NodeMapping>] {
+        &self.mappings
+    }
+}
+
+/// [`partition_and_analyze`] with mapping reuse: when a previous
+/// snapshot's mappings still cover every task (same `m`, same strategy,
+/// same node counts), Algorithm 1 / worst-fit is skipped entirely and the
+/// deployed mappings are re-analyzed against the edited WCETs.
+///
+/// Reuse is meant for **WCET-only** edits
+/// ([`DagDelta::is_wcet_only`](rtpool_graph::DagDelta::is_wcet_only)):
+/// the mapping's deadlock-freedom (Lemma 3) is purely structural, so a
+/// WCET re-estimate cannot invalidate it. As defense in depth the reuse
+/// path audits the mapping with [`BlockingAwareness::Checked`], so a
+/// structurally-stale mapping degrades to a sound
+/// [`UnschedulableReason::MappingDeadlock`] verdict rather than an
+/// optimistic one. Callers tracking a structural or blocking edit should
+/// pass `prev: None`.
+///
+/// Note the semantics differ from the global warm start: this re-analyzes
+/// the *deployed* mapping (the pool does not remap on a re-estimate), so
+/// the verdict matches a from-scratch run with the same mappings, not
+/// necessarily a from-scratch repartition.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+#[must_use]
+pub fn analyze_partitioned_warm(
+    set: &TaskSet,
+    m: usize,
+    strategy: PartitionStrategy,
+    prev: Option<&PartitionedWarm>,
+) -> (SchedResult, PartitionedWarm) {
+    assert!(m > 0, "platform must have at least one processor");
+    let reusable = prev.filter(|w| {
+        w.m == m
+            && w.strategy == strategy
+            && w.mappings.len() == set.len()
+            && set.iter().zip(&w.mappings).all(|((_, t), mp)| {
+                mp.as_ref().is_some_and(|mp| {
+                    mp.pool_size() == m && mp.node_count() == t.dag().node_count()
+                })
+            })
+    });
+    if let Some(w) = reusable {
+        let mappings: Vec<NodeMapping> = w
+            .mappings
+            .iter()
+            .map(|mp| mp.clone().expect("reusable snapshot has full coverage"))
+            .collect();
+        let result = analyze_partitioned(set, m, &mappings, BlockingAwareness::Checked);
+        return (result, w.clone());
+    }
+    let (result, mappings) = partition_and_analyze(set, m, strategy);
+    (
+        result,
+        PartitionedWarm {
+            m,
+            strategy,
+            mappings,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::global::analyze_many;
+    use crate::task::Task;
+    use rtpool_graph::{Dag, DagBuilder, NodeId};
+
+    const ALL_MODELS: [ConcurrencyModel; 3] = [
+        ConcurrencyModel::Full,
+        ConcurrencyModel::Limited,
+        ConcurrencyModel::LimitedExact,
+    ];
+
+    fn chain_task(wcets: &[u64], period: u64) -> Task {
+        let mut b = DagBuilder::new();
+        let nodes: Vec<_> = wcets.iter().map(|&w| b.add_node(w)).collect();
+        b.add_chain(&nodes).unwrap();
+        Task::with_implicit_deadline(b.build().unwrap(), period).unwrap()
+    }
+
+    fn fork_join_task(branches: &[u64], blocking: bool, period: u64) -> Task {
+        let mut b = DagBuilder::new();
+        b.fork_join(10, branches, 10, blocking).unwrap();
+        Task::with_implicit_deadline(b.build().unwrap(), period).unwrap()
+    }
+
+    /// `replicas` parallel blocking regions, to exercise b̄ > 1.
+    fn replicated_task(replicas: usize, period: u64) -> Task {
+        let mut b = DagBuilder::new();
+        let src = b.add_node(1);
+        let snk = b.add_node(1);
+        for _ in 0..replicas {
+            let (f, j) = b.fork_join(10, &[5, 5], 10, true).unwrap();
+            b.add_edge(src, f).unwrap();
+            b.add_edge(j, snk).unwrap();
+        }
+        Task::with_implicit_deadline(b.build().unwrap(), period).unwrap()
+    }
+
+    fn mixed_set() -> TaskSet {
+        TaskSet::new(vec![
+            chain_task(&[10, 10, 10], 200),
+            fork_join_task(&[20, 20, 20], true, 600),
+            replicated_task(2, 4_000),
+        ])
+    }
+
+    fn edit_wcet(task: &Task, node: usize, wcet: u64) -> Task {
+        let mut e = task.dag().edit();
+        e.set_wcet(NodeId::from_index(node), wcet);
+        let (dag, delta) = e.apply().unwrap();
+        assert!(delta.is_wcet_only());
+        Task::new(dag, task.period(), task.deadline()).unwrap()
+    }
+
+    fn replace_task(set: &TaskSet, i: usize, task: Task) -> TaskSet {
+        let mut tasks: Vec<Task> = set.iter().map(|(_, t)| t.clone()).collect();
+        tasks[i] = task;
+        TaskSet::new(tasks)
+    }
+
+    /// Warm results must be bit-identical to the cold analysis of the
+    /// same set; returns the snapshot for chaining.
+    fn assert_warm_matches_cold(set: &TaskSet, m: usize, prev: Option<&WarmStart>) -> WarmStart {
+        let (warm_results, next) =
+            analyze_many_warm(set, m, &ALL_MODELS, &CancelToken::never(), prev).unwrap();
+        assert_eq!(warm_results, analyze_many(set, m, &ALL_MODELS));
+        next
+    }
+
+    #[test]
+    fn cold_pass_matches_analyze_many() {
+        let set = mixed_set();
+        let warm = assert_warm_matches_cold(&set, 4, None);
+        assert_eq!(warm.seeded_tasks(), 0);
+    }
+
+    #[test]
+    fn identical_resubmission_seeds_every_schedulable_task() {
+        let set = mixed_set();
+        let warm = assert_warm_matches_cold(&set, 4, None);
+        let next = assert_warm_matches_cold(&set, 4, Some(&warm));
+        // Every task schedulable under every model re-converges in one
+        // seeded iteration from its old (still exact) response time.
+        assert!(next.seeded_tasks() > 0, "resubmission must warm-start");
+    }
+
+    #[test]
+    fn wcet_increase_seeds_and_matches_cold() {
+        let set = mixed_set();
+        let warm = assert_warm_matches_cold(&set, 4, None);
+        // Bump a branch WCET of the middle task: len/vol grow, structure
+        // (and thus every denom) unchanged — the guard holds.
+        let edited = replace_task(&set, 1, edit_wcet(set.iter().nth(1).unwrap().1, 1, 35));
+        let next = assert_warm_matches_cold(&edited, 4, Some(&warm));
+        assert!(next.seeded_tasks() > 0, "wcet increase must warm-start");
+    }
+
+    #[test]
+    fn wcet_decrease_falls_back_to_cold_start() {
+        let set = TaskSet::new(vec![chain_task(&[10, 10, 10], 200)]);
+        let warm = assert_warm_matches_cold(&set, 4, None);
+        // Shrinking a WCET shrinks len: the old response time may now
+        // overshoot the new fix-point, so the guard must refuse the seed.
+        let edited = replace_task(&set, 0, edit_wcet(set.iter().next().unwrap().1, 1, 2));
+        let next = assert_warm_matches_cold(&edited, 4, Some(&warm));
+        assert_eq!(next.seeded_tasks(), 0);
+    }
+
+    #[test]
+    fn seeded_deadline_violation_reruns_for_bit_identical_bound() {
+        // Two 80% tasks on m=1: schedulable at first, then the low task's
+        // WCET grows until its fix-point blows past the deadline. The
+        // warm pass must report the exact same over-deadline bound as the
+        // cold pass even though its iteration started further along.
+        let hp = chain_task(&[30], 100);
+        let lp = chain_task(&[40], 200);
+        let set = TaskSet::new(vec![hp, lp]);
+        let warm = assert_warm_matches_cold(&set, 1, None);
+        for wcet in [60, 90, 140, 200] {
+            let edited = replace_task(&set, 1, edit_wcet(set.iter().nth(1).unwrap().1, 0, wcet));
+            let _ = assert_warm_matches_cold(&edited, 1, Some(&warm));
+        }
+    }
+
+    #[test]
+    fn unschedulable_prerequisites_match_cold() {
+        // NonPositiveConcurrency (limited, b̄ = m) and the dependent
+        // DependsOnUnschedulable verdict must flow through the warm pass
+        // untouched, on both the cold and the seeded path.
+        let set = TaskSet::new(vec![replicated_task(4, 10_000), chain_task(&[5], 100)]);
+        let warm = assert_warm_matches_cold(&set, 4, None);
+        let _ = assert_warm_matches_cold(&set, 4, Some(&warm));
+    }
+
+    #[test]
+    fn structural_edit_matches_cold() {
+        // An extra precedence edge grows the critical path while the
+        // volume is unchanged, violating `vol − len ≥` old — the guard
+        // must fall back to a cold start and still agree bit-for-bit.
+        let mut b = DagBuilder::new();
+        let s = b.add_node(5);
+        let a = b.add_node(20);
+        let c = b.add_node(20);
+        let t = b.add_node(5);
+        for v in [a, c] {
+            b.add_edge(s, v).unwrap();
+            b.add_edge(v, t).unwrap();
+        }
+        let task = Task::with_implicit_deadline(b.build().unwrap(), 500).unwrap();
+        let set = TaskSet::new(vec![task]);
+        let warm = assert_warm_matches_cold(&set, 4, None);
+        let base = set.iter().next().unwrap().1.clone();
+        let mut e = base.dag().edit();
+        e.insert_edge(a, c);
+        let (dag, delta) = e.apply().unwrap();
+        assert!(!delta.is_wcet_only());
+        let edited = replace_task(
+            &set,
+            0,
+            Task::new(dag, base.period(), base.deadline()).unwrap(),
+        );
+        let next = assert_warm_matches_cold(&edited, 4, Some(&warm));
+        assert_eq!(next.seeded_tasks(), 0);
+    }
+
+    #[test]
+    fn mismatched_snapshot_is_ignored() {
+        let set = mixed_set();
+        let warm = assert_warm_matches_cold(&set, 4, None);
+        // Different platform width: the snapshot must not seed anything.
+        let next = assert_warm_matches_cold(&set, 8, Some(&warm));
+        assert_eq!(next.seeded_tasks(), 0);
+        // Different model list: same story.
+        let (results, next) = analyze_many_warm(
+            &set,
+            4,
+            &[ConcurrencyModel::Limited, ConcurrencyModel::Full],
+            &CancelToken::never(),
+            Some(&warm),
+        )
+        .unwrap();
+        assert_eq!(
+            results,
+            analyze_many(
+                &set,
+                4,
+                &[ConcurrencyModel::Limited, ConcurrencyModel::Full]
+            )
+        );
+        assert_eq!(next.seeded_tasks(), 0);
+    }
+
+    #[test]
+    fn grown_task_set_seeds_the_unchanged_prefix() {
+        let set = TaskSet::new(vec![chain_task(&[10, 10], 100), chain_task(&[15], 300)]);
+        let warm = assert_warm_matches_cold(&set, 2, None);
+        let mut tasks: Vec<Task> = set.iter().map(|(_, t)| t.clone()).collect();
+        tasks.push(fork_join_task(&[10, 10], false, 2_000));
+        let grown = TaskSet::new(tasks);
+        let next = assert_warm_matches_cold(&grown, 2, Some(&warm));
+        // The two existing tasks still seed; the appended one runs cold.
+        assert!(next.seeded_tasks() > 0);
+    }
+
+    #[test]
+    fn cancellation_propagates() {
+        let set = mixed_set();
+        let expired = CancelToken::with_deadline(std::time::Instant::now());
+        let r = analyze_many_warm(&set, 4, &ALL_MODELS, &expired, None);
+        assert_eq!(r, Err(Cancelled));
+    }
+
+    #[test]
+    fn partitioned_warm_reuses_mappings_on_wcet_edit() {
+        let set = TaskSet::new(vec![
+            fork_join_task(&[20, 20], true, 500),
+            fork_join_task(&[15, 15], true, 900),
+        ]);
+        let (cold, warm) = analyze_partitioned_warm(&set, 4, PartitionStrategy::Algorithm1, None);
+        assert!(cold.is_schedulable());
+        assert!(warm.mappings().iter().all(Option::is_some));
+
+        // WCET-only edit: the reuse path must equal a from-scratch
+        // analysis of the *same* mappings against the new WCETs.
+        let edited = replace_task(&set, 0, edit_wcet(set.iter().next().unwrap().1, 1, 27));
+        let (reused, warm2) =
+            analyze_partitioned_warm(&edited, 4, PartitionStrategy::Algorithm1, Some(&warm));
+        let mappings: Vec<NodeMapping> = warm
+            .mappings()
+            .iter()
+            .map(|mp| mp.clone().unwrap())
+            .collect();
+        assert_eq!(
+            reused,
+            analyze_partitioned(&edited, 4, &mappings, BlockingAwareness::Checked)
+        );
+        assert_eq!(warm2.mappings().len(), warm.mappings().len());
+    }
+
+    #[test]
+    fn partitioned_warm_repartitions_on_structural_change() {
+        let set = TaskSet::new(vec![fork_join_task(&[20, 20], false, 500)]);
+        let (_, warm) = analyze_partitioned_warm(&set, 4, PartitionStrategy::Algorithm1, None);
+        // Node insert changes the node count: the snapshot no longer
+        // covers the task, so the pass must repartition from scratch.
+        let base = set.iter().next().unwrap().1.clone();
+        let mut e = base.dag().edit();
+        let fork = NodeId::from_index(0);
+        let join = NodeId::from_index(base.dag().node_count() - 1);
+        // Non-blocking fork–join: insert a fresh parallel branch.
+        e.insert_node(9, &[fork], &[join]);
+        let (dag, delta) = e.apply().unwrap();
+        assert!(!delta.is_wcet_only());
+        let edited = TaskSet::new(vec![Task::new(dag, base.period(), base.deadline()).unwrap()]);
+        let (warm_result, _) =
+            analyze_partitioned_warm(&edited, 4, PartitionStrategy::Algorithm1, Some(&warm));
+        let (cold_result, _) = partition_and_analyze(&edited, 4, PartitionStrategy::Algorithm1);
+        assert_eq!(warm_result, cold_result);
+    }
+
+    #[test]
+    fn warm_matches_cold_across_random_wcet_ramps() {
+        // Monotone WCET ramp over a 3-task set: seed chains pass-to-pass
+        // and must stay bit-identical at every step.
+        let mut set = mixed_set();
+        let mut warm = assert_warm_matches_cold(&set, 4, None);
+        let mut bump = 11u64;
+        for step in 0..6 {
+            let i = step % set.len();
+            let task = set.iter().nth(i).unwrap().1.clone();
+            let node = 1 + step % (task.dag().node_count() - 1);
+            let old = task.dag().wcet(NodeId::from_index(node));
+            set = replace_task(&set, i, edit_wcet(&task, node, old + bump));
+            bump = bump.wrapping_mul(3).wrapping_add(7) % 40 + 1;
+            warm = assert_warm_matches_cold(&set, 4, Some(&warm));
+        }
+    }
+
+    #[test]
+    fn doc_invariant_edit_preserves_dag_type() {
+        // `edit_wcet` goes through the public Dag::edit() path; make sure
+        // the resulting task still validates as a model instance.
+        let t = fork_join_task(&[20, 20], true, 500);
+        let t2 = edit_wcet(&t, 1, 33);
+        t2.dag().validate_model().unwrap();
+        let _: &Dag = t2.dag();
+    }
+}

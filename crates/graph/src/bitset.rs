@@ -143,6 +143,22 @@ impl BitSet {
         self.words.fill(0);
     }
 
+    /// Raises the capacity to `new_capacity`, keeping every stored
+    /// index. Used by the incremental edit layer when a node is
+    /// appended to a graph whose reachability rows already exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_capacity` is below the current capacity.
+    pub fn grow(&mut self, new_capacity: usize) {
+        assert!(
+            new_capacity >= self.capacity,
+            "bitset capacity can only grow"
+        );
+        self.words.resize(new_capacity.div_ceil(64), 0);
+        self.capacity = new_capacity;
+    }
+
     /// Overwrites `self` with the contents of `other` without
     /// reallocating — the word-parallel analogue of `clone_from` for
     /// scratch buffers reused across iterations.

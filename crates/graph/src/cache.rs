@@ -14,8 +14,15 @@
 //! filled cells along). [`Dag::clone_uncached`] produces a structural
 //! copy with every cell empty, for benchmarking the miss path and for
 //! coherence tests.
+//!
+//! The two `O(|V|²/64)` artifacts — reachability and the delay profile —
+//! are held behind [`Arc`] so the incremental edit layer
+//! ([`Dag::edit`](crate::Dag::edit)) can share them across graph
+//! versions: a WCET-only edit carries both forward at refcount cost,
+//! and a structural edit clones the inner value once and patches only
+//! the dirty rows.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use crate::bitset::BitSet;
 use crate::dag::Dag;
@@ -59,26 +66,12 @@ pub struct DelayProfile {
 impl DelayProfile {
     pub(crate) fn new(dag: &Dag, reach: &Reachability) -> Self {
         let n = dag.node_count();
-        let mut bf_mask = BitSet::new(n);
-        for v in dag.node_ids() {
-            if dag.kind(v) == NodeKind::BlockingFork {
-                bf_mask.insert(v.index());
-            }
-        }
+        let bf_mask = bf_mask_of(dag);
         let mut rows = Vec::with_capacity(n);
         let mut counts = Vec::with_capacity(n);
         let mut max_count = 0usize;
         for v in dag.node_ids() {
-            // C(v): BF nodes neither preceding nor following v, minus v.
-            let mut row = bf_mask.clone();
-            row.difference_with(reach.descendants(v));
-            row.difference_with(reach.ancestors(v));
-            row.remove(v.index());
-            // F(v) is an ancestor of v, so it was just removed; re-insert
-            // it to obtain X(v) for blocking children.
-            if let Some(f) = dag.waiting_fork_of(v) {
-                row.insert(f.index());
-            }
+            let row = row_for(dag, reach, &bf_mask, v);
             let count = row.len();
             max_count = max_count.max(count);
             counts.push(u32::try_from(count).expect("|X(v)| fits in u32"));
@@ -116,6 +109,91 @@ impl DelayProfile {
     pub fn max_delay_count(&self) -> usize {
         self.max_count
     }
+
+    /// Grows every row (and appends empty rows) so the profile covers
+    /// `new_count` nodes. The appended rows are placeholders; callers
+    /// must list the new indices as dirty in a subsequent
+    /// [`DelayProfile::repatch`].
+    pub(crate) fn grow(&mut self, new_count: usize) {
+        for row in &mut self.rows {
+            row.grow(new_count);
+        }
+        while self.rows.len() < new_count {
+            self.rows.push(BitSet::new(new_count));
+            self.counts.push(0);
+        }
+    }
+
+    /// Recomputes the rows of `dirty` node indices against the (already
+    /// patched) `dag` and `reach`, then refreshes `b̄`. Cost is one
+    /// `O(|V|/64)` sweep per dirty node — the whole-profile rebuild only
+    /// when every node is dirty.
+    pub(crate) fn repatch(&mut self, dag: &Dag, reach: &Reachability, dirty: &[usize]) {
+        let bf_mask = bf_mask_of(dag);
+        for &i in dirty {
+            let v = NodeId::from_index(i);
+            let row = row_for(dag, reach, &bf_mask, v);
+            self.counts[i] = u32::try_from(row.len()).expect("|X(v)| fits in u32");
+            self.rows[i] = row;
+        }
+        self.refresh_max();
+    }
+
+    /// Adds or clears the `fork` column across all rows after a
+    /// blocking-flag toggle. Reachability is unchanged by a toggle, so
+    /// membership of `fork` in `X(v)` is `C`-concurrency with `v` (or
+    /// `v` waiting on `fork`), evaluated in `O(1)` per row.
+    pub(crate) fn toggle_fork(&mut self, dag: &Dag, reach: &Reachability, fork: NodeId, on: bool) {
+        let f = fork.index();
+        for (i, row) in self.rows.iter_mut().enumerate() {
+            let v = NodeId::from_index(i);
+            let changed = if on {
+                let member = reach.are_concurrent(fork, v) || dag.waiting_fork_of(v) == Some(fork);
+                member && row.insert(f)
+            } else {
+                row.remove(f)
+            };
+            if changed {
+                if on {
+                    self.counts[i] += 1;
+                } else {
+                    self.counts[i] -= 1;
+                }
+            }
+        }
+        self.refresh_max();
+    }
+
+    /// Recomputes `max_count` from the per-row counts (`O(|V|)`).
+    pub(crate) fn refresh_max(&mut self) {
+        self.max_count = self.counts.iter().map(|&c| c as usize).max().unwrap_or(0);
+    }
+}
+
+/// Bitset of the `BF` node indices of `dag`.
+fn bf_mask_of(dag: &Dag) -> BitSet {
+    let mut bf_mask = BitSet::new(dag.node_count());
+    for v in dag.node_ids() {
+        if dag.kind(v) == NodeKind::BlockingFork {
+            bf_mask.insert(v.index());
+        }
+    }
+    bf_mask
+}
+
+/// One delay row: `X(v) = C(v) ∪ F'(v)` restricted to `BF` nodes.
+fn row_for(dag: &Dag, reach: &Reachability, bf_mask: &BitSet, v: NodeId) -> BitSet {
+    // C(v): BF nodes neither preceding nor following v, minus v.
+    let mut row = bf_mask.clone();
+    row.difference_with(reach.descendants(v));
+    row.difference_with(reach.ancestors(v));
+    row.remove(v.index());
+    // F(v) is an ancestor of v, so it was just removed; re-insert
+    // it to obtain X(v) for blocking children.
+    if let Some(f) = dag.waiting_fork_of(v) {
+        row.insert(f.index());
+    }
+    row
 }
 
 /// The lazy cells carried by every [`Dag`]. All fields start empty (or
@@ -126,10 +204,10 @@ pub(crate) struct DerivedCache {
     pub(crate) volume: OnceLock<u64>,
     pub(crate) metrics: OnceLock<PathMetrics>,
     pub(crate) critical_path: OnceLock<CriticalPath>,
-    pub(crate) reach: OnceLock<Reachability>,
+    pub(crate) reach: OnceLock<Arc<Reachability>>,
     pub(crate) blocking_forks: OnceLock<Vec<NodeId>>,
     pub(crate) bf_antichain: OnceLock<Vec<NodeId>>,
-    pub(crate) delays: OnceLock<DelayProfile>,
+    pub(crate) delays: OnceLock<Arc<DelayProfile>>,
     pub(crate) content_hash: OnceLock<u64>,
 }
 
@@ -139,7 +217,7 @@ impl DerivedCache {
     /// finished graph never recomputes it.
     pub(crate) fn with_reachability(reach: Reachability) -> Self {
         let cache = DerivedCache::default();
-        let _ = cache.reach.set(reach);
+        let _ = cache.reach.set(Arc::new(reach));
         cache
     }
 }

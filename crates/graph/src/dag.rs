@@ -223,7 +223,9 @@ impl Dag {
     /// builder-constructed graphs.
     #[must_use]
     pub fn reachability(&self) -> &Reachability {
-        self.cache.reach.get_or_init(|| Reachability::new(self))
+        self.cache
+            .reach
+            .get_or_init(|| std::sync::Arc::new(Reachability::new(self)))
     }
 
     /// The per-node delay sets `X(v)` and the bound `b̄` of the paper's
@@ -232,7 +234,7 @@ impl Dag {
     pub fn delay_profile(&self) -> &DelayProfile {
         self.cache
             .delays
-            .get_or_init(|| DelayProfile::new(self, self.reachability()))
+            .get_or_init(|| std::sync::Arc::new(DelayProfile::new(self, self.reachability())))
     }
 
     /// A maximum antichain of the `BF` nodes: the largest set of blocking
@@ -287,6 +289,20 @@ impl Dag {
             }
             h
         })
+    }
+
+    /// Opens a versioned edit session on this graph.
+    ///
+    /// The returned [`DagEdit`](crate::DagEdit) accumulates mutations
+    /// (WCET changes, edge/node insertions, blocking-flag toggles) and
+    /// applies them to a *new* `Dag` whose derived-analysis cache is
+    /// patched in place instead of discarded: only the affected cone of
+    /// reachability rows and delay sets is recomputed, and a WCET-only
+    /// edit shares the `O(|V|²)` artifacts with the base graph outright.
+    /// `self` is unchanged.
+    #[must_use]
+    pub fn edit(&self) -> crate::DagEdit<'_> {
+        crate::DagEdit::new(self)
     }
 
     /// A structural copy of this graph with an *empty* derived-analysis

@@ -67,6 +67,14 @@ pub enum GraphError {
     /// The source or sink node is typed `BF`/`BJ`/`BC`; the paper requires
     /// endpoints of type `NB`.
     BlockingEndpoint(NodeId),
+    /// An edit tried to dissolve a blocking pair `(fork, join)` that is
+    /// not currently declared.
+    NoSuchPair {
+        /// The fork named by the edit.
+        fork: NodeId,
+        /// The join named by the edit.
+        join: NodeId,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -106,6 +114,9 @@ impl fmt::Display for GraphError {
             GraphError::BlockingEndpoint(v) => {
                 write!(f, "source/sink node {v} must be non-blocking")
             }
+            GraphError::NoSuchPair { fork, join } => {
+                write!(f, "({fork}, {join}) is not a declared blocking pair")
+            }
         }
     }
 }
@@ -129,7 +140,9 @@ impl GraphError {
             | GraphError::BlockingEndpoint(v) => vec![*v],
             GraphError::DuplicateEdge(a, b) => vec![*a, *b],
             GraphError::MultipleSources(vs) | GraphError::MultipleSinks(vs) => vs.clone(),
-            GraphError::UnreachableJoin { fork, join } => vec![*fork, *join],
+            GraphError::UnreachableJoin { fork, join } | GraphError::NoSuchPair { fork, join } => {
+                vec![*fork, *join]
+            }
             GraphError::RegionLeak {
                 fork,
                 inner,

@@ -64,6 +64,7 @@ mod builder;
 mod cache;
 mod dag;
 mod dot;
+mod edit;
 mod error;
 mod node;
 mod paths;
@@ -79,6 +80,7 @@ pub use builder::DagBuilder;
 pub use cache::DelayProfile;
 pub use dag::Dag;
 pub use dot::DotOptions;
+pub use edit::{DagDelta, DagEdit, EditOp};
 pub use error::GraphError;
 pub use node::{NodeId, NodeKind};
 pub use paths::{CriticalPath, PathMetrics};

@@ -91,6 +91,46 @@ impl Reachability {
         self.descendants.len()
     }
 
+    /// Patches the closure for a newly inserted edge `u -> v`, assuming
+    /// acyclicity was already checked (`!reaches(v, u)`).
+    ///
+    /// Only the affected cone is touched: the descendant rows of `u` and
+    /// its ancestors gain `{v} ∪ desc(v)`, the ancestor rows of `v` and
+    /// its descendants gain `{u} ∪ anc(u)`. Returns the cone — every node
+    /// whose rows may have changed — as sorted indices.
+    pub(crate) fn patch_edge(&mut self, u: NodeId, v: NodeId) -> Vec<usize> {
+        debug_assert!(!self.reaches(v, u), "edge would close a cycle");
+        let mut desc_add = self.descendants[v.index()].clone();
+        desc_add.insert(v.index());
+        let mut anc_add = self.ancestors[u.index()].clone();
+        anc_add.insert(u.index());
+        let mut dirty: Vec<usize> = Vec::new();
+        for a in std::iter::once(u.index()).chain(anc_add.iter().filter(|&a| a != u.index())) {
+            self.descendants[a].union_with(&desc_add);
+            dirty.push(a);
+        }
+        for d in std::iter::once(v.index()).chain(desc_add.iter().filter(|&d| d != v.index())) {
+            self.ancestors[d].union_with(&anc_add);
+            dirty.push(d);
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        dirty
+    }
+
+    /// Grows the table to cover `new_count` nodes, appending empty rows
+    /// for the new indices. Edges touching the new nodes are patched in
+    /// afterwards via [`Reachability::patch_edge`].
+    pub(crate) fn grow(&mut self, new_count: usize) {
+        for row in self.descendants.iter_mut().chain(self.ancestors.iter_mut()) {
+            row.grow(new_count);
+        }
+        while self.descendants.len() < new_count {
+            self.descendants.push(BitSet::new(new_count));
+            self.ancestors.push(BitSet::new(new_count));
+        }
+    }
+
     /// Returns `true` if there is a (possibly transitive) path `from -> to`.
     ///
     /// A node does not reach itself.

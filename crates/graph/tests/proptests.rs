@@ -277,6 +277,100 @@ proptest! {
     }
 
     #[test]
+    fn random_edit_scripts_keep_cache_coherent(depth in 1u32..4, seed in any::<u64>(), steps in 1usize..12) {
+        // Apply a random edit script one op at a time (invalid candidate
+        // ops are rejected atomically and skipped); after every accepted
+        // op, the patched cache must be bit-identical to a cold recompute
+        // on the structurally identical uncached clone.
+        let mut dag = fork_join_tree(depth, seed);
+        // Warm every cell so edits exercise the patch paths, not lazy fills.
+        let _ = dag.volume();
+        let _ = dag.critical_path();
+        let _ = dag.delay_profile();
+        let _ = dag.max_blocking_antichain();
+
+        let mut rng = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut next = move || {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            rng >> 33
+        };
+        let mut accepted = 0usize;
+        for _ in 0..steps {
+            let n = dag.node_count();
+            let pick = |r: u64| NodeId::from_index((r as usize) % n);
+            let mut e = dag.edit();
+            match next() % 4 {
+                0 => {
+                    e.set_wcet(pick(next()), 1 + next() % 100);
+                }
+                1 => {
+                    e.insert_edge(pick(next()), pick(next()));
+                }
+                2 => {
+                    let _ = e.insert_node(1 + next() % 100, &[pick(next())], &[pick(next())]);
+                }
+                _ => {
+                    // Prefer dissolving an existing region when one exists;
+                    // otherwise try declaring a random pair.
+                    let regions = dag.blocking_regions();
+                    if !regions.is_empty() && next().is_multiple_of(2) {
+                        let r = &regions[(next() as usize) % regions.len()];
+                        e.set_blocking(r.fork(), r.join(), false);
+                    } else {
+                        e.set_blocking(pick(next()), pick(next()), true);
+                    }
+                }
+            }
+            let Ok((edited, delta)) = e.apply() else { continue };
+            accepted += 1;
+            prop_assert!(delta.dirty.is_sorted());
+            edited.validate_model().unwrap();
+
+            let fresh = edited.clone_uncached();
+            prop_assert_eq!(edited.volume(), fresh.volume());
+            prop_assert_eq!(edited.critical_path_length(), fresh.critical_path_length());
+            prop_assert_eq!(edited.blocking_forks(), fresh.blocking_forks());
+            prop_assert_eq!(edited.max_blocking_antichain(), fresh.max_blocking_antichain());
+            prop_assert_eq!(edited.content_hash(), fresh.content_hash());
+            let (r_e, r_f) = (edited.reachability(), fresh.reachability());
+            let (d_e, d_f) = (edited.delay_profile(), fresh.delay_profile());
+            prop_assert_eq!(d_e.max_delay_count(), d_f.max_delay_count());
+            for v in edited.node_ids() {
+                prop_assert_eq!(r_e.descendants(v), r_f.descendants(v), "desc({}) diverged", v);
+                prop_assert_eq!(r_e.ancestors(v), r_f.ancestors(v), "anc({}) diverged", v);
+                prop_assert_eq!(d_e.delay_row(v), d_f.delay_row(v), "X({}) diverged", v);
+                prop_assert_eq!(d_e.delay_count(v), d_f.delay_count(v));
+            }
+            dag = edited;
+        }
+        // Rejected candidates never corrupt the base graph.
+        let _ = accepted;
+        dag.validate_model().unwrap();
+    }
+
+    #[test]
+    fn wcet_only_edits_share_structural_artifacts(depth in 1u32..4, seed in any::<u64>()) {
+        let dag = fork_join_tree(depth, seed);
+        let _ = dag.delay_profile();
+        let node = NodeId::from_index((seed as usize) % dag.node_count());
+        let mut e = dag.edit();
+        e.set_wcet(node, 7);
+        let (edited, delta) = e.apply().unwrap();
+        prop_assert!(delta.is_wcet_only());
+        // Shared allocations, not copies: the edited graph's closure and
+        // delay profile are the very same rows as the base's.
+        prop_assert!(std::ptr::eq(dag.reachability(), edited.reachability()));
+        prop_assert!(std::ptr::eq(dag.delay_profile(), edited.delay_profile()));
+        prop_assert_eq!(edited.wcet(node), 7);
+        prop_assert_eq!(
+            edited.volume(),
+            dag.volume() - dag.wcet(node) + 7
+        );
+    }
+
+    #[test]
     fn regions_partition_blocking_nodes(depth in 1u32..4, seed in any::<u64>()) {
         let dag = fork_join_tree(depth, seed);
         let mut covered = vec![false; dag.node_count()];

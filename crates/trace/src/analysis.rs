@@ -433,6 +433,28 @@ impl TraceAnalysis {
                     .task(ti)
                     .map_or_else(|| "n=0".to_string(), |m| m.response_histogram.summary())
             );
+            // NodeStart→NodeEnd dispatch latency across all of the
+            // task's nodes: the per-node body times merged into one
+            // percentile profile (ROADMAP item 3: per-engine latency
+            // comparison lives on top of this line).
+            let mut node_lat = crate::LatencyHistogram::new();
+            for ((t, _), h) in self.metrics.node_latencies() {
+                if t == ti {
+                    node_lat.merge(h);
+                }
+            }
+            if node_lat.count() > 0 {
+                let q = |p| node_lat.quantile_upper(p).unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "  node_latency: n={} p50={} p90={} p99={} max={}",
+                    node_lat.count(),
+                    q(0.50),
+                    q(0.90),
+                    q(0.99),
+                    node_lat.max().unwrap_or(0)
+                );
+            }
             // Dispatch observability (engines emitting QueueDepth /
             // StealBatch events): fetched-queue backlog and steal volume.
             let mut depths = crate::LatencyHistogram::new();

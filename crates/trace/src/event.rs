@@ -229,6 +229,16 @@ pub enum EventKind {
         /// Nodes moved by this steal.
         count: u32,
     },
+    /// A mutated resubmission was answered from a delta-patched cache
+    /// entry (serve only): the admission service resolved an `edit`
+    /// request by patching the base DAG's derived cache in place and
+    /// warm-starting the analysis, instead of taking a cold miss.
+    CacheDeltaHit {
+        /// Task index.
+        task: u32,
+        /// Job index within the task (the resubmission's job number).
+        job: u32,
+    },
 }
 
 impl EventKind {
@@ -249,6 +259,7 @@ impl EventKind {
             EventKind::Recovery { .. } => "Recovery",
             EventKind::QueueDepth { .. } => "QueueDepth",
             EventKind::StealBatch { .. } => "StealBatch",
+            EventKind::CacheDeltaHit { .. } => "CacheDeltaHit",
         }
     }
 
@@ -268,7 +279,8 @@ impl EventKind {
             | EventKind::StallDetected { task, .. }
             | EventKind::Recovery { task, .. }
             | EventKind::QueueDepth { task, .. }
-            | EventKind::StealBatch { task, .. } => Some(*task),
+            | EventKind::StealBatch { task, .. }
+            | EventKind::CacheDeltaHit { task, .. } => Some(*task),
             EventKind::CoreAssign { occupant, .. } => occupant.map(|(t, _)| t),
         }
     }
@@ -305,7 +317,8 @@ impl EventKind {
             | EventKind::StallDetected { task, .. }
             | EventKind::Recovery { task, .. }
             | EventKind::QueueDepth { task, .. }
-            | EventKind::StealBatch { task, .. } => *task = new,
+            | EventKind::StealBatch { task, .. }
+            | EventKind::CacheDeltaHit { task, .. } => *task = new,
             EventKind::CoreAssign { occupant, .. } => {
                 if let Some((t, _)) = occupant {
                     *t = new;

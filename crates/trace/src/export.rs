@@ -73,7 +73,8 @@ fn chrome_layout(trace: &Trace, kind: &EventKind) -> (&'static str, u32, u32) {
         EventKind::JobReleased { task, .. }
         | EventKind::JobCompleted { task, .. }
         | EventKind::StallDetected { task, .. }
-        | EventKind::Recovery { task, .. } => ("i", *task, 0),
+        | EventKind::Recovery { task, .. }
+        | EventKind::CacheDeltaHit { task, .. } => ("i", *task, 0),
     }
 }
 
@@ -86,7 +87,9 @@ fn chrome_args(e: &TraceEvent) -> String {
         format!("\"kind\":\"{}\"", e.kind.name()),
     ];
     match &e.kind {
-        EventKind::JobReleased { task, job } | EventKind::JobCompleted { task, job } => {
+        EventKind::JobReleased { task, job }
+        | EventKind::JobCompleted { task, job }
+        | EventKind::CacheDeltaHit { task, job } => {
             fields.push(format!("\"task\":{task}"));
             fields.push(format!("\"job\":{job}"));
         }
@@ -586,6 +589,10 @@ fn kind_from_args(args: &JsonValue) -> Result<EventKind, ExportError> {
             thread: field_u32(args, "thread")?,
             depth: field_u32(args, "depth")?,
         },
+        "CacheDeltaHit" => EventKind::CacheDeltaHit {
+            task: field_u32(args, "task")?,
+            job: field_u32(args, "job")?,
+        },
         "StealBatch" => EventKind::StealBatch {
             task: field_u32(args, "task")?,
             thread: field_u32(args, "thread")?,
@@ -692,7 +699,8 @@ pub fn to_csv(trace: &Trace) -> String {
         let mut label = String::new();
         match &e.kind {
             EventKind::JobReleased { task: t, job: j }
-            | EventKind::JobCompleted { task: t, job: j } => {
+            | EventKind::JobCompleted { task: t, job: j }
+            | EventKind::CacheDeltaHit { task: t, job: j } => {
                 task = t.to_string();
                 job = j.to_string();
             }
@@ -928,6 +936,7 @@ mod tests {
                 count: 1,
             },
         );
+        r.record(9, EventKind::CacheDeltaHit { task: 1, job: 1 });
         r.record(9, EventKind::JobCompleted { task: 0, job: 0 });
         r.finish(12)
     }

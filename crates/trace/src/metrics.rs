@@ -156,6 +156,9 @@ pub struct TaskMetrics {
     pub stalls: usize,
     /// Node executions finished (`NodeEnd` events).
     pub nodes_executed: usize,
+    /// Mutated resubmissions answered from a delta-patched cache entry
+    /// (`CacheDeltaHit` events, serve only).
+    pub delta_hits: usize,
 }
 
 impl TaskMetrics {
@@ -169,6 +172,7 @@ impl TaskMetrics {
             min_available: cores,
             stalls: 0,
             nodes_executed: 0,
+            delta_hits: 0,
         }
     }
 }
@@ -290,6 +294,9 @@ impl MetricsRegistry {
                 ..
             } => {
                 *self.steal_counts.entry((*task, *thread)).or_insert(0) += u64::from(*count);
+            }
+            EventKind::CacheDeltaHit { task, .. } => {
+                self.task_mut(*task).delta_hits += 1;
             }
             EventKind::ThreadPark { .. }
             | EventKind::ThreadUnpark { .. }
