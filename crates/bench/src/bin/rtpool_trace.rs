@@ -272,11 +272,14 @@ fn task_out(out: Option<&PathBuf>, task: usize, tasks: usize) -> Option<PathBuf>
 }
 
 /// Runs task `i` of the set once on `engine`, returning its trace
-/// (re-indexed to position `i`).
+/// (re-indexed to position `i`). The pool waits on barriers with the
+/// workload's own sync backend (the `.rtp` `backend` directive), so a
+/// spin workload exports `SpinStart`/`SpinEnd` windows.
 fn run_task_trace(
     args: &RunArgs,
     i: usize,
     task: &rtpool_core::Task,
+    backend: rtpool_core::SyncBackend,
     engine: PoolEngine,
 ) -> Result<Trace, String> {
     let discipline = match args.policy {
@@ -288,6 +291,7 @@ fn run_task_trace(
     };
     let config = PoolConfig::new(args.m, discipline)
         .with_engine(engine)
+        .with_backend(backend)
         .with_time_scale(args.time_scale)
         .with_watchdog(args.timeout)
         .with_trace();
@@ -328,7 +332,7 @@ fn compare_engines(args: &RunArgs, set: &TaskSet) -> Result<(), String> {
             "engine", "count", "p50", "p90", "p99", "max"
         );
         for engine in [PoolEngine::V1Condvar, PoolEngine::V2LockFree] {
-            let trace = run_task_trace(args, i, task, engine)?;
+            let trace = run_task_trace(args, i, task, set.backend(), engine)?;
             let metrics = MetricsRegistry::from_trace(&trace);
             let ti = u32::try_from(i).unwrap_or(u32::MAX);
             let mut lat = LatencyHistogram::new();
@@ -364,7 +368,7 @@ fn run_exec(args: &RunArgs, set: &TaskSet) -> Result<(), String> {
     let tasks = set.iter().count();
     for (id, task) in set.iter() {
         let i = id.index();
-        let trace = run_task_trace(args, i, task, engine)?;
+        let trace = run_task_trace(args, i, task, set.backend(), engine)?;
         if args.format == Format::Summary && args.out.is_none() && tasks > 1 {
             println!("--- task {i} ---");
         }

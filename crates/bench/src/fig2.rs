@@ -395,7 +395,7 @@ pub fn run_point_reference(inset: Inset, x: i64, params: &Fig2Params) -> SeriesP
     fold_point(inset, x, &outcomes, &mut printed)
 }
 
-fn derive_seed(base: u64, inset: Inset, x: i64, sample: usize) -> u64 {
+pub(crate) fn derive_seed(base: u64, inset: Inset, x: i64, sample: usize) -> u64 {
     // SplitMix-style mixing of the coordinates.
     let mut z = base
         ^ (inset.letter().as_bytes()[0] as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
@@ -449,7 +449,7 @@ pub fn sample_for_trace(inset: Inset, x: i64, seed: u64) -> Result<(TaskSet, usi
 /// Shared sample driver: generates (with the inset's discard rule) and
 /// evaluates one sample, returning the surviving set, its core count,
 /// and the `(proposed, baseline)` verdicts.
-fn sample_with_verdicts(
+pub(crate) fn sample_with_verdicts(
     inset: Inset,
     x: i64,
     rng: &mut rand::rngs::StdRng,
@@ -533,14 +533,14 @@ fn sample_with_verdicts(
     }
 }
 
-fn is_global(inset: Inset) -> bool {
+pub(crate) fn is_global(inset: Inset) -> bool {
     matches!(inset, Inset::A | Inset::C | Inset::E)
 }
 
 /// Evaluates `(proposed, baseline)` schedulability for one set through
 /// the shared [`pipeline::battery`], so every inset's analysis pass goes
 /// through the same (cached) call path.
-fn evaluate_set(inset: Inset, set: &TaskSet, m: usize) -> (bool, bool) {
+pub(crate) fn evaluate_set(inset: Inset, set: &TaskSet, m: usize) -> (bool, bool) {
     pipeline::battery(set, m, is_global(inset))
 }
 

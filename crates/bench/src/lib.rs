@@ -22,6 +22,7 @@ pub mod ablation;
 pub mod fig2;
 pub mod pipeline;
 pub mod serve;
+pub mod spin_study;
 pub mod sweep;
 pub mod table;
 pub mod tightness;

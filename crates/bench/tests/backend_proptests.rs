@@ -1,0 +1,77 @@
+//! Property tests tying the spin-mode analysis to the simulator: if the
+//! spin-aware RTA accepts a task set, the simulated spin execution must
+//! finish within the analytic response-time bounds — the busy-wait
+//! interference inflation is an upper bound on what spinning cores can
+//! actually cost.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rtpool_core::analysis::global::{self, ConcurrencyModel};
+use rtpool_core::{SyncBackend, TaskId, TaskSet};
+use rtpool_gen::{DagGenConfig, TaskSetConfig};
+use rtpool_sim::{SchedulingPolicy, SimConfig};
+
+fn random_set(seed: u64, n: usize, util: f64) -> TaskSet {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    TaskSetConfig::new(n, util, DagGenConfig::default())
+        .generate(&mut rng)
+        .expect("unconstrained generation succeeds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Spin RTA soundness against the simulator: accepted spin sets
+    /// observe responses at or below their analytic bounds.
+    #[test]
+    fn spin_rta_bound_dominates_sim_responses(
+        seed in any::<u64>(), m in 2usize..6, n in 1usize..4
+    ) {
+        let set = random_set(seed, n, 1.2).with_backend(SyncBackend::Spin);
+        let result = global::analyze(&set, m, ConcurrencyModel::Limited);
+        if !result.is_schedulable() {
+            return Ok(());
+        }
+        let out = SimConfig::single_job(SchedulingPolicy::Global, m)
+            .run(&set)
+            .expect("simulation runs");
+        for (i, task_out) in out.tasks().iter().enumerate() {
+            let bound = result
+                .verdict(TaskId(i))
+                .response_time()
+                .expect("schedulable verdict carries a bound");
+            prop_assert!(
+                task_out.stall.is_none(),
+                "seed {seed}: spin-schedulable set stalled at task {i}"
+            );
+            for &r in &task_out.responses {
+                prop_assert!(
+                    r <= bound,
+                    "seed {seed}: task {i} observed spin response {r} > RTA bound {bound}"
+                );
+            }
+        }
+    }
+
+    /// The suspend verdict dominates the spin verdict on the *same* set:
+    /// flipping a schedulable set to spin may break it, never the other
+    /// way around.
+    #[test]
+    fn spin_verdict_never_beats_suspend(seed in any::<u64>(), m in 2usize..9, n in 1usize..4) {
+        let suspend_set = random_set(seed, n, 1.5);
+        let spin_set = suspend_set.clone().with_backend(SyncBackend::Spin);
+        let suspend = global::analyze(&suspend_set, m, ConcurrencyModel::Limited);
+        let spin = global::analyze(&spin_set, m, ConcurrencyModel::Limited);
+        if spin.is_schedulable() {
+            prop_assert!(
+                suspend.is_schedulable(),
+                "seed {seed}: spin accepted a set suspend rejected"
+            );
+            for i in 0..n {
+                let rs = suspend.verdict(TaskId(i)).response_time().unwrap();
+                let rp = spin.verdict(TaskId(i)).response_time().unwrap();
+                prop_assert!(rs <= rp, "seed {seed}: suspend bound {rs} above spin bound {rp}");
+            }
+        }
+    }
+}

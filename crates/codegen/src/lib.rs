@@ -61,7 +61,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use rtpool_core::textfmt::SourceSpans;
-use rtpool_core::TaskSet;
+use rtpool_core::{SyncBackend, TaskSet};
 use rtpool_lint::{check_source, LintOptions, RuleCode, Severity};
 
 /// Everything the lint gate certified about a workload; input to module
@@ -77,6 +77,16 @@ pub struct Certified {
     /// The workload's maximum simultaneously-suspended blocking-fork
     /// antichain, maximized over tasks.
     pub b_bar: usize,
+    /// The workload's maximum per-node delay-set size, maximized over
+    /// tasks: the spin-mode blocking bound. Always `>= b_bar` — a
+    /// busy-waiting fork never frees its core, so mutually-exclusive
+    /// blocking regions (which an antichain excludes) still stack up.
+    pub b_bar_delay: usize,
+    /// The barrier-wait backend declared by the workload's `backend`
+    /// directive ([`SyncBackend::Suspend`] when absent). The gate's
+    /// RT101 floor is `m >= b_bar + 1` under suspend but
+    /// `m >= b_bar_delay + 1` under spin.
+    pub backend: SyncBackend,
     /// The parsed tasks.
     pub task_set: TaskSet,
     /// Declaration-site spans (node names live here).
@@ -200,6 +210,12 @@ impl Codegen {
             .map(|(_, t)| t.dag().max_blocking_antichain().len())
             .max()
             .unwrap_or(0);
+        let b_bar_delay = task_set
+            .iter()
+            .map(|(_, t)| t.dag().delay_profile().max_delay_count())
+            .max()
+            .unwrap_or(0);
+        let backend = task_set.backend();
         let warnings = report
             .diagnostics
             .iter()
@@ -211,6 +227,8 @@ impl Codegen {
             source_text,
             m: self.m,
             b_bar,
+            b_bar_delay,
+            backend,
             task_set,
             spans,
             warnings,
@@ -386,5 +404,93 @@ end
     #[should_panic(expected = "unknown rtlint rule code")]
     fn unknown_policy_code_panics() {
         let _ = Codegen::new("w.rtp", 2).deny("RT999");
+    }
+
+    /// Two branches, each a chain of two blocking regions: the blocking
+    /// antichain is 2 but the delay count is 3, so the suspend and spin
+    /// floors disagree at m = 3.
+    const CHAINED_REGIONS: &str = "\
+task period=1000 deadline=1000
+  node src 1
+  node f1 2
+  node a1 5
+  node a2 5
+  node j1 2
+  node f2 2
+  node b1 5
+  node b2 5
+  node j2 2
+  node f3 2
+  node c1 5
+  node c2 5
+  node j3 2
+  node f4 2
+  node d1 5
+  node d2 5
+  node j4 2
+  node snk 1
+  edge src f1
+  edge src f3
+  edge f1 a1
+  edge f1 a2
+  edge a1 j1
+  edge a2 j1
+  edge j1 f2
+  edge f2 b1
+  edge f2 b2
+  edge b1 j2
+  edge b2 j2
+  edge f3 c1
+  edge f3 c2
+  edge c1 j3
+  edge c2 j3
+  edge j3 f4
+  edge f4 d1
+  edge f4 d2
+  edge d1 j4
+  edge d2 j4
+  edge j2 snk
+  edge j4 snk
+  blocking f1 j1
+  blocking f2 j2
+  blocking f3 j3
+  blocking f4 j4
+end
+";
+
+    #[test]
+    fn spin_gate_rejects_an_m_the_suspend_gate_accepts() {
+        // Suspend at m = 3: the exact antichain check (2 < 3) proves
+        // deadlock-freedom, so the gate passes (RT102 floor exhaustion
+        // stays a warning).
+        let certified = Codegen::new("flip.rtp", 3)
+            .certify_source("flip.rtp", CHAINED_REGIONS)
+            .expect("the suspend gate accepts m = 3");
+        assert_eq!(certified.backend, SyncBackend::Suspend);
+        assert_eq!(certified.b_bar, 2);
+        assert_eq!(certified.b_bar_delay, 3);
+        assert!(
+            certified.warnings.iter().any(|w| w.contains("RT102")),
+            "{:?}",
+            certified.warnings
+        );
+
+        // Spin: same workload, same m — the busy-wait floor is
+        // b\u{304}_delay + 1 = 4, so the very same build is rejected.
+        let spin_src = format!("backend spin\n{CHAINED_REGIONS}");
+        let err = Codegen::new("flip.rtp", 3)
+            .certify_source("flip.rtp", spin_src.clone())
+            .expect_err("the spin gate rejects m = 3");
+        let rendered = err.to_string();
+        assert!(rendered.contains("RT101"), "{rendered}");
+        assert!(rendered.contains("spin backend"), "{rendered}");
+        assert!(rendered.contains("suggested_m = 4"), "{rendered}");
+
+        // One more worker meets the spin floor.
+        let certified = Codegen::new("flip.rtp", 4)
+            .certify_source("flip.rtp", spin_src)
+            .expect("the spin gate accepts m = 4");
+        assert!(certified.backend.is_spin());
+        assert_eq!(certified.b_bar_delay, 3);
     }
 }

@@ -15,12 +15,43 @@
 //! keeps the (still valid) `m`-based jitter in the carry-in term. If
 //! `l̄(τᵢ) ≤ 0` the analysis rejects the task (the bound cannot even
 //! exclude a deadlock).
+//!
+//! # Spin backend
+//!
+//! When the task set runs its barriers on
+//! [`SyncBackend::Spin`](rtpool_graph::SyncBackend) (carried by the
+//! [`TaskSet`] itself), the delay model changes per the busy-wait
+//! analysis of Jiang et al. (arXiv 2003.08233):
+//!
+//! * **Intra-task**, the divisor is unchanged: at any instant at most
+//!   `b̄(τᵢ)` of the pool's workers can be spinning, so at least
+//!   `l̄ = m − b̄` cores are executing τᵢ's (or higher-priority) work —
+//!   the same floor as the suspension model, reached by a different
+//!   argument (cores burned instead of threads parked). The exact
+//!   antichain refinement is **not** ported:
+//!   [`ConcurrencyModel::LimitedExact`] falls back to the `b̄`-based
+//!   floor under spin, because the antichain relief relies on suspended
+//!   workers *freeing* their cores, which a spinner never does.
+//! * **Inter-task**, spinning burns cores that lower-priority tasks
+//!   could otherwise use, so each higher-priority task interferes with
+//!   its *spin-inflated* volume `vol(τⱼ) + SpinVol(τⱼ)` (see
+//!   [`ConcurrencyAnalysis::spin_volume`]) while the carry-in jitter
+//!   keeps the real `vol(τⱼ)` (pushing the first release as early as
+//!   possible stays an upper bound).
+//!
+//! Consequently a single spin task gets exactly the suspend-Limited
+//! bound, `b̄ = 0` sets are backend-indifferent, and multi-task spin
+//! sets are never easier to schedule than their suspend twins — the
+//! schedulability cliffs at high `b̄` in the head-to-head study.
+//! [`ConcurrencyModel::Full`] stays backend-oblivious by design: it is
+//! the baseline that models no blocking at all.
 
 use crate::analysis::interference::interfering_workload;
 use crate::analysis::{SchedResult, TaskVerdict, UnschedulableReason};
 use crate::cancel::{CancelToken, Cancelled};
 use crate::concurrency::ConcurrencyAnalysis;
 use crate::task::{TaskId, TaskSet};
+use rtpool_graph::SyncBackend;
 
 /// How many threads the interference is divided among.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -51,6 +82,11 @@ pub enum ConcurrencyModel {
 pub(crate) struct TaskParams {
     pub(crate) len: u64,
     pub(crate) vol: u64,
+    /// Volume this task charges to *lower-priority* windows: `vol` under
+    /// suspension, `vol + SpinVol` under the spin backend (a spinning
+    /// worker occupies a core exactly like an executing one, from the
+    /// interfered task's point of view).
+    pub(crate) ivol: u64,
     pub(crate) period: u64,
     pub(crate) deadline: u64,
     /// Divisor for the interference term.
@@ -65,24 +101,38 @@ pub(crate) struct TaskParams {
 /// on each task's [`Dag`](rtpool_graph::Dag), so calling this once per
 /// model does not repeat the underlying graph work.
 pub(crate) fn build_params(set: &TaskSet, m: usize, model: ConcurrencyModel) -> Vec<TaskParams> {
+    let backend = set.backend();
     set.iter()
         .map(|(_, task)| {
             let dag = task.dag();
-            let (denom, floor) = match model {
-                ConcurrencyModel::Full => (m as u64, m as i64),
-                ConcurrencyModel::Limited => {
-                    let floor = ConcurrencyAnalysis::new(dag).concurrency_lower_bound(m);
+            let ca = ConcurrencyAnalysis::new(dag);
+            let (denom, floor) = match (model, backend) {
+                (ConcurrencyModel::Full, _) => (m as u64, m as i64),
+                (ConcurrencyModel::Limited, _)
+                // The antichain refinement needs suspended workers to
+                // free their cores; a spinner never does, so spin mode
+                // falls back to the b̄-based floor (see module docs).
+                | (ConcurrencyModel::LimitedExact, SyncBackend::Spin) => {
+                    let floor = ca.concurrency_lower_bound(m);
                     (floor.max(0) as u64, floor)
                 }
-                ConcurrencyModel::LimitedExact => {
-                    let suspended = ConcurrencyAnalysis::new(dag).max_suspended_forks().len();
+                (ConcurrencyModel::LimitedExact, SyncBackend::Suspend) => {
+                    let suspended = ca.max_suspended_forks().len();
                     let floor = m as i64 - suspended as i64;
                     (floor.max(0) as u64, floor)
                 }
             };
+            let vol = dag.volume();
+            let ivol = match (model, backend) {
+                // Full is the blocking-oblivious baseline; suspension
+                // charges only real execution to lower priorities.
+                (ConcurrencyModel::Full, _) | (_, SyncBackend::Suspend) => vol,
+                (_, SyncBackend::Spin) => vol.saturating_add(ca.spin_volume()),
+            };
             TaskParams {
                 len: dag.critical_path_length(),
-                vol: dag.volume(),
+                vol,
+                ivol,
                 period: task.period(),
                 deadline: task.deadline(),
                 denom,
@@ -236,9 +286,11 @@ pub(crate) fn response_time_fixpoint(
         for (q, resp) in hp.iter().zip(hp_response) {
             let r_j = resp.expect("caller checked hp schedulability");
             // Jitter Rⱼ − vol(τⱼ)/m; the paper notes the m-based term
-            // remains a valid upper bound under limited concurrency.
+            // remains a valid upper bound under limited concurrency. The
+            // charged volume is `ivol` — spin-inflated under the spin
+            // backend, plain execution volume otherwise.
             let jitter = r_j.saturating_sub(q.vol / m as u64);
-            interference += u128::from(interfering_workload(r, q.period, q.vol, jitter));
+            interference += u128::from(interfering_workload(r, q.period, q.ivol, jitter));
         }
         let next = p
             .len
@@ -430,6 +482,129 @@ mod tests {
                         exact.verdict(TaskId(0)).response_time()
                             <= limited.verdict(TaskId(0)).response_time()
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spin_single_task_matches_suspend() {
+        // Intra-task the spin floor equals the suspend floor and there is
+        // no lower-priority task to inflate, so the bounds coincide.
+        let t = fork_join_task(&[20, 20, 20], true, 1000);
+        let suspend = TaskSet::new(vec![t]);
+        let spin = suspend.clone().with_backend(SyncBackend::Spin);
+        for m in 2..=8 {
+            for model in [ConcurrencyModel::Full, ConcurrencyModel::Limited] {
+                assert_eq!(analyze(&suspend, m, model), analyze(&spin, m, model));
+            }
+        }
+    }
+
+    #[test]
+    fn spin_agrees_with_suspend_when_nothing_blocks() {
+        // b̄ = 0 everywhere: SpinVol = 0 and the floors equal m, so the
+        // analyses must agree exactly under every model.
+        let set = TaskSet::new(vec![
+            fork_join_task(&[20, 20, 20], false, 300),
+            fork_join_task(&[30, 30], false, 900),
+        ]);
+        let spin = set.clone().with_backend(SyncBackend::Spin);
+        for m in 1..=6 {
+            for model in [
+                ConcurrencyModel::Full,
+                ConcurrencyModel::Limited,
+                ConcurrencyModel::LimitedExact,
+            ] {
+                assert_eq!(analyze(&set, m, model), analyze(&spin, m, model));
+            }
+        }
+    }
+
+    #[test]
+    fn spin_inflates_interference_on_lower_priority() {
+        // hp blocks, lp does not: under spin the hp task's busy-waits
+        // burn cores the lp task needs, so the lp bound must grow while
+        // the hp bound (no one above it) is unchanged.
+        let hp = fork_join_task(&[20, 20, 20], true, 200);
+        let lp = fork_join_task(&[30, 30], false, 1000);
+        let suspend = TaskSet::new(vec![hp, lp]);
+        let spin = suspend.clone().with_backend(SyncBackend::Spin);
+        let m = 4;
+        let rs = analyze(&suspend, m, ConcurrencyModel::Limited);
+        let rp = analyze(&spin, m, ConcurrencyModel::Limited);
+        assert_eq!(rs.verdict(TaskId(0)), rp.verdict(TaskId(0)));
+        let lp_suspend = rs.verdict(TaskId(1)).response_time().unwrap();
+        let lp_spin = rp.verdict(TaskId(1)).response_time().unwrap();
+        assert!(
+            lp_spin > lp_suspend,
+            "spin must inflate lp interference: {lp_spin} vs {lp_suspend}"
+        );
+    }
+
+    #[test]
+    fn spin_rejects_exhausted_concurrency_like_suspend() {
+        let set = TaskSet::new(vec![replicated_task(4, 10_000)]).with_backend(SyncBackend::Spin);
+        let r = analyze(&set, 4, ConcurrencyModel::Limited);
+        assert!(matches!(
+            r.verdict(TaskId(0)),
+            TaskVerdict::Unschedulable {
+                reason: UnschedulableReason::NonPositiveConcurrency { floor: 0 }
+            }
+        ));
+    }
+
+    #[test]
+    fn spin_exact_model_falls_back_to_delay_floor() {
+        // Under spin the antichain refinement is not ported, so the
+        // LimitedExact results must equal plain Limited on a graph where
+        // the two floors differ under suspension.
+        let mut b = DagBuilder::new();
+        let src = b.add_node(1);
+        let snk = b.add_node(1);
+        for _ in 0..2 {
+            let (f1, j1) = b.fork_join(5, &[5, 5], 5, true).unwrap();
+            let (f2, j2) = b.fork_join(5, &[5, 5], 5, true).unwrap();
+            b.add_edge(src, f1).unwrap();
+            b.add_edge(j1, f2).unwrap();
+            b.add_edge(j2, snk).unwrap();
+        }
+        let t = Task::with_implicit_deadline(b.build().unwrap(), 5_000).unwrap();
+        let suspend = TaskSet::new(vec![t]);
+        let spin = suspend.clone().with_backend(SyncBackend::Spin);
+        let m = 4;
+        assert_ne!(
+            analyze(&suspend, m, ConcurrencyModel::LimitedExact),
+            analyze(&suspend, m, ConcurrencyModel::Limited),
+            "precondition: the exact floor must matter under suspension"
+        );
+        assert_eq!(
+            analyze(&spin, m, ConcurrencyModel::LimitedExact),
+            analyze(&spin, m, ConcurrencyModel::Limited)
+        );
+    }
+
+    #[test]
+    fn spin_never_beats_suspend() {
+        // Mixed two-task sets across platforms: whenever the spin set is
+        // schedulable the suspend set must be too, with bounds no larger.
+        for replicas in 1..=2 {
+            for m in 2..=8 {
+                let suspend = TaskSet::new(vec![
+                    replicated_task(replicas, 400),
+                    fork_join_task(&[15, 15], true, 2_000),
+                ]);
+                let spin = suspend.clone().with_backend(SyncBackend::Spin);
+                let rs = analyze(&suspend, m, ConcurrencyModel::Limited);
+                let rp = analyze(&spin, m, ConcurrencyModel::Limited);
+                if rp.is_schedulable() {
+                    assert!(rs.is_schedulable(), "spin ok but suspend not (m={m})");
+                    for i in 0..2 {
+                        assert!(
+                            rs.verdict(TaskId(i)).response_time()
+                                <= rp.verdict(TaskId(i)).response_time()
+                        );
+                    }
                 }
             }
         }

@@ -35,7 +35,8 @@
 //! * `len′ ≥ len` and `vol′ − len′ ≥ vol − len` (both terms of the
 //!   self-interference grew),
 //! * `denom′ ≤ denom` (the concurrency divisor shrank or held),
-//! * for every higher-priority task `j`: `T′ⱼ = Tⱼ`, `vol′ⱼ ≥ volⱼ`, and
+//! * for every higher-priority task `j`: `T′ⱼ = Tⱼ`, `ivol′ⱼ ≥ ivolⱼ`
+//!   (the interfering volume, spin-inflated under the spin backend), and
 //!   the carry-in jitter `R′ⱼ − vol′ⱼ/m ≥ Rⱼ − volⱼ/m`.
 //!
 //! Under these conditions `F_new(x) ≥ F_old(x)` for every window `x`.
@@ -64,6 +65,10 @@ use crate::analysis::UnschedulableReason::ResponseTimeExceedsDeadline;
 struct TaskSnapshot {
     len: u64,
     vol: u64,
+    /// Interfering volume (spin-inflated under the spin backend). Under
+    /// suspension `ivol == vol`, so suspend-mode snapshots and guards
+    /// behave exactly as before the spin backend existed.
+    ivol: u64,
     period: u64,
     denom: u64,
     response: Option<u64>,
@@ -225,6 +230,7 @@ fn analyze_model_seeded(
         .map(|(p, r)| TaskSnapshot {
             len: p.len,
             vol: p.vol,
+            ivol: p.ivol,
             period: p.period,
             denom: p.denom,
             response: *r,
@@ -258,7 +264,7 @@ fn fixpoint_seed(
         let oq = snaps.get(j)?;
         let r_new = hp_response_new[j]?;
         let r_old = oq.response?;
-        if q.period != oq.period || q.vol < oq.vol {
+        if q.period != oq.period || q.ivol < oq.ivol {
             return None;
         }
         let jit_new = r_new.saturating_sub(q.vol / m as u64);

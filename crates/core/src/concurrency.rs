@@ -169,6 +169,60 @@ impl<'a> ConcurrencyAnalysis<'a> {
         self.dag.max_blocking_antichain()
     }
 
+    /// Spin-wait work bound for a single `BF` node `f` under
+    /// [`SyncBackend::Spin`](rtpool_graph::SyncBackend): the volume of
+    /// the nodes of *this* task that can be runnable while `f`'s worker
+    /// busy-waits on its barrier.
+    ///
+    /// While `f` waits, every ancestor of `f` has completed and every
+    /// node reachable from `f` (its join and everything behind it) is
+    /// precedence-blocked, so the runnable own-task work is contained in
+    /// `conc(f) ∪ children(f)` — the nodes concurrent with `f` plus the
+    /// inner nodes of `f`'s own blocking region. The wait ends no later
+    /// than when that work (plus any higher-priority interference, which
+    /// the RTA accounts separately) is exhausted, so the worker burns at
+    /// most this many time units per activation of `f`. This is the
+    /// per-fork term of the holistic busy-wait interference bound of
+    /// Jiang et al. (arXiv 2003.08233), under the same isolated-wait
+    /// simplification: waits prolonged purely by higher-priority
+    /// execution are charged to the interference term, not double-counted
+    /// here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not a `BF` node.
+    #[must_use]
+    pub fn spin_bound(&self, f: NodeId) -> u64 {
+        assert_eq!(
+            self.dag.kind(f),
+            NodeKind::BlockingFork,
+            "spin_bound is defined for BF nodes only"
+        );
+        let reach = self.reachability();
+        let region = self
+            .dag
+            .region_of(f)
+            .expect("every BF node heads a blocking region");
+        self.dag
+            .node_ids()
+            .filter(|&v| reach.are_concurrent(f, v) || region.inner().binary_search(&v).is_ok())
+            .map(|v| self.dag.wcet(v))
+            .sum()
+    }
+
+    /// Total spin-wait volume `SpinVol(τᵢ) = Σ_{f ∈ BF} spin_bound(f)`:
+    /// an upper bound on the busy-wait time all workers of the task burn
+    /// across one job, under [`SyncBackend::Spin`](rtpool_graph::SyncBackend).
+    /// Zero iff the graph has no blocking forks (`b̄ = 0`), which is why
+    /// spin and suspend analyses coincide exactly on non-blocking sets.
+    #[must_use]
+    pub fn spin_volume(&self) -> u64 {
+        self.blocking_forks()
+            .iter()
+            .map(|&f| self.spin_bound(f))
+            .sum()
+    }
+
     /// Nodes of the graph whose kind matches `kind`, in id order.
     #[must_use]
     pub fn nodes_of_kind(&self, kind: NodeKind) -> Vec<NodeId> {
@@ -290,6 +344,50 @@ mod tests {
         let dag = replicated(3);
         let ca = ConcurrencyAnalysis::new(&dag);
         assert!(ca.max_delay_count() >= ca.max_suspended_forks().len());
+    }
+
+    #[test]
+    fn spin_bound_counts_children_and_concurrent_region() {
+        // One region: while the fork spins, only its own children can
+        // run, so the bound is the 3 x 5 children volume.
+        let dag = replicated(1);
+        let ca = ConcurrencyAnalysis::new(&dag);
+        let f = ca.blocking_forks()[0];
+        assert_eq!(ca.spin_bound(f), 15);
+        assert_eq!(ca.spin_volume(), 15);
+
+        // Two parallel regions: each spinning fork can additionally wait
+        // out the sibling region (fork 10 + children 15 + join 10).
+        let dag2 = replicated(2);
+        let ca2 = ConcurrencyAnalysis::new(&dag2);
+        for &f in ca2.blocking_forks() {
+            assert_eq!(ca2.spin_bound(f), 15 + 10 + 15 + 10);
+        }
+        assert_eq!(ca2.spin_volume(), 100);
+    }
+
+    #[test]
+    fn spin_volume_zero_without_blocking() {
+        let mut b = DagBuilder::new();
+        b.fork_join(1, &[1, 1, 1, 1], 1, false).unwrap();
+        let dag = b.build().unwrap();
+        assert_eq!(ConcurrencyAnalysis::new(&dag).spin_volume(), 0);
+    }
+
+    #[test]
+    fn sequential_regions_spin_bound_excludes_ordered_region() {
+        // Two regions in series: neither fork can spin-wait on the
+        // other's work (they are precedence-ordered), so each bound is
+        // just its own two children.
+        let mut b = DagBuilder::new();
+        let (f1, j1) = b.fork_join(1, &[2, 3], 1, true).unwrap();
+        let (f2, _j2) = b.fork_join(1, &[4, 5], 1, true).unwrap();
+        b.add_edge(j1, f2).unwrap();
+        let dag = b.build().unwrap();
+        let ca = ConcurrencyAnalysis::new(&dag);
+        assert_eq!(ca.spin_bound(f1), 5);
+        assert_eq!(ca.spin_bound(f2), 9);
+        assert_eq!(ca.spin_volume(), 14);
     }
 
     #[test]

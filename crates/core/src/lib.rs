@@ -72,5 +72,6 @@ pub mod textfmt;
 pub use cancel::{CancelToken, Cancelled};
 pub use concurrency::ConcurrencyAnalysis;
 pub use error::CoreError;
+pub use rtpool_graph::SyncBackend;
 pub use task::{Task, TaskId, TaskSet};
 pub use textfmt::{SourceSpans, Span, TaskSpans};

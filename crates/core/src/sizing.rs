@@ -63,6 +63,39 @@ pub const fn deadlock_free_floor(m: usize, b_bar: usize) -> bool {
     m >= min_threads_for_blocking(b_bar)
 }
 
+/// The smallest pool size certifiable under the **spin** backend for a
+/// maximum *delay count* of `b_bar_delay` (the Section 3.1 bound
+/// `b̄ = max_v |X(v)|`, not the sharper antichain): `b̄ + 1`.
+///
+/// Spin certification is keyed on the delay count because the antichain
+/// relief does not carry over: it relies on suspended workers freeing
+/// their cores, which a spinner never does, and a spin stall cannot be
+/// rescued by growing the pool (the new workers have no core to run on).
+/// Since the antichain never exceeds the delay count, this floor is
+/// never below the suspension floor — and strictly above it exactly when
+/// the antichain is sharper, which is the codegen compile-fail
+/// asymmetry: an `m` the suspend gate accepts can be rejected by the
+/// spin gate.
+#[must_use]
+pub const fn min_threads_for_spin(b_bar_delay: usize) -> usize {
+    b_bar_delay + 1
+}
+
+/// Whether a pool of `m` workers is certifiable under the **spin**
+/// backend for a maximum delay count of `b_bar_delay`:
+/// `m ≥ b̄ + 1`. `const`-evaluable; see [`min_threads_for_spin`].
+#[must_use]
+pub const fn spin_certifiable_floor(m: usize, b_bar_delay: usize) -> bool {
+    m >= min_threads_for_spin(b_bar_delay)
+}
+
+/// The smallest pool size certifiable for `dag` under the spin backend:
+/// [`min_threads_for_spin`] over the graph's maximum delay count.
+#[must_use]
+pub fn min_threads_spin(dag: &Dag) -> usize {
+    min_threads_for_spin(dag.delay_profile().max_delay_count())
+}
+
 /// The reserve workers a `GrowPool` recovery policy needs so that a
 /// stall of `dag` on an `m`-worker pool can always be resolved by
 /// growing: enough extra workers to restore the pool's available
@@ -166,6 +199,32 @@ mod tests {
         let mut b = DagBuilder::new();
         b.fork_join(1, &[1, 1], 1, false).unwrap();
         assert_eq!(min_threads_deadlock_free(&b.build().unwrap()), 1);
+    }
+
+    #[test]
+    fn spin_floor_keyed_on_delay_count_not_antichain() {
+        // Two sequential regions per branch, two branches: the antichain
+        // is 2 but a child sees three forks in its delay set (b̄ = 3), so
+        // the spin floor must demand one more worker than suspend.
+        let mut b = DagBuilder::new();
+        let src = b.add_node(1);
+        let snk = b.add_node(1);
+        for _ in 0..2 {
+            let (f1, j1) = b.fork_join(5, &[5, 5], 5, true).unwrap();
+            let (f2, j2) = b.fork_join(5, &[5, 5], 5, true).unwrap();
+            b.add_edge(src, f1).unwrap();
+            b.add_edge(j1, f2).unwrap();
+            b.add_edge(j2, snk).unwrap();
+        }
+        let dag = b.build().unwrap();
+        assert_eq!(min_threads_deadlock_free(&dag), 3);
+        assert_eq!(min_threads_spin(&dag), 4);
+        // The const forms are usable at compile time (codegen relies on
+        // this for the spin-mode generated assertion).
+        const SPIN_OK: bool = spin_certifiable_floor(4, 3);
+        const SPIN_BAD: bool = spin_certifiable_floor(3, 3);
+        const _: () = assert!(SPIN_OK && !SPIN_BAD);
+        assert_eq!(min_threads_for_spin(3), 4);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use rtpool_graph::Dag;
+use rtpool_graph::{Dag, SyncBackend};
 
 use crate::error::CoreError;
 
@@ -167,13 +167,40 @@ impl Task {
 #[derive(Clone, Debug, Default)]
 pub struct TaskSet {
     tasks: Vec<Task>,
+    backend: SyncBackend,
 }
 
 impl TaskSet {
     /// Creates a task set with the given priority order (index 0 highest).
+    ///
+    /// The set's blocking barriers default to [`SyncBackend::Suspend`],
+    /// the paper's model; use [`TaskSet::with_backend`] for the spin
+    /// variant.
     #[must_use]
     pub fn new(tasks: Vec<Task>) -> Self {
-        TaskSet { tasks }
+        TaskSet {
+            tasks,
+            backend: SyncBackend::Suspend,
+        }
+    }
+
+    /// Sets the synchronization backend the set's barriers run on and
+    /// returns the set (builder style).
+    #[must_use]
+    pub fn with_backend(mut self, backend: SyncBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The synchronization backend the set's blocking barriers run on.
+    #[must_use]
+    pub fn backend(&self) -> SyncBackend {
+        self.backend
+    }
+
+    /// Sets the synchronization backend in place.
+    pub fn set_backend(&mut self, backend: SyncBackend) {
+        self.backend = backend;
     }
 
     /// Number of tasks `n`.
@@ -233,9 +260,7 @@ impl TaskSet {
 
 impl FromIterator<Task> for TaskSet {
     fn from_iter<T: IntoIterator<Item = Task>>(iter: T) -> Self {
-        TaskSet {
-            tasks: iter.into_iter().collect(),
-        }
+        TaskSet::new(iter.into_iter().collect())
     }
 }
 
@@ -314,6 +339,20 @@ mod tests {
         ts.sort_deadline_monotonic();
         let deadlines: Vec<u64> = ts.iter().map(|(_, t)| t.deadline()).collect();
         assert_eq!(deadlines, vec![100, 150, 300]);
+    }
+
+    #[test]
+    fn backend_defaults_to_suspend() {
+        let ts = TaskSet::new(vec![simple_task(1, 10, 10).unwrap()]);
+        assert_eq!(ts.backend(), SyncBackend::Suspend);
+        let spun = ts.with_backend(SyncBackend::Spin);
+        assert_eq!(spun.backend(), SyncBackend::Spin);
+        let mut ts2 = TaskSet::default();
+        assert_eq!(ts2.backend(), SyncBackend::Suspend);
+        ts2.set_backend(SyncBackend::Spin);
+        assert_eq!(ts2.backend(), SyncBackend::Spin);
+        let collected: TaskSet = std::iter::once(simple_task(1, 10, 10).unwrap()).collect();
+        assert_eq!(collected.backend(), SyncBackend::Suspend);
     }
 
     #[test]

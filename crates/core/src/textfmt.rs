@@ -19,6 +19,12 @@
 //! end
 //! ```
 //!
+//! * `backend suspend|spin` (optional, file-level, before any task, at
+//!   most once) selects the synchronization backend the set's blocking
+//!   barriers run on; absent means `suspend`, so every pre-existing file
+//!   keeps its meaning. `write_task_set` emits the directive only for
+//!   spin sets, making suspend output byte-identical to before the
+//!   backend existed.
 //! * `task period=<int> [deadline=<int>]` opens a task (deadline defaults
 //!   to the period); tasks appear in priority order (first = highest).
 //! * `node <name> <wcet>` declares a node; names are arbitrary
@@ -44,7 +50,7 @@ use std::error::Error;
 use std::fmt;
 use std::fmt::Write as _;
 
-use rtpool_graph::{DagBuilder, GraphError, NodeId};
+use rtpool_graph::{DagBuilder, GraphError, NodeId, SyncBackend};
 
 use crate::error::CoreError;
 use crate::task::{Task, TaskId, TaskSet};
@@ -240,9 +246,18 @@ impl TaskSpans {
 #[derive(Clone, Debug, Default)]
 pub struct SourceSpans {
     tasks: Vec<TaskSpans>,
+    backend: Option<Span>,
 }
 
 impl SourceSpans {
+    /// The span of the file-level `backend …` directive, if one was
+    /// written (diagnostics use it to point backend-dependent verdicts
+    /// at the declaration that selected the backend).
+    #[must_use]
+    pub fn backend_decl(&self) -> Option<Span> {
+        self.backend
+    }
+
     /// Number of tasks covered.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -376,6 +391,7 @@ pub fn parse_task_set_with_spans(input: &str) -> Result<(TaskSet, SourceSpans), 
     let mut tasks = Vec::new();
     let mut spans = Vec::new();
     let mut current: Option<TaskInProgress> = None;
+    let mut backend: Option<(SyncBackend, Span)> = None;
 
     for (idx, raw) in input.lines().enumerate() {
         let line_no = idx + 1;
@@ -385,6 +401,48 @@ pub fn parse_task_set_with_spans(input: &str) -> Result<(TaskSet, SourceSpans), 
         };
         let args = &toks[1..];
         match directive.text {
+            "backend" => {
+                if current.is_some() {
+                    return Err(syntax(
+                        line_no,
+                        directive.span(line_no),
+                        "`backend` is file-level and cannot appear inside a task block",
+                    ));
+                }
+                if !tasks.is_empty() {
+                    return Err(syntax(
+                        line_no,
+                        directive.span(line_no),
+                        "`backend` must precede every task",
+                    ));
+                }
+                if let Some((_, prev)) = backend {
+                    return Err(syntax(
+                        line_no,
+                        directive.span(line_no),
+                        format!("`backend` already declared on line {}", prev.line),
+                    ));
+                }
+                let which = args.first().ok_or_else(|| {
+                    syntax(
+                        line_no,
+                        directive.span(line_no),
+                        "`backend` requires `suspend` or `spin`",
+                    )
+                })?;
+                let b = SyncBackend::parse(which.text).ok_or_else(|| {
+                    syntax(
+                        line_no,
+                        which.span(line_no),
+                        format!(
+                            "unknown backend `{}` (expected `suspend` or `spin`)",
+                            which.text
+                        ),
+                    )
+                })?;
+                expect_end(args.get(1), line_no)?;
+                backend = Some((b, line_span(line_no, &toks)));
+            }
             "task" => {
                 if let Some(t) = &current {
                     return Err(syntax(
@@ -549,7 +607,17 @@ pub fn parse_task_set_with_spans(input: &str) -> Result<(TaskSet, SourceSpans), 
             "unterminated task block (missing `end`)",
         ));
     }
-    Ok((TaskSet::new(tasks), SourceSpans { tasks: spans }))
+    let (backend, backend_span) = match backend {
+        Some((b, s)) => (b, Some(s)),
+        None => (SyncBackend::Suspend, None),
+    };
+    Ok((
+        TaskSet::new(tasks).with_backend(backend),
+        SourceSpans {
+            tasks: spans,
+            backend: backend_span,
+        },
+    ))
 }
 
 /// Writes a task set in the text format (nodes named `v0`, `v1`, … in id
@@ -557,6 +625,11 @@ pub fn parse_task_set_with_spans(input: &str) -> Result<(TaskSet, SourceSpans), 
 #[must_use]
 pub fn write_task_set(set: &TaskSet) -> String {
     let mut out = String::from("# rtpool task set (priority order: first task = highest)\n");
+    // Emitted only for spin so suspend output is byte-identical to the
+    // pre-backend format (absence means suspend on the way back in).
+    if set.backend() == SyncBackend::Spin {
+        out.push_str("backend spin\n");
+    }
     for (_, task) in set.iter() {
         let dag = task.dag();
         let _ = writeln!(
@@ -813,6 +886,72 @@ end
             .is_none());
         // Iteration yields one map per task.
         assert_eq!(spans.iter().count(), 1);
+    }
+
+    #[test]
+    fn backend_directive_round_trips() {
+        // Absent directive = suspend, and suspend output never emits one.
+        let suspend = parse_task_set(FIGURE_1A).unwrap();
+        assert_eq!(suspend.backend(), SyncBackend::Suspend);
+        assert!(!write_task_set(&suspend).contains("backend"));
+
+        // Explicit suspend parses but is normalized away on write.
+        let explicit = parse_task_set("backend suspend\ntask period=10\n node a 1\nend\n").unwrap();
+        assert_eq!(explicit.backend(), SyncBackend::Suspend);
+
+        // Spin round-trips through the header syntax.
+        let spin_text = format!("backend spin\n{FIGURE_1A}");
+        let (spin, spans) = parse_task_set_with_spans(&spin_text).unwrap();
+        assert_eq!(spin.backend(), SyncBackend::Spin);
+        assert_eq!(spans.backend_decl(), Some(Span::new(1, 1, 12)));
+        let rewritten = write_task_set(&spin);
+        assert!(rewritten.contains("backend spin\n"));
+        let back = parse_task_set(&rewritten).unwrap();
+        assert_eq!(back.backend(), SyncBackend::Spin);
+        assert_eq!(back.task(TaskId(0)).volume(), 90);
+
+        // Suspend spans carry no backend declaration site.
+        let (_, s) = parse_task_set_with_spans(FIGURE_1A).unwrap();
+        assert_eq!(s.backend_decl(), None);
+    }
+
+    #[test]
+    fn backend_directive_placement_is_enforced() {
+        // Inside a task block.
+        let err = parse_task_set("task period=10\n backend spin\n node a 1\nend\n").unwrap_err();
+        assert!(
+            matches!(err, ParseTaskError::Syntax { line: 2, .. }),
+            "{err}"
+        );
+        // After a task.
+        let err = parse_task_set("task period=10\n node a 1\nend\nbackend spin\n").unwrap_err();
+        assert!(
+            matches!(err, ParseTaskError::Syntax { line: 4, .. }),
+            "{err}"
+        );
+        // Declared twice.
+        let err = parse_task_set("backend spin\nbackend spin\ntask period=10\n node a 1\nend\n")
+            .unwrap_err();
+        assert!(
+            matches!(err, ParseTaskError::Syntax { line: 2, .. }),
+            "{err}"
+        );
+        // Unknown operand points at the operand token.
+        let err = parse_task_set("backend futex\ntask period=10\n node a 1\nend\n").unwrap_err();
+        assert_eq!(err.span(), Span::new(1, 9, 5));
+        // Missing operand.
+        let err = parse_task_set("backend\ntask period=10\n node a 1\nend\n").unwrap_err();
+        assert!(
+            matches!(err, ParseTaskError::Syntax { line: 1, .. }),
+            "{err}"
+        );
+        // Trailing junk.
+        let err =
+            parse_task_set("backend spin extra\ntask period=10\n node a 1\nend\n").unwrap_err();
+        assert!(
+            matches!(err, ParseTaskError::Syntax { line: 1, .. }),
+            "{err}"
+        );
     }
 
     #[test]

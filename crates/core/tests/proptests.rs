@@ -5,7 +5,7 @@ use rtpool_core::analysis::global::{self, ConcurrencyModel};
 use rtpool_core::analysis::partitioned::{self, BlockingAwareness, PartitionStrategy};
 use rtpool_core::partition::{algorithm1, worst_fit};
 use rtpool_core::{deadlock, textfmt};
-use rtpool_core::{ConcurrencyAnalysis, Task, TaskId, TaskSet};
+use rtpool_core::{ConcurrencyAnalysis, SyncBackend, Task, TaskId, TaskSet};
 use rtpool_graph::{Dag, DagBuilder, NodeId};
 
 /// Deterministic pseudo-random fork-join task graph with optional
@@ -28,6 +28,32 @@ fn random_task_dag(seed: u64, max_regions: usize) -> Dag {
         let blocking = next() % 2 == 0;
         let (f, j) = b
             .fork_join(1 + next() % 50, &wcets, 1 + next() % 50, blocking)
+            .unwrap();
+        b.add_edge(src, f).unwrap();
+        b.add_edge(j, snk).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// Like [`random_task_dag`] but with every fork-join region
+/// non-blocking: `b̄ = 0` by construction.
+fn random_nonblocking_dag(seed: u64, max_regions: usize) -> Dag {
+    let mut rng = seed | 1;
+    let mut next = move || {
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        rng >> 33
+    };
+    let mut b = DagBuilder::new();
+    let src = b.add_node(1 + next() % 50);
+    let snk = b.add_node(1 + next() % 50);
+    let regions = 1 + (next() as usize) % max_regions.max(1);
+    for _ in 0..regions {
+        let kids = 1 + (next() as usize) % 4;
+        let wcets: Vec<u64> = (0..kids).map(|_| 1 + next() % 100).collect();
+        let (f, j) = b
+            .fork_join(1 + next() % 50, &wcets, 1 + next() % 50, false)
             .unwrap();
         b.add_edge(src, f).unwrap();
         b.add_edge(j, snk).unwrap();
@@ -198,6 +224,62 @@ proptest! {
             let ca_b = ConcurrencyAnalysis::new(b.dag());
             prop_assert_eq!(ca_a.max_delay_count(), ca_b.max_delay_count());
         }
+    }
+
+    /// Without blocking regions (`b̄ = 0`) the spin and suspend analyses
+    /// agree exactly under every concurrency model: the spin penalty is
+    /// pure busy-wait interference, and with nothing to wait on there is
+    /// nothing to inflate.
+    #[test]
+    fn spin_and_suspend_analyses_agree_without_blocking(
+        seed in any::<u64>(), regions in 1usize..5, m in 2usize..9, n_tasks in 1usize..4
+    ) {
+        let mk = |backend: SyncBackend| {
+            let tasks: Vec<Task> = (0..n_tasks)
+                .map(|i| {
+                    let dag = random_nonblocking_dag(seed.wrapping_add(i as u64), regions);
+                    let period = dag.volume() * 2 + 1;
+                    Task::with_implicit_deadline(dag, period).unwrap()
+                })
+                .collect();
+            TaskSet::new(tasks).with_backend(backend)
+        };
+        prop_assert_eq!(mk(SyncBackend::Suspend).iter().map(|(_, t)| t.dag().max_blocking_antichain().len()).max(), Some(0));
+        for model in [
+            ConcurrencyModel::Full,
+            ConcurrencyModel::Limited,
+            ConcurrencyModel::LimitedExact,
+        ] {
+            let suspend = global::analyze(&mk(SyncBackend::Suspend), m, model);
+            let spin = global::analyze(&mk(SyncBackend::Spin), m, model);
+            prop_assert_eq!(suspend, spin, "model {:?} diverged on a b\u{304} = 0 set", model);
+        }
+    }
+
+    /// The backend directive round-trips through the `.rtp` header
+    /// syntax: spin sets emit `backend spin`, suspend sets emit no
+    /// directive at all (the pre-backend format), and parsing restores
+    /// the exact backend.
+    #[test]
+    fn backend_roundtrips_through_textfmt(
+        seed in any::<u64>(), regions in 1usize..4, spin in any::<bool>()
+    ) {
+        let backend = if spin { SyncBackend::Spin } else { SyncBackend::Suspend };
+        let dag = random_task_dag(seed, regions);
+        let period = dag.volume() * 2 + 1;
+        let set = TaskSet::new(vec![Task::with_implicit_deadline(dag, period).unwrap()])
+            .with_backend(backend);
+        let text = textfmt::write_task_set(&set);
+        prop_assert_eq!(text.contains("backend spin"), spin, "directive emission:\n{}", text);
+        if !spin {
+            // Suspend is the default: the writer must not emit a
+            // directive, keeping pre-backend files byte-stable.
+            prop_assert!(!text.contains("backend"), "{}", text);
+        }
+        let back = textfmt::parse_task_set(&text).unwrap();
+        prop_assert_eq!(back.backend(), backend);
+        // Round-trip is idempotent including the directive.
+        prop_assert_eq!(textfmt::write_task_set(&back), text);
     }
 
     /// Delay sets are symmetric in the concurrency sense: if fork f is in

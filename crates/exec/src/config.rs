@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use rtpool_core::partition::NodeMapping;
+use rtpool_core::SyncBackend;
 
 use crate::fault::FaultPlan;
 use crate::recovery::RecoveryPolicy;
@@ -84,6 +85,14 @@ pub struct PoolConfig {
     /// Fault-injection plan, for chaos testing. `None` (the default)
     /// injects nothing.
     pub faults: Option<FaultPlan>,
+    /// How a worker that reaches a blocking fork waits for the barrier
+    /// (default: [`SyncBackend::Suspend`], the Listing-1
+    /// condition-variable wait). Under [`SyncBackend::Spin`] the worker
+    /// busy-waits instead: it never parks, stays hot on its core, and is
+    /// traced with `SpinStart`/`SpinEnd` events. Injected *fault*
+    /// suspensions are unaffected — they model external preemption and
+    /// always suspend.
+    pub backend: SyncBackend,
     /// Record a full event trace of each job in the shared
     /// `rtpool-trace` schema (node lifecycles, barrier suspensions, core
     /// occupancy, recovery actions). The trace of a successful job is
@@ -107,8 +116,24 @@ impl PoolConfig {
             watchdog: Duration::from_secs(5),
             recovery: RecoveryPolicy::default(),
             faults: None,
+            backend: SyncBackend::Suspend,
             record_trace: false,
         }
+    }
+
+    /// Selects the barrier-wait backend.
+    ///
+    /// ```
+    /// use rtpool_exec::{PoolConfig, QueueDiscipline, SyncBackend};
+    ///
+    /// let config = PoolConfig::new(4, QueueDiscipline::GlobalFifo)
+    ///     .with_backend(SyncBackend::Spin);
+    /// assert_eq!(config.backend, SyncBackend::Spin);
+    /// ```
+    #[must_use]
+    pub fn with_backend(mut self, backend: SyncBackend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Enables event-trace recording in the shared `rtpool-trace`
@@ -219,6 +244,11 @@ mod tests {
         assert_eq!(c.recovery, RecoveryPolicy::Abort);
         assert!(c.faults.is_none());
         assert!(!c.record_trace);
+        assert_eq!(c.backend, SyncBackend::Suspend);
+        assert_eq!(
+            c.clone().with_backend(SyncBackend::Spin).backend,
+            SyncBackend::Spin
+        );
         assert_eq!(c.engine, Engine::V1Condvar);
         assert_eq!(
             c.clone().with_engine(Engine::V2LockFree).engine,

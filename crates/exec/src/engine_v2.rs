@@ -132,6 +132,11 @@ const NOTIFIED: u32 = 2;
 /// worker count (permanent plus growth reserve).
 const MAX_WORKERS_V2: usize = 255;
 
+/// Spin-loop hint iterations between control-lock re-acquisitions of a
+/// busy-waiting worker ([`crate::SyncBackend::Spin`]); see the
+/// identically-motivated constant in the v1 engine.
+const SPIN_BATCH_V2: u32 = 64;
+
 /// Largest graph the 16-bit `ready_joins` field can serve.
 const MAX_NODES_V2: usize = (1 << 16) - 1;
 
@@ -234,6 +239,10 @@ struct JobCore {
     /// Waits: blocking-join barriers, injected suspensions, watchdog.
     cv: Condvar,
     grow_policy: bool,
+    /// Barrier waits busy-wait instead of sleeping on `cv`
+    /// ([`crate::SyncBackend::Spin`]). A spinning worker never enters
+    /// the parked set and is traced with `SpinStart`/`SpinEnd`.
+    spin: bool,
     trace: Option<TraceCore>,
 }
 
@@ -307,6 +316,7 @@ impl JobCore {
             }),
             cv: Condvar::new(),
             grow_policy: matches!(config.recovery, RecoveryPolicy::GrowPool { .. }),
+            spin: config.backend.is_spin(),
             trace,
         };
         if core.trace.is_some() {
@@ -1411,8 +1421,10 @@ fn execute_chain(
                 }
             }
         }
-        // Blocking fork: wait on the barrier (the condvar wait of
-        // Listing 1), then run the join as our continuation.
+        // Blocking fork: wait on the barrier — the condvar wait of
+        // Listing 1, or a busy-wait under the spin backend — then run
+        // the join as our continuation. The packed-counter accounting is
+        // backend-independent; only the wait primitive differs.
         let join = core
             .dag
             .blocking_join_of(node)
@@ -1424,15 +1436,22 @@ fn execute_chain(
         core.ctr.fetch_add(SUSP_ONE.wrapping_sub(EXEC_ONE), SeqCst);
         core.worker_suspended[worker].store(true, SeqCst);
         note_suspension(core, &mut ctl);
-        core.rec_worker(
-            worker,
+        let ev = if core.spin {
+            EventKind::SpinStart {
+                task: 0,
+                job: 0,
+                fork: u32c(node.index()),
+                thread: u32c(worker),
+            }
+        } else {
             EventKind::BarrierSuspend {
                 task: 0,
                 job: 0,
                 fork: u32c(node.index()),
                 thread: u32c(worker),
-            },
-        );
+            }
+        };
+        core.rec_worker(worker, ev);
         let woke = loop {
             if core.done.load(SeqCst) {
                 break false;
@@ -1446,23 +1465,55 @@ fn execute_chain(
             if core.done.load(SeqCst) {
                 break false;
             }
-            core.cv.wait(&mut ctl);
+            if core.spin {
+                // Busy-wait: release the control lock, burn a bounded
+                // batch of cycles, re-acquire, re-check. The worker
+                // stays out of the parked set the whole time.
+                drop(ctl);
+                for _ in 0..SPIN_BATCH_V2 {
+                    std::hint::spin_loop();
+                }
+                ctl = core.ctl.lock();
+            } else {
+                core.cv.wait(&mut ctl);
+            }
         };
         core.ctr.fetch_sub(SUSP_ONE, SeqCst);
         core.worker_suspended[worker].store(false, SeqCst);
         if !woke {
+            if core.spin {
+                // Abandoned busy-wait (stall or abort): the spinner
+                // observed the terminal state and stops burning its
+                // core; close the spin window in the trace.
+                core.rec_worker(
+                    worker,
+                    EventKind::SpinEnd {
+                        task: 0,
+                        job: 0,
+                        join: u32c(join.index()),
+                        thread: u32c(worker),
+                    },
+                );
+            }
             return;
         }
         core.ctr.fetch_add(EXEC_ONE, SeqCst);
-        core.rec_worker(
-            worker,
+        let ev = if core.spin {
+            EventKind::SpinEnd {
+                task: 0,
+                job: 0,
+                join: u32c(join.index()),
+                thread: u32c(worker),
+            }
+        } else {
             EventKind::BarrierWake {
                 task: 0,
                 job: 0,
                 join: u32c(join.index()),
                 thread: u32c(worker),
-            },
-        );
+            }
+        };
+        core.rec_worker(worker, ev);
         drop(ctl);
         node = join; // execute the continuation
     }

@@ -80,3 +80,4 @@ pub use fault::{
 pub use pool::ThreadPool;
 pub use recovery::{RecoveryEvent, RecoveryPolicy, RetryCause};
 pub use report::{JobReport, NodeSpan};
+pub use rtpool_core::SyncBackend;

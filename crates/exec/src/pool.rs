@@ -942,6 +942,12 @@ fn fake_suspend(
     true
 }
 
+/// Spin-loop hint iterations between lock re-acquisitions of a
+/// busy-waiting worker ([`crate::SyncBackend::Spin`]). Large enough that the
+/// pool mutex is not hammered, small enough that a barrier opening is
+/// observed promptly (the whole point of spinning).
+const SPIN_BATCH: u32 = 64;
+
 /// The worker body. Permanent workers (`rescue_epoch == None`) serve jobs
 /// until shutdown; rescue workers serve exactly the job of their epoch
 /// and retire when it ends.
@@ -1194,8 +1200,13 @@ fn worker_loop(shared: &Shared, worker: usize, rescue_epoch: Option<u64>) {
             if dag.kind(node) != NodeKind::BlockingFork {
                 continue 'outer;
             }
-            // Blocking fork: wait on the barrier (the condvar wait of
-            // Listing 1), then run the join as our continuation.
+            // Blocking fork: wait on the barrier — the condvar wait of
+            // Listing 1, or a busy-wait under the spin backend — then
+            // run the join as our continuation. The blocking accounting
+            // (`suspended`, `worker_suspended`, stall detection) is
+            // backend-independent: a spinner is just as unable to serve
+            // other nodes as a suspended worker.
+            let spin = shared.config.backend.is_spin();
             let join = dag
                 .blocking_join_of(node)
                 .expect("validated BF has a paired BJ");
@@ -1204,15 +1215,22 @@ fn worker_loop(shared: &Shared, worker: usize, rescue_epoch: Option<u64>) {
                 job.suspended += 1;
                 job.worker_suspended[worker] = true;
                 job.note_suspension();
-                job.rec_worker(
-                    worker,
+                let ev = if spin {
+                    EventKind::SpinStart {
+                        task: 0,
+                        job: 0,
+                        fork: u32c(node.index()),
+                        thread: u32c(worker),
+                    }
+                } else {
                     EventKind::BarrierSuspend {
                         task: 0,
                         job: 0,
                         fork: u32c(node.index()),
                         thread: u32c(worker),
-                    },
-                );
+                    }
+                };
+                job.rec_worker(worker, ev);
             }
             let woke = loop {
                 let Some(job) = st.job.as_mut().filter(|j| j.epoch == epoch) else {
@@ -1234,16 +1252,50 @@ fn worker_loop(shared: &Shared, worker: usize, rescue_epoch: Option<u64>) {
                 if job.grow_pending {
                     shared.cv.notify_all();
                 }
-                shared.cv.wait(&mut st);
+                if spin {
+                    // Busy-wait: release the pool lock, burn a bounded
+                    // batch of cycles on this core, re-acquire, re-check.
+                    // The worker never parks between `SpinStart` and
+                    // `SpinEnd`.
+                    drop(st);
+                    for _ in 0..SPIN_BATCH {
+                        std::hint::spin_loop();
+                    }
+                    st = shared.state.lock();
+                } else {
+                    shared.cv.wait(&mut st);
+                }
             };
             if let Some(job) = st.job.as_mut().filter(|j| j.epoch == epoch) {
                 job.suspended -= 1;
                 job.worker_suspended[worker] = false;
                 if woke {
                     job.executing += 1;
+                    let ev = if spin {
+                        EventKind::SpinEnd {
+                            task: 0,
+                            job: 0,
+                            join: u32c(join.index()),
+                            thread: u32c(worker),
+                        }
+                    } else {
+                        EventKind::BarrierWake {
+                            task: 0,
+                            job: 0,
+                            join: u32c(join.index()),
+                            thread: u32c(worker),
+                        }
+                    };
+                    job.rec_worker(worker, ev);
+                } else if spin {
+                    // Abandoned busy-wait (stall or abort): unlike a
+                    // suspended worker — which stays parked and leaves
+                    // its `BarrierSuspend` dangling — a spinner observes
+                    // the terminal state and stops burning its core, so
+                    // the spin window closes here.
                     job.rec_worker(
                         worker,
-                        EventKind::BarrierWake {
+                        EventKind::SpinEnd {
                             task: 0,
                             job: 0,
                             join: u32c(join.index()),
@@ -1545,6 +1597,80 @@ mod tests {
         assert_eq!(obs.min_available, report.min_available_workers);
         // A successful run leaves no failure trace behind.
         assert!(pool.take_last_trace().is_none());
+    }
+
+    #[test]
+    fn spin_backend_runs_and_traces_spin_on_both_engines() {
+        for engine in [Engine::V1Condvar, Engine::V2LockFree] {
+            let mut pool = ThreadPool::new(
+                PoolConfig::new(3, QueueDiscipline::GlobalFifo)
+                    .with_engine(engine)
+                    .with_backend(crate::SyncBackend::Spin)
+                    .with_time_scale(Duration::from_micros(50))
+                    .with_watchdog(Duration::from_secs(10))
+                    .with_trace(),
+            );
+            let report = pool.run(&fork_join(true)).unwrap();
+            assert_eq!(report.executed_nodes, 5, "{engine:?}");
+            let trace = report.trace.expect("trace recorded");
+            assert!(
+                trace.validate().is_empty(),
+                "{engine:?} defects: {:?}",
+                trace.validate()
+            );
+            let names: Vec<&str> = trace.events.iter().map(|e| e.kind.name()).collect();
+            assert!(names.contains(&"SpinStart"), "{engine:?}");
+            assert!(names.contains(&"SpinEnd"), "{engine:?}");
+            assert!(!names.contains(&"BarrierSuspend"), "{engine:?}");
+            assert!(!names.contains(&"BarrierWake"), "{engine:?}");
+            // The spinner counts as blocking, exactly like a suspension.
+            let ana = rtpool_trace::TraceAnalysis::new(&trace);
+            assert_eq!(ana.task(0).max_simultaneous_blocking, 1, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn spin_backend_stall_detected_on_both_engines() {
+        // Figure 1(c): two blocking replicas wedge two workers — under
+        // spin they busy-wait, but the exact detector still fires.
+        let mut b = DagBuilder::new();
+        let src = b.add_node(1);
+        let snk = b.add_node(1);
+        for _ in 0..2 {
+            let (f, j) = b.fork_join(1, &[1, 1, 1], 1, true).unwrap();
+            b.add_edge(src, f).unwrap();
+            b.add_edge(j, snk).unwrap();
+        }
+        let dag = b.build().unwrap();
+        for engine in [Engine::V1Condvar, Engine::V2LockFree] {
+            let mut pool = ThreadPool::new(
+                PoolConfig::new(2, QueueDiscipline::GlobalFifo)
+                    .with_engine(engine)
+                    .with_backend(crate::SyncBackend::Spin)
+                    .with_time_scale(Duration::from_micros(50))
+                    .with_watchdog(Duration::from_secs(10))
+                    .with_trace(),
+            );
+            assert!(
+                matches!(
+                    pool.run(&dag),
+                    Err(ExecError::Stalled {
+                        suspended_workers: 2,
+                        ..
+                    })
+                ),
+                "{engine:?}"
+            );
+            let trace = pool.take_last_trace().expect("trace of the failed attempt");
+            assert!(
+                trace.validate().is_empty(),
+                "{engine:?} defects: {:?}",
+                trace.validate()
+            );
+            let names: Vec<&str> = trace.events.iter().map(|e| e.kind.name()).collect();
+            assert!(names.contains(&"SpinStart"), "{engine:?}");
+            assert!(names.contains(&"StallDetected"), "{engine:?}");
+        }
     }
 
     #[test]

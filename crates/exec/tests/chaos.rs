@@ -13,7 +13,7 @@ use rtpool_core::ConcurrencyAnalysis;
 use rtpool_core::{deadlock, sizing};
 use rtpool_exec::{
     Engine, ExecError, FaultPlan, PoolConfig, QueueDiscipline, RecoveryEvent, RecoveryPolicy,
-    RetryCause, ThreadPool,
+    RetryCause, SyncBackend, ThreadPool,
 };
 use rtpool_gen::DagGenConfig;
 use rtpool_graph::{Dag, DagBuilder};
@@ -52,6 +52,13 @@ fn base_config(workers: usize, discipline: QueueDiscipline, engine: Engine) -> P
         .with_time_scale(Duration::ZERO)
         .with_watchdog(Duration::from_secs(20))
 }
+
+/// Barrier-wait backends chaos must hold under. Blocking accounting is
+/// backend-independent — a spinner is just as unable to serve its queue
+/// as a sleeper — so every static verdict the battery cross-checks
+/// applies verbatim to both; only the wait mechanics (and hence the
+/// interleavings the faults land on) differ.
+const BACKENDS: [SyncBackend; 2] = SyncBackend::ALL;
 
 fn assert_valid_run(dag: &Dag, report: &rtpool_exec::JobReport) {
     assert_eq!(report.executed_nodes, dag.node_count());
@@ -99,8 +106,9 @@ fn figure_1c() -> Dag {
     b.build().unwrap()
 }
 
-/// ≥200 seeded fault plans across all three queue disciplines, with the
-/// runtime's verdict cross-checked against the static analysis:
+/// ≥200 seeded fault plans across all three queue disciplines — run once
+/// per sync backend, per engine — with the runtime's verdict
+/// cross-checked against the static analysis:
 ///
 /// * benign plans (delay + jitter) on safely-sized pools must always
 ///   complete — timing faults alone can never stall a safe pool;
@@ -110,14 +118,20 @@ fn figure_1c() -> Dag {
 ///   unsafe or a concurrency-eating suspension was injected, and the
 ///   watchdog must never fire (the exact detector covers every injected
 ///   state except lost wakeups, which this mix does not contain).
+///
+/// The same verdict table governs both backends: deadlock is a property
+/// of who is *blocked*, not of how they wait, so a plan that must
+/// complete under suspend must complete under spin, and vice versa.
 #[test]
 fn seeded_fault_plans_across_all_disciplines() {
     for engine in ENGINES {
-        seeded_fault_plans_across_all_disciplines_on(engine);
+        for backend in BACKENDS {
+            seeded_fault_plans_across_all_disciplines_on(engine, backend);
+        }
     }
 }
 
-fn seeded_fault_plans_across_all_disciplines_on(engine: Engine) {
+fn seeded_fault_plans_across_all_disciplines_on(engine: Engine, backend: SyncBackend) {
     quiet_worker_panics();
     let mut plans_run = 0u32;
     for seed in 0..35u64 {
@@ -138,7 +152,9 @@ fn seeded_fault_plans_across_all_disciplines_on(engine: Engine) {
                 }
                 _ => true,
             };
-            let config = base_config(safe, discipline, engine).with_faults(benign_plan(seed));
+            let config = base_config(safe, discipline, engine)
+                .with_backend(backend)
+                .with_faults(benign_plan(seed));
             let mut pool = ThreadPool::new(config);
             match pool.run(&dag) {
                 Ok(report) => assert_valid_run(&dag, &report),
@@ -146,7 +162,10 @@ fn seeded_fault_plans_across_all_disciplines_on(engine: Engine) {
                     // A worst-fit mapping can be unsafe even at the safe
                     // global size; the static check must have predicted it.
                 }
-                Err(e) => panic!("seed {seed}: benign plan failed: {e}"),
+                Err(e) => panic!(
+                    "seed {seed}: benign plan failed under {}: {e}",
+                    backend.as_str()
+                ),
             }
             plans_run += 1;
         }
@@ -166,8 +185,9 @@ fn seeded_fault_plans_across_all_disciplines_on(engine: Engine) {
                 }
                 _ => deadlock::check_global(&dag, workers).is_deadlock_free(),
             };
-            let config =
-                base_config(workers, discipline.clone(), engine).with_faults(hostile_plan(seed));
+            let config = base_config(workers, discipline.clone(), engine)
+                .with_backend(backend)
+                .with_faults(hostile_plan(seed));
             let mut pool = ThreadPool::new(config);
             match pool.run(&dag) {
                 Ok(report) => assert_valid_run(&dag, &report),
@@ -183,6 +203,7 @@ fn seeded_fault_plans_across_all_disciplines_on(engine: Engine) {
                         // so they repeat identically) must never stall.
                         let no_suspensions = benign_plan(seed).panic_prob(0.04);
                         let config = base_config(workers, discipline.clone(), engine)
+                            .with_backend(backend)
                             .with_faults(no_suspensions);
                         let mut pool = ThreadPool::new(config);
                         match pool.run(&dag) {
@@ -190,7 +211,8 @@ fn seeded_fault_plans_across_all_disciplines_on(engine: Engine) {
                             Err(ExecError::NodePanicked { .. }) => {}
                             Err(e) => panic!(
                                 "seed {seed}: suspension-free rerun of a statically safe \
-                                 configuration failed: {e}"
+                                 configuration failed under {}: {e}",
+                                backend.as_str()
                             ),
                         }
                     }
@@ -198,15 +220,19 @@ fn seeded_fault_plans_across_all_disciplines_on(engine: Engine) {
                 Err(ExecError::NodePanicked { node, .. }) => {
                     assert!(node < dag.node_count());
                 }
-                Err(e) => panic!("seed {seed}: unexpected error {e}"),
+                Err(e) => panic!(
+                    "seed {seed}: unexpected error under {}: {e}",
+                    backend.as_str()
+                ),
             }
             plans_run += 1;
         }
     }
     assert!(
         plans_run >= 200,
-        "only {plans_run} fault plans were run under {}",
-        engine.as_str()
+        "only {plans_run} fault plans were run under {} / {}",
+        engine.as_str(),
+        backend.as_str()
     );
 }
 
@@ -215,17 +241,20 @@ fn seeded_fault_plans_across_all_disciplines_on(engine: Engine) {
 #[test]
 fn chaos_outcomes_are_reproducible_from_the_seed() {
     for engine in ENGINES {
-        chaos_outcomes_are_reproducible_from_the_seed_on(engine);
+        for backend in BACKENDS {
+            chaos_outcomes_are_reproducible_from_the_seed_on(engine, backend);
+        }
     }
 }
 
-fn chaos_outcomes_are_reproducible_from_the_seed_on(engine: Engine) {
+fn chaos_outcomes_are_reproducible_from_the_seed_on(engine: Engine, backend: SyncBackend) {
     quiet_worker_panics();
     for seed in 50..65u64 {
         let dag = random_dag(seed);
         let workers = sizing::min_threads_deadlock_free(&dag).max(2) - 1;
         let outcome = |_: ()| {
             let config = base_config(workers.max(1), QueueDiscipline::GlobalFifo, engine)
+                .with_backend(backend)
                 .with_faults(hostile_plan(seed));
             let mut p = ThreadPool::new(config);
             match p.run(&dag) {
@@ -514,15 +543,22 @@ fn grow_pool_rescues_unsafe_partitioned_mapping_on(engine: Engine) {
 
 /// On a statically safe pool, injected suspensions may still eat all
 /// concurrency; with an adequate allowance (one spare per concurrently
-/// injected suspension) `GrowPool` must always complete the job.
+/// injected suspension) `GrowPool` must always complete the job — under
+/// either wait backend: the rescuers growth adds serve queues regardless
+/// of whether the wedged workers sleep or spin.
 #[test]
 fn grow_pool_completes_safe_jobs_under_injected_suspensions() {
     for engine in ENGINES {
-        grow_pool_completes_safe_jobs_under_injected_suspensions_on(engine);
+        for backend in BACKENDS {
+            grow_pool_completes_safe_jobs_under_injected_suspensions_on(engine, backend);
+        }
     }
 }
 
-fn grow_pool_completes_safe_jobs_under_injected_suspensions_on(engine: Engine) {
+fn grow_pool_completes_safe_jobs_under_injected_suspensions_on(
+    engine: Engine,
+    backend: SyncBackend,
+) {
     for seed in 70..82u64 {
         let dag = random_dag(seed);
         let workers = sizing::min_threads_deadlock_free(&dag);
@@ -530,12 +566,16 @@ fn grow_pool_completes_safe_jobs_under_injected_suspensions_on(engine: Engine) {
         // The hostile suspension mix can suspend every worker at once in
         // the worst case: allow one spare per worker.
         let config = base_config(workers, QueueDiscipline::GlobalFifo, engine)
+            .with_backend(backend)
             .with_recovery(RecoveryPolicy::GrowPool { reserve: workers })
             .with_faults(FaultPlan::seeded(seed).suspend_prob(0.3, Duration::from_millis(2)));
         let mut pool = ThreadPool::new(config);
-        let report = pool
-            .run(&dag)
-            .unwrap_or_else(|e| panic!("seed {seed}: GrowPool failed to recover: {e}"));
+        let report = pool.run(&dag).unwrap_or_else(|e| {
+            panic!(
+                "seed {seed}: GrowPool failed to recover under {}: {e}",
+                backend.as_str()
+            )
+        });
         assert_valid_run(&dag, &report);
     }
 }
@@ -718,5 +758,164 @@ fn retry_preserves_failed_attempt_traces_on(engine: Engine) {
     assert!(
         pool.take_last_trace().is_some(),
         "final failed attempt is also the last trace"
+    );
+}
+
+/// Blocking-event census of a trace: `(spin_starts, spin_ends,
+/// barrier_suspends)`. In a spin-backend trace the only legitimate
+/// suspend-dialect events are *injected* fault suspensions, which are
+/// deliberately traced as barrier waits whatever the backend; genuine
+/// barrier waits must all be spin windows. An aborted window may dangle
+/// (the epoch guard drops post-abort events), exactly like an aborted
+/// worker's `BarrierSuspend` — the validator accepts both at trace end.
+fn blocking_stats(trace: &rtpool_trace::Trace, ctx: &str) -> (usize, usize, usize) {
+    let defects = trace.validate();
+    assert!(defects.is_empty(), "{ctx}: {defects:?}");
+    let mut spin_starts = 0usize;
+    let mut spin_ends = 0usize;
+    let mut barrier_suspends = 0usize;
+    for e in &trace.events {
+        match e.kind {
+            rtpool_trace::EventKind::SpinStart { .. } => spin_starts += 1,
+            rtpool_trace::EventKind::SpinEnd { .. } => spin_ends += 1,
+            rtpool_trace::EventKind::BarrierSuspend { .. } => barrier_suspends += 1,
+            _ => {}
+        }
+    }
+    assert!(
+        spin_ends <= spin_starts,
+        "{ctx}: more spin ends than starts"
+    );
+    (spin_starts, spin_ends, barrier_suspends)
+}
+
+/// Satellite regression: a fault that lands while another worker is
+/// *mid-spin* on a barrier is isolated and recovered exactly like its
+/// suspend-mode counterpart.
+///
+/// Part one: a node panic fires ~1.2ms into a ~10ms busy-wait. The job
+/// aborts with `NodePanicked`, the trace stays schema-clean (the
+/// abandoned window may dangle, never park), no genuine barrier wait
+/// leaks a suspend-dialect event, and the same pool serves later jobs
+/// normally.
+#[test]
+fn panic_mid_spin_is_isolated_and_pool_stays_usable() {
+    for engine in ENGINES {
+        panic_mid_spin_is_isolated_and_pool_stays_usable_on(engine);
+    }
+}
+
+fn panic_mid_spin_is_isolated_and_pool_stays_usable_on(engine: Engine) {
+    quiet_worker_panics();
+    // src fans out to a blocking fork whose single child runs ~10ms (the
+    // forking worker busy-waits the whole time) and to a slow→doomed
+    // chain whose panic fires ~1.2ms in — squarely inside the window.
+    let mut b = DagBuilder::new();
+    let src = b.add_node(1);
+    let slow = b.add_node(10);
+    let doomed = b.add_node(1);
+    let (f, j) = b.fork_join(1, &[100], 1, true).unwrap();
+    let snk = b.add_node(1);
+    b.add_edge(src, slow).unwrap();
+    b.add_edge(slow, doomed).unwrap();
+    b.add_edge(src, f).unwrap();
+    b.add_edge(j, snk).unwrap();
+    b.add_edge(doomed, snk).unwrap();
+    let dag = b.build().unwrap();
+
+    let config = PoolConfig::new(3, QueueDiscipline::GlobalFifo)
+        .with_engine(engine)
+        .with_backend(SyncBackend::Spin)
+        .with_time_scale(Duration::from_micros(100))
+        .with_watchdog(Duration::from_secs(20))
+        .with_trace()
+        .with_faults(FaultPlan::seeded(7).panic_on(doomed.index()));
+    let mut pool = ThreadPool::new(config);
+    for round in 0..2 {
+        match pool.run(&dag) {
+            Err(ExecError::NodePanicked { node, .. }) => {
+                assert_eq!(node, doomed.index(), "round {round}");
+            }
+            other => panic!("round {round}: expected NodePanicked, got {other:?}"),
+        }
+        let trace = pool.take_last_trace().expect("trace of the failed attempt");
+        let ctx = format!("{} round {round}", engine.as_str());
+        let (spin_starts, _, barrier_suspends) = blocking_stats(&trace, &ctx);
+        assert!(spin_starts >= 1, "{ctx}: the fork worker never busy-waited");
+        assert_eq!(
+            barrier_suspends, 0,
+            "{ctx}: a genuine barrier wait was traced as a suspension"
+        );
+    }
+    // The pool survived both aborts; a fault-free job completes on it.
+    let mut tiny = DagBuilder::new();
+    tiny.add_node(1);
+    let tiny = tiny.build().unwrap();
+    assert_eq!(pool.run(&tiny).unwrap().executed_nodes, 1);
+}
+
+/// Part two: an injected suspension eats the second worker while the
+/// first busy-waits on the fork barrier — an exact stall with a spinning
+/// participant. `RetryWithBackoff` must detect it (not watchdog), close
+/// the spin window in the failed attempt's trace, and complete on the
+/// fault-free retry.
+#[test]
+fn retry_recovers_stall_with_a_mid_spin_worker() {
+    for engine in ENGINES {
+        retry_recovers_stall_with_a_mid_spin_worker_on(engine);
+    }
+}
+
+fn retry_recovers_stall_with_a_mid_spin_worker_on(engine: Engine) {
+    // Node 0 = BF (its worker spins on the barrier), node 1 = BJ,
+    // node 2 = the child the injected suspension lands on.
+    let mut b = DagBuilder::new();
+    b.fork_join(1, &[1], 1, true).unwrap();
+    let dag = b.build().unwrap();
+
+    let base_delay = Duration::from_millis(10);
+    let config = base_config(2, QueueDiscipline::GlobalFifo, engine)
+        .with_backend(SyncBackend::Spin)
+        .with_trace()
+        .with_recovery(RecoveryPolicy::RetryWithBackoff {
+            max_retries: 2,
+            base_delay,
+        })
+        .with_faults(FaultPlan::seeded(5).suspend_on_attempt(0, 2, Duration::from_millis(40)));
+    let mut pool = ThreadPool::new(config);
+    let report = pool.run(&dag).unwrap();
+
+    assert_eq!(report.executed_nodes, dag.node_count());
+    assert_eq!(report.attempts, 2, "one mid-spin stall, one clean retry");
+    assert!(report
+        .recovery_events
+        .contains(&RecoveryEvent::FaultInjected {
+            attempt: 0,
+            node: 2,
+            fault: "suspend_worker",
+        }));
+    assert!(report.recovery_events.contains(&RecoveryEvent::Retried {
+        attempt: 0,
+        cause: RetryCause::Stalled,
+        delay: base_delay,
+    }));
+    // The stalled attempt's trace shows the fork worker spinning when
+    // the stall was declared, and exactly one suspend-dialect event: the
+    // injected suspension, traced as a barrier wait by design.
+    assert_eq!(report.attempt_traces.len(), 1, "{}", engine.as_str());
+    let ctx = format!("{} stalled attempt", engine.as_str());
+    let (spin_starts, _, barrier_suspends) = blocking_stats(&report.attempt_traces[0], &ctx);
+    assert!(spin_starts >= 1, "{ctx}: the fork worker never busy-waited");
+    assert_eq!(
+        barrier_suspends, 1,
+        "{ctx}: expected exactly the injected suspension"
+    );
+    // The clean retry is pure spin dialect: no faults, no suspensions.
+    let success = report.trace.as_ref().expect("successful attempt trace");
+    let ctx = format!("{} retry attempt", engine.as_str());
+    let (_, _, retry_suspends) = blocking_stats(success, &ctx);
+    assert_eq!(
+        retry_suspends, 0,
+        "{ctx}: suspension in a fault-free spin run"
     );
 }

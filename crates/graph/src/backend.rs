@@ -1,0 +1,81 @@
+//! The synchronization backend a workload's blocking barriers run on.
+//!
+//! The paper's model (and everything this workspace did before the spin
+//! backend landed) assumes a worker that completes a `BF` node
+//! *suspends* on a condition variable: the thread is held, but its core
+//! is released to whoever is runnable. Jiang et al. (*Analyzing
+//! GPU-accelerated... spin variants*, arXiv 2003.08233) study the dual
+//! discipline, ubiquitous in low-latency runtimes: the worker
+//! *busy-waits* on the barrier, keeping its core hot so the continuation
+//! resumes without a wake-up, at the price of burning the core for the
+//! whole wait.
+//!
+//! The backend is a property of the *workload* (how its barriers are
+//! implemented), so it travels with the task set: the `.rtp` format
+//! carries it as a file-level `backend` directive, the analyses in
+//! `rtpool-core` pick the matching delay model, the simulator burns
+//! ticks for spinning workers, and both `rtpool-exec` engines switch
+//! their blocking-join wait between a condvar and a bounded spin loop.
+
+/// How a worker waits on a blocking-fork barrier.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SyncBackend {
+    /// Condition-variable suspension (the paper's Listing 1, and the
+    /// default): the waiting worker releases its core and is woken when
+    /// the last blocking child completes.
+    #[default]
+    Suspend,
+    /// Busy-wait spinning (Jiang et al., arXiv 2003.08233): the waiting
+    /// worker keeps its core, polling the barrier until it opens. The
+    /// continuation resumes with no wake-up latency, but the core does
+    /// no useful work for the duration of the wait and can never be
+    /// handed to a rescue worker.
+    Spin,
+}
+
+impl SyncBackend {
+    /// Both backends, suspend first (declaration order of the study).
+    pub const ALL: [SyncBackend; 2] = [SyncBackend::Suspend, SyncBackend::Spin];
+
+    /// Stable lower-case name (`.rtp` directive operand, CLI flags,
+    /// benchmark labels).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SyncBackend::Suspend => "suspend",
+            SyncBackend::Spin => "spin",
+        }
+    }
+
+    /// Inverse of [`SyncBackend::as_str`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "suspend" => Some(SyncBackend::Suspend),
+            "spin" => Some(SyncBackend::Spin),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`SyncBackend::Spin`].
+    #[must_use]
+    pub fn is_spin(self) -> bool {
+        matches!(self, SyncBackend::Spin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for b in SyncBackend::ALL {
+            assert_eq!(SyncBackend::parse(b.as_str()), Some(b));
+        }
+        assert_eq!(SyncBackend::parse("futex"), None);
+        assert_eq!(SyncBackend::default(), SyncBackend::Suspend);
+        assert!(SyncBackend::Spin.is_spin());
+        assert!(!SyncBackend::Suspend.is_spin());
+    }
+}

@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 
 mod antichain;
+mod backend;
 mod bitset;
 mod builder;
 mod cache;
@@ -75,6 +76,7 @@ mod topo;
 mod validate;
 
 pub use antichain::{max_antichain, max_antichain_of, MinChainCover};
+pub use backend::SyncBackend;
 pub use bitset::BitSet;
 pub use builder::DagBuilder;
 pub use cache::DelayProfile;

@@ -10,7 +10,7 @@ use rtpool_core::partition::{algorithm1_with, worst_fit, WorstFit};
 use rtpool_core::textfmt::{
     parse_task_set_with_spans, ParseTaskError, SourceSpans, Span, TaskSpans,
 };
-use rtpool_core::{sizing, ConcurrencyAnalysis, Task, TaskId, TaskSet};
+use rtpool_core::{sizing, ConcurrencyAnalysis, SyncBackend, Task, TaskId, TaskSet};
 use rtpool_exec::{PoolConfig, QueueDiscipline};
 use rtpool_graph::{Dag, NodeId};
 
@@ -249,7 +249,7 @@ fn semantic_diagnostics(
     for (id, task) in set.iter() {
         let t_spans = spans.map(|s| s.task(id));
         let ca = ConcurrencyAnalysis::new(task.dag());
-        for d in deadlock_rules(id, task, &ca, m, t_spans) {
+        for d in deadlock_rules(id, task, &ca, m, set.backend(), t_spans) {
             emit(d, &mut out);
         }
         for d in structure_rules(id, task, t_spans) {
@@ -265,12 +265,28 @@ fn semantic_diagnostics(
     out
 }
 
-/// RT101 / RT102 / RT103 / RT104: Section 3 deadlock analysis.
+/// RT101 / RT102 / RT103 / RT104: Section 3 deadlock analysis,
+/// re-derived per sync backend.
+///
+/// Under [`SyncBackend::Spin`] two suspend-mode reliefs are *not*
+/// available, so RT101 widens:
+///
+/// * the exact antichain certificate relies on suspended workers freeing
+///   their cores for the remaining work — a spinner never does, so only
+///   the `l\u{304} = m − b\u{304} ≥ 1` floor certifies a spin pool;
+/// * a `GrowPool` rescue cannot resolve a spin stall — the spinners keep
+///   their cores, so rescue workers have nowhere to run.
+///
+/// Consequently a floor-exhausted task (`b\u{304} >= m`) is an RT101
+/// *error* under spin even when the antichain is smaller than `m`
+/// (suspend mode keeps it an RT102 warning), and spin-mode RT101 never
+/// suggests `GrowPool`.
 fn deadlock_rules(
     id: TaskId,
     task: &Task,
     ca: &ConcurrencyAnalysis<'_>,
     m: usize,
+    backend: SyncBackend,
     spans: Option<&TaskSpans>,
 ) -> Vec<Diagnostic> {
     let mut out = Vec::new();
@@ -284,43 +300,94 @@ fn deadlock_rules(
         GlobalVerdict::DeadlockPossible {
             suspended_antichain,
         } => {
-            let min_safe = sizing::min_threads_deadlock_free(dag);
-            let reserve = sizing::reserve_for(dag, m);
+            let (min_safe, verb) = if backend.is_spin() {
+                (sizing::min_threads_spin(dag), "busy-wait on")
+            } else {
+                (sizing::min_threads_deadlock_free(dag), "suspend")
+            };
             let mut d = Diagnostic::new(
                 code::RT101,
                 Severity::Error,
                 format!(
-                    "task {id} can deadlock on a pool of {m} workers: {} blocking forks can \
-                     suspend every thread (Lemma 1)",
+                    "task {id} can deadlock on a pool of {m} workers ({} backend): {} blocking \
+                     forks can {verb} every thread (Lemma 1)",
+                    backend.as_str(),
                     suspended_antichain.len()
                 ),
             );
             d = with_span(d, spans.map(TaskSpans::header));
             for &f in &suspended_antichain {
                 if let Some(s) = spans.and_then(|t| t.blocking_decl(f).or_else(|| t.node(f))) {
-                    d = d.with_label(s, "this fork's barrier can suspend a worker");
+                    d = d.with_label(s, "this fork's barrier can block a worker");
                 }
             }
-            d = d
-                .with_note(format!(
-                    "concurrency floor l\u{304} = m \u{2212} b\u{304} = {m} \u{2212} {b_bar} = \
-                     {floor}: no worker is guaranteed available while the barriers are pending \
-                     (Section 3.1)"
-                ))
-                .with_suggestion(format!(
-                    "run on m >= {min_safe} workers (the smallest deadlock-free pool for this \
-                     task), or configure RecoveryPolicy::GrowPool {{ reserve: {reserve} }} to \
-                     recover at runtime"
-                ))
-                .with_fix(
-                    Fix::new(format!("analyze and run with m = {min_safe}"))
-                        .with_data("suggested_m", min_safe as u64)
-                        .with_data("suggested_reserve", reserve as u64),
-                );
+            d = d.with_note(format!(
+                "concurrency floor l\u{304} = m \u{2212} b\u{304} = {m} \u{2212} {b_bar} = \
+                 {floor}: no worker is guaranteed available while the barriers are pending \
+                 (Section 3.1)"
+            ));
+            if backend.is_spin() {
+                d = d
+                    .with_note(
+                        "a spin stall cannot be recovered by growing the pool: the spinning \
+                         workers keep their cores, so rescue workers have nowhere to run",
+                    )
+                    .with_suggestion(format!(
+                        "run on m >= {min_safe} workers (the smallest spin-certifiable pool for \
+                         this task), or switch to the suspend backend"
+                    ))
+                    .with_fix(
+                        Fix::new(format!("analyze and run with m = {min_safe}"))
+                            .with_data("suggested_m", min_safe as u64),
+                    );
+            } else {
+                let reserve = sizing::reserve_for(dag, m);
+                d = d
+                    .with_suggestion(format!(
+                        "run on m >= {min_safe} workers (the smallest deadlock-free pool for \
+                         this task), or configure RecoveryPolicy::GrowPool {{ reserve: {reserve} \
+                         }} to recover at runtime"
+                    ))
+                    .with_fix(
+                        Fix::new(format!("analyze and run with m = {min_safe}"))
+                            .with_data("suggested_m", min_safe as u64)
+                            .with_data("suggested_reserve", reserve as u64),
+                    );
+            }
             out.push(d);
         }
         GlobalVerdict::DeadlockFree { max_suspended, .. } => {
-            if floor <= 0 {
+            if floor <= 0 && backend.is_spin() {
+                // The antichain certificate does not transfer to spin:
+                // this is a certification failure, not a proved deadlock.
+                let min_safe = sizing::min_threads_spin(dag);
+                let d = Diagnostic::new(
+                    code::RT101,
+                    Severity::Error,
+                    format!(
+                        "task {id} cannot be certified deadlock-free on {m} workers under the \
+                         spin backend (b\u{304} = {b_bar} >= m = {m})"
+                    ),
+                )
+                .with_note(format!(
+                    "the exact antichain check (at most {max_suspended} simultaneously blocked \
+                     workers) certifies the suspend backend only: it relies on suspended \
+                     workers freeing their cores, which a spinner never does"
+                ))
+                .with_note(
+                    "a spin stall cannot be recovered by growing the pool: the spinning \
+                     workers keep their cores, so rescue workers have nowhere to run",
+                )
+                .with_suggestion(format!(
+                    "run on m >= {min_safe} workers (l\u{304} >= 1 under the spin floor), or \
+                     switch to the suspend backend"
+                ))
+                .with_fix(
+                    Fix::new(format!("analyze and run with m = {min_safe}"))
+                        .with_data("suggested_m", min_safe as u64),
+                );
+                out.push(with_span(d, spans.map(TaskSpans::header)));
+            } else if floor <= 0 {
                 let d = Diagnostic::new(
                     code::RT102,
                     Severity::Warning,
@@ -591,6 +658,74 @@ mod tests {
         // Safe pool: RT101 gone.
         let report = lint_task_set(&set, &LintOptions::with_m(3));
         assert!(!report.codes().contains(&code::RT101));
+    }
+
+    #[test]
+    fn spin_backend_flips_floor_exhaustion_to_rt101() {
+        // Two sequential blocking regions per branch, two branches:
+        // antichain 2 < delay count 3. On 3 workers the suspend backend
+        // warns (RT102, antichain certificate holds); spin errors
+        // (RT101, no certificate transfers).
+        let mut b = DagBuilder::new();
+        let src = b.add_node(1);
+        let snk = b.add_node(1);
+        for _ in 0..2 {
+            let (f1, j1) = b.fork_join(2, &[5, 5], 2, true).unwrap();
+            let (f2, j2) = b.fork_join(2, &[5, 5], 2, true).unwrap();
+            b.add_edge(src, f1).unwrap();
+            b.add_edge(j1, f2).unwrap();
+            b.add_edge(j2, snk).unwrap();
+        }
+        let task = Task::with_implicit_deadline(b.build().unwrap(), 10_000).unwrap();
+        let suspend = TaskSet::new(vec![task.clone()]);
+        let spin = TaskSet::new(vec![task]).with_backend(SyncBackend::Spin);
+
+        let report = lint_task_set(&suspend, &LintOptions::with_m(3));
+        assert!(report.codes().contains(&code::RT102));
+        assert!(!report.codes().contains(&code::RT101));
+
+        let report = lint_task_set(&spin, &LintOptions::with_m(3));
+        assert!(report.codes().contains(&code::RT101));
+        assert!(!report.codes().contains(&code::RT102));
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == code::RT101)
+            .unwrap();
+        assert!(d.message.contains("spin backend"));
+        assert!(d.suggestion.as_deref().unwrap().contains("m >= 4"));
+        let fix = d.fix.as_ref().unwrap();
+        assert!(fix.data.contains(&("suggested_m", 4)));
+        // No GrowPool rescue exists for a spin stall.
+        assert!(!fix.data.iter().any(|(k, _)| *k == "suggested_reserve"));
+
+        // The spin floor satisfied: no RT101 either way.
+        let report = lint_task_set(&spin, &LintOptions::with_m(4));
+        assert!(!report.codes().contains(&code::RT101));
+    }
+
+    #[test]
+    fn spin_backend_rt101_on_symmetric_deadlock_drops_growpool() {
+        let set = TaskSet::new(vec![
+            Task::with_implicit_deadline(replicated(2), 1_000).unwrap()
+        ])
+        .with_backend(SyncBackend::Spin);
+        let report = lint_task_set(&set, &LintOptions::with_m(2));
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == code::RT101)
+            .expect("Lemma 1 deadlock fires under spin too");
+        assert!(d.message.contains("spin backend"));
+        assert!(d.message.contains("busy-wait"));
+        assert!(!d.suggestion.as_deref().unwrap().contains("GrowPool"));
+        assert!(!d
+            .fix
+            .as_ref()
+            .unwrap()
+            .data
+            .iter()
+            .any(|(k, _)| *k == "suggested_reserve"));
     }
 
     #[test]

@@ -95,8 +95,18 @@ struct NodeRef {
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum ThreadState {
     Idle,
-    Running { node: NodeRef, remaining: u64 },
-    Suspended { join: NodeRef },
+    Running {
+        node: NodeRef,
+        remaining: u64,
+    },
+    Suspended {
+        join: NodeRef,
+    },
+    /// Spin-backend counterpart of `Suspended`: the thread busy-waits on
+    /// the barrier, so it keeps competing for (and holding) a core.
+    Spinning {
+        join: NodeRef,
+    },
 }
 
 struct JobState {
@@ -340,9 +350,14 @@ impl<'a> Engine<'a> {
             }
             let next_completion = selected
                 .iter()
-                .map(|&(t, th)| match &self.threads[t][th] {
-                    ThreadState::Running { remaining, .. } => self.time.saturating_add(*remaining),
-                    _ => unreachable!("selected threads are running"),
+                .filter_map(|&(t, th)| match &self.threads[t][th] {
+                    ThreadState::Running { remaining, .. } => {
+                        Some(self.time.saturating_add(*remaining))
+                    }
+                    // A spinner completes nothing: its wake is triggered
+                    // by another thread's completion.
+                    ThreadState::Spinning { .. } => None,
+                    _ => unreachable!("selected threads are running or spinning"),
                 })
                 .min();
             let next_release = (0..self.set.len())
@@ -528,9 +543,10 @@ impl<'a> Engine<'a> {
             thread: u32c(thread),
         });
 
-        // The serving thread's next state: blocking forks suspend on
-        // their barrier (this is the condition-variable wait of
-        // Listing 1); everything else frees the thread.
+        // The serving thread's next state: blocking forks block on their
+        // barrier — suspending (the condition-variable wait of
+        // Listing 1) or busy-waiting, per the set's sync backend;
+        // everything else frees the thread.
         if kind == NodeKind::BlockingFork {
             let join = dag
                 .blocking_join_of(nref.node)
@@ -540,14 +556,24 @@ impl<'a> Engine<'a> {
                 job: nref.job,
                 node: join,
             };
-            self.threads[task][thread] = ThreadState::Suspended { join: join_ref };
             self.jobs[task][nref.job].waiter[join.index()] = Some(thread);
-            self.rec(EventKind::BarrierSuspend {
-                task: u32c(task),
-                job: u32c(nref.job),
-                fork: u32c(nref.node.index()),
-                thread: u32c(thread),
-            });
+            if self.set.backend().is_spin() {
+                self.threads[task][thread] = ThreadState::Spinning { join: join_ref };
+                self.rec(EventKind::SpinStart {
+                    task: u32c(task),
+                    job: u32c(nref.job),
+                    fork: u32c(nref.node.index()),
+                    thread: u32c(thread),
+                });
+            } else {
+                self.threads[task][thread] = ThreadState::Suspended { join: join_ref };
+                self.rec(EventKind::BarrierSuspend {
+                    task: u32c(task),
+                    job: u32c(nref.job),
+                    fork: u32c(nref.node.index()),
+                    thread: u32c(thread),
+                });
+            }
         } else {
             self.threads[task][thread] = ThreadState::Idle;
         }
@@ -588,8 +614,11 @@ impl<'a> Engine<'a> {
                     .expect("fork completed before its join became ready");
                 debug_assert!(matches!(
                     self.threads[task][waiter],
-                    ThreadState::Suspended { join } if join.node == s && join.job == nref.job
+                    ThreadState::Suspended { join } | ThreadState::Spinning { join }
+                        if join.node == s && join.job == nref.job
                 ));
+                let was_spinning =
+                    matches!(self.threads[task][waiter], ThreadState::Spinning { .. });
                 self.threads[task][waiter] = ThreadState::Running {
                     node: NodeRef {
                         task,
@@ -598,12 +627,21 @@ impl<'a> Engine<'a> {
                     },
                     remaining: dag.wcet(s),
                 };
-                self.rec(EventKind::BarrierWake {
-                    task: u32c(task),
-                    job: u32c(nref.job),
-                    join: u32c(s.index()),
-                    thread: u32c(waiter),
-                });
+                if was_spinning {
+                    self.rec(EventKind::SpinEnd {
+                        task: u32c(task),
+                        job: u32c(nref.job),
+                        join: u32c(s.index()),
+                        thread: u32c(waiter),
+                    });
+                } else {
+                    self.rec(EventKind::BarrierWake {
+                        task: u32c(task),
+                        job: u32c(nref.job),
+                        join: u32c(s.index()),
+                        thread: u32c(waiter),
+                    });
+                }
                 self.rec(EventKind::NodeStart {
                     task: u32c(task),
                     job: u32c(nref.job),
@@ -640,7 +678,12 @@ impl<'a> Engine<'a> {
             }
             let suspended = self.threads[t]
                 .iter()
-                .filter(|s| matches!(s, ThreadState::Suspended { .. }))
+                .filter(|s| {
+                    matches!(
+                        s,
+                        ThreadState::Suspended { .. } | ThreadState::Spinning { .. }
+                    )
+                })
                 .count();
             self.stalls[t] = Some(StallInfo {
                 time: self.time,
@@ -661,7 +704,12 @@ impl<'a> Engine<'a> {
         for t in 0..self.set.len() {
             let suspended = self.threads[t]
                 .iter()
-                .filter(|s| matches!(s, ThreadState::Suspended { .. }))
+                .filter(|s| {
+                    matches!(
+                        s,
+                        ThreadState::Suspended { .. } | ThreadState::Spinning { .. }
+                    )
+                })
                 .count();
             let avail = self.m - suspended;
             if avail < self.min_avail[t] {
@@ -676,27 +724,36 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// The threads holding a core right now.
+    /// The threads holding a core right now. Spinning threads burn
+    /// cycles on a core exactly like running ones — that core occupancy
+    /// is the busy-wait interference the spin analysis charges to
+    /// lower-priority tasks.
     fn select_cores(&self) -> Vec<(usize, usize)> {
+        let occupies = |s: &ThreadState| {
+            matches!(
+                s,
+                ThreadState::Running { .. } | ThreadState::Spinning { .. }
+            )
+        };
         match self.policy {
             SchedulingPolicy::Global => {
                 // Priority = task index; ties by thread index. The m
-                // highest-priority running threads hold the cores.
+                // highest-priority core-occupying threads hold the cores.
                 let mut running: Vec<(usize, usize)> = (0..self.set.len())
                     .flat_map(|t| (0..self.m).map(move |th| (t, th)))
-                    .filter(|&(t, th)| matches!(self.threads[t][th], ThreadState::Running { .. }))
+                    .filter(|&(t, th)| occupies(&self.threads[t][th]))
                     .collect();
                 running.sort_unstable();
                 running.truncate(self.m);
                 running
             }
             SchedulingPolicy::Partitioned => {
-                // Core k runs the highest-priority running thread among
+                // Core k runs the highest-priority occupying thread among
                 // the k-th threads of all pools.
                 (0..self.m)
                     .filter_map(|k| {
                         (0..self.set.len())
-                            .find(|&t| matches!(self.threads[t][k], ThreadState::Running { .. }))
+                            .find(|&t| occupies(&self.threads[t][k]))
                             .map(|t| (t, k))
                     })
                     .collect()
@@ -1115,6 +1172,98 @@ mod tests {
         assert_eq!(ana.task(0).released, 4);
         assert_eq!(ana.task(0).completed, 4);
         assert_eq!(ana.task(0).responses, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn spin_backend_single_task_matches_suspend_and_traces_spin() {
+        // Intra-task, spin and suspend are operationally identical: the
+        // pool has as many threads as cores, so a spinner holds a core
+        // no other own thread could have used anyway.
+        let mut b = DagBuilder::new();
+        b.fork_join(2, &[5, 7], 3, true).unwrap();
+        let dag = b.build().unwrap();
+        let suspend = single(dag.clone(), 100);
+        let spin = single(dag, 100).with_backend(rtpool_core::SyncBackend::Spin);
+        let out_su = SimConfig::single_job(SchedulingPolicy::Global, 3)
+            .with_event_trace()
+            .run(&suspend)
+            .unwrap();
+        let out_sp = SimConfig::single_job(SchedulingPolicy::Global, 3)
+            .with_event_trace()
+            .run(&spin)
+            .unwrap();
+        assert_eq!(out_sp.task(0).responses, out_su.task(0).responses);
+        assert_eq!(
+            out_sp.task(0).min_available_concurrency,
+            out_su.task(0).min_available_concurrency
+        );
+        let trace = out_sp.event_trace().expect("event trace recorded");
+        assert!(trace.validate().is_empty(), "{:?}", trace.validate());
+        let names: Vec<&str> = trace.events.iter().map(|e| e.kind.name()).collect();
+        assert!(names.contains(&"SpinStart"));
+        assert!(names.contains(&"SpinEnd"));
+        assert!(!names.contains(&"BarrierSuspend"));
+        assert!(!names.contains(&"BarrierWake"));
+        assert!(!names.contains(&"ThreadPark"));
+        // The analysis counts a spinner as blocking.
+        let ana = rtpool_trace::TraceAnalysis::new(trace);
+        assert_eq!(ana.task(0).max_simultaneous_blocking, 1);
+    }
+
+    #[test]
+    fn spin_backend_holds_core_and_starves_lower_priority() {
+        // fork(2) → {5} → join(3) plus a lower-priority 5-unit chain on
+        // 2 cores. Under suspend the fork's thread frees its core while
+        // the child runs, so the chain proceeds in parallel; under spin
+        // the fork's thread burns that core until the barrier opens —
+        // the busy-wait interference the spin analysis charges.
+        let mk_set = |backend| {
+            let mut b = DagBuilder::new();
+            b.fork_join(2, &[5], 3, true).unwrap();
+            let hp = Task::with_implicit_deadline(b.build().unwrap(), 200).unwrap();
+            let lp = Task::with_implicit_deadline(chain(&[5]), 200).unwrap();
+            TaskSet::new(vec![hp, lp]).with_backend(backend)
+        };
+        let out_su = SimConfig::single_job(SchedulingPolicy::Global, 2)
+            .run(&mk_set(rtpool_core::SyncBackend::Suspend))
+            .unwrap();
+        let out_sp = SimConfig::single_job(SchedulingPolicy::Global, 2)
+            .run(&mk_set(rtpool_core::SyncBackend::Spin))
+            .unwrap();
+        // The blocking task itself is indifferent...
+        assert_eq!(out_su.task(0).responses, vec![10]);
+        assert_eq!(out_sp.task(0).responses, vec![10]);
+        // ...but the spinner's held core delays the low-priority task.
+        assert_eq!(out_su.task(1).responses, vec![5]);
+        assert_eq!(out_sp.task(1).responses, vec![10]);
+    }
+
+    #[test]
+    fn spin_backend_stall_detected_with_spinning_threads() {
+        // Figure 1(c)-style deadlock under the spin backend: every
+        // worker ends up busy-waiting, the stall detector still fires
+        // and counts the spinners as blocked.
+        let mut b = DagBuilder::new();
+        let src = b.add_node(1);
+        let snk = b.add_node(1);
+        for _ in 0..2 {
+            let (f, j) = b.fork_join(10, &[5, 5, 5], 10, true).unwrap();
+            b.add_edge(src, f).unwrap();
+            b.add_edge(j, snk).unwrap();
+        }
+        let set = single(b.build().unwrap(), 100_000).with_backend(rtpool_core::SyncBackend::Spin);
+        let out = SimConfig::single_job(SchedulingPolicy::Global, 2)
+            .with_event_trace()
+            .run(&set)
+            .unwrap();
+        let stall = out.task(0).stall.as_ref().expect("deadlock expected");
+        assert_eq!(stall.suspended_threads, 2);
+        assert_eq!(out.task(0).min_available_concurrency, 0);
+        let trace = out.event_trace().unwrap();
+        assert!(trace.validate().is_empty(), "{:?}", trace.validate());
+        let names: Vec<&str> = trace.events.iter().map(|e| e.kind.name()).collect();
+        assert!(names.contains(&"SpinStart"));
+        assert!(names.contains(&"StallDetected"));
     }
 
     #[test]

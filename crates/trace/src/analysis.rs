@@ -68,6 +68,27 @@ pub enum TraceDefect {
         /// Sequence number of the offending event.
         seq: u64,
     },
+    /// `SpinEnd` on a thread that was not spinning (includes a
+    /// `SpinEnd` answering a `BarrierSuspend`: the close must match the
+    /// open's backend).
+    SpinEndWithoutSpin {
+        /// Task index.
+        task: u32,
+        /// Thread index.
+        thread: u32,
+        /// Sequence number of the offending event.
+        seq: u64,
+    },
+    /// `ThreadPark` between a thread's `SpinStart` and its `SpinEnd` — a
+    /// spinning thread holds its core by definition and must never park.
+    ParkWhileSpinning {
+        /// Task index.
+        task: u32,
+        /// Thread index.
+        thread: u32,
+        /// Sequence number of the offending event.
+        seq: u64,
+    },
     /// A core's assignments go backwards in time (which would make two
     /// occupants overlap on the core).
     CoreTimeRegression {
@@ -114,6 +135,14 @@ impl fmt::Display for TraceDefect {
                 f,
                 "BarrierWake on non-suspended task {task} thread {thread} at seq {seq}"
             ),
+            TraceDefect::SpinEndWithoutSpin { task, thread, seq } => write!(
+                f,
+                "SpinEnd on non-spinning task {task} thread {thread} at seq {seq}"
+            ),
+            TraceDefect::ParkWhileSpinning { task, thread, seq } => write!(
+                f,
+                "ThreadPark while spinning on task {task} thread {thread} at seq {seq}"
+            ),
             TraceDefect::CoreTimeRegression { core, seq } => {
                 write!(f, "core {core} assignments go backwards at seq {seq}")
             }
@@ -135,8 +164,10 @@ impl Trace {
     /// * per `(task, thread)`, `NodeStart`/`NodeEnd` alternate (an open
     ///   node at the end of the trace is allowed — preemption at the
     ///   horizon or an aborted job);
-    /// * per `(task, thread)`, `BarrierSuspend`/`BarrierWake` pair up
-    ///   (suspended-at-end is allowed — that is a deadlock);
+    /// * per `(task, thread)`, `BarrierSuspend`/`BarrierWake` and
+    ///   `SpinStart`/`SpinEnd` pair up with matching backends
+    ///   (blocked-at-end is allowed — that is a deadlock / stall), and no
+    ///   `ThreadPark` appears between a `SpinStart` and its `SpinEnd`;
     /// * per core, assignment times are monotone, so no two occupants
     ///   ever overlap on one core;
     /// * all indices fit the metadata and no event lies past `end_time`.
@@ -146,7 +177,14 @@ impl Trace {
         let mut last_seq: Option<u64> = None;
         let mut thread_time: BTreeMap<(u32, u32), u64> = BTreeMap::new();
         let mut open_node: BTreeMap<(u32, u32), u32> = BTreeMap::new();
-        let mut suspended: BTreeMap<(u32, u32), bool> = BTreeMap::new();
+        // How each (task, thread) is currently blocked, if at all.
+        #[derive(Clone, Copy, PartialEq, Eq)]
+        enum Blocked {
+            No,
+            Suspended,
+            Spinning,
+        }
+        let mut suspended: BTreeMap<(u32, u32), Blocked> = BTreeMap::new();
         let mut core_time: BTreeMap<u32, u64> = BTreeMap::new();
 
         for (at, e) in self.events.iter().enumerate() {
@@ -201,26 +239,57 @@ impl Trace {
                     }
                 }
                 EventKind::BarrierSuspend { task, thread, .. } => {
-                    let s = suspended.entry((*task, *thread)).or_insert(false);
-                    if *s {
+                    let s = suspended.entry((*task, *thread)).or_insert(Blocked::No);
+                    if *s != Blocked::No {
                         defects.push(TraceDefect::DoubleSuspend {
                             task: *task,
                             thread: *thread,
                             seq: e.seq,
                         });
                     }
-                    *s = true;
+                    *s = Blocked::Suspended;
                 }
                 EventKind::BarrierWake { task, thread, .. } => {
-                    let s = suspended.entry((*task, *thread)).or_insert(false);
-                    if !*s {
+                    let s = suspended.entry((*task, *thread)).or_insert(Blocked::No);
+                    if *s != Blocked::Suspended {
                         defects.push(TraceDefect::WakeWithoutSuspend {
                             task: *task,
                             thread: *thread,
                             seq: e.seq,
                         });
                     }
-                    *s = false;
+                    *s = Blocked::No;
+                }
+                EventKind::SpinStart { task, thread, .. } => {
+                    let s = suspended.entry((*task, *thread)).or_insert(Blocked::No);
+                    if *s != Blocked::No {
+                        defects.push(TraceDefect::DoubleSuspend {
+                            task: *task,
+                            thread: *thread,
+                            seq: e.seq,
+                        });
+                    }
+                    *s = Blocked::Spinning;
+                }
+                EventKind::SpinEnd { task, thread, .. } => {
+                    let s = suspended.entry((*task, *thread)).or_insert(Blocked::No);
+                    if *s != Blocked::Spinning {
+                        defects.push(TraceDefect::SpinEndWithoutSpin {
+                            task: *task,
+                            thread: *thread,
+                            seq: e.seq,
+                        });
+                    }
+                    *s = Blocked::No;
+                }
+                EventKind::ThreadPark { task, thread }
+                    if suspended.get(&(*task, *thread)) == Some(&Blocked::Spinning) =>
+                {
+                    defects.push(TraceDefect::ParkWhileSpinning {
+                        task: *task,
+                        thread: *thread,
+                        seq: e.seq,
+                    });
                 }
                 EventKind::CoreAssign { core, occupant } => {
                     if *core >= self.cores
@@ -328,6 +397,9 @@ impl TraceAnalysis {
                 }
                 EventKind::BarrierSuspend {
                     task, fork, thread, ..
+                }
+                | EventKind::SpinStart {
+                    task, fork, thread, ..
                 } => {
                     let (Some(o), Some(s)) = (
                         obs.get_mut(*task as usize),
@@ -344,7 +416,8 @@ impl TraceAnalysis {
                     }
                     push_step(&mut o.concurrency_profile, t, avail);
                 }
-                EventKind::BarrierWake { task, thread, .. } => {
+                EventKind::BarrierWake { task, thread, .. }
+                | EventKind::SpinEnd { task, thread, .. } => {
                     let (Some(o), Some(s)) = (
                         obs.get_mut(*task as usize),
                         suspended.get_mut(*task as usize),
@@ -727,6 +800,157 @@ mod tests {
             TraceDefect::TimeBeyondEnd { seq: 0 }
         ));
         // Defects render.
+        for d in t.validate() {
+            assert!(!d.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn spin_events_count_as_blocking() {
+        let mut r = base_recorder();
+        r.record(0, EventKind::JobReleased { task: 0, job: 0 });
+        r.record(
+            2,
+            EventKind::SpinStart {
+                task: 0,
+                job: 0,
+                fork: 1,
+                thread: 0,
+            },
+        );
+        r.record(
+            3,
+            EventKind::SpinStart {
+                task: 0,
+                job: 0,
+                fork: 4,
+                thread: 1,
+            },
+        );
+        r.record(
+            7,
+            EventKind::SpinEnd {
+                task: 0,
+                job: 0,
+                join: 3,
+                thread: 0,
+            },
+        );
+        r.record(
+            8,
+            EventKind::SpinEnd {
+                task: 0,
+                job: 0,
+                join: 6,
+                thread: 1,
+            },
+        );
+        r.record(10, EventKind::JobCompleted { task: 0, job: 0 });
+        let trace = r.finish(10);
+        assert!(trace.validate().is_empty());
+        let ana = TraceAnalysis::new(&trace);
+        let o = ana.task(0);
+        // Spinning threads hold their workers exactly like suspended
+        // ones for blocking accounting, so the profile matches the
+        // suspend-backend trace of the same workload.
+        assert_eq!(o.max_simultaneous_blocking, 2);
+        assert_eq!(o.blocking_witness, vec![1, 4]);
+        assert_eq!(o.min_available, 1);
+        assert_eq!(
+            o.concurrency_profile,
+            vec![(0, 3), (2, 2), (3, 1), (7, 2), (8, 3)]
+        );
+    }
+
+    #[test]
+    fn validator_flags_spin_defects() {
+        let mk = |events: Vec<TraceEvent>| Trace {
+            engine: EngineKind::Sim,
+            time_unit: TimeUnit::Ticks,
+            cores: 2,
+            tasks: 1,
+            end_time: 100,
+            events,
+        };
+        let spin_start = EventKind::SpinStart {
+            task: 0,
+            job: 0,
+            fork: 1,
+            thread: 0,
+        };
+        let spin_end = EventKind::SpinEnd {
+            task: 0,
+            job: 0,
+            join: 2,
+            thread: 0,
+        };
+        // SpinEnd with no open spin.
+        let t = mk(vec![raw(0, 0, spin_end.clone())]);
+        assert!(matches!(
+            t.validate()[0],
+            TraceDefect::SpinEndWithoutSpin { seq: 0, .. }
+        ));
+        // SpinEnd closing a *suspension* is also flagged: the two
+        // blocking modes must pair with their own close events.
+        let t = mk(vec![
+            raw(
+                0,
+                0,
+                EventKind::BarrierSuspend {
+                    task: 0,
+                    job: 0,
+                    fork: 1,
+                    thread: 0,
+                },
+            ),
+            raw(1, 1, spin_end.clone()),
+        ]);
+        assert!(matches!(
+            t.validate()[0],
+            TraceDefect::SpinEndWithoutSpin { seq: 1, .. }
+        ));
+        // A park while spinning contradicts the spin semantics.
+        let t = mk(vec![
+            raw(0, 0, spin_start.clone()),
+            raw(1, 1, EventKind::ThreadPark { task: 0, thread: 0 }),
+        ]);
+        assert!(matches!(
+            t.validate()[0],
+            TraceDefect::ParkWhileSpinning { seq: 1, .. }
+        ));
+        // Starting a spin while already blocked is a double suspend.
+        let t = mk(vec![raw(0, 0, spin_start.clone()), raw(1, 1, spin_start)]);
+        assert!(matches!(
+            t.validate()[0],
+            TraceDefect::DoubleSuspend { seq: 1, .. }
+        ));
+        // BarrierWake cannot close a spin.
+        let t = mk(vec![
+            raw(
+                0,
+                0,
+                EventKind::SpinStart {
+                    task: 0,
+                    job: 0,
+                    fork: 1,
+                    thread: 0,
+                },
+            ),
+            raw(
+                1,
+                1,
+                EventKind::BarrierWake {
+                    task: 0,
+                    job: 0,
+                    join: 2,
+                    thread: 0,
+                },
+            ),
+        ]);
+        assert!(matches!(
+            t.validate()[0],
+            TraceDefect::WakeWithoutSuspend { seq: 1, .. }
+        ));
         for d in t.validate() {
             assert!(!d.to_string().is_empty());
         }

@@ -155,6 +155,35 @@ pub enum EventKind {
         /// The resumed pool thread.
         thread: u32,
     },
+    /// `thread` completed the blocking fork `fork` and started
+    /// *busy-waiting* on its barrier (the spin backend's counterpart of
+    /// [`EventKind::BarrierSuspend`]): the thread keeps its core and
+    /// burns it until the barrier opens. A spinning thread never parks —
+    /// no [`EventKind::ThreadPark`] may appear for it before the
+    /// matching [`EventKind::SpinEnd`].
+    SpinStart {
+        /// Task index.
+        task: u32,
+        /// Job index within the task.
+        job: u32,
+        /// The blocking-fork node whose barrier the thread spins on.
+        fork: u32,
+        /// The spinning pool thread.
+        thread: u32,
+    },
+    /// The barrier of `join` opened and the spinning `thread` fell
+    /// through to run the join as its continuation (the spin backend's
+    /// counterpart of [`EventKind::BarrierWake`]).
+    SpinEnd {
+        /// Task index.
+        task: u32,
+        /// Job index within the task.
+        job: u32,
+        /// The blocking-join node whose barrier opened.
+        join: u32,
+        /// The thread that was spinning.
+        thread: u32,
+    },
     /// `thread` went idle waiting for work (exec: blocked on the pool
     /// condvar; the simulator does not emit park events — idleness is
     /// visible through [`EventKind::CoreAssign`]).
@@ -252,6 +281,8 @@ impl EventKind {
             EventKind::NodeEnd { .. } => "NodeEnd",
             EventKind::BarrierSuspend { .. } => "BarrierSuspend",
             EventKind::BarrierWake { .. } => "BarrierWake",
+            EventKind::SpinStart { .. } => "SpinStart",
+            EventKind::SpinEnd { .. } => "SpinEnd",
             EventKind::ThreadPark { .. } => "ThreadPark",
             EventKind::ThreadUnpark { .. } => "ThreadUnpark",
             EventKind::CoreAssign { .. } => "CoreAssign",
@@ -274,6 +305,8 @@ impl EventKind {
             | EventKind::NodeEnd { task, .. }
             | EventKind::BarrierSuspend { task, .. }
             | EventKind::BarrierWake { task, .. }
+            | EventKind::SpinStart { task, .. }
+            | EventKind::SpinEnd { task, .. }
             | EventKind::ThreadPark { task, .. }
             | EventKind::ThreadUnpark { task, .. }
             | EventKind::StallDetected { task, .. }
@@ -294,6 +327,8 @@ impl EventKind {
             | EventKind::NodeEnd { thread, .. }
             | EventKind::BarrierSuspend { thread, .. }
             | EventKind::BarrierWake { thread, .. }
+            | EventKind::SpinStart { thread, .. }
+            | EventKind::SpinEnd { thread, .. }
             | EventKind::ThreadPark { thread, .. }
             | EventKind::ThreadUnpark { thread, .. }
             | EventKind::QueueDepth { thread, .. }
@@ -312,6 +347,8 @@ impl EventKind {
             | EventKind::NodeEnd { task, .. }
             | EventKind::BarrierSuspend { task, .. }
             | EventKind::BarrierWake { task, .. }
+            | EventKind::SpinStart { task, .. }
+            | EventKind::SpinEnd { task, .. }
             | EventKind::ThreadPark { task, .. }
             | EventKind::ThreadUnpark { task, .. }
             | EventKind::StallDetected { task, .. }

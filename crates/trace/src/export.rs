@@ -64,6 +64,8 @@ fn chrome_layout(trace: &Trace, kind: &EventKind) -> (&'static str, u32, u32) {
         EventKind::NodeEnd { task, thread, .. } => ("E", *task, *thread),
         EventKind::BarrierSuspend { task, thread, .. } => ("B", *task, *thread),
         EventKind::BarrierWake { task, thread, .. } => ("E", *task, *thread),
+        EventKind::SpinStart { task, thread, .. } => ("B", *task, *thread),
+        EventKind::SpinEnd { task, thread, .. } => ("E", *task, *thread),
         EventKind::ThreadPark { task, thread } => ("B", *task, *thread),
         EventKind::ThreadUnpark { task, thread } => ("E", *task, *thread),
         EventKind::CoreAssign { core, .. } => ("i", trace.tasks, *core),
@@ -115,6 +117,12 @@ fn chrome_args(e: &TraceEvent) -> String {
             job,
             fork,
             thread,
+        }
+        | EventKind::SpinStart {
+            task,
+            job,
+            fork,
+            thread,
         } => {
             fields.push(format!("\"task\":{task}"));
             fields.push(format!("\"job\":{job}"));
@@ -122,6 +130,12 @@ fn chrome_args(e: &TraceEvent) -> String {
             fields.push(format!("\"thread\":{thread}"));
         }
         EventKind::BarrierWake {
+            task,
+            job,
+            join,
+            thread,
+        }
+        | EventKind::SpinEnd {
             task,
             job,
             join,
@@ -197,6 +211,8 @@ fn chrome_name(kind: &EventKind) -> String {
         }
         EventKind::BarrierSuspend { fork, .. } => format!("barrier (fork {fork})"),
         EventKind::BarrierWake { join, .. } => format!("barrier (join {join})"),
+        EventKind::SpinStart { fork, .. } => format!("spin (fork {fork})"),
+        EventKind::SpinEnd { join, .. } => format!("spin (join {join})"),
         EventKind::ThreadPark { .. } | EventKind::ThreadUnpark { .. } => "parked".to_string(),
         EventKind::CoreAssign { occupant, .. } => match occupant {
             Some((t, th)) => format!("core: task {t} thread {th}"),
@@ -541,6 +557,18 @@ fn kind_from_args(args: &JsonValue) -> Result<EventKind, ExportError> {
             join: field_u32(args, "join")?,
             thread: field_u32(args, "thread")?,
         },
+        "SpinStart" => EventKind::SpinStart {
+            task: field_u32(args, "task")?,
+            job: field_u32(args, "job")?,
+            fork: field_u32(args, "fork")?,
+            thread: field_u32(args, "thread")?,
+        },
+        "SpinEnd" => EventKind::SpinEnd {
+            task: field_u32(args, "task")?,
+            job: field_u32(args, "job")?,
+            join: field_u32(args, "join")?,
+            thread: field_u32(args, "thread")?,
+        },
         "ThreadPark" => EventKind::ThreadPark {
             task: field_u32(args, "task")?,
             thread: field_u32(args, "thread")?,
@@ -726,6 +754,12 @@ pub fn to_csv(trace: &Trace) -> String {
                 job: j,
                 fork,
                 thread: th,
+            }
+            | EventKind::SpinStart {
+                task: t,
+                job: j,
+                fork,
+                thread: th,
             } => {
                 task = t.to_string();
                 job = j.to_string();
@@ -733,6 +767,12 @@ pub fn to_csv(trace: &Trace) -> String {
                 thread = th.to_string();
             }
             EventKind::BarrierWake {
+                task: t,
+                job: j,
+                join,
+                thread: th,
+            }
+            | EventKind::SpinEnd {
                 task: t,
                 job: j,
                 join,
@@ -937,6 +977,24 @@ mod tests {
             },
         );
         r.record(9, EventKind::CacheDeltaHit { task: 1, job: 1 });
+        r.record(
+            9,
+            EventKind::SpinStart {
+                task: 1,
+                job: 1,
+                fork: 0,
+                thread: 0,
+            },
+        );
+        r.record(
+            10,
+            EventKind::SpinEnd {
+                task: 1,
+                job: 1,
+                join: 2,
+                thread: 0,
+            },
+        );
         r.record(9, EventKind::JobCompleted { task: 0, job: 0 });
         r.finish(12)
     }

@@ -182,7 +182,10 @@ impl TaskMetrics {
 /// Feed events in `seq` order with [`MetricsRegistry::observe`], or
 /// build from a whole trace with [`MetricsRegistry::from_trace`].
 /// Per-node latencies pair each thread's `NodeStart` with its next
-/// `NodeEnd`; suspension counters pair `BarrierSuspend`/`BarrierWake`.
+/// `NodeEnd`; suspension counters pair `BarrierSuspend`/`BarrierWake`
+/// and, under the spin backend, `SpinStart`/`SpinEnd` — a spinning
+/// worker holds its core, so it counts against availability exactly
+/// like a suspended one.
 #[derive(Clone, Debug)]
 pub struct MetricsRegistry {
     cores: usize,
@@ -261,7 +264,7 @@ impl MetricsRegistry {
                 }
                 self.task_mut(*task).nodes_executed += 1;
             }
-            EventKind::BarrierSuspend { task, .. } => {
+            EventKind::BarrierSuspend { task, .. } | EventKind::SpinStart { task, .. } => {
                 let s = self.suspended.entry(*task).or_insert(0);
                 *s += 1;
                 let s = *s;
@@ -270,7 +273,7 @@ impl MetricsRegistry {
                 tm.max_simultaneous_blocking = tm.max_simultaneous_blocking.max(s);
                 tm.min_available = tm.min_available.min(cores.saturating_sub(s));
             }
-            EventKind::BarrierWake { task, .. } => {
+            EventKind::BarrierWake { task, .. } | EventKind::SpinEnd { task, .. } => {
                 let s = self.suspended.entry(*task).or_insert(0);
                 *s = s.saturating_sub(1);
             }

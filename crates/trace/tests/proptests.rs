@@ -96,6 +96,9 @@ fn check_nesting_and_pairing(trace: &Trace) -> Result<(), String> {
             }
             EventKind::BarrierSuspend {
                 task, fork, thread, ..
+            }
+            | EventKind::SpinStart {
+                task, fork, thread, ..
             } => {
                 let prev = suspended.insert((task, thread), fork);
                 prop_assert!(
@@ -103,7 +106,8 @@ fn check_nesting_and_pairing(trace: &Trace) -> Result<(), String> {
                     "thread ({task},{thread}) suspended twice (forks {prev:?} then {fork})"
                 );
             }
-            EventKind::BarrierWake { task, thread, .. } => {
+            EventKind::BarrierWake { task, thread, .. }
+            | EventKind::SpinEnd { task, thread, .. } => {
                 prop_assert!(
                     suspended.remove(&(task, thread)).is_some(),
                     "thread ({task},{thread}) woke without a suspend"
